@@ -1,0 +1,1 @@
+bench/main.ml: Array Experiments List P2p_core Perf Printf String Sys

@@ -1,0 +1,138 @@
+(* P1: bechamel microbenchmarks of the hot kernels.
+
+   One Test.make per kernel; OLS estimate of ns/run printed as a table.
+   These quantify the design choices called out in DESIGN.md: aggregate vs
+   agent simulation cost, subspace insertion, field arithmetic, and the
+   heap/event machinery. *)
+
+open Bechamel
+open Toolkit
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let markov_sim_test =
+  let params = Scenario.flash_crowd ~k:4 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  Test.make ~name:"sim_markov: 50 time units (K=4, stable)"
+    (Staged.stage (fun () ->
+         ignore (Sim_markov.run_seeded ~seed:1 (Sim_markov.default_config params) ~horizon:50.0)))
+
+let agent_sim_test =
+  let params = Scenario.flash_crowd ~k:4 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  Test.make ~name:"sim_agent: 50 time units (K=4, stable)"
+    (Staged.stage (fun () ->
+         ignore (Sim_agent.run_seeded ~seed:1 (Sim_agent.default_config params) ~horizon:50.0)))
+
+let agent_rarest_test =
+  let params = Scenario.flash_crowd ~k:4 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let config = { (Sim_agent.default_config params) with policy = Policy.rarest_first } in
+  Test.make ~name:"sim_agent: 50 time units, rarest-first"
+    (Staged.stage (fun () -> ignore (Sim_agent.run_seeded ~seed:1 config ~horizon:50.0)))
+
+let coded_sim_test =
+  let g = { Stability.Coded.q = 16; k = 8; us = 0.0; mu = 1.0; gamma = infinity;
+            lambda0 = 0.6; lambda1 = 0.4 } in
+  Test.make ~name:"sim_coded: 50 time units (q=16, K=8)"
+    (Staged.stage (fun () ->
+         ignore (Sim_coded.run_seeded ~seed:1 (Sim_coded.of_gift g) ~horizon:50.0)))
+
+let transitions_test =
+  let params = Scenario.flash_crowd ~k:6 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let rng = P2p_prng.Rng.of_seed 3 in
+  let entries =
+    List.filter_map
+      (fun c ->
+        let count = P2p_prng.Rng.int_below rng 5 in
+        if count > 0 then Some (PS.of_index c, count) else None)
+      (List.init 64 (fun i -> i))
+  in
+  let state = State.of_counts entries in
+  Test.make ~name:"generator row (K=6, 64 types)"
+    (Staged.stage (fun () -> ignore (Rate.transitions params state)))
+
+let lyapunov_drift_test =
+  let params = Scenario.example3 ~lambda1:1.0 ~lambda2:1.0 ~lambda3:1.0 ~mu:1.0 ~gamma:1.5 in
+  let coeffs = Lyapunov.default_coeffs params in
+  let state = State.of_counts [ (PS.of_list [ 0; 1 ], 500); (PS.singleton 2, 20) ] in
+  Test.make ~name:"exact Lyapunov drift QW (K=3)"
+    (Staged.stage (fun () -> ignore (Lyapunov.drift_w params coeffs state)))
+
+let gf_rank_test =
+  let f = P2p_gf.Field.gf 64 in
+  let rng = P2p_prng.Rng.of_seed 4 in
+  let rows =
+    Array.init 24 (fun _ -> P2p_gf.Mat.random_vec f (P2p_prng.Rng.int_below rng) 24)
+  in
+  Test.make ~name:"GF(64) rank of 24x24"
+    (Staged.stage (fun () -> ignore (P2p_gf.Mat.rank f rows)))
+
+let subspace_insert_test =
+  let f = P2p_gf.Field.gf 16 in
+  let rng = P2p_prng.Rng.of_seed 5 in
+  let vectors =
+    Array.init 16 (fun _ -> P2p_gf.Mat.random_vec f (P2p_prng.Rng.int_below rng) 16)
+  in
+  Test.make ~name:"subspace build: 16 inserts in F_16^16"
+    (Staged.stage (fun () ->
+         let s = P2p_coding.Subspace.create f ~k:16 in
+         Array.iter (fun v -> ignore (P2p_coding.Subspace.insert s v)) vectors))
+
+let heap_test =
+  let rng = P2p_prng.Rng.of_seed 6 in
+  let keys = Array.init 1000 (fun _ -> P2p_prng.Rng.float rng) in
+  Test.make ~name:"heap: 1000 push + pop"
+    (Staged.stage (fun () ->
+         let h = P2p_des.Heap.create () in
+         Array.iter (fun k -> ignore (P2p_des.Heap.insert h ~key:k ())) keys;
+         while not (P2p_des.Heap.is_empty h) do
+           ignore (P2p_des.Heap.pop_min h)
+         done))
+
+let mu_inf_test =
+  Test.make ~name:"mu=inf process: 10k steps"
+    (Staged.stage
+       (let rng = P2p_prng.Rng.of_seed 7 in
+        let cfg = { Mu_infinity.k = 3; lambda = 1.0 } in
+        fun () ->
+          ignore (Mu_infinity.simulate rng cfg ~init:{ Mu_infinity.n = 10; pieces = 2 } ~steps:10_000)))
+
+let fluid_test =
+  let params = Scenario.example3 ~lambda1:1.0 ~lambda2:1.0 ~lambda3:1.0 ~mu:1.0 ~gamma:1.5 in
+  let init = Fluid.of_state ~k:3 (State.create ()) in
+  Test.make ~name:"fluid RK4: 10 time units (K=3)"
+    (Staged.stage (fun () ->
+         ignore (Fluid.integrate params ~init ~dt:0.01 ~horizon:10.0 ~record_every:1000)))
+
+let tests =
+  [
+    markov_sim_test;
+    agent_sim_test;
+    agent_rarest_test;
+    coded_sim_test;
+    transitions_test;
+    lyapunov_drift_test;
+    gf_rank_test;
+    subspace_insert_test;
+    heap_test;
+    mu_inf_test;
+    fluid_test;
+  ]
+
+let run () =
+  P2p_core.Report.banner "P1  microbenchmarks (bechamel, OLS ns/run)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raws = Benchmark.all cfg instances (Test.make_grouped ~name:"perf" tests) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raws in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (est :: _) -> est | Some [] | None -> nan
+        in
+        let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
+        (estimate, [ name; Printf.sprintf "%.0f" estimate; Printf.sprintf "%.4f" r2 ]) :: acc)
+      results []
+  in
+  let rows = List.sort (fun (a, _) (b, _) -> Float.compare a b) rows in
+  P2p_core.Report.table ~header:[ "kernel"; "ns/run"; "r^2" ] (List.map snd rows)

@@ -1,0 +1,514 @@
+(* p2psim: command-line front end to the stability library.
+
+   Subcommands:
+     classify  - Theorem 1 verdict for a parameter set
+     simulate  - run the exact Markov (or agent-level) simulator
+     region    - sweep lambda x us and print the phase diagram
+     overlay   - simulate on a sparse random overlay topology
+     hetero    - heterogeneous peer classes (heuristic region + simulation)
+     coded     - Theorem 15 thresholds and coded-swarm simulation
+     drift     - Lyapunov drift scan (the Foster-Lyapunov certificate)
+     exact     - exact stationary distribution on a truncated state space
+     reachable - minimal closed set of states under a selection policy
+     borderline- the mu = infinity watched process of Section VIII-D *)
+
+open Cmdliner
+module Pieceset = P2p_pieceset.Pieceset
+open P2p_core
+
+(* ---- shared argument parsing ---- *)
+
+let parse_arrival spec =
+  match String.split_on_char '=' spec with
+  | [ pieces; rate ] ->
+      let rate =
+        match float_of_string_opt rate with
+        | Some r -> r
+        | None -> failwith (Printf.sprintf "bad rate in %S" spec)
+      in
+      let set =
+        if pieces = "none" || pieces = "" then Pieceset.empty
+        else
+          String.split_on_char ',' pieces
+          |> List.map (fun s ->
+                 match int_of_string_opt (String.trim s) with
+                 | Some i when i >= 1 -> i - 1
+                 | _ -> failwith (Printf.sprintf "bad piece %S in %S" s spec))
+          |> Pieceset.of_list
+      in
+      (set, rate)
+  | _ -> failwith (Printf.sprintf "arrival spec %S is not PIECES=RATE" spec)
+
+let arrivals_arg =
+  let doc =
+    "Arrival stream $(docv) as PIECES=RATE, repeatable; PIECES is a comma-separated list of \
+     1-based piece numbers, or 'none' for empty-handed peers. Example: --arrive none=1.0 \
+     --arrive 1,2=0.3"
+  in
+  Arg.(value & opt_all string [ "none=1.0" ] & info [ "arrive"; "a" ] ~docv:"SPEC" ~doc)
+
+let k_arg = Arg.(value & opt int 4 & info [ "k"; "num-pieces" ] ~docv:"K" ~doc:"Number of pieces.")
+let us_arg = Arg.(value & opt float 1.0 & info [ "us" ] ~docv:"RATE" ~doc:"Fixed seed contact rate U_s.")
+let mu_arg = Arg.(value & opt float 1.0 & info [ "mu" ] ~docv:"RATE" ~doc:"Peer contact rate mu.")
+
+let gamma_arg =
+  let doc = "Peer-seed departure rate gamma; 'inf' means peers leave on completion." in
+  let parse s =
+    if s = "inf" || s = "infinity" then Ok infinity
+    else match float_of_string_opt s with Some g -> Ok g | None -> Error (`Msg "bad gamma")
+  in
+  let gamma_conv = Arg.conv (parse, fun fmt g -> Format.fprintf fmt "%g" g) in
+  Arg.(value & opt gamma_conv infinity & info [ "gamma" ] ~docv:"RATE" ~doc)
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc:"PRNG seed.")
+
+let horizon_arg =
+  Arg.(value & opt float 1000.0 & info [ "horizon"; "t" ] ~docv:"TIME" ~doc:"Simulation horizon.")
+
+let make_params k us mu gamma arrivals =
+  let arrivals = List.map parse_arrival arrivals in
+  Params.make ~k ~us ~mu ~gamma ~arrivals
+
+let params_term = Term.(const make_params $ k_arg $ us_arg $ mu_arg $ gamma_arg $ arrivals_arg)
+
+(* ---- classify ---- *)
+
+let classify_cmd =
+  let run params =
+    Format.printf "%a@." Params.pp params;
+    let verdict, piece, margin = Stability.classify_detail params in
+    Report.kv
+      [
+        ("verdict (Theorem 1)", Stability.verdict_to_string verdict);
+        ("binding piece", string_of_int (piece + 1));
+        ("threshold", Report.fmt_float (Stability.threshold params ~piece));
+        ("lambda_total", Report.fmt_float (Params.lambda_total params));
+        ("margin", Report.fmt_float margin);
+        ("max stable lambda (same mix)", Report.fmt_float (Stability.stable_lambda_limit params));
+      ];
+    Report.subsection "Delta_S for every proper subset S (Eq. 4; all < 0 iff stable)";
+    List.iter
+      (fun s ->
+        Printf.printf "  Delta_%-12s = %s\n" (Pieceset.to_string s)
+          (Report.fmt_float (Stability.delta params ~s)))
+      (Pieceset.all_proper ~k:params.k)
+  in
+  Cmd.v (Cmd.info "classify" ~doc:"Theorem 1 verdict for a parameter set")
+    Term.(const run $ params_term)
+
+(* ---- simulate ---- *)
+
+let simulate_cmd =
+  let agent_arg =
+    Arg.(value & flag & info [ "agent" ] ~doc:"Use the agent-level simulator (tracks groups).")
+  in
+  let policy_arg =
+    let policy_conv =
+      Arg.enum
+        [
+          ("random", Policy.random_useful);
+          ("rarest", Policy.rarest_first);
+          ("common", Policy.most_common_first);
+          ("sequential", Policy.sequential);
+        ]
+    in
+    Arg.(value & opt policy_conv Policy.random_useful & info [ "policy" ] ~docv:"NAME"
+         ~doc:"Piece selection: random|rarest|common|sequential.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+         ~doc:"Write the sampled (t, N_t) trajectory as CSV.")
+  in
+  let run params horizon seed agent policy csv =
+    let write_csv samples =
+      match csv with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc "time,population\n";
+          Array.iter (fun (t, n) -> Printf.fprintf oc "%g,%d\n" t n) samples;
+          close_out oc;
+          Printf.printf "wrote %s\n" file
+    in
+    if agent then begin
+      let config = { (Sim_agent.default_config params) with policy } in
+      let stats, _ = Sim_agent.run_seeded ~seed config ~horizon in
+      Report.kv
+        [
+          ("events", string_of_int stats.events);
+          ("arrivals", string_of_int stats.arrivals);
+          ("transfers", string_of_int stats.transfers);
+          ("departures", string_of_int stats.departures);
+          ("time-avg N", Report.fmt_float stats.time_avg_n);
+          ("max N", string_of_int stats.max_n);
+          ("final N", string_of_int stats.final_n);
+          ("mean sojourn", Report.fmt_float stats.mean_sojourn);
+          ("one-club fraction", Report.fmt_float stats.one_club_time_fraction);
+        ];
+      let r = Classify.of_samples stats.samples in
+      Printf.printf "empirical verdict: %s (growth %s/t)\n"
+        (Classify.verdict_to_string r.verdict)
+        (Report.fmt_float r.growth_rate);
+      write_csv stats.samples
+    end
+    else begin
+      let config = { (Sim_markov.default_config params) with policy } in
+      let stats, _ = Sim_markov.run_seeded ~seed config ~horizon in
+      Report.kv
+        [
+          ("events", string_of_int stats.events);
+          ("arrivals", string_of_int stats.arrivals);
+          ("transfers", string_of_int stats.transfers);
+          ("departures", string_of_int stats.departures);
+          ("time-avg N", Report.fmt_float stats.time_avg_n);
+          ("max N", string_of_int stats.max_n);
+          ("final N", string_of_int stats.final_n);
+          ("visits to empty", string_of_int stats.visits_to_empty);
+        ];
+      let r = Classify.of_samples stats.samples in
+      Printf.printf "empirical verdict: %s (growth %s/t)\n"
+        (Classify.verdict_to_string r.verdict)
+        (Report.fmt_float r.growth_rate);
+      write_csv stats.samples
+    end
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run the exact stochastic simulation")
+    Term.(const run $ params_term $ horizon_arg $ seed_arg $ agent_arg $ policy_arg $ csv_arg)
+
+(* ---- region ---- *)
+
+let region_cmd =
+  let steps_arg =
+    Arg.(value & opt int 9 & info [ "steps" ] ~docv:"N" ~doc:"Grid resolution per axis.")
+  in
+  let lmax_arg =
+    Arg.(value & opt float 3.0 & info [ "lambda-max" ] ~docv:"RATE" ~doc:"Largest lambda.")
+  in
+  let umax_arg =
+    Arg.(value & opt float 3.0 & info [ "us-max" ] ~docv:"RATE" ~doc:"Largest U_s.")
+  in
+  let run k mu gamma steps lmax umax =
+    Printf.printf
+      "Phase diagram for K=%d mu=%g gamma=%s, empty-handed arrivals.\n\
+       Rows: lambda (down = larger). Columns: U_s. '+' stable, '-' transient, '0' borderline.\n\n"
+      k mu
+      (if Float.is_finite gamma then Printf.sprintf "%g" gamma else "inf");
+    Printf.printf "%8s" "";
+    for j = 0 to steps - 1 do
+      Printf.printf "%7.2f" (float_of_int (j + 1) /. float_of_int steps *. umax)
+    done;
+    print_newline ();
+    for i = steps - 1 downto 0 do
+      let lambda = float_of_int (i + 1) /. float_of_int steps *. lmax in
+      Printf.printf "%8.2f" lambda;
+      for j = 0 to steps - 1 do
+        let us = float_of_int (j + 1) /. float_of_int steps *. umax in
+        let p = Params.make ~k ~us ~mu ~gamma ~arrivals:[ (Pieceset.empty, lambda) ] in
+        let symbol =
+          match Stability.classify p with
+          | Stability.Positive_recurrent -> '+'
+          | Stability.Transient -> '-'
+          | Stability.Borderline -> '0'
+        in
+        Printf.printf "%7s" (String.make 1 symbol)
+      done;
+      print_newline ()
+    done
+  in
+  Cmd.v (Cmd.info "region" ~doc:"Print the (lambda, U_s) phase diagram")
+    Term.(const run $ k_arg $ mu_arg $ gamma_arg $ steps_arg $ lmax_arg $ umax_arg)
+
+(* ---- coded ---- *)
+
+let coded_cmd =
+  let q_arg = Arg.(value & opt int 16 & info [ "q"; "field" ] ~docv:"Q" ~doc:"Field size (prime power).") in
+  let f_arg =
+    Arg.(value & opt float 0.25 & info [ "f"; "gift-fraction" ] ~docv:"FRAC" ~doc:"Gifted fraction of arrivals.")
+  in
+  let sim_arg = Arg.(value & flag & info [ "sim" ] ~doc:"Also simulate the coded swarm.") in
+  let run k q f us mu gamma horizon seed sim =
+    let g =
+      { Stability.Coded.q; k; us; mu; gamma; lambda0 = 1.0 -. f; lambda1 = f }
+    in
+    Report.kv
+      [
+        ("transient if f <", Report.fmt_float (Stability.Coded.transient_f_threshold ~q ~k));
+        ( "recurrent if f > (exact)",
+          Report.fmt_float (Stability.Coded.recurrent_f_threshold_exact ~q ~k) );
+        ("verdict at f", Stability.verdict_to_string (Stability.Coded.classify g));
+      ];
+    if sim then begin
+      let s = Sim_coded.run_seeded ~seed (Sim_coded.of_gift g) ~horizon in
+      Report.kv
+        [
+          ("time-avg N", Report.fmt_float s.time_avg_n);
+          ("final N", string_of_int s.final_n);
+          ("useful transfers", string_of_int s.useful_transfers);
+          ("useless transfers", string_of_int s.useless_transfers);
+          ( "empirical verdict",
+            Classify.verdict_to_string (Classify.of_samples s.samples).verdict );
+        ]
+    end
+  in
+  Cmd.v (Cmd.info "coded" ~doc:"Theorem 15: network coding thresholds and simulation")
+    Term.(const run $ k_arg $ q_arg $ f_arg $ us_arg $ mu_arg $ gamma_arg $ horizon_arg
+          $ seed_arg $ sim_arg)
+
+(* ---- drift ---- *)
+
+let drift_cmd =
+  let sizes_arg =
+    Arg.(value & opt (list int) [ 100; 1000; 5000 ] & info [ "sizes" ] ~docv:"N,N,..."
+         ~doc:"Population sizes to probe.")
+  in
+  let run params sizes =
+    (match Stability.classify params with
+    | Stability.Positive_recurrent -> ()
+    | v ->
+        Printf.printf "note: parameters are %s; negative drift is not expected.\n"
+          (Stability.verdict_to_string v));
+    let coeffs = Lyapunov.default_coeffs params in
+    Printf.printf "coefficients: r=%g d=%g beta=%g alpha=%g p=%g\n" coeffs.r coeffs.d
+      coeffs.beta coeffs.alpha coeffs.p_const;
+    Report.table
+      ~header:[ "state"; "n"; "QW"; "QW/n" ]
+      (List.map
+         (fun (pt : Lyapunov.scan_point) ->
+           [
+             pt.state_desc;
+             string_of_int pt.n;
+             Report.fmt_float pt.drift_value;
+             Report.fmt_float pt.drift_per_peer;
+           ])
+         (Lyapunov.scan_class_one params coeffs ~sizes))
+  in
+  Cmd.v (Cmd.info "drift" ~doc:"Exact Lyapunov drift scan (Foster-Lyapunov certificate)")
+    Term.(const run $ params_term $ sizes_arg)
+
+(* ---- overlay ---- *)
+
+let overlay_cmd =
+  let degree_arg =
+    let doc = "Overlay attachment degree; 'inf' = fully connected (the paper's model)." in
+    let parse s =
+      if s = "inf" then Ok None
+      else
+        match int_of_string_opt s with
+        | Some d when d >= 1 -> Ok (Some d)
+        | Some _ | None -> Error (`Msg "degree must be a positive integer or 'inf'")
+    in
+    let pp fmt = function
+      | None -> Format.pp_print_string fmt "inf"
+      | Some d -> Format.pp_print_int fmt d
+    in
+    Arg.(value & opt (conv (parse, pp)) (Some 4) & info [ "degree" ] ~docv:"D" ~doc)
+  in
+  let choice_arg =
+    let choice_conv =
+      Arg.enum
+        [
+          ("random", Sim_network.Random_useful);
+          ("rarest-global", Sim_network.Rarest_global);
+          ("rarest-local", Sim_network.Rarest_local);
+        ]
+    in
+    Arg.(value & opt choice_conv Sim_network.Random_useful & info [ "choice" ] ~docv:"NAME"
+         ~doc:"Piece choice: random|rarest-global|rarest-local.")
+  in
+  let run params horizon seed degree choice =
+    let cfg = { (Sim_network.default_config params) with degree; choice } in
+    let s, _ = Sim_network.run_seeded ~seed cfg ~horizon in
+    let r = Classify.of_samples s.samples in
+    Report.kv
+      [
+        ("verdict", Classify.verdict_to_string r.verdict);
+        ("time-avg N", Report.fmt_float s.time_avg_n);
+        ("transfers", string_of_int s.transfers);
+        ("silent contacts", string_of_int s.silent_contacts);
+        ( "mean overlay degree",
+          if Float.is_nan s.mean_degree_time_avg then "-"
+          else Report.fmt_float s.mean_degree_time_avg );
+        ("components at end", string_of_int (List.length s.final_component_sizes));
+      ]
+  in
+  Cmd.v
+    (Cmd.info "overlay" ~doc:"Simulate the swarm on a sparse random overlay")
+    Term.(const run $ params_term $ horizon_arg $ seed_arg $ degree_arg $ choice_arg)
+
+(* ---- hetero ---- *)
+
+let hetero_cmd =
+  let class_arg =
+    let doc =
+      "A peer class $(docv) as LABEL=MU,GAMMA,RATE (empty-handed arrivals at RATE; GAMMA may \
+       be 'inf'); repeatable."
+    in
+    Arg.(value & opt_all string [ "all=1,2,1" ] & info [ "class"; "c" ] ~docv:"SPEC" ~doc)
+  in
+  let parse_class spec =
+    match String.split_on_char '=' spec with
+    | [ label; rest ] -> begin
+        match String.split_on_char ',' rest with
+        | [ mu; gamma; rate ] ->
+            let parse_float name s =
+              if s = "inf" then infinity
+              else
+                match float_of_string_opt s with
+                | Some v -> v
+                | None -> failwith (Printf.sprintf "bad %s in %S" name spec)
+            in
+            {
+              Hetero.label;
+              mu = parse_float "mu" mu;
+              gamma = parse_float "gamma" gamma;
+              arrivals = [ (Pieceset.empty, parse_float "rate" rate) ];
+            }
+        | _ -> failwith (Printf.sprintf "class spec %S is not LABEL=MU,GAMMA,RATE" spec)
+      end
+    | _ -> failwith (Printf.sprintf "class spec %S is not LABEL=MU,GAMMA,RATE" spec)
+  in
+  let run k us horizon seed class_specs =
+    let classes = List.map parse_class class_specs in
+    let h = Hetero.make ~k ~us ~classes in
+    Report.kv
+      [
+        ("heuristic verdict", Stability.verdict_to_string (Hetero.classify_heuristic h));
+        ("m_bar (seed branching)", Report.fmt_float (Hetero.mean_seed_offspring h ~piece:0));
+        ("heuristic threshold", Report.fmt_float (Hetero.threshold h ~piece:0));
+        ("lambda_total", Report.fmt_float (Hetero.lambda_total h));
+      ];
+    let s = Hetero.simulate_seeded ~seed h ~horizon in
+    let r = Classify.of_samples s.samples in
+    Report.kv
+      [
+        ("simulated verdict", Classify.verdict_to_string r.verdict);
+        ("time-avg N", Report.fmt_float s.time_avg_n);
+      ];
+    Report.subsection "per class";
+    Report.table
+      ~header:[ "class"; "mean N"; "mean sojourn" ]
+      (List.mapi
+         (fun i (c : Hetero.klass) ->
+           [
+             c.label;
+             Report.fmt_float s.class_mean_n.(i);
+             Report.fmt_float s.class_mean_sojourn.(i);
+           ])
+         classes)
+  in
+  Cmd.v
+    (Cmd.info "hetero" ~doc:"Heterogeneous peer classes: heuristic region + simulation")
+    Term.(const run $ k_arg $ us_arg $ horizon_arg $ seed_arg $ class_arg)
+
+(* ---- exact ---- *)
+
+let exact_cmd =
+  let nmax_arg =
+    Arg.(value & opt int 60 & info [ "n-max" ] ~docv:"N" ~doc:"Population cap for truncation.")
+  in
+  let run params nmax =
+    let chain = Truncated.build params ~n_max:nmax in
+    Printf.printf "enumerated %d states (n <= %d)\n%!" (Truncated.state_count chain) nmax;
+    let pi = Truncated.stationary chain in
+    Report.kv
+      [
+        ("exact E[N]", Report.fmt_float (Truncated.mean_population chain pi));
+        ("P(empty)", Report.fmt_float (Truncated.probability_empty chain pi));
+        ( "P(N >= n_max/2)",
+          Report.fmt_float (Truncated.population_tail chain pi ~at_least:(nmax / 2)) );
+        ("mass at cap (bias check)", Report.fmt_float (Truncated.truncation_mass_at_cap chain pi));
+      ];
+    Report.subsection "stationary mean count per type";
+    List.iter
+      (fun c ->
+        let m = Truncated.mean_type_count chain pi c in
+        if m > 1e-9 then
+          Printf.printf "  %-12s %s\n" (Pieceset.to_string c) (Report.fmt_float m))
+      (Pieceset.all ~k:params.k)
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact stationary distribution on a truncated state space (small K)")
+    Term.(const run $ params_term $ nmax_arg)
+
+(* ---- reachable ---- *)
+
+let reachable_cmd =
+  let policy_arg =
+    let policy_conv =
+      Arg.enum
+        [
+          ("random", Policy.random_useful);
+          ("rarest", Policy.rarest_first);
+          ("common", Policy.most_common_first);
+          ("sequential", Policy.sequential);
+        ]
+    in
+    Arg.(value & opt policy_conv Policy.sequential & info [ "policy" ] ~docv:"NAME"
+         ~doc:"Piece selection: random|rarest|common|sequential.")
+  in
+  let nmax_arg =
+    Arg.(value & opt int 4 & info [ "n-max" ] ~docv:"N" ~doc:"Population cap for the search.")
+  in
+  let run params policy nmax =
+    let r = Reachability.explore ~policy params ~n_max:nmax in
+    Report.kv
+      [
+        ("states explored", string_of_int r.states_explored);
+        ("truncated", Report.fmt_bool r.truncated);
+        ("peer types reachable", string_of_int (List.length r.types_seen));
+        ( "prefix collections only (paper's sequential-policy claim)",
+          Report.fmt_bool (Reachability.prefix_types_only ~k:params.k r.types_seen) );
+        ( "all 2^K types reachable",
+          Report.fmt_bool (Reachability.all_types_reachable ~k:params.k r.types_seen) );
+      ];
+    Printf.printf "types: %s\n"
+      (String.concat " " (List.map Pieceset.to_string r.types_seen))
+  in
+  Cmd.v
+    (Cmd.info "reachable"
+       ~doc:"Explore the minimal closed set of states under a piece-selection policy")
+    Term.(const run $ params_term $ policy_arg $ nmax_arg)
+
+(* ---- borderline ---- *)
+
+let borderline_cmd =
+  let start_arg =
+    Arg.(value & opt int 10 & info [ "start" ] ~docv:"N" ~doc:"Starting one-club size.")
+  in
+  let count_arg =
+    Arg.(value & opt int 200 & info [ "count" ] ~docv:"N" ~doc:"Number of excursions.")
+  in
+  let cap_arg =
+    Arg.(value & opt int 1_000_000 & info [ "cap" ] ~docv:"STEPS" ~doc:"Per-excursion step cap.")
+  in
+  let run k seed start count cap =
+    let rng = P2p_prng.Rng.of_seed seed in
+    let config = { Mu_infinity.k; lambda = 1.0 } in
+    Printf.printf "mu = infinity watched process, K=%d (E[Z] = %g: zero drift on the top layer)\n"
+      k (Mu_infinity.z_expectation ~k);
+    let excursions = Mu_infinity.excursions rng config ~start_n:start ~count ~cap_steps:cap in
+    let finished = List.filter (fun (e : Mu_infinity.excursion) -> not e.capped) excursions in
+    let lengths = List.map (fun (e : Mu_infinity.excursion) -> float_of_int e.length) finished in
+    let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (Int.max 1 (List.length l)) in
+    Report.kv
+      [
+        ("excursions finished", Printf.sprintf "%d / %d" (List.length finished) count);
+        ("mean excursion length (finished)", Report.fmt_float (mean lengths));
+        ( "max peak",
+          string_of_int
+            (List.fold_left (fun acc (e : Mu_infinity.excursion) -> Int.max acc e.peak) 0
+               excursions) );
+      ]
+  in
+  Cmd.v (Cmd.info "borderline" ~doc:"The mu=infinity borderline process (Section VIII-D)")
+    Term.(const run $ k_arg $ seed_arg $ start_arg $ count_arg $ cap_arg)
+
+let () =
+  let info = Cmd.info "p2psim" ~version:"1.0.0" ~doc:"P2P swarm stability toolkit (Zhu & Hajek)" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            classify_cmd; simulate_cmd; region_cmd; overlay_cmd; hetero_cmd; coded_cmd; drift_cmd;
+            exact_cmd; reachable_cmd; borderline_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/exact_stationary.ml: Int List P2p_core P2p_pieceset Params Report Scenario Sim_markov Truncated

@@ -1,0 +1,1 @@
+examples/exact_stationary.mli:

@@ -1,0 +1,1 @@
+examples/example1_single_piece.ml: Classify List P2p_core Printf Report Scenario Stability

@@ -1,0 +1,1 @@
+examples/example2_two_classes.ml: Classify List P2p_core Params Printf Report Scenario Sim_markov Stability State

@@ -1,0 +1,1 @@
+examples/example2_two_classes.mli:

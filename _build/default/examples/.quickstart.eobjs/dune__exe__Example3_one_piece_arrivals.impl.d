@@ -1,0 +1,1 @@
+examples/example3_one_piece_arrivals.ml: Array Classify Fluid List P2p_core Printf Report Scenario Sim_markov Stability State

@@ -1,0 +1,1 @@
+examples/flash_crowd_drain.ml: Array List P2p_core P2p_pieceset Policy Report Scenario Sim_agent

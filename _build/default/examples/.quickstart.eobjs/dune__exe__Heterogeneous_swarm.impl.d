@@ -1,0 +1,1 @@
+examples/heterogeneous_swarm.ml: Array Classify Hetero List P2p_core P2p_pieceset Report Scenario Stability

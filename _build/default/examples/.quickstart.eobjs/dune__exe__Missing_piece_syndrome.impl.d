@@ -1,0 +1,1 @@
+examples/missing_piece_syndrome.ml: Array Classify P2p_branching P2p_core P2p_pieceset Params Printf Report Scenario Sim_agent Stability

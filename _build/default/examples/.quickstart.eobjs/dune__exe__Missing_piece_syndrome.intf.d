@@ -1,0 +1,1 @@
+examples/missing_piece_syndrome.mli:

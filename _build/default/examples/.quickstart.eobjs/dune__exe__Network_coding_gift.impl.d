@@ -1,0 +1,1 @@
+examples/network_coding_gift.ml: Classify List P2p_core Printf Report Sim_coded Stability

@@ -1,0 +1,1 @@
+examples/overlay_topologies.ml: Classify Float List P2p_core Printf Report Scenario Sim_network Stability

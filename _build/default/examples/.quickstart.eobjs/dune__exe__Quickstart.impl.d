@@ -1,0 +1,1 @@
+examples/quickstart.ml: Classify Format P2p_core Params Report Stability

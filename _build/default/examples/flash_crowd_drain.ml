@@ -1,0 +1,81 @@
+(* Draining a flash crowd.
+
+   The paper models the *stationary* phase "which typically follows for
+   many hours after a flash crowd initiation".  This example looks at the
+   initiation itself: N0 empty-handed peers appear at t = 0 with a single
+   fixed seed and (essentially) no further arrivals.
+
+   The punchline is the paper's own corollary playing out in the
+   transient: if peers leave the moment they complete (gamma = inf), the
+   endgame is seed-limited — completed peers take their upload capacity
+   with them, the stragglers end up missing the same pieces, and the drain
+   time grows LINEARLY in N0 at rate ~U_s.  If peers dwell just long
+   enough to upload one more piece (gamma = mu), the swarm keeps its
+   capacity and the drain time grows only logarithmically.  Piece
+   selection also matters during the transient even though Theorem 14 says
+   it cannot change the stationary region. *)
+
+open P2p_core
+module PS = P2p_pieceset.Pieceset
+
+let drain_time ~policy ~gamma ~n0 ~seed =
+  (* tiny arrival rate: Params requires a positive total rate *)
+  let params = Scenario.flash_crowd ~k:4 ~lambda:1e-6 ~us:1.0 ~mu:1.0 ~gamma in
+  let config =
+    { (Sim_agent.default_config params) with policy; initial = [ (PS.empty, n0) ] }
+  in
+  let stats, _ = Sim_agent.run_seeded ~seed ~sample_every:1.0 config ~horizon:4000.0 in
+  (* first sample at which at most 5% of the crowd remains *)
+  let target = n0 / 20 in
+  Array.fold_left
+    (fun acc (t, n) ->
+      match acc with Some _ -> acc | None -> if n <= target then Some t else None)
+    None stats.samples
+
+let fmt_time = function Some t -> Report.fmt_float t | None -> ">4000"
+
+let () =
+  Report.banner "Flash crowd drain: who keeps the capacity?";
+  Report.subsection
+    "time to serve 95% of N0 empty peers (seed rate 1, mu = 1), by dwell regime";
+  let rows =
+    List.map
+      (fun n0 ->
+        let leave = drain_time ~policy:Policy.random_useful ~gamma:infinity ~n0 ~seed:51 in
+        let dwell = drain_time ~policy:Policy.random_useful ~gamma:1.0 ~n0 ~seed:51 in
+        [
+          string_of_int n0;
+          fmt_time leave;
+          fmt_time dwell;
+          (match dwell with
+          | Some t -> Report.fmt_float (t /. log (float_of_int n0))
+          | None -> "-");
+        ])
+      [ 50; 100; 200; 400; 800 ]
+  in
+  Report.table
+    ~header:
+      [ "N0"; "drain, leave-at-once"; "drain, dwell (gamma=mu)"; "dwell drain / ln N0" ]
+    rows;
+  print_endline
+    "\nLeave-at-once drains linearly in N0 (the endgame is seed-limited: the\n\
+     last peers all miss the same pieces - the missing piece syndrome in\n\
+     transient form).  Dwelling peers keep the swarm's capacity and the\n\
+     drain time grows only logarithmically: the corollary's one extra\n\
+     upload, visible in the flash crowd itself.";
+
+  Report.subsection "policy effect during the transient (N0 = 400, leave-at-once)";
+  let rows =
+    List.map
+      (fun (policy : Policy.t) ->
+        let t = drain_time ~policy ~gamma:infinity ~n0:400 ~seed:52 in
+        [ policy.name; fmt_time t ])
+      [ Policy.random_useful; Policy.rarest_first; Policy.most_common_first; Policy.sequential ]
+  in
+  Report.table ~header:[ "piece selection"; "95% drain time" ] rows;
+  print_endline
+    "\nRarest-first delays the endgame scarcity; most-common-first and\n\
+     sequential manufacture it early.  None of this changes the stationary\n\
+     stability region (Theorem 14) - the transient cost is what BitTorrent's\n\
+     designers tuned for.";
+  exit 0

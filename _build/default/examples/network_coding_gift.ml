@@ -1,0 +1,106 @@
+(* Network coding with gifted arrivals (Section VIII-B, Theorem 15).
+
+   Without coding, a swarm with no fixed seed and immediate departures is
+   transient whenever any fraction f < 1 of peers arrives with one
+   (uncoded) piece.  With random linear coding over F_q, a tiny gifted
+   fraction suffices: transient below f ≈ q/((q-1)K) and positive
+   recurrent above ≈ q²/((q-1)²K).  We print the paper's q=64, K=200
+   thresholds and simulate a reduced-scale swarm on both sides. *)
+
+open P2p_core
+
+let () =
+  Report.banner "Network coding with gifted arrivals (Theorem 15)";
+
+  (* The paper's numeric example. *)
+  let q = 64 and k = 200 in
+  Report.subsection "paper example: q = 64, K = 200";
+  Report.kv
+    [
+      ( "transient if f <",
+        Report.fmt_float (Stability.Coded.transient_f_threshold ~q ~k) );
+      ( "positive recurrent if f > (exact Eq. 55)",
+        Report.fmt_float (Stability.Coded.recurrent_f_threshold_exact ~q ~k) );
+      ( "paper's displayed approximation",
+        Report.fmt_float (Stability.Coded.recurrent_f_threshold_paper ~q ~k) );
+      ( "without coding: transient for every f <",
+        "1  (Theorem 1: missing piece syndrome)" );
+    ];
+
+  (* Reduced-scale simulation where the state space is tractable. *)
+  let q = 16 and k = 8 in
+  Report.subsection
+    (Printf.sprintf "simulation at q = %d, K = %d (thresholds: %.4f / %.4f)" q k
+       (Stability.Coded.transient_f_threshold ~q ~k)
+       (Stability.Coded.recurrent_f_threshold_exact ~q ~k));
+  let rows =
+    List.map
+      (fun f ->
+        let g =
+          {
+            Stability.Coded.q;
+            k;
+            us = 0.0;
+            mu = 1.0;
+            gamma = infinity;
+            lambda0 = 1.0 -. f;
+            lambda1 = f;
+          }
+        in
+        let theory = Stability.Coded.classify g in
+        let s = Sim_coded.run_seeded ~seed:909 (Sim_coded.of_gift g) ~horizon:900.0 in
+        let r = Classify.of_samples s.samples in
+        let uncoded = Stability.Coded.uncoded_equivalent_is_transient ~k ~f in
+        [
+          Printf.sprintf "%.3f" f;
+          Stability.verdict_to_string theory;
+          Classify.verdict_to_string r.verdict;
+          Report.fmt_float s.time_avg_n;
+          string_of_int s.final_n;
+          (if uncoded then "transient" else "-");
+        ])
+      [ 0.02; 0.08; 0.25; 0.50 ]
+  in
+  Report.table
+    ~header:[ "f"; "coded theory"; "coded sim"; "mean N"; "final N"; "uncoded theory" ]
+    rows;
+
+  (* Remark 16: exchanging subspace descriptions makes every eligible
+     contact useful, squeezing the q-dependence out of the gap. *)
+  Report.subsection "Remark 16: smart exchange (q = 2 where random combos often miss)";
+  let g =
+    {
+      Stability.Coded.q = 2;
+      k = 8;
+      us = 0.0;
+      mu = 1.0;
+      gamma = infinity;
+      lambda0 = 0.6;
+      lambda1 = 0.4;
+    }
+  in
+  let plain = Sim_coded.run_seeded ~seed:910 (Sim_coded.of_gift g) ~horizon:600.0 in
+  let smart =
+    Sim_coded.run_seeded ~seed:910
+      { (Sim_coded.of_gift g) with smart_exchange = true }
+      ~horizon:600.0
+  in
+  Report.table
+    ~header:[ "variant"; "mean N"; "useful"; "useless"; "final N" ]
+    [
+      [
+        "random combination";
+        Report.fmt_float plain.time_avg_n;
+        string_of_int plain.useful_transfers;
+        string_of_int plain.useless_transfers;
+        string_of_int plain.final_n;
+      ];
+      [
+        "smart exchange";
+        Report.fmt_float smart.time_avg_n;
+        string_of_int smart.useful_transfers;
+        string_of_int smart.useless_transfers;
+        string_of_int smart.final_n;
+      ];
+    ];
+  exit 0

@@ -1,0 +1,1 @@
+lib/branching/abs.ml: Float Galton_watson List

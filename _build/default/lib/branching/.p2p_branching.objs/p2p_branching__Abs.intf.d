@@ -1,0 +1,1 @@
+lib/branching/abs.mli: Galton_watson P2p_stats

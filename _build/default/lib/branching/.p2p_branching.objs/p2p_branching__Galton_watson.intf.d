@@ -1,0 +1,1 @@
+lib/branching/galton_watson.mli: P2p_prng P2p_stats

@@ -1,0 +1,75 @@
+type params = { k : int; mu : float; gamma : float; xi : float }
+
+let validate p =
+  if p.k < 1 then invalid_arg "Abs: need K >= 1";
+  if p.mu <= 0.0 then invalid_arg "Abs: need mu > 0";
+  if p.gamma <= p.mu then invalid_arg "Abs: the ABS analysis needs mu < gamma";
+  if p.xi < 0.0 || p.xi >= 1.0 then invalid_arg "Abs: need 0 <= xi < 1"
+
+let mu_over_gamma p = if Float.is_finite p.gamma then p.mu /. p.gamma else 0.0
+
+(* The recurring quantity (K-1)/(1-xi) + mu/gamma: mean number of
+   (f)-offspring of a (b) particle. *)
+let b_factor p = (float_of_int (p.k - 1) /. (1.0 -. p.xi)) +. mu_over_gamma p
+
+let finiteness_lhs p =
+  validate p;
+  (p.xi *. b_factor p) +. mu_over_gamma p
+
+let is_finite_regime p = finiteness_lhs p < 1.0
+
+let mean_matrix p =
+  validate p;
+  let bf = b_factor p in
+  let mg = mu_over_gamma p in
+  [| [| p.xi *. bf; bf |]; [| p.xi *. mg; mg |] |]
+
+let check_finite p =
+  if not (is_finite_regime p) then
+    failwith "Abs: progeny means are infinite (condition (6) violated)"
+
+let m_b p =
+  check_finite p;
+  1.0 +. ((1.0 +. p.xi) /. (1.0 -. finiteness_lhs p) *. b_factor p)
+
+let m_f p =
+  check_finite p;
+  1.0 +. ((1.0 +. p.xi) /. (1.0 -. finiteness_lhs p) *. mu_over_gamma p)
+
+let m_g p ~c_size =
+  check_finite p;
+  if c_size < 0 || c_size > p.k then invalid_arg "Abs.m_g: bad collection size";
+  let lifetime_factor = (float_of_int (p.k - c_size) /. (1.0 -. p.xi)) +. mu_over_gamma p in
+  lifetime_factor *. ((p.xi *. m_b p) +. m_f p)
+
+let m_b_limit p =
+  validate p;
+  float_of_int p.k /. (1.0 -. mu_over_gamma p)
+
+let m_f_limit p =
+  validate p;
+  1.0 /. (1.0 -. mu_over_gamma p)
+
+let m_g_limit p ~c_size =
+  validate p;
+  if c_size < 0 || c_size > p.k then invalid_arg "Abs.m_g_limit: bad collection size";
+  (float_of_int (p.k - c_size) +. mu_over_gamma p) /. (1.0 -. mu_over_gamma p)
+
+let dhat_rate p ~us ~gifted =
+  check_finite p;
+  let seed_part = us *. ((p.xi *. m_b p) +. m_f p) in
+  List.fold_left
+    (fun acc (c_size, lambda) -> acc +. (lambda *. m_g p ~c_size))
+    seed_part gifted
+
+let dhat_rate_limit ~us ~k ~mu_over_gamma ~gifted =
+  if mu_over_gamma < 0.0 || mu_over_gamma >= 1.0 then
+    invalid_arg "Abs.dhat_rate_limit: need 0 <= mu/gamma < 1";
+  let numerator =
+    List.fold_left
+      (fun acc (c_size, lambda) -> acc +. (lambda *. (float_of_int (k - c_size) +. mu_over_gamma)))
+      us gifted
+  in
+  numerator /. (1.0 -. mu_over_gamma)
+
+let to_galton_watson p = Galton_watson.create (mean_matrix p)

@@ -1,0 +1,74 @@
+(** The Autonomous Branching System (ABS) of Section VI.
+
+    The transience proof dominates piece-one uploads by a two-type
+    branching process: type (b) "infected" particles (peers that got the
+    rare piece while still young) and type (f) "former one-club" particles
+    (one-club peers that received the rare piece and became seeds).  For a
+    coupling slack parameter ξ ∈ (0, 1):
+
+    - a (b) particle spawns (b)-children at rate ξμ and (f)-children at
+      rate μ for a lifetime of [(K−1)/(μ(1−ξ)) + 1/γ] on average;
+    - an (f) particle does the same for an Exp(γ) lifetime;
+    - a gifted root of initial collection [C] lives
+      [(K−|C|)/(μ(1−ξ)) + 1/γ] on average.
+
+    This yields the mean offspring matrix of Eq. (VI), the finiteness
+    condition (6), the closed-form progeny means [m_b, m_f, m_g(C)] and the
+    asymptotic upload rate of the dominating compound Poisson process
+    [D̂̂].  All quantities support γ = ∞ (peers leave on completion, the
+    [μ/γ] terms vanish). *)
+
+type params = {
+  k : int;  (** number of pieces K >= 1 *)
+  mu : float;  (** peer contact rate μ > 0 *)
+  gamma : float;  (** seed departure rate; [infinity] = leave at once *)
+  xi : float;  (** coupling slack, 0 <= ξ < 1 (ξ = 0 gives the limits) *)
+}
+
+val validate : params -> unit
+(** @raise Invalid_argument on out-of-range parameters or μ >= γ. *)
+
+val mu_over_gamma : params -> float
+(** μ/γ, with the γ = ∞ convention giving 0. *)
+
+val finiteness_lhs : params -> float
+(** Left side of condition (6): [ξ((K−1)/(1−ξ) + μ/γ) + μ/γ]; the progeny
+    means are finite iff this is < 1. *)
+
+val is_finite_regime : params -> bool
+
+val mean_matrix : params -> P2p_stats.Linalg.mat
+(** The 2×2 mean offspring matrix, rows/cols ordered (b), (f). *)
+
+val m_b : params -> float
+(** One plus the mean number of descendants of a (b) particle (closed
+    form). @raise Failure outside the finite regime. *)
+
+val m_f : params -> float
+(** Same for an (f) particle. *)
+
+val m_g : params -> c_size:int -> float
+(** Mean total descendants of a gifted root that arrived holding [c_size]
+    pieces (the root itself not counted): [m_g(C)] of the paper. *)
+
+val m_b_limit : params -> float
+(** ξ → 0 limit: [K / (1 − μ/γ)]. *)
+
+val m_f_limit : params -> float
+(** ξ → 0 limit: [1 / (1 − μ/γ)]. *)
+
+val m_g_limit : params -> c_size:int -> float
+(** ξ → 0 limit: [(K − |C| + μ/γ) / (1 − μ/γ)]. *)
+
+val dhat_rate : params -> us:float -> gifted:(int * float) list -> float
+(** Asymptotic mean rate of the dominating download-count process:
+    [U_s (ξ m_b + m_f) + Σ_C λ_C m_g(C)], where [gifted] lists
+    [(|C|, λ_C)] for each arriving type containing the rare piece. *)
+
+val dhat_rate_limit : us:float -> k:int -> mu_over_gamma:float -> gifted:(int * float) list -> float
+(** The ξ → 0 limit, i.e. the right-hand side of conditions (2)/(3):
+    [(U_s + Σ_C λ_C (K − |C| + μ/γ)) / (1 − μ/γ)]. *)
+
+val to_galton_watson : params -> Galton_watson.t
+(** Package the mean matrix for the generic machinery (progeny
+    cross-checks, extinction probabilities). *)

@@ -1,0 +1,87 @@
+module Linalg = P2p_stats.Linalg
+module Dist = P2p_prng.Dist
+
+type t = { mean_matrix : Linalg.mat }
+
+let create m =
+  let rows, cols = Linalg.dims m in
+  if rows <> cols then invalid_arg "Galton_watson.create: matrix must be square";
+  Array.iter
+    (Array.iter (fun v ->
+         if v < 0.0 || not (Float.is_finite v) then
+           invalid_arg "Galton_watson.create: entries must be finite and nonnegative"))
+    m;
+  { mean_matrix = m }
+
+let num_types t = Array.length t.mean_matrix
+let criticality t = Linalg.spectral_radius t.mean_matrix
+let is_subcritical t = criticality t < 1.0
+
+let expected_progeny t =
+  if not (is_subcritical t) then
+    failwith "Galton_watson.expected_progeny: supercritical or critical process";
+  let n = num_types t in
+  let i_minus_m = Linalg.mat_sub (Linalg.identity n) t.mean_matrix in
+  let ones = Array.make n 1.0 in
+  Linalg.solve i_minus_m ones
+
+let extinction_probability ?(iterations = 10_000) ?(tol = 1e-13) t =
+  let n = num_types t in
+  let q = ref (Array.make n 0.0) in
+  let converged = ref false in
+  let iter = ref 0 in
+  while (not !converged) && !iter < iterations do
+    incr iter;
+    let next =
+      Array.init n (fun i ->
+          let exponent = ref 0.0 in
+          for j = 0 to n - 1 do
+            exponent := !exponent +. (t.mean_matrix.(i).(j) *. (!q.(j) -. 1.0))
+          done;
+          exp !exponent)
+    in
+    if Linalg.vec_norm_inf (Linalg.vec_sub next !q) < tol then converged := true;
+    q := next
+  done;
+  !q
+
+type progeny_sample = { total : int; truncated : bool }
+
+let simulate_progeny ~rng t ~root ~cap =
+  let n = num_types t in
+  if root < 0 || root >= n then invalid_arg "Galton_watson.simulate_progeny: bad root type";
+  (* Frontier of live particles per type; process one particle at a time. *)
+  let frontier = Array.make n 0 in
+  frontier.(root) <- 1;
+  let alive = ref 1 in
+  let total = ref 0 in
+  let truncated = ref false in
+  while !alive > 0 && not !truncated do
+    (* Take a particle of the lowest-numbered populated type. *)
+    let kind = ref 0 in
+    while frontier.(!kind) = 0 do
+      incr kind
+    done;
+    frontier.(!kind) <- frontier.(!kind) - 1;
+    decr alive;
+    incr total;
+    if !total >= cap then truncated := true
+    else
+      for j = 0 to n - 1 do
+        let mean = t.mean_matrix.(!kind).(j) in
+        if mean > 0.0 then begin
+          let kids = Dist.poisson rng ~mean in
+          frontier.(j) <- frontier.(j) + kids;
+          alive := !alive + kids
+        end
+      done
+  done;
+  { total = !total; truncated = !truncated }
+
+let mean_progeny_monte_carlo ~rng t ~root ~replications ~cap =
+  let acc = P2p_stats.Welford.create () in
+  for _ = 1 to replications do
+    let sample = simulate_progeny ~rng t ~root ~cap in
+    P2p_stats.Welford.add acc (float_of_int sample.total)
+  done;
+  acc

@@ -1,0 +1,52 @@
+(** Multitype Galton–Watson branching processes.
+
+    The transience proof of Section VI couples the uploads of the rare
+    piece to an autonomous branching system whose particles are "infected"
+    (group b) and "former one-club" (group f) peers.  This module provides
+    the generic machinery: given the mean offspring matrix [M] (entry
+    [(i,j)] = expected type-[j] children of a type-[i] particle),
+
+    - criticality: the process dies out iff the spectral radius of [M] is
+      [<= 1] (subcritical/critical);
+    - expected total progeny: the minimal nonnegative solution of
+      [m = 1 + M m], i.e. [(I − M) m = 1] when subcritical — the system the
+      paper solves in closed form for its 2×2 rank-one matrix;
+    - extinction probabilities via fixed-point iteration on the offspring
+      generating function (for Poisson offspring counts, which is what the
+      ABS produces);
+    - Monte-Carlo simulation of total progeny for cross-checking. *)
+
+type t = { mean_matrix : P2p_stats.Linalg.mat }
+
+val create : P2p_stats.Linalg.mat -> t
+(** @raise Invalid_argument unless square with nonnegative entries. *)
+
+val num_types : t -> int
+val criticality : t -> float
+(** Spectral radius of the mean matrix. *)
+
+val is_subcritical : t -> bool
+
+val expected_progeny : t -> P2p_stats.Linalg.vec
+(** [expected_progeny t] is the vector [m] with [m_i] = 1 + expected total
+    number of descendants of a single type-[i] root — the minimal solution
+    of [m = 1 + M m]. @raise Failure when not subcritical. *)
+
+val extinction_probability :
+  ?iterations:int -> ?tol:float -> t -> P2p_stats.Linalg.vec
+(** Extinction probabilities assuming each particle's type-[j] offspring
+    count is Poisson with mean [M(i,j)], independent across [j]: iterate
+    [q ← f(q)] with [f_i(q) = exp(Σ_j M(i,j)(q_j − 1))] from [q = 0]. *)
+
+type progeny_sample = { total : int; truncated : bool }
+
+val simulate_progeny :
+  rng:P2p_prng.Rng.t -> t -> root:int -> cap:int -> progeny_sample
+(** Simulate one tree with Poisson offspring; stop (and mark [truncated])
+    if the population of dead+alive particles reaches [cap]. *)
+
+val mean_progeny_monte_carlo :
+  rng:P2p_prng.Rng.t -> t -> root:int -> replications:int -> cap:int -> P2p_stats.Welford.t
+(** Monte-Carlo estimate of total progeny from a type-[root] root;
+    truncated trees contribute [cap] (biasing low — callers should check
+    the truncation rate). *)

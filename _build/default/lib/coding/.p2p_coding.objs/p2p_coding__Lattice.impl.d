@@ -1,0 +1,1 @@
+lib/coding/lattice.ml: Array Bytes Float Hashtbl Int List P2p_gf Queue

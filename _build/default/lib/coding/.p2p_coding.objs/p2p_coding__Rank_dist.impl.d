@@ -1,0 +1,1 @@
+lib/coding/rank_dist.ml: Array Float Int P2p_gf P2p_prng

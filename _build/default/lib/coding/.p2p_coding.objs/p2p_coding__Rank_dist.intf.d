@@ -1,0 +1,1 @@
+lib/coding/rank_dist.mli: P2p_prng

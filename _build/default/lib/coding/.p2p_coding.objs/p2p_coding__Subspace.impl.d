@@ -1,0 +1,1 @@
+lib/coding/subspace.ml: Array List P2p_gf P2p_prng

@@ -1,0 +1,1 @@
+lib/coding/subspace.mli: P2p_gf P2p_prng

@@ -1,0 +1,266 @@
+module Field = P2p_gf.Field
+
+type subspace = int
+
+type t = {
+  q : int;
+  k : int;
+  qk : int;  (* q^k *)
+  add_tbl : int array array;  (* vector addition on codes *)
+  smul_tbl : int array array;  (* scalar multiplication: smul.(c).(v) *)
+  members : int array array;  (* sorted member codes per subspace *)
+  dims : int array;
+  leq_tbl : Bytes.t;  (* count*count containment matrix *)
+  inter_tbl : int array;  (* count*count *)
+  join_tbl : int array;
+  zero_id : int;
+  full_id : int;
+  covers : int array array;
+  by_key : (int array, int) Hashtbl.t;
+}
+
+let q t = t.q
+let k t = t.k
+let count t = Array.length t.members
+let dim t v = t.dims.(v)
+let size t v = Array.length t.members.(v)
+let zero t = t.zero_id
+let full t = t.full_id
+let members t v = Array.copy t.members.(v)
+
+let leq t a b = Bytes.get t.leq_tbl ((a * count t) + b) = '\001'
+let inter t a b = t.inter_tbl.((a * count t) + b)
+let join t a b = t.join_tbl.((a * count t) + b)
+let covers t v = Array.copy t.covers.(v)
+
+let hyperplanes t =
+  let want = t.k - 1 in
+  Array.of_list
+    (List.filter (fun v -> t.dims.(v) = want) (List.init (count t) (fun i -> i)))
+
+(* ---- construction ---- *)
+
+let decode ~q ~k code =
+  let d = Array.make k 0 in
+  let rec fill i c =
+    if i < k then begin
+      d.(i) <- c mod q;
+      fill (i + 1) (c / q)
+    end
+  in
+  fill 0 code;
+  d
+
+let encode ~q d = Array.fold_right (fun digit acc -> (acc * q) + digit) d 0
+
+let build ~q ~k =
+  let field = Field.gf q in
+  if k < 1 then invalid_arg "Lattice.build: k must be >= 1";
+  let qk_f = float_of_int q ** float_of_int k in
+  if qk_f > 256.0 then invalid_arg "Lattice.build: q^k > 256 unsupported";
+  let qk = int_of_float qk_f in
+  (* vector operation tables on codes *)
+  let add_tbl =
+    Array.init qk (fun a ->
+        let da = decode ~q ~k a in
+        Array.init qk (fun b ->
+            let db = decode ~q ~k b in
+            encode ~q (Array.init k (fun i -> field.add da.(i) db.(i)))))
+  in
+  let smul_tbl =
+    Array.init q (fun c ->
+        Array.init qk (fun v ->
+            let dv = decode ~q ~k v in
+            encode ~q (Array.map (fun x -> field.mul c x) dv)))
+  in
+  (* close a member set under span with one extra vector *)
+  let extend member_set v =
+    (* members of S + <v> = { s + c*v : s in S, c in F_q } *)
+    let seen = Array.make qk false in
+    Array.iter
+      (fun s ->
+        for c = 0 to q - 1 do
+          seen.(add_tbl.(s).(smul_tbl.(c).(v))) <- true
+        done)
+      member_set;
+    let out = ref [] in
+    for code = qk - 1 downto 0 do
+      if seen.(code) then out := code :: !out
+    done;
+    Array.of_list !out
+  in
+  (* BFS over the lattice starting from {0} *)
+  let by_key : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let member_list = ref [] in
+  let n_subspaces = ref 0 in
+  let register key =
+    match Hashtbl.find_opt by_key key with
+    | Some id -> (id, false)
+    | None ->
+        let id = !n_subspaces in
+        incr n_subspaces;
+        Hashtbl.replace by_key key id;
+        member_list := key :: !member_list;
+        if !n_subspaces > 5000 then
+          invalid_arg "Lattice.build: more than 5000 subspaces (reduce q or k)";
+        (id, true)
+  in
+  let zero_key = [| 0 |] in
+  let zero_id, _ = register zero_key in
+  let queue = Queue.create () in
+  Queue.push zero_key queue;
+  while not (Queue.is_empty queue) do
+    let member_set = Queue.pop queue in
+    let in_set = Array.make qk false in
+    Array.iter (fun m -> in_set.(m) <- true) member_set;
+    for v = 1 to qk - 1 do
+      if not in_set.(v) then begin
+        let bigger = extend member_set v in
+        let _, fresh = register bigger in
+        if fresh then Queue.push bigger queue
+      end
+    done
+  done;
+  let members = Array.make !n_subspaces [||] in
+  List.iter (fun key -> members.(Hashtbl.find by_key key) <- key) !member_list;
+  let n = !n_subspaces in
+  let dims =
+    Array.map
+      (fun m ->
+        (* |V| = q^dim *)
+        let rec log_q x acc = if x = 1 then acc else log_q (x / q) (acc + 1) in
+        log_q (Array.length m) 0)
+      members
+  in
+  let full_id = Hashtbl.find by_key (Array.init qk (fun i -> i)) in
+  (* containment, intersection, join *)
+  let leq_tbl = Bytes.make (n * n) '\000' in
+  let inter_tbl = Array.make (n * n) 0 in
+  let join_tbl = Array.make (n * n) 0 in
+  let sorted_subset a b =
+    (* a, b sorted; is a subset of b? *)
+    let la = Array.length a and lb = Array.length b in
+    let rec go i j =
+      if i >= la then true
+      else if j >= lb then false
+      else if a.(i) = b.(j) then go (i + 1) (j + 1)
+      else if a.(i) > b.(j) then go i (j + 1)
+      else false
+    in
+    go 0 0
+  in
+  let sorted_inter a b =
+    let out = ref [] in
+    let la = Array.length a and lb = Array.length b in
+    let i = ref 0 and j = ref 0 in
+    while !i < la && !j < lb do
+      if a.(!i) = b.(!j) then begin
+        out := a.(!i) :: !out;
+        incr i;
+        incr j
+      end
+      else if a.(!i) < b.(!j) then incr i
+      else incr j
+    done;
+    Array.of_list (List.rev !out)
+  in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      if sorted_subset members.(a) members.(b) then
+        Bytes.set leq_tbl ((a * n) + b) '\001';
+      inter_tbl.((a * n) + b) <- Hashtbl.find by_key (sorted_inter members.(a) members.(b));
+      (* join: close members.(a) under the basis-ish vectors of b *)
+      let acc = ref members.(a) in
+      Array.iter
+        (fun v ->
+          let in_acc = Array.exists (fun x -> x = v) !acc in
+          if not in_acc then acc := extend !acc v)
+        members.(b);
+      join_tbl.((a * n) + b) <- Hashtbl.find by_key !acc
+    done
+  done;
+  let covers =
+    Array.init n (fun v ->
+        Array.of_list
+          (List.filter
+             (fun w ->
+               dims.(w) = dims.(v) + 1 && Bytes.get leq_tbl ((v * n) + w) = '\001')
+             (List.init n (fun i -> i))))
+  in
+  {
+    q;
+    k;
+    qk;
+    add_tbl;
+    smul_tbl;
+    members;
+    dims;
+    leq_tbl;
+    inter_tbl;
+    join_tbl;
+    zero_id;
+    full_id;
+    covers;
+    by_key;
+  }
+
+(* ---- probabilities ---- *)
+
+let upload_move_probability t ~uploader ~downloader ~target =
+  if
+    t.dims.(target) <> t.dims.(downloader) + 1
+    || not (leq t downloader target)
+  then 0.0
+  else begin
+    (* the transmitted vector must lie in uploader ∩ target but not in
+       downloader; any such vector takes downloader exactly to target *)
+    let useful =
+      size t (inter t target uploader) - size t (inter t downloader uploader)
+    in
+    if useful <= 0 then 0.0 else float_of_int useful /. float_of_int (size t uploader)
+  end
+
+let seed_move_probability t ~downloader ~target =
+  if t.dims.(target) <> t.dims.(downloader) + 1 || not (leq t downloader target) then 0.0
+  else
+    float_of_int (size t target - size t downloader) /. float_of_int t.qk
+
+let span_distribution t ~coded =
+  if coded < 0 then invalid_arg "Lattice.span_distribution: negative coded count";
+  let n = count t in
+  let below v = (float_of_int (size t v) /. float_of_int t.qk) ** float_of_int coded in
+  let exact = Array.make n 0.0 in
+  (* process by increasing dimension: P(=V) = P(⊆V) − Σ_{W⊂V} P(=W) *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Int.compare t.dims.(a) t.dims.(b)) order;
+  Array.iter
+    (fun v ->
+      let smaller = ref 0.0 in
+      for w = 0 to n - 1 do
+        if w <> v && leq t w v then smaller := !smaller +. exact.(w)
+      done;
+      exact.(v) <- Float.max 0.0 (below v -. !smaller))
+    order;
+  exact
+
+let dim_of_vector_span t codes =
+  let current = ref [| 0 |] in
+  let extend_with v =
+    let in_set = Array.exists (fun x -> x = v) !current in
+    if not in_set then begin
+      let seen = Array.make t.qk false in
+      Array.iter
+        (fun s ->
+          for c = 0 to t.q - 1 do
+            seen.(t.add_tbl.(s).(t.smul_tbl.(c).(v))) <- true
+          done)
+        !current;
+      let out = ref [] in
+      for code = t.qk - 1 downto 0 do
+        if seen.(code) then out := code :: !out
+      done;
+      current := Array.of_list !out
+    end
+  in
+  Array.iter extend_with codes;
+  Hashtbl.find t.by_key !current

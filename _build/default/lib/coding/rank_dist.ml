@@ -1,0 +1,48 @@
+let rank_pmf ~q ~rows ~cols =
+  if q < 2 then invalid_arg "Rank_dist.rank_pmf: q must be >= 2";
+  if rows < 0 || cols < 0 then invalid_arg "Rank_dist.rank_pmf: negative dimensions";
+  let lq = log (float_of_int q) in
+  let max_rank = Int.min rows cols in
+  (* log(q^a - q^b) = a*log q + log(1 - q^(b-a)); stable for a > b >= 0
+     even when a is in the hundreds. *)
+  let log_q_diff a b =
+    (float_of_int a *. lq) +. Float.log1p (-.Float.exp (float_of_int (b - a) *. lq))
+  in
+  Array.init (max_rank + 1) (fun r ->
+      let log_count = ref 0.0 in
+      for i = 0 to r - 1 do
+        log_count :=
+          !log_count +. log_q_diff rows i +. log_q_diff cols i -. log_q_diff r i
+      done;
+      exp (!log_count -. (float_of_int (rows * cols) *. lq)))
+
+let mean_rank ~q ~rows ~cols =
+  let pmf = rank_pmf ~q ~rows ~cols in
+  let acc = ref 0.0 in
+  Array.iteri (fun r p -> acc := !acc +. (float_of_int r *. p)) pmf;
+  !acc
+
+let outside_hyperplane_decomposition ~q ~k ~coded =
+  if k < 1 then invalid_arg "Rank_dist.outside_hyperplane_decomposition: k must be >= 1";
+  if coded < 0 then invalid_arg "Rank_dist.outside_hyperplane_decomposition: coded < 0";
+  let full = rank_pmf ~q ~rows:coded ~cols:k in
+  let inside =
+    if k = 1 then [| 1.0 |] (* the hyperplane is {0}: only rank 0 possible *)
+    else rank_pmf ~q ~rows:coded ~cols:(k - 1)
+  in
+  let p_inside = Float.exp (-.float_of_int coded *. log (float_of_int q)) in
+  Array.init (Array.length full) (fun r ->
+      let within = if r < Array.length inside then inside.(r) else 0.0 in
+      (r, Float.max 0.0 (full.(r) -. (p_inside *. within))))
+
+let prob_spans ~q ~k ~coded =
+  let pmf = rank_pmf ~q ~rows:coded ~cols:k in
+  (* spanning means rank = k, which requires coded >= k *)
+  if Array.length pmf > k then pmf.(k) else 0.0
+
+let sample_rank rng ~q ~rows ~cols =
+  let f = P2p_gf.Field.gf q in
+  let m =
+    Array.init rows (fun _ -> P2p_gf.Mat.random_vec f (P2p_prng.Rng.int_below rng) cols)
+  in
+  P2p_gf.Mat.rank f m

@@ -1,0 +1,32 @@
+(** Rank distribution of uniformly random matrices over GF(q).
+
+    A peer arriving with [j] uniformly random coded pieces holds the row
+    space of a uniform [j × K] matrix over [F_q].  The classical counting
+    formula gives the exact law of its dimension:
+
+    {v P(rank = r) = q^{-jK} · Π_{i=0}^{r-1} (q^j − q^i)(q^K − q^i) / (q^r − q^i) v}
+
+    Together with the observation that the [j] vectors all lie inside a
+    fixed hyperplane [V⁻] with probability [q^{-j}] (and are then uniform
+    in [F_q^{K-1}]), this yields the exact arrival-type decomposition that
+    the generalised Theorem 15 conditions need (see
+    {!Stability.Coded.classify_profile}). *)
+
+val rank_pmf : q:int -> rows:int -> cols:int -> float array
+(** [rank_pmf ~q ~rows:j ~cols:k] has length [min j k + 1]; entry [r] is
+    [P(rank = r)].  Computed in log space; exact up to float rounding.
+    @raise Invalid_argument on [q < 2] or negative dimensions. *)
+
+val mean_rank : q:int -> rows:int -> cols:int -> float
+
+val outside_hyperplane_decomposition : q:int -> k:int -> coded:int -> (int * float) array
+(** [(r, w_r)] pairs where [w_r = P(rank = r and V ⊄ V⁻)] for a fixed
+    hyperplane [V⁻] and [V] the span of [coded] uniform vectors in
+    [F_q^k]: [w_r = P_k(rank=r) − q^{-coded} · P_{k-1}(rank=r)].  The
+    weights need not sum to 1; the missing mass is [P(V ⊆ V⁻)]. *)
+
+val prob_spans : q:int -> k:int -> coded:int -> float
+(** Probability that [coded] uniform vectors span all of [F_q^k]. *)
+
+val sample_rank : P2p_prng.Rng.t -> q:int -> rows:int -> cols:int -> int
+(** Monte-Carlo reference: draw the matrix and row-reduce (for tests). *)

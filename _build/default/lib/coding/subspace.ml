@@ -1,0 +1,67 @@
+module Field = P2p_gf.Field
+module Mat = P2p_gf.Mat
+
+type t = {
+  f : Field.t;
+  k : int;
+  mutable rows : Mat.vec array;  (* row-reduced: pivots normalised, sorted *)
+}
+
+let create f ~k =
+  if k < 1 then invalid_arg "Subspace.create: k must be >= 1";
+  { f; k; rows = [||] }
+
+let copy t = { t with rows = Array.map Array.copy t.rows }
+let field t = t.f
+let dim t = Array.length t.rows
+let k t = t.k
+let is_full t = dim t = t.k
+
+let insert t v =
+  if Array.length v <> t.k then invalid_arg "Subspace.insert: wrong vector length";
+  let reduced = Mat.reduce_against t.f ~basis:t.rows v in
+  if Mat.is_zero_vec reduced then false
+  else begin
+    (* Re-reduce the enlarged set to keep the basis canonical. *)
+    let enlarged = Array.append t.rows [| reduced |] in
+    t.rows <- Mat.row_reduce t.f enlarged;
+    true
+  end
+
+let contains t v = Mat.in_row_space t.f ~basis:t.rows v
+
+let subspace_leq a b =
+  a.k = b.k && Array.for_all (fun row -> contains b row) a.rows
+
+let can_help ~uploader ~downloader = not (subspace_leq uploader downloader)
+
+let random_member t rng =
+  let acc = ref (Mat.zero_vec t.k) in
+  Array.iter
+    (fun row ->
+      let c = P2p_prng.Rng.int_below rng t.f.q in
+      if c <> 0 then acc := Mat.vec_axpy t.f c row !acc)
+    t.rows;
+  !acc
+
+let sum_dim a b =
+  let all = Array.append a.rows b.rows in
+  Mat.rank a.f all
+
+let intersection_dim a b =
+  if a.k <> b.k then invalid_arg "Subspace.intersection_dim: dimension mismatch";
+  dim a + dim b - sum_dim a b
+
+let useful_probability ~uploader ~downloader =
+  (* P(random member of V_B useful to A) = 1 - |V_A ∩ V_B| / |V_B|
+     = 1 - q^(dim(A∩B) - dim B). *)
+  let q = float_of_int uploader.f.q in
+  let inter = intersection_dim downloader uploader in
+  1.0 -. (q ** float_of_int (inter - dim uploader))
+
+let basis t = Array.map Array.copy t.rows
+
+let of_vectors f ~k vectors =
+  let t = create f ~k in
+  List.iter (fun v -> ignore (insert t v)) vectors;
+  t

@@ -1,0 +1,50 @@
+(** A peer's knowledge under random linear network coding.
+
+    With network coding the type of a peer [A] is the subspace
+    [V_A ⊆ F_q^K] spanned by the coding vectors of the coded pieces it has
+    received; [A] can decode once [dim V_A = K].  This module maintains the
+    subspace as an incrementally row-reduced basis, so inserting a vector
+    and testing usefulness are O(K·dim) field operations. *)
+
+type t
+
+val create : P2p_gf.Field.t -> k:int -> t
+(** Empty subspace of [F_q^K]. *)
+
+val copy : t -> t
+val field : t -> P2p_gf.Field.t
+val dim : t -> int
+val k : t -> int
+val is_full : t -> bool
+(** [dim = K]: the peer can decode the file. *)
+
+val insert : t -> P2p_gf.Mat.vec -> bool
+(** [insert t v] adds the coding vector [v]; returns [true] iff it was
+    useful (increased the dimension).  The zero vector is never useful. *)
+
+val contains : t -> P2p_gf.Mat.vec -> bool
+(** Whether [v ∈ V]. *)
+
+val subspace_leq : t -> t -> bool
+(** [subspace_leq a b] iff [V_a ⊆ V_b]. *)
+
+val can_help : uploader:t -> downloader:t -> bool
+(** The coded usefulness test: [V_uploader ⊄ V_downloader]. *)
+
+val random_member : t -> P2p_prng.Rng.t -> P2p_gf.Mat.vec
+(** A uniformly random vector of the subspace: a random linear combination
+    of the basis (this is what a peer transmits on contact).  The zero
+    vector is a possible (useless) outcome, matching the model. *)
+
+val useful_probability : uploader:t -> downloader:t -> float
+(** Exact probability that a random member of the uploader's subspace is
+    useful to the downloader: [1 − q^{dim(V_A ∩ V_B) − dim V_B}] with
+    [A] = downloader, [B] = uploader (Section VIII-B). *)
+
+val intersection_dim : t -> t -> int
+(** [dim (V_a ∩ V_b)], via [dim a + dim b − dim (a + b)]. *)
+
+val basis : t -> P2p_gf.Mat.vec array
+(** The current row-reduced basis (copies). *)
+
+val of_vectors : P2p_gf.Field.t -> k:int -> P2p_gf.Mat.vec list -> t

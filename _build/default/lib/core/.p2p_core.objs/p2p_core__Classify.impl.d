@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Float Format Int List P2p_stats Policy Sim_markov

@@ -1,0 +1,1 @@
+lib/core/classify.mli: Format Params Policy Sim_markov

@@ -1,0 +1,1 @@
+lib/core/coded_chain.ml: Array Balance Float Hashtbl List Lyapunov P2p_coding P2p_prng P2p_stats Printf

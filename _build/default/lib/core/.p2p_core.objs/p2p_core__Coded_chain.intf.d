@@ -1,0 +1,1 @@
+lib/core/coded_chain.mli: Lyapunov P2p_coding P2p_prng

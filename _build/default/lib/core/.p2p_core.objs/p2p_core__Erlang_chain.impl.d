@@ -1,0 +1,1 @@
+lib/core/erlang_chain.ml: Array Balance Hashtbl List P2p_pieceset Params Rate State

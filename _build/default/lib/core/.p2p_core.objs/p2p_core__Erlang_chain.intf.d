@@ -1,0 +1,1 @@
+lib/core/erlang_chain.mli: P2p_pieceset Params

@@ -1,0 +1,1 @@
+lib/core/fluid.ml: Array Float List Option P2p_pieceset Params State

@@ -1,0 +1,1 @@
+lib/core/fluid.mli: P2p_pieceset Params State

@@ -1,0 +1,1 @@
+lib/core/hetero.ml: Array Float Int List P2p_des P2p_pieceset P2p_prng P2p_stats Params Stability State

@@ -1,0 +1,1 @@
+lib/core/hetero.mli: P2p_pieceset P2p_prng Params Stability

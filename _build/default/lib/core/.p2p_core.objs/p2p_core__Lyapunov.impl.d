@@ -1,0 +1,1 @@
+lib/core/lyapunov.ml: Array Float Int List P2p_pieceset P2p_prng Params Printf Rate State

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Int List Option P2p_pieceset Sim_agent State

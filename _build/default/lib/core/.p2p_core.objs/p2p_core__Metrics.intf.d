@@ -1,0 +1,1 @@
+lib/core/metrics.mli: P2p_pieceset Sim_agent State

@@ -1,0 +1,1 @@
+lib/core/mu_infinity.ml: List P2p_prng P2p_stats

@@ -1,0 +1,1 @@
+lib/core/mu_infinity.mli: P2p_prng

@@ -1,0 +1,1 @@
+lib/core/params.ml: Array Float Format Hashtbl List Option P2p_pieceset Printf

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Array Float List P2p_pieceset P2p_prng State

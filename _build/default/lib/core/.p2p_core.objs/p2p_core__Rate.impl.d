@@ -1,0 +1,1 @@
+lib/core/rate.ml: Array List P2p_pieceset Params Policy Printf State

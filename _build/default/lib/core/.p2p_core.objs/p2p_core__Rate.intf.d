@@ -1,0 +1,1 @@
+lib/core/rate.mli: P2p_pieceset Params Policy State

@@ -1,0 +1,1 @@
+lib/core/reachability.ml: Hashtbl List P2p_pieceset Params Policy Printf Queue Rate State String

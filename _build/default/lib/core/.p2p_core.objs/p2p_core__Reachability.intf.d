@@ -1,0 +1,1 @@
+lib/core/reachability.mli: P2p_pieceset Params Policy

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Char Filename Float Int List Printf String Sys

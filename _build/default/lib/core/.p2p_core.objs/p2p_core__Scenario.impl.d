@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Float List P2p_pieceset Params

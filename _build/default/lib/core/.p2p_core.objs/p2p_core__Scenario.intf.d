@@ -1,0 +1,1 @@
+lib/core/scenario.mli: P2p_pieceset Params

@@ -1,0 +1,1 @@
+lib/core/sim_agent.ml: Array Float Int List Option P2p_des P2p_pieceset P2p_prng P2p_stats Params Policy State

@@ -1,0 +1,1 @@
+lib/core/sim_coded.ml: Array Float List P2p_coding P2p_des P2p_gf P2p_prng P2p_stats Stability

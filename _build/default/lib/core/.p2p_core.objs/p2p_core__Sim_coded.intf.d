@@ -1,0 +1,1 @@
+lib/core/sim_coded.mli: P2p_prng Stability

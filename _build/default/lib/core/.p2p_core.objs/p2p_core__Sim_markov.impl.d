@@ -1,0 +1,1 @@
+lib/core/sim_markov.ml: Array Float List P2p_pieceset P2p_prng P2p_stats Params Policy State

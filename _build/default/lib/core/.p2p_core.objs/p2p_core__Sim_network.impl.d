@@ -1,0 +1,1 @@
+lib/core/sim_network.ml: Array Float Hashtbl Int List Option P2p_graph P2p_pieceset P2p_prng P2p_stats Params State

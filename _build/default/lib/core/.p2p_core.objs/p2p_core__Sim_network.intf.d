@@ -1,0 +1,1 @@
+lib/core/sim_network.mli: P2p_pieceset P2p_prng Params State

@@ -1,0 +1,1 @@
+lib/core/stability.ml: Array Float Format List P2p_coding P2p_pieceset Params

@@ -1,0 +1,1 @@
+lib/core/stability.mli: Format P2p_pieceset Params

@@ -1,0 +1,1 @@
+lib/core/state.ml: Array Format Hashtbl List Option P2p_pieceset Printf

@@ -1,0 +1,1 @@
+lib/core/truncated.ml: Array Balance Float Hashtbl Int List P2p_pieceset Params Rate State

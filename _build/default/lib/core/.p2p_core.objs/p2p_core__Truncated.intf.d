@@ -1,0 +1,1 @@
+lib/core/truncated.mli: P2p_pieceset Params

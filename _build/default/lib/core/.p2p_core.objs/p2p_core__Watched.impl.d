@@ -1,0 +1,1 @@
+lib/core/watched.ml: Array Float Hashtbl Int List Option P2p_pieceset Scenario Sim_markov State

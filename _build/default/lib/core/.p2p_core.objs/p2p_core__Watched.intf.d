@@ -1,0 +1,1 @@
+lib/core/watched.mli: P2p_prng

@@ -1,0 +1,75 @@
+type sparse = {
+  targets : int array array;
+  rates : float array array;
+}
+
+let solve ?(tol = 1e-10) ?(max_sweeps = 200_000) s ~sweep_key =
+  let n = Array.length s.targets in
+  if Array.length s.rates <> n || Array.length sweep_key <> n then
+    invalid_arg "Balance.solve: shape mismatch";
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> Array.length s.rates.(i) then
+        invalid_arg "Balance.solve: row shape mismatch")
+    s.targets;
+  let outflow =
+    Array.map (fun row -> Array.fold_left ( +. ) 0.0 row) s.rates
+  in
+  (* reverse adjacency *)
+  let in_deg = Array.make n 0 in
+  Array.iter (Array.iter (fun j -> in_deg.(j) <- in_deg.(j) + 1)) s.targets;
+  let in_src = Array.init n (fun j -> Array.make in_deg.(j) 0) in
+  let in_rate = Array.init n (fun j -> Array.make in_deg.(j) 0.0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun e j ->
+          in_src.(j).(fill.(j)) <- i;
+          in_rate.(j).(fill.(j)) <- s.rates.(i).(e);
+          fill.(j) <- fill.(j) + 1)
+        row)
+    s.targets;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Int.compare sweep_key.(a) sweep_key.(b)) order;
+  let pi = Array.make n (1.0 /. float_of_int n) in
+  let update j =
+    if outflow.(j) > 0.0 then begin
+      let inflow = ref 0.0 in
+      let src = in_src.(j) and rate = in_rate.(j) in
+      for e = 0 to Array.length src - 1 do
+        inflow := !inflow +. (pi.(src.(e)) *. rate.(e))
+      done;
+      pi.(j) <- !inflow /. outflow.(j)
+    end
+  in
+  let normalise () =
+    let total = Array.fold_left ( +. ) 0.0 pi in
+    if total <= 0.0 || not (Float.is_finite total) then
+      failwith "Balance.solve: probability mass vanished or diverged";
+    let inv = 1.0 /. total in
+    for i = 0 to n - 1 do
+      pi.(i) <- pi.(i) *. inv
+    done
+  in
+  let previous = Array.copy pi in
+  let sweep = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !sweep < max_sweeps do
+    incr sweep;
+    Array.blit pi 0 previous 0 n;
+    for idx = 0 to n - 1 do
+      update order.(idx)
+    done;
+    for idx = n - 1 downto 0 do
+      update order.(idx)
+    done;
+    normalise ();
+    let dist = ref 0.0 in
+    for i = 0 to n - 1 do
+      dist := !dist +. Float.abs (pi.(i) -. previous.(i))
+    done;
+    if !dist < tol then converged := true
+  done;
+  if not !converged then failwith "Balance.solve: Gauss-Seidel did not converge";
+  pi

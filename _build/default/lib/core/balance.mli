@@ -1,0 +1,26 @@
+(** Generic stationary-distribution solver for finite CTMCs.
+
+    Given the sparse outgoing-transition structure of an irreducible
+    finite chain, solve the global balance equations
+    [π_j · out_j = Σ_i π_i · q_ij] by symmetric Gauss–Seidel, sweeping
+    states in a caller-supplied order (ascending then descending).  For
+    the birth-death-flavoured chains in this repository — population
+    processes swept by population — convergence is orders of magnitude
+    faster than Jacobi/power iteration.  Shared by {!Truncated} and
+    {!Coded_chain}. *)
+
+type sparse = {
+  targets : int array array;  (** [targets.(i)]: successor states of [i] *)
+  rates : float array array;  (** matching rates; same shape as [targets] *)
+}
+
+val solve :
+  ?tol:float ->
+  ?max_sweeps:int ->
+  sparse ->
+  sweep_key:int array ->
+  float array
+(** [solve s ~sweep_key] returns the stationary probability vector.
+    [sweep_key.(i)] orders the sweeps (e.g. the population of state [i]).
+    @raise Invalid_argument on shape mismatch.
+    @raise Failure if Gauss–Seidel does not converge or mass vanishes. *)

@@ -1,0 +1,31 @@
+(** Exact analysis with Erlang peer-seed dwell times (method of stages).
+
+    The paper assumes Exp(γ) dwell for tractability and conjectures in its
+    conclusion that the results hold for general distributions.  Replacing
+    the dwell by an Erlang-[m] law with the same mean [1/γ] keeps the
+    system Markov at the cost of [m] seed stages in the state, so the
+    truncated-space machinery still applies {e exactly}.  Experiment E19
+    compares the exact stationary population across [m] — identical
+    stability boundary, mildly different constants — numerical evidence
+    for the conjecture one distribution family at a time.
+
+    Piece-transfer rates are exactly Eq. (1); a seed in any stage holds the
+    complete file and uploads like any peer. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type t
+
+val build : Params.t -> stages:int -> n_max:int -> t
+(** The truncated chain for the parameters with the Exp dwell replaced by
+    Erlang-[stages] of the same mean.  Requires finite [γ].
+    @raise Invalid_argument on [stages < 1], [γ = ∞], or a state space
+    beyond ~2 million states. *)
+
+val state_count : t -> int
+val stages : t -> int
+
+type solved = { mean_n : float; mean_seeds : float; mass_at_cap : float; p_empty : float }
+
+val solve : ?tol:float -> t -> solved
+(** Stationary distribution via {!Balance}; aggregates of interest. *)

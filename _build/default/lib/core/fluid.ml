@@ -1,0 +1,125 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+type trajectory = {
+  times : float array;
+  totals : float array;
+  states : float array array;
+}
+
+let dim (p : Params.t) = 1 lsl p.k
+
+let of_state ~k state =
+  let x = Array.make (1 lsl k) 0.0 in
+  State.iter state (fun c v -> x.(Pieceset.to_index c) <- float_of_int v);
+  x
+
+let total x = Array.fold_left ( +. ) 0.0 x
+
+(* Γ_{C,C∪{i}} of Eq. (1) with real-valued occupancies; [c] is the dense
+   index (bitmask) of the type. *)
+let flow (p : Params.t) x ~n ~c ~piece =
+  let xc = x.(c) in
+  if xc <= 0.0 || n <= 0.0 then 0.0
+  else begin
+    let cset = Pieceset.of_index c in
+    let seed_part = p.us /. float_of_int (Pieceset.missing_count ~k:p.k cset) in
+    let peer_part = ref 0.0 in
+    for s = 0 to Array.length x - 1 do
+      if x.(s) > 0.0 then begin
+        let sset = Pieceset.of_index s in
+        if Pieceset.mem piece sset then begin
+          let extra = Pieceset.cardinal (Pieceset.diff sset cset) in
+          peer_part := !peer_part +. (x.(s) /. float_of_int extra)
+        end
+      end
+    done;
+    xc /. n *. (seed_part +. (p.mu *. !peer_part))
+  end
+
+let derivative (p : Params.t) x =
+  if Array.length x <> dim p then invalid_arg "Fluid.derivative: wrong vector size";
+  let n = total x in
+  let dx = Array.make (dim p) 0.0 in
+  (* Arrivals. *)
+  Array.iter
+    (fun (c, rate) ->
+      let i = Pieceset.to_index c in
+      dx.(i) <- dx.(i) +. rate)
+    p.arrivals;
+  let full = Pieceset.to_index (Params.full_set p) in
+  (* Transfers. *)
+  for c = 0 to dim p - 1 do
+    if c <> full && x.(c) > 0.0 then begin
+      let cset = Pieceset.of_index c in
+      Pieceset.iter
+        (fun piece ->
+          let rate = flow p x ~n ~c ~piece in
+          if rate > 0.0 then begin
+            dx.(c) <- dx.(c) -. rate;
+            let target = Pieceset.to_index (Pieceset.add piece cset) in
+            (* γ = ∞: completion is departure, mass vanishes. *)
+            if not (target = full && Params.immediate_departure p) then
+              dx.(target) <- dx.(target) +. rate
+          end)
+        (Pieceset.complement ~k:p.k cset)
+    end
+  done;
+  (* Peer-seed departures. *)
+  if not (Params.immediate_departure p) then dx.(full) <- dx.(full) -. (p.gamma *. x.(full));
+  dx
+
+let clamp_nonnegative x =
+  Array.iteri (fun i v -> if v < 0.0 then x.(i) <- 0.0) x
+
+let rk4_step p x dt =
+  let axpy a v w = Array.mapi (fun i wi -> wi +. (a *. v.(i))) w in
+  let k1 = derivative p x in
+  let k2 = derivative p (axpy (dt /. 2.0) k1 x) in
+  let k3 = derivative p (axpy (dt /. 2.0) k2 x) in
+  let k4 = derivative p (axpy dt k3 x) in
+  let next =
+    Array.mapi
+      (fun i xi -> xi +. (dt /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
+      x
+  in
+  clamp_nonnegative next;
+  next
+
+let integrate (p : Params.t) ~init ~dt ~horizon ~record_every =
+  if Array.length init <> dim p then invalid_arg "Fluid.integrate: wrong vector size";
+  if dt <= 0.0 || record_every < 1 then invalid_arg "Fluid.integrate: bad step parameters";
+  let steps = int_of_float (ceil (horizon /. dt)) in
+  let times = ref [ 0.0 ] in
+  let totals = ref [ total init ] in
+  let states = ref [ Array.copy init ] in
+  let x = ref (Array.copy init) in
+  for step = 1 to steps do
+    x := rk4_step p !x dt;
+    if step mod record_every = 0 || step = steps then begin
+      times := (float_of_int step *. dt) :: !times;
+      totals := total !x :: !totals;
+      states := Array.copy !x :: !states
+    end
+  done;
+  {
+    times = Array.of_list (List.rev !times);
+    totals = Array.of_list (List.rev !totals);
+    states = Array.of_list (List.rev !states);
+  }
+
+let equilibrium ?(dt = 0.01) ?(horizon = 2000.0) ?(tol = 1e-7) (p : Params.t) ~init =
+  let x = ref (Array.copy init) in
+  let steps = int_of_float (ceil (horizon /. dt)) in
+  let found = ref None in
+  let step = ref 0 in
+  while Option.is_none !found && !step < steps do
+    incr step;
+    x := rk4_step p !x dt;
+    if !step mod 100 = 0 then begin
+      let dx = derivative p !x in
+      let scale = Float.max 1.0 (total !x) in
+      let norm = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 dx in
+      if norm < tol *. scale then found := Some (Array.copy !x)
+    end
+  done;
+  !found

@@ -1,0 +1,42 @@
+(** Deterministic fluid (mean-field) limit of the type-count dynamics.
+
+    Scaling initial state and arrival rates by a factor going to infinity,
+    the density of each type follows the ODE obtained by replacing the
+    jump rates of Eq. (1) by their drift (the approach of Massoulié &
+    Vojnović's coupon-replication analysis, cited as [11]):
+
+    {v ẋ_C = λ_C + Σ_{i∈C} Γ_{C−i,C}(x) − Σ_{i∉C} Γ_{C,C∪i}(x) − γ·x_F·[C=F] v}
+
+    with [Γ] evaluated at real-valued [x].  The integrator is classic
+    fixed-step RK4 on the dense vector indexed by piece-set bitmask.  Used
+    as a qualitative baseline: inside the stability region trajectories
+    approach a finite equilibrium; in the transient region the one-club
+    coordinate grows linearly — the fluid picture of the missing piece
+    syndrome. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type trajectory = {
+  times : float array;
+  totals : float array;  (** total population n(t) *)
+  states : float array array;  (** row per recorded time; index = bitmask *)
+}
+
+val of_state : k:int -> State.t -> float array
+(** Dense vector from a discrete state. *)
+
+val derivative : Params.t -> float array -> float array
+(** The right-hand side of the ODE.
+    @raise Invalid_argument on a wrong-size vector. *)
+
+val integrate :
+  Params.t -> init:float array -> dt:float -> horizon:float -> record_every:int -> trajectory
+(** RK4 with step [dt]; records every [record_every]-th step. *)
+
+val equilibrium :
+  ?dt:float -> ?horizon:float -> ?tol:float -> Params.t -> init:float array -> float array option
+(** Integrate until the derivative's max-norm falls below [tol] (relative
+    to the state scale); [None] if the horizon is hit first (e.g. in the
+    transient regime). *)
+
+val total : float array -> float

@@ -1,0 +1,209 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+type coeffs = { r : float; d : float; beta : float; alpha : float; p_const : float }
+
+let lambda_star (p : Params.t) ~s =
+  (* λ*_{H_S} = Σ_{C ⊄ S} λ_C (K − |C| + μ/γ). *)
+  let rho = Params.mu_over_gamma p in
+  Array.fold_left
+    (fun acc (c, rate) ->
+      if Pieceset.subset c s then acc
+      else acc +. (rate *. (float_of_int (p.k - Pieceset.cardinal c) +. rho)))
+    0.0 p.arrivals
+
+let default_coeffs (p : Params.t) =
+  let rho = Params.mu_over_gamma p in
+  let gamma_le_mu = Float.is_finite p.gamma && p.gamma <= p.mu in
+  let jump = if gamma_le_mu then float_of_int (p.k + 1) else (float_of_int p.k +. rho) /. (1.0 -. rho) in
+  let d = 2.0 *. (jump +. 1.0) in
+  let alpha = 0.9 in
+  (* Lemma 12 needs β·jump² ≤ 1/α − 1; Lemma 13 (γ ≤ μ) only needs β small,
+     and a larger β keeps max φ = 2d + 1/(2β) — hence n₀ — small. *)
+  let beta =
+    if gamma_le_mu then 0.1 else Float.min 0.1 ((1.0 /. alpha -. 1.0) /. (jump *. jump))
+  in
+  let r = 0.05 in
+  (* p with λ_{E_C} − p (U_s + λ*_{H_C}) < 0 for all proper C (Eq. 44);
+     keep p as small as the constraint allows so the constant-order drift
+     terms (∝ p·max φ) do not push the negative-drift threshold n₀ out of
+     numerically checkable range. *)
+  let p_const =
+    if not gamma_le_mu then 1.0
+    else
+      List.fold_left
+        (fun acc s ->
+          let inflow = Params.lambda_within p s in
+          let drive = p.us +. lambda_star p ~s in
+          if drive <= 0.0 then
+            invalid_arg "Lyapunov.default_coeffs: some piece cannot enter the system"
+          else Float.max acc (1.25 *. (inflow +. 0.1) /. drive))
+        0.1
+        (Pieceset.all_proper ~k:p.k)
+  in
+  { r; d; beta; alpha; p_const }
+
+let phi c x =
+  let edge = (2.0 *. c.d) +. (1.0 /. c.beta) in
+  if x < 0.0 then invalid_arg "Lyapunov.phi: negative argument"
+  else if x <= 2.0 *. c.d then (2.0 *. c.d) +. (1.0 /. (2.0 *. c.beta)) -. x
+  else if x <= edge then c.beta /. 2.0 *. ((x -. edge) ** 2.0)
+  else 0.0
+
+let phi_slope_bound c x =
+  let edge = (2.0 *. c.d) +. (1.0 /. c.beta) in
+  if x <= 2.0 *. c.d then -1.0 else if x <= edge then c.beta *. (x -. edge) else 0.0
+
+let e_c state ~c = State.count_subset_peers state c
+
+let h_c (p : Params.t) state ~c =
+  let rho = Params.mu_over_gamma p in
+  let weighted =
+    State.fold state ~init:0.0 ~f:(fun acc c' x ->
+        if Pieceset.subset c' c then acc
+        else acc +. (float_of_int x *. (float_of_int (p.k - Pieceset.cardinal c') +. rho)))
+  in
+  weighted /. (1.0 -. rho)
+
+let h_prime_c (p : Params.t) state ~c =
+  State.fold state ~init:0.0 ~f:(fun acc c' x ->
+      if Pieceset.subset c' c then acc
+      else acc +. (float_of_int x *. float_of_int (p.k + 1 - Pieceset.cardinal c')))
+
+let gamma_le_mu (p : Params.t) = Float.is_finite p.gamma && p.gamma <= p.mu
+
+let w (p : Params.t) coeffs state =
+  if gamma_le_mu p then invalid_arg "Lyapunov.w: gamma <= mu; use w_prime";
+  let full = Params.full_set p in
+  let n = float_of_int (State.n state) in
+  let include_full = not (Params.immediate_departure p) in
+  List.fold_left
+    (fun acc c ->
+      let weight = coeffs.r ** float_of_int (Pieceset.cardinal c) in
+      if Pieceset.equal c full then
+        if include_full then acc +. (weight *. 0.5 *. n *. n) else acc
+      else begin
+        let ec = float_of_int (e_c state ~c) in
+        let t_c = (0.5 *. ec *. ec) +. (coeffs.alpha *. ec *. phi coeffs (h_c p state ~c)) in
+        acc +. (weight *. t_c)
+      end)
+    0.0
+    (Pieceset.all ~k:p.k)
+
+let w_prime (p : Params.t) coeffs state =
+  if not (gamma_le_mu p) then invalid_arg "Lyapunov.w_prime: gamma > mu; use w";
+  let full = Params.full_set p in
+  let n = float_of_int (State.n state) in
+  List.fold_left
+    (fun acc c ->
+      let weight = coeffs.r ** float_of_int (Pieceset.cardinal c) in
+      if Pieceset.equal c full then acc +. (weight *. 0.5 *. n *. n)
+      else begin
+        let ec = float_of_int (e_c state ~c) in
+        let t_c =
+          (0.5 *. ec *. ec) +. (coeffs.p_const *. ec *. phi coeffs (h_prime_c p state ~c))
+        in
+        acc +. (weight *. t_c)
+      end)
+    0.0
+    (Pieceset.all ~k:p.k)
+
+let auto p coeffs state = if gamma_le_mu p then w_prime p coeffs state else w p coeffs state
+
+let drift (p : Params.t) ~f state =
+  let here = f state in
+  List.fold_left
+    (fun acc (transition, rate) ->
+      let next = State.copy state in
+      Rate.apply p next transition;
+      acc +. (rate *. (f next -. here)))
+    0.0
+    (Rate.transitions p state)
+
+let drift_w p coeffs state = drift p ~f:(auto p coeffs) state
+
+let m_phi coeffs = (3.0 *. coeffs.d) +. (1.0 /. coeffs.beta)
+
+let d_total (p : Params.t) state =
+  (* aggregate rate of type changes and departures *)
+  List.fold_left
+    (fun acc (transition, rate) ->
+      match transition with
+      | Rate.Transfer _ | Rate.Seed_departure -> acc +. rate
+      | Rate.Arrival _ -> acc)
+    0.0
+    (Rate.transitions p state)
+
+let lw (p : Params.t) coeffs state =
+  let full = Params.full_set p in
+  let gamma_le = gamma_le_mu p in
+  let mix = if gamma_le then coeffs.p_const else coeffs.alpha in
+  let include_full = not (Params.immediate_departure p) in
+  List.fold_left
+    (fun acc c ->
+      let weight = coeffs.r ** float_of_int (Pieceset.cardinal c) in
+      if Pieceset.equal c full then
+        if include_full then begin
+          let n st = float_of_int (State.n st) in
+          acc +. (weight *. n state *. drift p ~f:n state)
+        end
+        else acc
+      else begin
+        let e st = float_of_int (e_c st ~c) in
+        let phi_h st =
+          phi coeffs (if gamma_le then h_prime_c p st ~c else h_c p st ~c)
+        in
+        let ec = e state in
+        let lt = (ec *. drift p ~f:e state) +. (mix *. ec *. drift p ~f:phi_h state) in
+        acc +. (weight *. lt)
+      end)
+    0.0
+    (Pieceset.all ~k:p.k)
+
+type scan_point = {
+  state_desc : string;
+  n : int;
+  drift_value : float;
+  drift_per_peer : float;
+}
+
+let scan_class_one (p : Params.t) coeffs ~sizes =
+  let types = Pieceset.all_proper ~k:p.k in
+  List.concat_map
+    (fun s ->
+      List.map
+        (fun size ->
+          let state = State.of_counts [ (s, size) ] in
+          let dv = drift_w p coeffs state in
+          {
+            state_desc = Printf.sprintf "all %d peers of type %s" size (Pieceset.to_string s);
+            n = size;
+            drift_value = dv;
+            drift_per_peer = dv /. float_of_int size;
+          })
+        sizes)
+    types
+
+let scan_class_two (p : Params.t) coeffs ~rng ~size ~samples =
+  let types = Array.of_list (Pieceset.all ~k:p.k) in
+  let types =
+    if Params.immediate_departure p then
+      Array.of_list (Pieceset.all_proper ~k:p.k)
+    else types
+  in
+  List.init samples (fun _ ->
+      let pick () = types.(P2p_prng.Rng.int_below rng (Array.length types)) in
+      let c1 = pick () in
+      let c2 = pick () in
+      let n1 = (size / 2) + P2p_prng.Rng.int_below rng (Int.max 1 (size / 4)) in
+      let n2 = size - n1 in
+      let state = State.of_counts [ (c1, n1); (c2, Int.max 1 n2) ] in
+      let dv = drift_w p coeffs state in
+      let n = State.n state in
+      {
+        state_desc =
+          Printf.sprintf "%d of %s + %d of %s" n1 (Pieceset.to_string c1) (Int.max 1 n2)
+            (Pieceset.to_string c2);
+        n;
+        drift_value = dv;
+        drift_per_peer = dv /. float_of_int n;
+      })

@@ -1,0 +1,78 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+let club_onset (stats : Sim_agent.stats) ~fraction ~min_population =
+  if fraction <= 0.0 || fraction > 1.0 then invalid_arg "Metrics.club_onset: bad fraction";
+  let found = ref None in
+  Array.iter
+    (fun ((t, g) : float * Sim_agent.groups) ->
+      if Option.is_none !found then begin
+        let total = Sim_agent.groups_total g in
+        let club = g.one_club + g.former_one_club in
+        if
+          total >= min_population
+          && float_of_int club >= fraction *. float_of_int total
+        then found := Some t
+      end)
+    stats.group_samples;
+  !found
+
+let time_above samples ~threshold =
+  let n = Array.length samples in
+  if n = 0 then nan
+  else begin
+    let above = Array.fold_left (fun acc (_, v) -> if v >= threshold then acc + 1 else acc) 0 samples in
+    float_of_int above /. float_of_int n
+  end
+
+let peak samples =
+  Array.fold_left
+    (fun ((_, best_n) as best) ((_, v) as sample) -> if v > best_n then sample else best)
+    (nan, min_int) samples
+
+let piece_rarity state ~k =
+  let counts = State.piece_count_vector state ~k in
+  let pairs = List.init k (fun i -> (i, counts.(i))) in
+  List.sort
+    (fun (i1, c1) (i2, c2) -> if c1 <> c2 then Int.compare c1 c2 else Int.compare i1 i2)
+    pairs
+
+let rarest_piece state ~k =
+  if k < 1 then invalid_arg "Metrics.rarest_piece: k < 1";
+  match piece_rarity state ~k with (i, _) :: _ -> i | [] -> assert false
+
+let gini_of_piece_counts state ~k =
+  let counts = State.piece_count_vector state ~k in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then nan
+  else begin
+    (* Gini = sum_i sum_j |x_i - x_j| / (2 k sum x). *)
+    let acc = ref 0 in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        acc := !acc + abs (counts.(i) - counts.(j))
+      done
+    done;
+    float_of_int !acc /. (2.0 *. float_of_int k *. float_of_int total)
+  end
+
+let drain_time samples ~from_ =
+  let n = Array.length samples in
+  let rec find_start i =
+    if i >= n then None
+    else begin
+      let _, v = samples.(i) in
+      if v >= from_ then Some i else find_start (i + 1)
+    end
+  in
+  match find_start 0 with
+  | None -> None
+  | Some start ->
+      let t0, _ = samples.(start) in
+      let rec find_drop i =
+        if i >= n then None
+        else begin
+          let t, v = samples.(i) in
+          if v < from_ / 2 then Some (t -. t0) else find_drop (i + 1)
+        end
+      in
+      find_drop start

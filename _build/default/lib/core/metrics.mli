@@ -1,0 +1,41 @@
+(** Trajectory and state observables shared by the experiments.
+
+    Includes the quasi-stability probe the paper's conclusion calls for:
+    a provably transient system may dwell for a long time in good states
+    before the one-club forms; {!club_onset} measures that onset time from
+    an agent-simulation trace, so different piece-selection policies can
+    be compared on {e longevity} even though Theorem 14 says they share
+    the stability region. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+val club_onset :
+  Sim_agent.stats -> fraction:float -> min_population:int -> float option
+(** First sampling time at which the one-club (plus former members still
+    present) holds at least [fraction] of the population {e and} the
+    population is at least [min_population]; [None] if never. *)
+
+val time_above :
+  (float * int) array -> threshold:int -> float
+(** Fraction of the sampled horizon during which [N_t >= threshold]
+    (step-function approximation on the sampling grid). *)
+
+val peak : (float * int) array -> float * int
+(** The sample with the largest population. *)
+
+val piece_rarity : State.t -> k:int -> (int * int) list
+(** Pieces with their copy counts, rarest first (ties by piece index). *)
+
+val rarest_piece : State.t -> k:int -> int
+(** @raise Invalid_argument if [k < 1]. *)
+
+val gini_of_piece_counts : State.t -> k:int -> float
+(** Gini coefficient of the piece copy counts — 0 for perfectly balanced
+    piece availability, approaching 1 when one piece dominates; a scalar
+    "missing piece pressure" indicator. [nan] when no copies exist. *)
+
+val drain_time : (float * int) array -> from_:int -> float option
+(** Starting from the first sample with [N >= from_], the additional time
+    until the population first drops below [from_ / 2]; [None] if it never
+    does (or never reaches [from_]).  Used to quantify recovery from an
+    engineered heavy load. *)

@@ -1,0 +1,98 @@
+module Rng = P2p_prng.Rng
+
+type state = { n : int; pieces : int }
+type config = { k : int; lambda : float }
+
+let validate c =
+  if c.k < 2 then invalid_arg "Mu_infinity: k must be >= 2";
+  if c.lambda <= 0.0 then invalid_arg "Mu_infinity: lambda must be positive"
+
+let initial = { n = 0; pieces = 0 }
+
+type coin_outcome = Stay_top of int | Collapse of int
+
+let sample_missing_piece_arrival rng ~k ~n =
+  (* Fair coin flips: heads = newcomer uploads the missing piece (one club
+     member departs), tails = newcomer downloads one of the K-1 pieces it
+     lacks.  Stop at K-1 tails (newcomer completes and departs) or at n
+     heads (the whole club has departed). *)
+  let heads = ref 0 and tails = ref 0 in
+  while !tails < k - 1 && !heads < n do
+    if Rng.bool rng then incr heads else incr tails
+  done;
+  if !tails = k - 1 then Stay_top !heads else Collapse (1 + !tails)
+
+let z_expectation ~k = float_of_int (k - 1)
+
+let step rng config state =
+  validate config;
+  if state.n = 0 then { n = 1; pieces = 1 }
+  else if state.pieces < config.k - 1 then begin
+    (* A lower-layer state: the newcomer's piece is either already held
+       (prob pieces/K) or new to the club (all peers end one piece
+       richer). *)
+    if Rng.int_below rng config.k < state.pieces then { state with n = state.n + 1 }
+    else { n = state.n + 1; pieces = state.pieces + 1 }
+  end
+  else if Rng.int_below rng config.k < config.k - 1 then { state with n = state.n + 1 }
+  else begin
+    match sample_missing_piece_arrival rng ~k:config.k ~n:state.n with
+    | Stay_top z -> { n = state.n - z; pieces = config.k - 1 }
+    | Collapse pieces -> { n = 1; pieces }
+  end
+
+let holding_rate config _state = float_of_int config.k *. config.lambda
+
+type run = {
+  steps : int;
+  final : state;
+  max_n : int;
+  top_layer_steps : int;
+  mean_top_increment : float;
+}
+
+let simulate rng config ~init ~steps =
+  validate config;
+  let state = ref init in
+  let max_n = ref init.n in
+  let top_steps = ref 0 in
+  let top_increment = P2p_stats.Welford.create () in
+  for _ = 1 to steps do
+    let before = !state in
+    let after = step rng config before in
+    if before.pieces = config.k - 1 && before.n >= 1 then begin
+      incr top_steps;
+      (* Collapse counts as losing the whole club. *)
+      let dn =
+        if after.pieces = config.k - 1 then after.n - before.n else 1 - before.n
+      in
+      P2p_stats.Welford.add top_increment (float_of_int dn)
+    end;
+    if after.n > !max_n then max_n := after.n;
+    state := after
+  done;
+  {
+    steps;
+    final = !state;
+    max_n = !max_n;
+    top_layer_steps = !top_steps;
+    mean_top_increment = P2p_stats.Welford.mean top_increment;
+  }
+
+type excursion = { length : int; peak : int; capped : bool }
+
+let excursions rng config ~start_n ~count ~cap_steps =
+  validate config;
+  if start_n < 1 then invalid_arg "Mu_infinity.excursions: start_n must be >= 1";
+  List.init count (fun _ ->
+      let state = ref { n = start_n; pieces = config.k - 1 } in
+      let steps = ref 0 in
+      let peak = ref start_n in
+      let finished = ref false in
+      while (not !finished) && !steps < cap_steps do
+        state := step rng config !state;
+        incr steps;
+        if !state.n > !peak then peak := !state.n;
+        if !state.n < start_n then finished := true
+      done;
+      { length = !steps; peak = !peak; capped = not !finished })

@@ -1,0 +1,64 @@
+(** The μ = ∞ watched process of Section VIII-D (Fig. 3).
+
+    For the symmetric borderline network — [λ_C = λ] for singletons, no
+    fixed seed, γ = ∞ — the process watched on "slow" states (all peers of
+    one type) has reduced state space
+    [{(0,0)} ∪ {(n,k) : n ≥ 1, 1 ≤ k ≤ K−1}]: [n] peers all holding the
+    same [k] pieces.  Out of a top-layer state [(n, K−1)]:
+
+    - with probability [(K−1)/K] a peer arrives holding a piece the club
+      already has and instantly joins: [(n+1, K−1)];
+    - with probability [1/K] the newcomer holds the missing piece; fair
+      coin flips (heads = upload by the newcomer, tails = download) give
+      [Z] = heads before the [(K−1)]-th tail, and the next state is
+      [(n−Z, K−1)] if [Z ≤ n−1], else [(1, 1+tails-at-n-th-head)].
+
+    Lower layers drift up: [(n,k) → (n+1,k)] w.p. [k/K] and
+    [(n+1,k+1)] w.p. [(K−k)/K].  Since [E Z = K−1], the top layer is a
+    zero-drift random walk — null recurrence, the knife-edge the paper's
+    Conjecture 17 refines for finite μ. *)
+
+type state = { n : int; pieces : int }
+
+type config = { k : int; lambda : float }
+(** @raise Invalid_argument unless [k >= 2] and [lambda > 0]. *)
+
+val validate : config -> unit
+val initial : state
+(** [(0,0)]. *)
+
+type coin_outcome = Stay_top of int  (** [Z]: club members removed *) | Collapse of int
+    (** all old peers departed; the newcomer remains with this many pieces *)
+
+val sample_missing_piece_arrival : P2p_prng.Rng.t -> k:int -> n:int -> coin_outcome
+(** The coin-flip experiment at a top-layer state of size [n]. *)
+
+val z_expectation : k:int -> float
+(** [E Z = K − 1] (zero drift: upward rate [(K−1)λ] = mean downward). *)
+
+val step : P2p_prng.Rng.t -> config -> state -> state
+(** One embedded-chain transition. *)
+
+val holding_rate : config -> state -> float
+(** Total exponential rate out of a slow state ([K·λ], or [K·λ] at
+    [(0,0)] too — arrivals only). *)
+
+type run = {
+  steps : int;
+  final : state;
+  max_n : int;
+  top_layer_steps : int;  (** steps taken from top-layer states *)
+  mean_top_increment : float;  (** empirical mean of n-jumps on the top layer *)
+}
+
+val simulate : P2p_prng.Rng.t -> config -> init:state -> steps:int -> run
+
+type excursion = { length : int; peak : int; capped : bool }
+(** One excursion of the top-layer walk above a starting level. *)
+
+val excursions :
+  P2p_prng.Rng.t -> config -> start_n:int -> count:int -> cap_steps:int -> excursion list
+(** Repeatedly start at [(start_n, K−1)] and run until [n < start_n]
+    (length = embedded steps), giving up after [cap_steps].  Null
+    recurrence shows as excursions that almost surely finish but with
+    empirical mean length growing without bound in [cap_steps]. *)

@@ -1,0 +1,84 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+type uploader = Fixed_seed | Peer of Pieceset.t
+
+let uploader_pieces ~k = function Fixed_seed -> Pieceset.full ~k | Peer c -> c
+
+let useful_pieces ~k ~uploader ~downloader =
+  Pieceset.diff (uploader_pieces ~k uploader) downloader
+
+type t = {
+  name : string;
+  distribution :
+    k:int -> state:State.t -> uploader:uploader -> downloader:Pieceset.t -> (int * float) list;
+}
+
+let uniform_over pieces =
+  let elems = Pieceset.elements pieces in
+  let p = 1.0 /. float_of_int (List.length elems) in
+  List.map (fun i -> (i, p)) elems
+
+let random_useful =
+  {
+    name = "random-useful";
+    distribution =
+      (fun ~k ~state:_ ~uploader ~downloader ->
+        uniform_over (useful_pieces ~k ~uploader ~downloader));
+  }
+
+(* Uniform over the useful pieces minimising (resp. maximising) the global
+   copy count. *)
+let by_rarity ~name ~prefer_rare =
+  {
+    name;
+    distribution =
+      (fun ~k ~state ~uploader ~downloader ->
+        let useful = useful_pieces ~k ~uploader ~downloader in
+        let copies = State.piece_count_vector state ~k in
+        let best =
+          Pieceset.fold
+            (fun i acc ->
+              match acc with
+              | None -> Some copies.(i)
+              | Some b ->
+                  if (prefer_rare && copies.(i) < b) || ((not prefer_rare) && copies.(i) > b)
+                  then Some copies.(i)
+                  else acc)
+            useful None
+        in
+        match best with
+        | None -> invalid_arg "Policy: no useful piece"
+        | Some b ->
+            let chosen = Pieceset.fold (fun i acc -> if copies.(i) = b then Pieceset.add i acc else acc) useful Pieceset.empty in
+            uniform_over chosen);
+  }
+
+let rarest_first = by_rarity ~name:"rarest-first" ~prefer_rare:true
+let most_common_first = by_rarity ~name:"most-common-first" ~prefer_rare:false
+
+let sequential =
+  {
+    name = "sequential";
+    distribution =
+      (fun ~k ~state:_ ~uploader ~downloader ->
+        let useful = useful_pieces ~k ~uploader ~downloader in
+        [ (Pieceset.lowest useful, 1.0) ]);
+  }
+
+let sample t ~rng ~k ~state ~uploader ~downloader =
+  if Pieceset.is_empty (useful_pieces ~k ~uploader ~downloader) then None
+  else begin
+    let dist = t.distribution ~k ~state ~uploader ~downloader in
+    match dist with
+    | [] -> None
+    | [ (i, _) ] -> Some i
+    | dist ->
+        let weights = Array.of_list (List.map snd dist) in
+        let idx = P2p_prng.Dist.categorical rng ~weights in
+        Some (fst (List.nth dist idx))
+  end
+
+let validate_distribution dist ~useful =
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 dist in
+  let supported = List.for_all (fun (i, p) -> p >= 0.0 && Pieceset.mem i useful) dist in
+  supported && Float.abs (total -. 1.0) < 1e-9

@@ -1,0 +1,94 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+type transition =
+  | Arrival of Pieceset.t
+  | Seed_departure
+  | Transfer of { downloader : Pieceset.t; piece : int }
+
+let gamma_c_i (p : Params.t) state ~c ~piece =
+  let n = State.n state in
+  let x_c = State.count state c in
+  if n = 0 || x_c = 0 || Pieceset.mem piece c then 0.0
+  else begin
+    let seed_part = p.us /. float_of_int (Pieceset.missing_count ~k:p.k c) in
+    let peer_part =
+      State.fold state ~init:0.0 ~f:(fun acc s x_s ->
+          if Pieceset.mem piece s then
+            acc +. (float_of_int x_s /. float_of_int (Pieceset.cardinal (Pieceset.diff s c)))
+          else acc)
+    in
+    float_of_int x_c /. float_of_int n *. (seed_part +. (p.mu *. peer_part))
+  end
+
+let policy_weight (policy : Policy.t) ~k ~state ~uploader ~downloader ~piece =
+  if Pieceset.is_empty (Policy.useful_pieces ~k ~uploader ~downloader) then 0.0
+  else begin
+    let dist = policy.distribution ~k ~state ~uploader ~downloader in
+    List.fold_left (fun acc (i, pr) -> if i = piece then acc +. pr else acc) 0.0 dist
+  end
+
+let transfer_rate ~policy (p : Params.t) state ~c ~piece =
+  let n = State.n state in
+  let x_c = State.count state c in
+  if n = 0 || x_c = 0 || Pieceset.mem piece c then 0.0
+  else begin
+    let seed_part =
+      if p.us > 0.0 then
+        p.us *. policy_weight policy ~k:p.k ~state ~uploader:Policy.Fixed_seed ~downloader:c ~piece
+      else 0.0
+    in
+    let peer_part =
+      State.fold state ~init:0.0 ~f:(fun acc s x_s ->
+          if Pieceset.can_help ~uploader:s ~downloader:c then
+            acc
+            +. float_of_int x_s
+               *. policy_weight policy ~k:p.k ~state ~uploader:(Policy.Peer s) ~downloader:c
+                    ~piece
+          else acc)
+    in
+    float_of_int x_c /. float_of_int n *. (seed_part +. (p.mu *. peer_part))
+  end
+
+let transitions ?(policy = Policy.random_useful) (p : Params.t) state =
+  let full = Params.full_set p in
+  let acc = ref [] in
+  (* Arrivals always enabled. *)
+  Array.iter (fun (c, rate) -> acc := (Arrival c, rate) :: !acc) p.arrivals;
+  (* Seed departures when gamma is finite. *)
+  if not (Params.immediate_departure p) then begin
+    let seeds = State.count state full in
+    if seeds > 0 then acc := (Seed_departure, p.gamma *. float_of_int seeds) :: !acc
+  end;
+  (* Piece transfers. *)
+  State.iter state (fun c _ ->
+      if not (Pieceset.equal c full) then
+        Pieceset.iter
+          (fun piece ->
+            let rate = transfer_rate ~policy p state ~c ~piece in
+            if rate > 0.0 then acc := (Transfer { downloader = c; piece }, rate) :: !acc)
+          (Pieceset.complement ~k:p.k c));
+  !acc
+
+let total_rate ?policy p state =
+  List.fold_left (fun acc (_, r) -> acc +. r) 0.0 (transitions ?policy p state)
+
+let apply (p : Params.t) state = function
+  | Arrival c -> State.add_peer state c
+  | Seed_departure -> State.remove_peer state (Params.full_set p)
+  | Transfer { downloader; piece } ->
+      if Pieceset.mem piece downloader then invalid_arg "Rate.apply: piece already held";
+      let target = Pieceset.add piece downloader in
+      if Pieceset.equal target (Params.full_set p) && Params.immediate_departure p then
+        State.remove_peer state downloader
+      else State.move_peer state ~from_:downloader ~to_:target
+
+let target_description p = function
+  | Arrival c -> Printf.sprintf "arrival of type %s" (Pieceset.to_string c)
+  | Seed_departure -> "peer seed departs"
+  | Transfer { downloader; piece } ->
+      let target = Pieceset.add piece downloader in
+      if Pieceset.equal target (Params.full_set p) && Params.immediate_departure p then
+        Printf.sprintf "type %s gets piece %d and departs" (Pieceset.to_string downloader)
+          (piece + 1)
+      else
+        Printf.sprintf "type %s gets piece %d" (Pieceset.to_string downloader) (piece + 1)

@@ -1,0 +1,36 @@
+(** Reachability analysis of the policy-restricted chain (Section VIII-A).
+
+    Under a general piece-selection policy the Markov process need not be
+    irreducible; Theorem 14 is stated on the unique minimal closed set of
+    states reachable from the empty state.  The paper's example: when the
+    lowest-numbered useful piece is always chosen, the reachable states
+    only contain peers whose collections are consecutive prefixes
+    [{1,...,j}].
+
+    This module explores the reachable state space exhaustively up to a
+    population cap and reports which {e peer types} ever occur — a direct
+    check of that claim, and a tool for investigating other policies. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type result = {
+  states_explored : int;
+  truncated : bool;  (** hit the state or population cap *)
+  types_seen : Pieceset.t list;  (** every peer type occurring in any reachable state, sorted *)
+}
+
+val explore :
+  ?policy:Policy.t -> ?max_states:int -> Params.t -> n_max:int -> result
+(** Breadth-first search from the empty state over all transitions with
+    positive rate under the policy, with arrivals suppressed at
+    [n = n_max].  [max_states] (default 500_000) bounds the exploration;
+    [truncated] is set if it is hit.
+    @raise Invalid_argument on [n_max < 1]. *)
+
+val prefix_types_only : k:int -> Pieceset.t list -> bool
+(** Whether every type in the list is a consecutive prefix
+    [{}, {1}, {1,2}, ...] — the paper's characterisation for the
+    sequential policy. *)
+
+val all_types_reachable : k:int -> Pieceset.t list -> bool
+(** Whether every one of the [2^K] types occurs. *)

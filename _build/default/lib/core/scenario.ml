@@ -1,0 +1,52 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+let example1 ~lambda0 ~us ~mu ~gamma =
+  Params.make ~k:1 ~us ~mu ~gamma ~arrivals:[ (Pieceset.empty, lambda0) ]
+
+let example1_threshold ~us ~mu ~gamma =
+  if (not (Float.is_finite gamma)) || mu < gamma then begin
+    let rho = if Float.is_finite gamma then mu /. gamma else 0.0 in
+    us /. (1.0 -. rho)
+  end
+  else infinity
+
+let example2 ~lambda12 ~lambda34 ~mu =
+  Params.make ~k:4 ~us:0.0 ~mu ~gamma:infinity
+    ~arrivals:[ (Pieceset.of_list [ 0; 1 ], lambda12); (Pieceset.of_list [ 2; 3 ], lambda34) ]
+
+let example3 ~lambda1 ~lambda2 ~lambda3 ~mu ~gamma =
+  Params.make ~k:3 ~us:0.0 ~mu ~gamma
+    ~arrivals:
+      [
+        (Pieceset.singleton 0, lambda1);
+        (Pieceset.singleton 1, lambda2);
+        (Pieceset.singleton 2, lambda3);
+      ]
+
+let example3_lhs_rhs (p : Params.t) =
+  if p.k <> 3 then invalid_arg "Scenario.example3_lhs_rhs: not an example-3 network";
+  let rho = Params.mu_over_gamma p in
+  let factor = (2.0 +. rho) /. (1.0 -. rho) in
+  let lam i = Params.lambda p (Pieceset.singleton i) in
+  (* Missing piece k: lhs = sum of the other two rates, rhs = λ_k·factor. *)
+  Array.init 3 (fun missing ->
+      let lhs = ref 0.0 in
+      for i = 0 to 2 do
+        if i <> missing then lhs := !lhs +. lam i
+      done;
+      (!lhs, lam missing *. factor))
+
+let flash_crowd ~k ~lambda ~us ~mu ~gamma =
+  Params.make ~k ~us ~mu ~gamma ~arrivals:[ (Pieceset.empty, lambda) ]
+
+let gift_uncoded ~k ~lambda_total ~f ~mu =
+  if f < 0.0 || f >= 1.0 then invalid_arg "Scenario.gift_uncoded: need 0 <= f < 1";
+  let arrivals =
+    (Pieceset.empty, (1.0 -. f) *. lambda_total)
+    :: List.init k (fun i -> (Pieceset.singleton i, f *. lambda_total /. float_of_int k))
+  in
+  Params.make ~k ~us:0.0 ~mu ~gamma:infinity ~arrivals
+
+let symmetric_singletons ~k ~lambda ~mu =
+  Params.make ~k ~us:0.0 ~mu ~gamma:infinity
+    ~arrivals:(List.init k (fun i -> (Pieceset.singleton i, lambda)))

@@ -1,0 +1,41 @@
+(** Named parameterisations: the paper's worked examples and the workloads
+    the experiments sweep. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+val example1 : lambda0:float -> us:float -> mu:float -> gamma:float -> Params.t
+(** Fig. 1(a): a single piece (K = 1), empty-handed arrivals at [λ0], a
+    fixed seed, and peer seeds dwelling at rate γ.  Stable iff [μ ≥ γ] or
+    [λ0 < U_s / (1 − μ/γ)] (Leskelä–Robert–Simatos, confirmed by
+    Theorem 1). *)
+
+val example1_threshold : us:float -> mu:float -> gamma:float -> float
+(** The critical λ0 ([infinity] when μ ≥ γ). *)
+
+val example2 : lambda12:float -> lambda34:float -> mu:float -> Params.t
+(** Fig. 1(b): K = 4, no seed, immediate departures; peers arrive holding
+    [{1,2}] at [λ12] or [{3,4}] at [λ34].  Stable iff [λ12 < 2 λ34] and
+    [λ34 < 2 λ12]. *)
+
+val example3 :
+  lambda1:float -> lambda2:float -> lambda3:float -> mu:float -> gamma:float -> Params.t
+(** Fig. 1(c): K = 3, no seed; peers arrive holding one piece.  Stable iff
+    [λ_i + λ_j < λ_k (2 + μ/γ) / (1 − μ/γ)] for all permutations. *)
+
+val example3_lhs_rhs : Params.t -> (float * float) array
+(** The three (left, right) sides of the Example 3 inequalities, in the
+    order pieces 3, 1, 2 are the "missing" one — for printing the paper's
+    system of inequalities. *)
+
+val flash_crowd : k:int -> lambda:float -> us:float -> mu:float -> gamma:float -> Params.t
+(** Empty-handed arrivals only — the [9,10] baseline model this paper
+    generalises. *)
+
+val gift_uncoded : k:int -> lambda_total:float -> f:float -> mu:float -> Params.t
+(** [U_s = 0, γ = ∞]; fraction [f] of arrivals hold one uniformly chosen
+    data piece, the rest arrive empty-handed — the uncoded contrast to the
+    Theorem 15 example (transient for every [f < 1]). *)
+
+val symmetric_singletons : k:int -> lambda:float -> mu:float -> Params.t
+(** [λ_C = λ] for singletons, no seed, γ = ∞: the borderline network of
+    Section VIII-D / Conjecture 17. *)

@@ -1,0 +1,374 @@
+module Pieceset = P2p_pieceset.Pieceset
+module Rng = P2p_prng.Rng
+module Dist = P2p_prng.Dist
+
+type dwell = Exp_dwell | Deterministic_dwell | Erlang_dwell of int
+
+type config = {
+  params : Params.t;
+  policy : Policy.t;
+  dwell : dwell;
+  eta : float;
+  rare_piece : int;
+  initial : (Pieceset.t * int) list;
+}
+
+let default_config params =
+  { params; policy = Policy.random_useful; dwell = Exp_dwell; eta = 1.0; rare_piece = 0; initial = [] }
+
+type groups = {
+  young : int;
+  infected : int;
+  gifted : int;
+  one_club : int;
+  former_one_club : int;
+}
+
+let groups_total g = g.young + g.infected + g.gifted + g.one_club + g.former_one_club
+
+type peer = {
+  id : int;
+  mutable pieces : Pieceset.t;
+  arrival_time : float;
+  gifted : bool;
+  mutable infected : bool;
+  mutable was_one_club : bool;
+  mutable boosted : bool;  (* last contact attempt found nothing useful *)
+  mutable slot : int;  (* index in the population array; -1 once departed *)
+  mutable departed : bool;
+}
+
+type stats = {
+  final_time : float;
+  events : int;
+  arrivals : int;
+  transfers : int;
+  completions : int;
+  departures : int;
+  time_avg_n : float;
+  max_n : int;
+  final_n : int;
+  samples : (float * int) array;
+  group_samples : (float * groups) array;
+  mean_sojourn : float;
+  sojourn_count : int;
+  one_club_time_fraction : float;
+}
+
+(* Dynamic array of live peers with O(1) swap-removal. *)
+module Population = struct
+  type t = { mutable peers : peer array; mutable len : int; mutable boosted_count : int }
+
+  let create () = { peers = [||]; len = 0; boosted_count = 0 }
+  let size t = t.len
+
+  let add t peer =
+    if t.len = Array.length t.peers then begin
+      let bigger = Array.make (Int.max 16 (2 * t.len)) peer in
+      Array.blit t.peers 0 bigger 0 t.len;
+      t.peers <- bigger
+    end;
+    peer.slot <- t.len;
+    t.peers.(t.len) <- peer;
+    t.len <- t.len + 1;
+    if peer.boosted then t.boosted_count <- t.boosted_count + 1
+
+  let remove t peer =
+    let i = peer.slot in
+    if i < 0 || i >= t.len || t.peers.(i) != peer then invalid_arg "Population.remove";
+    if peer.boosted then t.boosted_count <- t.boosted_count - 1;
+    t.len <- t.len - 1;
+    if i <> t.len then begin
+      t.peers.(i) <- t.peers.(t.len);
+      t.peers.(i).slot <- i
+    end;
+    peer.slot <- -1;
+    peer.departed <- true
+
+  let set_boosted t peer value =
+    if peer.boosted <> value then begin
+      peer.boosted <- value;
+      t.boosted_count <- (t.boosted_count + if value then 1 else -1)
+    end
+
+  let uniform t rng =
+    if t.len = 0 then invalid_arg "Population.uniform: empty";
+    t.peers.(Rng.int_below rng t.len)
+
+  (* Sample a peer with weight 1 for normal and [eta] for boosted peers. *)
+  let weighted t rng ~eta =
+    if eta = 1.0 then uniform t rng
+    else begin
+      let normal = float_of_int (t.len - t.boosted_count) in
+      let boosted = eta *. float_of_int t.boosted_count in
+      let pick_boosted = Rng.float rng *. (normal +. boosted) >= normal in
+      (* Rejection sample within the chosen class. *)
+      let rec find () =
+        let peer = t.peers.(Rng.int_below rng t.len) in
+        if peer.boosted = pick_boosted then peer else find ()
+      in
+      if t.len = t.boosted_count || t.boosted_count = 0 then uniform t rng else find ()
+    end
+
+  let contact_rate t ~mu ~eta =
+    mu *. (float_of_int (t.len - t.boosted_count) +. (eta *. float_of_int t.boosted_count))
+
+  let iter t f =
+    for i = 0 to t.len - 1 do
+      f t.peers.(i)
+    done
+end
+
+let classify_groups config pop =
+  let full = Params.full_set config.params in
+  let one_club_type = Pieceset.remove config.rare_piece full in
+  let g = ref { young = 0; infected = 0; gifted = 0; one_club = 0; former_one_club = 0 } in
+  Population.iter pop (fun peer ->
+      let c = !g in
+      if peer.gifted then g := { c with gifted = c.gifted + 1 }
+      else if peer.infected then g := { c with infected = c.infected + 1 }
+      else if Pieceset.equal peer.pieces one_club_type then g := { c with one_club = c.one_club + 1 }
+      else if peer.was_one_club then g := { c with former_one_club = c.former_one_club + 1 }
+      else g := { c with young = c.young + 1 });
+  !g
+
+let sample_dwell config rng =
+  let gamma = config.params.gamma in
+  match config.dwell with
+  | Exp_dwell -> Dist.exponential rng ~rate:gamma
+  | Deterministic_dwell -> 1.0 /. gamma
+  | Erlang_dwell m ->
+      if m < 1 then invalid_arg "Sim_agent: Erlang stages must be >= 1";
+      let stage_rate = float_of_int m *. gamma in
+      let total = ref 0.0 in
+      for _ = 1 to m do
+        total := !total +. Dist.exponential rng ~rate:stage_rate
+      done;
+      !total
+
+let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
+  let p = config.params in
+  if config.eta < 1.0 then invalid_arg "Sim_agent.run: eta must be >= 1";
+  if config.rare_piece < 0 || config.rare_piece >= p.k then
+    invalid_arg "Sim_agent.run: rare piece out of range";
+  let full = Params.full_set p in
+  let one_club_type = Pieceset.remove config.rare_piece full in
+  let pop = Population.create () in
+  let state = State.create () in
+  let departures_heap : peer P2p_des.Heap.t = P2p_des.Heap.create () in
+  let next_id = ref 0 in
+  let sojourn = P2p_stats.Welford.create () in
+  let clock = ref 0.0 in
+  let events = ref 0 in
+  let arrivals = ref 0 in
+  let transfers = ref 0 in
+  let completions = ref 0 in
+  let departures = ref 0 in
+  let max_n = ref 0 in
+  let avg = P2p_stats.Timeavg.create () in
+  let club_avg = P2p_stats.Timeavg.create () in
+  let seed_boosted = ref false in
+  let lambda_total = Params.lambda_total p in
+  let arrival_weights = Array.map snd p.arrivals in
+
+  let new_peer c ~time =
+    let peer =
+      {
+        id = !next_id;
+        pieces = c;
+        arrival_time = time;
+        gifted = Pieceset.mem config.rare_piece c;
+        infected = false;
+        was_one_club = Pieceset.equal c one_club_type;
+        boosted = false;
+        slot = -1;
+        departed = false;
+      }
+    in
+    incr next_id;
+    Population.add pop peer;
+    State.add_peer state c;
+    peer
+  in
+  let depart peer ~time =
+    Population.remove pop peer;
+    State.remove_peer state peer.pieces;
+    incr departures;
+    P2p_stats.Welford.add sojourn (time -. peer.arrival_time)
+  in
+  let schedule_departure peer ~time =
+    let dwell = sample_dwell config rng in
+    ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
+  in
+  (* Give a piece to [peer]; updates flags and departures. *)
+  let deliver peer piece ~time =
+    incr transfers;
+    let was_one_club_now = Pieceset.equal peer.pieces one_club_type in
+    let target = Pieceset.add piece peer.pieces in
+    if piece = config.rare_piece && (not peer.gifted) && not was_one_club_now then
+      peer.infected <- true;
+    if Pieceset.equal target one_club_type then peer.was_one_club <- true;
+    if Pieceset.equal target full && Params.immediate_departure p then begin
+      incr completions;
+      State.remove_peer state peer.pieces;
+      peer.pieces <- target;
+      Population.remove pop peer;
+      incr departures;
+      P2p_stats.Welford.add sojourn (time -. peer.arrival_time)
+    end
+    else begin
+      State.move_peer state ~from_:peer.pieces ~to_:target;
+      peer.pieces <- target;
+      (* Receiving a piece changes what the peer can offer, so the
+         unsuccessful-contact speedup (Section VIII-C) no longer applies:
+         reset the clock to its normal rate. *)
+      Population.set_boosted pop peer false;
+      if Pieceset.equal target full then begin
+        incr completions;
+        schedule_departure peer ~time
+      end
+    end
+  in
+  (* Resolve one contact from [uploader] (None = fixed seed). *)
+  let contact uploader ~time =
+    if Population.size pop = 0 then ()
+    else begin
+      let downloader = Population.uniform pop rng in
+      let uploader_arg =
+        match uploader with None -> Policy.Fixed_seed | Some peer -> Policy.Peer peer.pieces
+      in
+      let choice =
+        match uploader with
+        | Some up when up == downloader -> None (* self-contact is never useful *)
+        | _ ->
+            Policy.sample config.policy ~rng ~k:p.k ~state ~uploader:uploader_arg
+              ~downloader:downloader.pieces
+      in
+      let success = Option.is_some choice in
+      (match uploader with
+      | None -> seed_boosted := not success
+      | Some up -> if not up.departed then Population.set_boosted pop up (not success));
+      match choice with Some piece -> deliver downloader piece ~time | None -> ()
+    end
+  in
+
+  (* Initial population. *)
+  List.iter
+    (fun (c, count) ->
+      for _ = 1 to count do
+        let peer = new_peer c ~time:0.0 in
+        if Pieceset.equal c full then
+          if Params.immediate_departure p then
+            invalid_arg "Sim_agent.run: initial peer seeds need finite gamma"
+          else schedule_departure peer ~time:0.0
+      done)
+    config.initial;
+
+  let observe time =
+    let n = Population.size pop in
+    P2p_stats.Timeavg.observe avg ~time ~value:(float_of_int n);
+    let club =
+      if n = 0 then 0.0
+      else begin
+        let club_count =
+          State.count state one_club_type
+          + if Params.immediate_departure p then 0 else State.count state full
+        in
+        float_of_int club_count /. float_of_int n
+      end
+    in
+    P2p_stats.Timeavg.observe club_avg ~time ~value:club;
+    if n > !max_n then max_n := n
+  in
+  observe 0.0;
+
+  let sample_every =
+    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
+  in
+  let samples = ref [] in
+  let group_samples = ref [] in
+  let next_sample = ref 0.0 in
+  let record_samples_through time =
+    while !next_sample <= time && !next_sample <= horizon do
+      samples := (!next_sample, Population.size pop) :: !samples;
+      group_samples := (!next_sample, classify_groups config pop) :: !group_samples;
+      next_sample := !next_sample +. sample_every
+    done
+  in
+  record_samples_through 0.0;
+
+  let running = ref true in
+  while !running do
+    let n = Population.size pop in
+    let rate_arrival = lambda_total in
+    let rate_seed =
+      if n = 0 then 0.0 else if !seed_boosted then config.eta *. p.us else p.us
+    in
+    let rate_peers = Population.contact_rate pop ~mu:p.mu ~eta:config.eta in
+    let total = rate_arrival +. rate_seed +. rate_peers in
+    let dt = Dist.exponential rng ~rate:total in
+    let t_candidate = !clock +. dt in
+    (* Scheduled departures act as time barriers for the exponential race. *)
+    let next_departure = P2p_des.Heap.min_key departures_heap in
+    let departure_first =
+      match next_departure with Some d -> d <= t_candidate && d <= horizon | None -> false
+    in
+    if departure_first then begin
+      match P2p_des.Heap.pop_min departures_heap with
+      | Some (time, peer) ->
+          record_samples_through time;
+          clock := time;
+          incr events;
+          if not peer.departed then depart peer ~time;
+          observe time
+      | None -> assert false
+    end
+    else if t_candidate > horizon || !events >= max_events then begin
+      record_samples_through horizon;
+      P2p_stats.Timeavg.close avg ~time:horizon;
+      P2p_stats.Timeavg.close club_avg ~time:horizon;
+      clock := horizon;
+      running := false
+    end
+    else begin
+      record_samples_through t_candidate;
+      clock := t_candidate;
+      incr events;
+      let u = Rng.float rng *. total in
+      if u < rate_arrival then begin
+        let idx = Dist.categorical rng ~weights:arrival_weights in
+        let c = fst p.arrivals.(idx) in
+        let peer = new_peer c ~time:!clock in
+        incr arrivals;
+        if Pieceset.equal c full then schedule_departure peer ~time:!clock
+      end
+      else if u < rate_arrival +. rate_seed then contact None ~time:!clock
+      else begin
+        let uploader = Population.weighted pop rng ~eta:config.eta in
+        contact (Some uploader) ~time:!clock
+      end;
+      observe !clock
+    end
+  done;
+  let stats =
+    {
+      final_time = !clock;
+      events = !events;
+      arrivals = !arrivals;
+      transfers = !transfers;
+      completions = !completions;
+      departures = !departures;
+      time_avg_n = P2p_stats.Timeavg.average avg;
+      max_n = !max_n;
+      final_n = Population.size pop;
+      samples = Array.of_list (List.rev !samples);
+      group_samples = Array.of_list (List.rev !group_samples);
+      mean_sojourn = P2p_stats.Welford.mean sojourn;
+      sojourn_count = P2p_stats.Welford.count sojourn;
+      one_club_time_fraction = P2p_stats.Timeavg.average club_avg;
+    }
+  in
+  (stats, state)
+
+let run_seeded ?sample_every ?max_events ~seed config ~horizon =
+  run ?sample_every ?max_events ~rng:(Rng.of_seed seed) config ~horizon

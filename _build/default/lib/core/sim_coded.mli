@@ -1,0 +1,60 @@
+(** Simulation of the network-coding swarm of Section VIII-B.
+
+    Peers hold subspaces of [F_q^K] instead of piece sets: on contact, the
+    uploader transmits a uniformly random linear combination of its coded
+    pieces (so the coding vector is uniform over the uploader's subspace —
+    including, with probability [q^{-dim}], the useless zero vector).  The
+    fixed seed transmits a uniform random vector of [F_q^K].  A peer
+    departs (after its dwell, or immediately when γ = ∞) once its subspace
+    reaches full dimension.
+
+    The [smart_exchange] flag implements Remark 16: peers exchange
+    subspace descriptions, so whenever the uploader can help it sends a
+    basis vector outside the downloader's subspace — every eligible
+    contact is useful. *)
+
+type config = {
+  q : int;  (** field size (prime power ≤ 65536) *)
+  k : int;  (** number of data pieces K *)
+  us : float;
+  mu : float;
+  gamma : float;  (** [infinity] = immediate departure *)
+  arrivals : (int * float) list;
+      (** [(j, rate)]: peers arriving holding [j] independent uniform
+          random coded pieces ([j = 0]: empty-handed).  Vectors are drawn
+          uniformly from [F_q^K], so [j] pieces span a subspace of
+          dimension ≤ j. *)
+  smart_exchange : bool;
+}
+
+val of_gift : Stability.Coded.gift_params -> config
+(** The paper's gift workload ([λ0] empty, [λ1] one random coded piece). *)
+
+type stats = {
+  final_time : float;
+  events : int;
+  arrivals : int;
+  useful_transfers : int;
+  useless_transfers : int;  (** contacts that transmitted a non-innovative vector *)
+  completions : int;
+  departures : int;
+  time_avg_n : float;
+  max_n : int;
+  final_n : int;
+  samples : (float * int) array;
+  dim_histogram : int array;  (** final population by subspace dimension, length K+1 *)
+  near_complete_fraction : float;
+      (** time-average fraction of peers at dimension K−1 — the coded
+          one-club witness *)
+}
+
+val run :
+  ?sample_every:float ->
+  ?max_events:int ->
+  rng:P2p_prng.Rng.t ->
+  config ->
+  horizon:float ->
+  stats
+
+val run_seeded :
+  ?sample_every:float -> ?max_events:int -> seed:int -> config -> horizon:float -> stats

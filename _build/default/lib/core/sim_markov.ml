@@ -1,0 +1,164 @@
+module Pieceset = P2p_pieceset.Pieceset
+module Rng = P2p_prng.Rng
+module Dist = P2p_prng.Dist
+
+type config = {
+  params : Params.t;
+  policy : Policy.t;
+  initial : (Pieceset.t * int) list;
+}
+
+let default_config params = { params; policy = Policy.random_useful; initial = [] }
+
+type stats = {
+  final_time : float;
+  events : int;
+  arrivals : int;
+  transfers : int;
+  completions : int;
+  departures : int;
+  time_avg_n : float;
+  max_n : int;
+  final_n : int;
+  visits_to_empty : int;
+  samples : (float * int) array;
+}
+
+type counters = {
+  mutable events : int;
+  mutable arrivals : int;
+  mutable transfers : int;
+  mutable completions : int;
+  mutable departures : int;
+  mutable max_n : int;
+  mutable visits_to_empty : int;
+}
+
+(* One contact resolution: [uploader] tries to push a piece to a uniformly
+   chosen peer.  Returns true iff the state changed. *)
+let resolve_contact ~rng ~(p : Params.t) ~policy ~state ~uploader ~counters =
+  let downloader = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
+  match Policy.sample policy ~rng ~k:p.k ~state ~uploader ~downloader with
+  | None -> false
+  | Some piece ->
+      counters.transfers <- counters.transfers + 1;
+      let target = Pieceset.add piece downloader in
+      let full = Params.full_set p in
+      if Pieceset.equal target full then begin
+        counters.completions <- counters.completions + 1;
+        if Params.immediate_departure p then begin
+          State.remove_peer state downloader;
+          counters.departures <- counters.departures + 1
+        end
+        else State.move_peer state ~from_:downloader ~to_:target
+      end
+      else State.move_peer state ~from_:downloader ~to_:target;
+      true
+
+let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
+  let p = config.params in
+  let full = Params.full_set p in
+  let state = State.of_counts config.initial in
+  let lambda_total = Params.lambda_total p in
+  let arrival_weights = Array.map snd p.arrivals in
+  let counters =
+    {
+      events = 0;
+      arrivals = 0;
+      transfers = 0;
+      completions = 0;
+      departures = 0;
+      max_n = State.n state;
+      visits_to_empty = 0;
+    }
+  in
+  let avg = P2p_stats.Timeavg.create () in
+  P2p_stats.Timeavg.observe avg ~time:0.0 ~value:(float_of_int (State.n state));
+  let sample_every =
+    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
+  in
+  let samples = ref [] in
+  let next_sample = ref 0.0 in
+  let record_samples_through time =
+    while !next_sample <= time && !next_sample <= horizon do
+      samples := (!next_sample, State.n state) :: !samples;
+      next_sample := !next_sample +. sample_every
+    done
+  in
+  record_samples_through 0.0;
+  let clock = ref 0.0 in
+  let running = ref true in
+  while !running do
+    let n = State.n state in
+    let seeds = State.count state full in
+    let rate_arrival = lambda_total in
+    let rate_seed_contact = if n > 0 then p.us else 0.0 in
+    let rate_peer_contact = p.mu *. float_of_int n in
+    let rate_departure =
+      if Params.immediate_departure p then 0.0 else p.gamma *. float_of_int seeds
+    in
+    let total = rate_arrival +. rate_seed_contact +. rate_peer_contact +. rate_departure in
+    let dt = Dist.exponential rng ~rate:total in
+    let t_next = !clock +. dt in
+    if t_next > horizon || counters.events >= max_events then begin
+      record_samples_through horizon;
+      P2p_stats.Timeavg.close avg ~time:horizon;
+      clock := horizon;
+      running := false
+    end
+    else begin
+      (* The sampling grid must capture the value *before* this event. *)
+      record_samples_through (Float.min t_next horizon);
+      clock := t_next;
+      counters.events <- counters.events + 1;
+      let u = Rng.float rng *. total in
+      let changed =
+        if u < rate_arrival then begin
+          let idx = Dist.categorical rng ~weights:arrival_weights in
+          State.add_peer state (fst p.arrivals.(idx));
+          counters.arrivals <- counters.arrivals + 1;
+          true
+        end
+        else if u < rate_arrival +. rate_seed_contact then
+          resolve_contact ~rng ~p ~policy:config.policy ~state ~uploader:Policy.Fixed_seed
+            ~counters
+        else if u < rate_arrival +. rate_seed_contact +. rate_peer_contact then begin
+          let uploader_type = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
+          resolve_contact ~rng ~p ~policy:config.policy ~state
+            ~uploader:(Policy.Peer uploader_type) ~counters
+        end
+        else begin
+          State.remove_peer state full;
+          counters.departures <- counters.departures + 1;
+          true
+        end
+      in
+      if changed then begin
+        let n' = State.n state in
+        P2p_stats.Timeavg.observe avg ~time:!clock ~value:(float_of_int n');
+        if n' > counters.max_n then counters.max_n <- n';
+        if n' = 0 then counters.visits_to_empty <- counters.visits_to_empty + 1;
+        match observer with Some f -> f ~time:!clock ~state | None -> ()
+      end
+    end
+  done;
+  let stats =
+    {
+      final_time = !clock;
+      events = counters.events;
+      arrivals = counters.arrivals;
+      transfers = counters.transfers;
+      completions = counters.completions;
+      departures = counters.departures;
+      time_avg_n = P2p_stats.Timeavg.average avg;
+      max_n = counters.max_n;
+      final_n = State.n state;
+      visits_to_empty = counters.visits_to_empty;
+      samples = Array.of_list (List.rev !samples);
+    }
+  in
+  (stats, state)
+
+let run_seeded ?observer ?sample_every ?max_events ~seed config ~horizon =
+  let rng = Rng.of_seed seed in
+  run ?observer ?sample_every ?max_events ~rng config ~horizon

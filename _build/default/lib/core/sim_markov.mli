@@ -1,0 +1,58 @@
+(** Exact stochastic simulation of the P2P Markov chain on type counts.
+
+    Rather than enumerating the generator row at every step (O(types²·K)),
+    we simulate the underlying {e contact process} the model is defined
+    by — arrivals at rate [λ_total], fixed-seed contacts at rate [U_s],
+    peer contacts at rate [μ·n], peer-seed departures at rate [γ·x_F] —
+    and resolve each contact with the piece-selection policy.  Contacts
+    with no useful piece are silent, exactly as in Section III.  The
+    induced jump rates on type counts are exactly Eq. (1) (a test checks
+    this against {!Rate.transitions}). *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type config = {
+  params : Params.t;
+  policy : Policy.t;
+  initial : (Pieceset.t * int) list;  (** starting population *)
+}
+
+val default_config : Params.t -> config
+(** Random-useful policy, empty initial state. *)
+
+type stats = {
+  final_time : float;
+  events : int;  (** all exponential clock ticks, including silent contacts *)
+  arrivals : int;
+  transfers : int;  (** successful piece uploads *)
+  completions : int;  (** peers reaching the full collection *)
+  departures : int;  (** peers leaving the system *)
+  time_avg_n : float;  (** time-weighted mean population *)
+  max_n : int;
+  final_n : int;
+  visits_to_empty : int;  (** entries into the empty state *)
+  samples : (float * int) array;  (** (t, N_t) on the sampling grid *)
+}
+
+val run :
+  ?observer:(time:float -> state:State.t -> unit) ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  rng:P2p_prng.Rng.t ->
+  config ->
+  horizon:float ->
+  stats * State.t
+(** Simulate on [0, horizon].  [observer] fires after every state change;
+    [sample_every] sets the grid for [samples] (default [horizon/200]);
+    [max_events] is a safety valve (default 200 million).  Returns the
+    statistics and the final state. *)
+
+val run_seeded :
+  ?observer:(time:float -> state:State.t -> unit) ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  seed:int ->
+  config ->
+  horizon:float ->
+  stats * State.t
+(** Convenience wrapper constructing the RNG from an integer seed. *)

@@ -1,0 +1,63 @@
+(** Swarm simulation on a sparse contact topology.
+
+    The paper's model is fully connected — every contact picks a uniform
+    peer — and its conclusion asks whether the results survive on other
+    topologies.  This simulator constrains peer contacts to a dynamic
+    random graph: each arriving peer attaches to [degree] uniformly chosen
+    existing peers (a tracker handing out a random peer set), keeps those
+    links until it departs, and uploads only to its neighbors.  The fixed
+    seed remains globally reachable (it is a server, not an overlay
+    member).
+
+    Piece selection can be the model's random-useful choice, rarest-first
+    with global knowledge, or rarest-first estimated from the uploader's
+    {e neighborhood} only — the distributed estimate Section VIII-A
+    gestures at.  [degree = None] recovers the paper's fully-connected
+    model exactly (a test checks the agreement with {!Sim_agent}). *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type piece_choice =
+  | Random_useful
+  | Rarest_global  (** rarity counted over the whole swarm *)
+  | Rarest_local  (** rarity counted over the uploader's neighbors (and itself) *)
+
+type config = {
+  params : Params.t;
+  degree : int option;  (** attachments per arrival; [None] = fully connected *)
+  choice : piece_choice;
+  initial : (Pieceset.t * int) list;
+      (** initial peers, attached to each other by the same random rule *)
+}
+
+val default_config : Params.t -> config
+(** Fully connected, random-useful. *)
+
+type stats = {
+  final_time : float;
+  events : int;
+  arrivals : int;
+  transfers : int;
+  departures : int;
+  silent_contacts : int;  (** ticks that uploaded nothing (isolated or useless) *)
+  time_avg_n : float;
+  max_n : int;
+  final_n : int;
+  samples : (float * int) array;
+  club_samples : (float * float) array;
+      (** max over pieces of the fraction of peers missing exactly that
+          piece — the topology-agnostic one-club witness *)
+  mean_degree_time_avg : float;
+  final_component_sizes : int list;  (** sorted descending *)
+}
+
+val run :
+  ?sample_every:float ->
+  ?max_events:int ->
+  rng:P2p_prng.Rng.t ->
+  config ->
+  horizon:float ->
+  stats * State.t
+
+val run_seeded :
+  ?sample_every:float -> ?max_events:int -> seed:int -> config -> horizon:float -> stats * State.t

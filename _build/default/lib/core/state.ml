@@ -1,0 +1,92 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+type t = { counts : (Pieceset.t, int) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 32; total = 0 }
+
+let copy t = { counts = Hashtbl.copy t.counts; total = t.total }
+
+let count t c = Option.value (Hashtbl.find_opt t.counts c) ~default:0
+
+let set t c v =
+  if v < 0 then invalid_arg "State: negative count";
+  if v = 0 then Hashtbl.remove t.counts c else Hashtbl.replace t.counts c v
+
+let of_counts entries =
+  let t = create () in
+  List.iter
+    (fun (c, v) ->
+      if v < 0 then invalid_arg "State.of_counts: negative count";
+      set t c (count t c + v);
+      t.total <- t.total + v)
+    entries;
+  t
+
+let n t = t.total
+let occupied t = Hashtbl.length t.counts
+
+let add_peer t c =
+  set t c (count t c + 1);
+  t.total <- t.total + 1
+
+let remove_peer t c =
+  let current = count t c in
+  if current <= 0 then
+    invalid_arg (Printf.sprintf "State.remove_peer: no type %s peer" (Pieceset.to_string c));
+  set t c (current - 1);
+  t.total <- t.total - 1
+
+let move_peer t ~from_ ~to_ =
+  remove_peer t from_;
+  add_peer t to_
+
+let iter t f = Hashtbl.iter f t.counts
+let fold t ~init ~f = Hashtbl.fold (fun c v acc -> f acc c v) t.counts init
+
+let to_alist t =
+  fold t ~init:[] ~f:(fun acc c v -> (c, v) :: acc)
+  |> List.sort (fun (a, _) (b, _) -> Pieceset.compare a b)
+
+let piece_copies t ~k ~piece =
+  if piece < 0 || piece >= k then invalid_arg "State.piece_copies: piece out of range";
+  fold t ~init:0 ~f:(fun acc c v -> if Pieceset.mem piece c then acc + v else acc)
+
+let piece_count_vector t ~k =
+  let counts = Array.make k 0 in
+  iter t (fun c v -> Pieceset.iter (fun i -> if i < k then counts.(i) <- counts.(i) + v) c);
+  counts
+
+let sample_uniform_peer t ~draw =
+  if t.total = 0 then invalid_arg "State.sample_uniform_peer: empty state";
+  let target = draw t.total in
+  let acc = ref 0 in
+  let found = ref None in
+  (try
+     Hashtbl.iter
+       (fun c v ->
+         acc := !acc + v;
+         if !acc > target then begin
+           found := Some c;
+           raise Exit
+         end)
+       t.counts
+   with Exit -> ());
+  match !found with
+  | Some c -> c
+  | None -> invalid_arg "State.sample_uniform_peer: internal inconsistency"
+
+let count_subset_peers t s =
+  fold t ~init:0 ~f:(fun acc c v -> if Pieceset.subset c s then acc + v else acc)
+
+let count_helpful_peers t s =
+  fold t ~init:0 ~f:(fun acc c v -> if Pieceset.subset c s then acc else acc + v)
+
+let equal a b =
+  a.total = b.total
+  && Hashtbl.length a.counts = Hashtbl.length b.counts
+  && Hashtbl.fold (fun c v acc -> acc && count b c = v) a.counts true
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>n=%d:" t.total;
+  List.iter (fun (c, v) -> Format.fprintf fmt " %a:%d" Pieceset.pp c v) (to_alist t);
+  Format.fprintf fmt "@]"

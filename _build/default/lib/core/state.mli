@@ -1,0 +1,59 @@
+(** The Markov chain state: the count of peers of each type.
+
+    The state vector of Section III is [x = (x_C : C ∈ C)].  We store only
+    the occupied types in a hash table keyed by piece set and cache the
+    total population [n], so one-club-heavy states (the interesting ones)
+    cost O(occupied types), not O(2^K). *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+
+val of_counts : (Pieceset.t * int) list -> t
+(** @raise Invalid_argument on a negative count; zero counts are dropped,
+    duplicates summed. *)
+
+val count : t -> Pieceset.t -> int
+val n : t -> int
+(** Total number of peers. *)
+
+val occupied : t -> int
+(** Number of distinct occupied types. *)
+
+val add_peer : t -> Pieceset.t -> unit
+val remove_peer : t -> Pieceset.t -> unit
+(** @raise Invalid_argument if no such peer. *)
+
+val move_peer : t -> from_:Pieceset.t -> to_:Pieceset.t -> unit
+(** [remove_peer] + [add_peer] in one step. *)
+
+val iter : t -> (Pieceset.t -> int -> unit) -> unit
+(** Over occupied types only, in unspecified order. *)
+
+val fold : t -> init:'a -> f:('a -> Pieceset.t -> int -> 'a) -> 'a
+
+val to_alist : t -> (Pieceset.t * int) list
+(** Sorted by type for deterministic printing. *)
+
+val piece_copies : t -> k:int -> piece:int -> int
+(** Number of peers holding the piece. *)
+
+val piece_count_vector : t -> k:int -> int array
+(** [piece_copies] for every piece at once. *)
+
+val sample_uniform_peer : t -> draw:(int -> int) -> Pieceset.t
+(** Type of a peer chosen uniformly among all [n] peers; [draw m] must
+    return a uniform index in [0, m-1].
+    @raise Invalid_argument on the empty state. *)
+
+val count_subset_peers : t -> Pieceset.t -> int
+(** [Σ_{C ⊆ S} x_C]: the paper's [E_S]. *)
+
+val count_helpful_peers : t -> Pieceset.t -> int
+(** [Σ_{C ⊄ S} x_C = x_{H_S}]: peers that can help a type-[S] peer. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

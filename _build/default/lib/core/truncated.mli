@@ -1,0 +1,62 @@
+(** Exact stationary analysis of the P2P chain on a truncated state space.
+
+    Theorem 1(b) asserts positive recurrence with finite stationary mean
+    population.  For small [K] and a population cap [n_max] we can compute
+    the stationary distribution {e exactly}: enumerate every state with at
+    most [n_max] peers, build the generator with arrivals rejected at the
+    cap (a standard truncation that lower-bounds the real queue), uniformise
+    and power-iterate to the fixed point.
+
+    This gives a third, independent view of the system next to theory and
+    simulation: exact [E\[N\]], exact tail probabilities, and the blow-up
+    of [E\[N\]] as the arrival rate approaches the Theorem 1 boundary.  For
+    [K = 1, γ = ∞] the model degenerates to an M/M/1 queue ([λ] vs [U_s])
+    whose closed form validates the whole pipeline. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type t
+(** An enumerated truncated chain with its transition structure. *)
+
+val build : Params.t -> n_max:int -> t
+(** Enumerate all states with [n <= n_max].  The state count grows like
+    [C(n_max + 2^K, 2^K)]; practical for [K <= 3] and moderate caps.
+    @raise Invalid_argument if the space would exceed ~2 million states. *)
+
+val state_count : t -> int
+
+val stationary : ?tol:float -> ?max_iters:int -> t -> float array
+(** Stationary distribution by power iteration on the uniformised kernel.
+    Indices follow the internal enumeration; use the accessors below.
+    @raise Failure if the iteration does not converge. *)
+
+val mean_population : t -> float array -> float
+(** [E\[N\]] under a distribution returned by {!stationary}. *)
+
+val population_tail : t -> float array -> at_least:int -> float
+(** [P(N >= m)]. *)
+
+val mean_type_count : t -> float array -> Pieceset.t -> float
+(** Stationary mean number of peers of one type. *)
+
+val probability_empty : t -> float array -> float
+
+val truncation_mass_at_cap : t -> float array -> float
+(** Probability mass on states with [n = n_max] — a diagnostic: if this is
+    not small the cap is biting and [E\[N\]] is underestimated. *)
+
+val mean_hitting_time_to_empty :
+  ?tol:float -> ?max_sweeps:int -> t -> from_:(Pieceset.t * int) list -> float
+(** Expected time to first reach the empty state, starting from the given
+    population — the quantity Theorem 14(ii) asserts is finite inside the
+    stability region.  Solves the first-step equations
+    [h(x) = 1/out(x) + Σ_y P(x,y) h(y)], [h(empty) = 0] by Gauss–Seidel.
+    @raise Invalid_argument if the start state exceeds the cap.
+    @raise Failure if the iteration does not converge. *)
+
+val return_time_to_empty : t -> float array -> float
+(** Mean regeneration-cycle length implied by the stationary distribution:
+    [1 / (π(empty) · λ_total)] is the mean time between entries into the
+    empty state... exposed as the exact mean time from one departure-to-
+    empty until the next (Kac's formula applied to the exits of the empty
+    state). *)

@@ -1,0 +1,112 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+type slow = { n : int; pieces : int }
+
+type trace = {
+  visits : slow array;
+  top_layer_jumps : (int * int) list;
+  fast_time_fraction : float;
+}
+
+let slow_of_state state =
+  match State.occupied state with
+  | 0 -> Some { n = 0; pieces = 0 }
+  | 1 ->
+      let c, count = List.hd (State.to_alist state) in
+      Some { n = count; pieces = Pieceset.cardinal c }
+  | _ -> None
+
+let extract ?(min_top_n = 2) ~rng ~k ~lambda ~mu ~horizon () =
+  let params = Scenario.symmetric_singletons ~k ~lambda ~mu in
+  let visits = ref [] in
+  let jumps : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let last_slow = ref (Some { n = 0; pieces = 0 }) in
+  let currently_slow = ref true in
+  let prev_time = ref 0.0 in
+  let fast_time = ref 0.0 in
+  let observer ~time ~state =
+    let dt = time -. !prev_time in
+    if not !currently_slow then fast_time := !fast_time +. dt;
+    prev_time := time;
+    match slow_of_state state with
+    | None -> currently_slow := false
+    | Some s ->
+        currently_slow := true;
+        (match !last_slow with
+        | Some prev when prev.pieces = k - 1 && prev.n >= min_top_n ->
+            let dn = s.n - prev.n in
+            (* only count jumps that keep us on the top layer or collapse
+               out of it; collapses show up as visits but not as top-layer
+               jumps (matching the analytic pmf's support) *)
+            if s.pieces = k - 1 || s.n <= 1 then begin
+              if s.pieces = k - 1 then
+                Hashtbl.replace jumps dn
+                  (1 + Option.value (Hashtbl.find_opt jumps dn) ~default:0)
+            end
+        | Some _ | None -> ());
+        visits := s :: !visits;
+        last_slow := Some s
+  in
+  let config = Sim_markov.default_config params in
+  ignore (Sim_markov.run ~observer ~rng config ~horizon);
+  let jump_list =
+    Hashtbl.fold (fun dn c acc -> (dn, c) :: acc) jumps []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+  in
+  {
+    visits = Array.of_list (List.rev !visits);
+    top_layer_jumps = jump_list;
+    fast_time_fraction = !fast_time /. Float.max 1e-12 !prev_time;
+  }
+
+let analytic_jump_pmf ~k ~max_drop =
+  if k < 2 then invalid_arg "Watched.analytic_jump_pmf: k must be >= 2";
+  if max_drop < 1 then invalid_arg "Watched.analytic_jump_pmf: max_drop must be >= 1";
+  let kf = float_of_int k in
+  (* P(Z = z) = C(z + K - 2, z) (1/2)^(z + K - 1) *)
+  let log_choose n r =
+    let acc = ref 0.0 in
+    for i = 1 to r do
+      acc := !acc +. log (float_of_int (n - r + i)) -. log (float_of_int i)
+    done;
+    !acc
+  in
+  let p_z z =
+    exp (log_choose (z + k - 2) z +. (float_of_int (z + k - 1) *. log 0.5))
+  in
+  let up = ((kf -. 1.0) /. kf, 1) in
+  let drops =
+    List.init max_drop (fun z -> (-z, p_z z /. kf))
+  in
+  let covered =
+    List.fold_left (fun acc (_, p) -> acc +. p) (fst up) drops
+  in
+  let tail = Float.max 0.0 (1.0 -. covered) in
+  let drops =
+    List.map
+      (fun (dn, p) -> if dn = -(max_drop - 1) then (dn, p +. tail) else (dn, p))
+      drops
+  in
+  ((1, fst up) :: drops)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare b a)
+
+let total_variation pmf counts =
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+  if total = 0 then 1.0
+  else begin
+    let emp dn =
+      float_of_int (Option.value (List.assoc_opt dn counts) ~default:0)
+      /. float_of_int total
+    in
+    let support =
+      List.sort_uniq Int.compare (List.map fst pmf @ List.map fst counts)
+    in
+    let acc =
+      List.fold_left
+        (fun acc dn ->
+          let p = Option.value (List.assoc_opt dn pmf) ~default:0.0 in
+          acc +. Float.abs (p -. emp dn))
+        0.0 support
+    in
+    acc /. 2.0
+  end

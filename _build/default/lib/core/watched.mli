@@ -1,0 +1,54 @@
+(** Extracting the watched (μ → ∞) process from finite-μ simulation.
+
+    Section VIII-D defines the borderline process by watching the original
+    chain on "slow" states — states where every peer has the same
+    collection — and removing the fast excursions.  {!Mu_infinity}
+    implements the analytic weak limit; this module performs the watching
+    {e empirically} on a finite-μ simulation of the symmetric network, so
+    the two can be compared: as μ grows, the observed top-layer jump law
+    must converge to the coin-flip law [Z] (an explicit check of the
+    paper's construction).
+
+    A watched transition is recorded whenever the simulation enters a slow
+    state (directly, or after an excursion through fast states). *)
+
+type slow = { n : int; pieces : int }
+(** A slow state: [n] peers all holding the same [pieces]-sized
+    collection; [(0,0)] is the empty state. *)
+
+type trace = {
+  visits : slow array;  (** the sequence of slow-state entries *)
+  top_layer_jumps : (int * int) list;
+      (** [(dn, count)]: observed population jumps out of top-layer slow
+          states [(n, K−1)], where [dn = +1] is a same-type arrival and
+          [dn <= 0] summarises an excursion; sorted by [dn] *)
+  fast_time_fraction : float;
+      (** fraction of simulated time spent outside slow states — vanishes
+          as μ → ∞ *)
+}
+
+val extract :
+  ?min_top_n:int ->
+  rng:P2p_prng.Rng.t ->
+  k:int ->
+  lambda:float ->
+  mu:float ->
+  horizon:float ->
+  unit ->
+  trace
+(** Simulate the symmetric single-piece-arrival network
+    ({!Scenario.symmetric_singletons}) and watch it on slow states.
+    Jumps are recorded only from top-layer states with [n >= min_top_n]
+    (default 2) to avoid boundary effects. *)
+
+val analytic_jump_pmf : k:int -> max_drop:int -> (int * float) list
+(** The μ = ∞ law of the same jump: [+1] w.p. [(K−1)/K]; [−z + 1 … ] —
+    precisely, [dn = 1] w.p. [(K−1)/K] and [dn = −z] w.p.
+    [P(Z = z)/K] for [z >= 0] with [Z] the heads-before-[(K−1)]-tails
+    count (drops beyond [max_drop] are accumulated into the last entry).
+    Entries sorted by [dn] descending. *)
+
+val total_variation : (int * float) list -> (int * int) list -> float
+(** TV distance between the analytic pmf and empirical jump counts
+    (both restricted to the analytic support; empirical mass outside it
+    counts fully). *)

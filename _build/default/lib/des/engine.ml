@@ -1,0 +1,49 @@
+type t = {
+  mutable clock : float;
+  queue : (t -> unit) Heap.t;
+  mutable fired : int;
+}
+
+type event_handle = Heap.handle
+
+let create ?(t0 = 0.0) () = { clock = t0; queue = Heap.create (); fired = 0 }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if at < t.clock then
+    invalid_arg (Printf.sprintf "Engine.schedule: time %g is before now (%g)" at t.clock);
+  Heap.insert t.queue ~key:at f
+
+let schedule_after t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule t ~at:(t.clock +. delay) f
+
+let cancel t h = Heap.remove t.queue h
+let pending t = Heap.size t.queue
+
+let step t =
+  match Heap.pop_min t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.fired <- t.fired + 1;
+      f t;
+      true
+
+let run_until t ~horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.min_key t.queue with
+    | Some key when key <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let run_while t pred =
+  let continue = ref true in
+  while !continue do
+    if (not (pred t)) || not (step t) then continue := false
+  done
+
+let events_fired t = t.fired

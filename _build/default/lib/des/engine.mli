@@ -1,0 +1,43 @@
+(** Discrete-event simulation engine.
+
+    A thin deterministic scheduler over {!Heap}: events are closures fired
+    in timestamp order; ties fire in scheduling order.  The agent-level P2P
+    simulator builds its peer clocks, arrival streams, and departure timers
+    on top of this. *)
+
+type t
+
+type event_handle
+(** Returned by {!schedule}; pass to {!cancel}. *)
+
+val create : ?t0:float -> unit -> t
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> at:float -> (t -> unit) -> event_handle
+(** [schedule t ~at f] fires [f t] when the clock reaches [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_after : t -> delay:float -> (t -> unit) -> event_handle
+(** [schedule_after t ~delay f] is [schedule t ~at:(now t +. delay) f].
+    @raise Invalid_argument on a negative delay. *)
+
+val cancel : t -> event_handle -> bool
+(** Cancel a pending event; [false] if it already fired or was cancelled. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val step : t -> bool
+(** Fire the next event; [false] when the queue is empty. *)
+
+val run_until : t -> horizon:float -> unit
+(** Fire every event with timestamp [<= horizon], then advance the clock to
+    [horizon].  Events scheduled during the run are honoured. *)
+
+val run_while : t -> (t -> bool) -> unit
+(** Fire events while the predicate holds (checked before each event) and
+    the queue is nonempty. *)
+
+val events_fired : t -> int
+(** Total number of events fired so far. *)

@@ -1,0 +1,109 @@
+type handle = { mutable pos : int } (* -1 once popped or removed *)
+
+type 'a entry = { key : float; seq : int; value : 'a; h : handle }
+
+type 'a t = {
+  mutable store : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { store = [||]; len = 0; next_seq = 0 }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let swap t i j =
+  let a = t.store.(i) and b = t.store.(j) in
+  t.store.(i) <- b;
+  t.store.(j) <- a;
+  a.h.pos <- j;
+  b.h.pos <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.store.(i) t.store.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  if left < t.len then begin
+    let right = left + 1 in
+    let smallest = if right < t.len && less t.store.(right) t.store.(left) then right else left in
+    if less t.store.(smallest) t.store.(i) then begin
+      swap t i smallest;
+      sift_down t smallest
+    end
+  end
+
+let ensure_capacity t entry =
+  if t.len = Array.length t.store then begin
+    let cap = Int.max 16 (2 * t.len) in
+    let bigger = Array.make cap entry in
+    Array.blit t.store 0 bigger 0 t.len;
+    t.store <- bigger
+  end
+
+let insert t ~key value =
+  let h = { pos = t.len } in
+  let entry = { key; seq = t.next_seq; value; h } in
+  t.next_seq <- t.next_seq + 1;
+  ensure_capacity t entry;
+  t.store.(t.len) <- entry;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1);
+  h
+
+let min_key t = if t.len = 0 then None else Some t.store.(0).key
+
+let delete_at t i =
+  let entry = t.store.(i) in
+  entry.h.pos <- -1;
+  t.len <- t.len - 1;
+  if i <> t.len then begin
+    t.store.(i) <- t.store.(t.len);
+    t.store.(i).h.pos <- i;
+    sift_down t i;
+    sift_up t i
+  end;
+  entry
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let entry = delete_at t 0 in
+    Some (entry.key, entry.value)
+  end
+
+let owns t h = h.pos >= 0 && h.pos < t.len && t.store.(h.pos).h == h
+
+let remove t h =
+  if not (owns t h) then false
+  else begin
+    ignore (delete_at t h.pos);
+    true
+  end
+
+let mem t h = owns t h
+
+let clear t =
+  for i = 0 to t.len - 1 do
+    t.store.(i).h.pos <- -1
+  done;
+  t.len <- 0
+
+let validate t =
+  let ok = ref true in
+  for i = 1 to t.len - 1 do
+    let parent = (i - 1) / 2 in
+    if less t.store.(i) t.store.(parent) then ok := false;
+    if t.store.(i).h.pos <> i then ok := false
+  done;
+  if t.len > 0 && t.store.(0).h.pos <> 0 then ok := false;
+  !ok

@@ -1,0 +1,1 @@
+lib/gf/field.mli:

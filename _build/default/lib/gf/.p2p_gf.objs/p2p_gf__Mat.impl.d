@@ -1,0 +1,1 @@
+lib/gf/mat.ml: Array Field

@@ -1,0 +1,1 @@
+lib/gf/mat.mli: Field

@@ -1,0 +1,43 @@
+(** Finite fields GF(q) for prime powers q.
+
+    Network coding (Section VIII-B) works over [F_q] with [q] a prime
+    power; the paper's numeric example uses [q = 64].  Elements are encoded
+    as integers in [0, q): for a prime field the residue itself, for an
+    extension field GF(p^m) the base-p digit string of the polynomial
+    representative.  Construction finds a monic irreducible polynomial by
+    exhaustive search and, for [q <= 65536], builds discrete log/antilog
+    tables over a primitive element so multiplication and inversion are
+    O(1) lookups. *)
+
+type t = {
+  q : int;  (** field size *)
+  p : int;  (** characteristic *)
+  m : int;  (** extension degree; [q = p^m] *)
+  add : int -> int -> int;
+  sub : int -> int -> int;
+  neg : int -> int;
+  mul : int -> int -> int;
+  inv : int -> int;  (** @raise Division_by_zero on 0 *)
+  div : int -> int -> int;
+}
+
+val prime : int -> t
+(** GF(p) for prime [p]. @raise Invalid_argument if [p] is not prime. *)
+
+val extension : p:int -> m:int -> t
+(** GF(p^m). @raise Invalid_argument unless [p] prime, [m >= 1] and
+    [p^m <= 65536]. *)
+
+val gf : int -> t
+(** [gf q] for any prime power [q <= 65536]; factors [q] automatically.
+    @raise Invalid_argument if [q] is not a prime power in range. *)
+
+val element_of_int : t -> int -> int
+(** Reduce an arbitrary integer to a field element: residue mod [q] (for
+    sampling uniform elements). *)
+
+val is_prime : int -> bool
+(** Trial-division primality (exposed for tests). *)
+
+val pow : t -> int -> int -> int
+(** [pow f x n] is x^n in the field, n >= 0. *)

@@ -1,0 +1,1 @@
+lib/graph/adjacency.ml: Array Hashtbl Int List P2p_prng Printf Queue

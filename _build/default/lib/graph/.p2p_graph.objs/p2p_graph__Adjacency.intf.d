@@ -1,0 +1,1 @@
+lib/graph/adjacency.mli: P2p_prng

@@ -1,0 +1,1 @@
+lib/pieceset/pieceset.ml: Format Int List Printf

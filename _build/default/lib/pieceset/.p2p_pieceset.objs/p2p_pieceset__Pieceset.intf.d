@@ -1,0 +1,1 @@
+lib/pieceset/pieceset.mli: Format

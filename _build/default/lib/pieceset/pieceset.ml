@@ -1,0 +1,121 @@
+type t = int
+type piece = int
+
+let max_pieces = 62
+
+let empty = 0
+
+let check_k k =
+  if k < 1 || k > max_pieces then
+    invalid_arg (Printf.sprintf "Pieceset: k = %d out of range [1, %d]" k max_pieces)
+
+let full ~k =
+  check_k k;
+  (* For k = 62 this is max_int, the all-ones pattern of a 63-bit int. *)
+  (1 lsl k) - 1
+
+let check_piece i =
+  if i < 0 || i >= max_pieces then
+    invalid_arg (Printf.sprintf "Pieceset: piece %d out of range [0, %d)" i max_pieces)
+
+let singleton i =
+  check_piece i;
+  1 lsl i
+
+let mem i c = c land (1 lsl i) <> 0
+
+let add i c =
+  check_piece i;
+  c lor (1 lsl i)
+
+let remove i c = c land lnot (1 lsl i)
+
+let cardinal c =
+  (* Kernighan popcount; sets are small so this is plenty fast. *)
+  let rec count c acc = if c = 0 then acc else count (c land (c - 1)) (acc + 1) in
+  count c 0
+
+let is_empty c = c = 0
+let is_full ~k c = c = full ~k
+let subset a b = a land lnot b = 0
+let proper_subset a b = a <> b && subset a b
+let can_help ~uploader ~downloader = not (subset uploader downloader)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let complement ~k c = full ~k land lnot c
+let missing_count ~k c = k - cardinal c
+
+let fold f c init =
+  let rec go c acc =
+    if c = 0 then acc
+    else
+      let low = c land -c in
+      (* log2 of an isolated bit *)
+      let rec log2 bit i = if bit = 1 then i else log2 (bit lsr 1) (i + 1) in
+      go (c lxor low) (f (log2 low 0) acc)
+  in
+  go c init
+
+let iter f c = fold (fun i () -> f i) c ()
+let elements c = List.rev (fold (fun i acc -> i :: acc) c [])
+
+let of_list pieces = List.fold_left (fun acc i -> add i acc) empty pieces
+
+let nth_element c i =
+  if i < 0 then invalid_arg "Pieceset.nth_element: negative index";
+  let rec go c i =
+    if c = 0 then invalid_arg "Pieceset.nth_element: index out of range"
+    else
+      let low = c land -c in
+      if i = 0 then
+        let rec log2 bit j = if bit = 1 then j else log2 (bit lsr 1) (j + 1) in
+        log2 low 0
+      else go (c lxor low) (i - 1)
+  in
+  go c i
+
+let choose_uniform draw c =
+  let n = cardinal c in
+  if n = 0 then invalid_arg "Pieceset.choose_uniform: empty set";
+  nth_element c (draw n)
+
+let lowest c =
+  if c = 0 then invalid_arg "Pieceset.lowest: empty set";
+  nth_element c 0
+
+let to_index c = c
+
+let of_index i =
+  (* Any nonnegative int is a valid 62-piece bitmask. *)
+  if i < 0 then invalid_arg "Pieceset.of_index: negative";
+  i
+
+let all ~k =
+  check_k k;
+  List.init (1 lsl k) (fun i -> i)
+
+let all_proper ~k =
+  check_k k;
+  List.init ((1 lsl k) - 1) (fun i -> i)
+
+let subsets_of c =
+  (* Standard sub-mask enumeration: walk s = (s - 1) land c. *)
+  let rec go s acc = if s = 0 then 0 :: acc else go ((s - 1) land c) (s :: acc) in
+  go c []
+
+let strict_supersets_within ~k c =
+  let f = full ~k in
+  let missing = diff f c in
+  (* Supersets of c are c lor m for every nonempty sub-mask m of missing. *)
+  List.filter_map (fun m -> if m = 0 then None else Some (c lor m)) (subsets_of missing)
+
+let compare = Int.compare
+let equal = Int.equal
+let hash c = c * 0x2545F491 land max_int
+
+let pp fmt c =
+  let ones = List.map (fun i -> i + 1) (elements c) in
+  Format.fprintf fmt "{%a}" Format.(pp_print_list ~pp_sep:(fun f () -> pp_print_string f ",") pp_print_int) ones
+
+let to_string c = Format.asprintf "%a" pp c

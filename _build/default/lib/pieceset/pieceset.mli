@@ -1,0 +1,109 @@
+(** Sets of file pieces, the paper's peer types.
+
+    A file split into [K] pieces gives the type space [C], the power set of
+    [{0, ..., K-1}] (the paper numbers pieces from 1; we use 0-based indices
+    internally and print 1-based to match the paper).  A peer holding piece
+    set [c] is a "type [c] peer"; the full set is the peer-seed type.
+
+    Sets are immutable bitsets packed in a native [int], supporting up to 62
+    pieces — far beyond what any state-space experiment can enumerate, and
+    enough for every scenario in the paper. *)
+
+type t = private int
+(** A piece set.  The representation is the obvious bitmask; exposing it as
+    [private int] lets clients use sets directly as array indices (dense
+    state vectors over all [2^K] types) without being able to forge
+    out-of-range values. *)
+
+type piece = int
+(** A piece index in [0, K-1]. *)
+
+val max_pieces : int
+(** Largest supported [K] (62). *)
+
+val empty : t
+(** The empty collection: a newly arrived peer with nothing. *)
+
+val full : k:int -> t
+(** [full ~k] is the complete collection [{0,...,k-1}]: the peer-seed type.
+    @raise Invalid_argument unless [1 <= k <= max_pieces]. *)
+
+val singleton : piece -> t
+val mem : piece -> t -> bool
+val add : piece -> t -> t
+val remove : piece -> t -> t
+val cardinal : t -> int
+
+val is_empty : t -> bool
+val is_full : k:int -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff [a ⊆ b]. *)
+
+val proper_subset : t -> t -> bool
+
+val can_help : uploader:t -> downloader:t -> bool
+(** [can_help ~uploader ~downloader] is the paper's usefulness test: the
+    uploader holds at least one piece the downloader lacks, i.e.
+    [not (uploader ⊆ downloader)]. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val complement : k:int -> t -> t
+(** [complement ~k c] is [{0..k-1} \ c], the pieces still needed. *)
+
+val missing_count : k:int -> t -> int
+(** [missing_count ~k c = k - cardinal c]. *)
+
+val elements : t -> piece list
+(** Ascending order. *)
+
+val of_list : piece list -> t
+(** @raise Invalid_argument on a piece outside [0, max_pieces). *)
+
+val iter : (piece -> unit) -> t -> unit
+val fold : (piece -> 'a -> 'a) -> t -> 'a -> 'a
+
+val nth_element : t -> int -> piece
+(** [nth_element c i] is the [i]-th smallest piece of [c] (0-based).
+    Constant-time per bit scanned. @raise Invalid_argument if
+    [i >= cardinal c]. *)
+
+val choose_uniform : (int -> int) -> t -> piece
+(** [choose_uniform draw c] picks a uniformly random element of [c], using
+    [draw n] as a uniform sample on [0, n-1] (pass [Rng.int_below rng]).
+    @raise Invalid_argument on the empty set. *)
+
+val lowest : t -> piece
+(** Smallest element. @raise Invalid_argument on the empty set. *)
+
+val to_index : t -> int
+(** The bitmask, for use as a dense array index in [0, 2^K). *)
+
+val of_index : int -> t
+(** Inverse of {!to_index}. @raise Invalid_argument if negative or too
+    large. *)
+
+val all : k:int -> t list
+(** Every subset of [{0..k-1}], by increasing bitmask — [2^k] sets. *)
+
+val all_proper : k:int -> t list
+(** Every subset except the full one — the index set of Eq. (4). *)
+
+val subsets_of : t -> t list
+(** All subsets of the given set, including itself and the empty set:
+    the paper's lower set [E_C]. *)
+
+val strict_supersets_within : k:int -> t -> t list
+(** All [C'] with [C ⊂ C' ⊆ {0..k-1}]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{1,3,4}] using the paper's 1-based piece numbers. *)
+
+val to_string : t -> string

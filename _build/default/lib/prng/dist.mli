@@ -1,0 +1,50 @@
+(** Random samplers for the distributions used across the simulators.
+
+    Every sampler takes an explicit {!Rng.t}; nothing here touches global
+    state. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** [exponential rng ~rate] samples Exp(rate): mean [1/rate].
+    @raise Invalid_argument if [rate <= 0]. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform on [lo, hi). @raise Invalid_argument if [hi < lo]. *)
+
+val geometric : Rng.t -> p:float -> int
+(** [geometric rng ~p] counts failures before the first success of a
+    Bernoulli(p) sequence; support {0,1,2,...}, mean [(1-p)/p].
+    @raise Invalid_argument unless [0 < p <= 1]. *)
+
+val negative_binomial : Rng.t -> failures:int -> p:float -> int
+(** [negative_binomial rng ~failures:r ~p] is the number of successes seen
+    before the [r]-th failure when each trial succeeds with probability [p].
+    This is exactly the paper's coin-flip variable Z of Section VIII-D with
+    [r = K-1] and [p = 1/2]. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** Poisson with the given mean.  Exact (inversion) for small means,
+    PTRD-style transformed rejection for large means.
+    @raise Invalid_argument if [mean < 0]. *)
+
+val binomial : Rng.t -> n:int -> p:float -> int
+(** Binomial(n, p) by inversion or via beta splitting for large [n]. *)
+
+val categorical : Rng.t -> weights:float array -> int
+(** [categorical rng ~weights] returns index [i] with probability
+    proportional to [weights.(i)].  Weights must be nonnegative with a
+    positive sum. @raise Invalid_argument otherwise. *)
+
+val discrete_cdf : float array -> total:float -> u:float -> int
+(** [discrete_cdf cumul ~total ~u] is the index of the first entry of the
+    cumulative array [cumul] exceeding [u * total] (binary search); exposed
+    for samplers that reuse a cumulative table. *)
+
+val shuffle_in_place : Rng.t -> 'a array -> unit
+(** Fisher-Yates shuffle. *)
+
+val sample_without_replacement : Rng.t -> k:int -> n:int -> int array
+(** [sample_without_replacement rng ~k ~n] draws [k] distinct indices from
+    [0, n-1], in random order. @raise Invalid_argument if [k > n]. *)
+
+val standard_normal : Rng.t -> float
+(** Standard normal via the Marsaglia polar method. *)

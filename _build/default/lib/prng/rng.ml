@@ -1,0 +1,107 @@
+(* xoshiro256** 1.0 (Blackman & Vigna, public domain reference
+   implementation), seeded via SplitMix64.  We use Int64 arithmetic
+   throughout; OCaml's native [int] keeps only 63 bits. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* SplitMix64 step: used only for seeding and stream splitting. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed seed =
+  let sm = ref (Int64.of_int seed) in
+  let s0 = splitmix64 sm in
+  let s1 = splitmix64 sm in
+  let s2 = splitmix64 sm in
+  let s3 = splitmix64 sm in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a child state by running SplitMix64 on fresh output of [t].
+     The child state is decorrelated from the parent's future stream. *)
+  let sm = ref (bits64 t) in
+  let s0 = splitmix64 sm in
+  let s1 = splitmix64 sm in
+  let s2 = splitmix64 sm in
+  let s3 = splitmix64 sm in
+  { s0; s1; s2; s3 }
+
+(* Jump polynomial for 2^128 steps, from the reference implementation. *)
+let jump_tbl = [| 0x180EC6D33CFD0ABAL; 0xD5A61266F0C9392CL; 0xA9582618E03FC9AAL; 0x39ABDC4529B1661CL |]
+
+let jump t =
+  let s0 = ref 0L and s1 = ref 0L and s2 = ref 0L and s3 = ref 0L in
+  Array.iter
+    (fun jv ->
+      for b = 0 to 63 do
+        if Int64.logand jv (Int64.shift_left 1L b) <> 0L then begin
+          s0 := Int64.logxor !s0 t.s0;
+          s1 := Int64.logxor !s1 t.s1;
+          s2 := Int64.logxor !s2 t.s2;
+          s3 := Int64.logxor !s3 t.s3
+        end;
+        ignore (bits64 t)
+      done)
+    jump_tbl;
+  t.s0 <- !s0;
+  t.s1 <- !s1;
+  t.s2 <- !s2;
+  t.s3 <- !s3
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  if n = 1 then 0
+  else begin
+    (* Unbiased rejection sampling on the top 62 bits. *)
+    let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+    let bound = Int64.of_int n in
+    let limit = Int64.sub mask (Int64.rem mask bound) in
+    let rec draw () =
+      let r = Int64.logand (bits64 t) mask in
+      if r > limit then draw () else Int64.to_int (Int64.rem r bound)
+    in
+    draw ()
+  end
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int_below t (hi - lo + 1)
+
+let float t =
+  (* 53 top bits mapped to [0,1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bits *. 0x1.0p-53
+
+let float_pos t =
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  (bits +. 1.0) *. 0x1.0p-53
+
+let bool t = Int64.compare (bits64 t) 0L < 0
+
+let bernoulli t ~p = if p >= 1.0 then true else if p <= 0.0 then false else float t < p
+
+let pp fmt t = Format.fprintf fmt "xoshiro256**{%Lx;%Lx;%Lx;%Lx}" t.s0 t.s1 t.s2 t.s3

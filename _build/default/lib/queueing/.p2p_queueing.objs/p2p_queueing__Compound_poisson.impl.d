@@ -1,0 +1,1 @@
+lib/queueing/compound_poisson.ml: Float P2p_prng

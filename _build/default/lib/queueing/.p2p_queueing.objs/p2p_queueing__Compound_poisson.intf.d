@@ -1,0 +1,1 @@
+lib/queueing/compound_poisson.mli: P2p_prng

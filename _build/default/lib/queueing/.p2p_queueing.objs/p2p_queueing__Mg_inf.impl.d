@@ -1,0 +1,1 @@
+lib/queueing/mg_inf.ml: List Option P2p_des P2p_prng P2p_stats

@@ -1,0 +1,1 @@
+lib/queueing/mg_inf.mli: P2p_prng

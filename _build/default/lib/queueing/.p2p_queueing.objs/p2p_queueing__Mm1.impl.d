@@ -1,0 +1,1 @@
+lib/queueing/mm1.ml: Float P2p_prng P2p_stats

@@ -1,0 +1,55 @@
+module Rng = P2p_prng.Rng
+module Dist = P2p_prng.Dist
+
+type batch = { mean : float; mean_square : float; sample : P2p_prng.Rng.t -> float }
+
+let constant_batch c = { mean = c; mean_square = c *. c; sample = (fun _ -> c) }
+
+let geometric_total_progeny ~mean_offspring =
+  if mean_offspring < 0.0 || mean_offspring >= 1.0 then
+    invalid_arg "Compound_poisson.geometric_total_progeny: need mean offspring in [0,1)";
+  let m = mean_offspring in
+  (* Geometric offspring with mean m has p = 1/(1+m) and variance m(1+m).
+     Standard subcritical GW total-progeny moments:
+       E[T] = 1/(1-m),  Var(T) = sigma^2 / (1-m)^3. *)
+  let sigma2 = m *. (1.0 +. m) in
+  let mean = 1.0 /. (1.0 -. m) in
+  let mean_square = (sigma2 /. ((1.0 -. m) ** 3.0)) +. (mean *. mean) in
+  let p = 1.0 /. (1.0 +. m) in
+  let sample rng =
+    (* Direct tree walk: count individuals until the frontier empties. *)
+    let pending = ref 1 and total = ref 0 in
+    while !pending > 0 && !total < 1_000_000 do
+      incr total;
+      decr pending;
+      pending := !pending + Dist.geometric rng ~p
+    done;
+    float_of_int !total
+  in
+  { mean; mean_square; sample }
+
+type path_result = { crossed : bool; final_value : float; batches : int }
+
+let simulate_crossing ~rng ~arrival_rate ~batch ~horizon ~b ~slope =
+  let clock = ref 0.0 in
+  let value = ref 0.0 in
+  let batches = ref 0 in
+  let crossed = ref false in
+  let continue = ref true in
+  while !continue do
+    let gap = Dist.exponential rng ~rate:arrival_rate in
+    let t = !clock +. gap in
+    if t > horizon then continue := false
+    else begin
+      clock := t;
+      value := !value +. batch.sample rng;
+      incr batches;
+      if !value >= b +. (slope *. t) then crossed := true
+    end
+  done;
+  { crossed = !crossed; final_value = !value; batches = !batches }
+
+let kingman_bound ~arrival_rate ~batch ~b ~slope =
+  let drift = arrival_rate *. batch.mean in
+  if slope <= drift || b <= 0.0 then 1.0
+  else Float.min 1.0 (arrival_rate *. batch.mean_square /. (2.0 *. b *. (slope -. drift)))

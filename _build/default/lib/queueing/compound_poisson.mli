@@ -1,0 +1,42 @@
+(** Compound Poisson processes and Kingman's moment bound (Proposition 20).
+
+    In the transience proof, the cumulative count [D̂̂] of piece-one
+    downloads is a compound Poisson process: batches arrive at the root-peer
+    arrival instants and the batch size is the total progeny of the root's
+    branching tree.  Proposition 20 (Kingman) bounds the probability that
+    such a process ever crosses the line [B + εt]. *)
+
+type batch = { mean : float; mean_square : float; sample : P2p_prng.Rng.t -> float }
+(** A batch-size distribution with its first two moments; [sample] draws
+    one batch. *)
+
+val constant_batch : float -> batch
+val geometric_total_progeny : mean_offspring:float -> batch
+(** Total progeny (including the root) of a single-type branching process
+    with Geometric(offspring) law of the given mean [< 1]; the law is the
+    Borel-ish distribution sampled by direct tree simulation, with the
+    exact first two moments computed from branching theory:
+    [m = 1/(1-μ)], [E X² = (1+σ²_eff)] via the standard formulas. *)
+
+type path_result = {
+  crossed : bool;  (** did the path cross [b + rate_bound * t]? *)
+  final_value : float;
+  batches : int;
+}
+
+val simulate_crossing :
+  rng:P2p_prng.Rng.t ->
+  arrival_rate:float ->
+  batch:batch ->
+  horizon:float ->
+  b:float ->
+  slope:float ->
+  path_result
+(** Run the compound Poisson path on [0, horizon]; [crossed] is true iff
+    [C_t >= b + slope * t] at some jump. *)
+
+val kingman_bound : arrival_rate:float -> batch:batch -> b:float -> slope:float -> float
+(** The right-hand side of Proposition 20:
+    [α m₂ / (2 B (ε − α m₁))] — an upper bound on the crossing probability
+    whenever [slope > arrival_rate * batch.mean]; [1.0] otherwise (the
+    bound is vacuous). *)

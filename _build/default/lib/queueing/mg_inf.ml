@@ -1,0 +1,101 @@
+module Rng = P2p_prng.Rng
+module Dist = P2p_prng.Dist
+
+type service =
+  | Exponential of float
+  | Erlang of int * float
+  | Hypoexponential of float list
+  | Deterministic of float
+
+let mean_service = function
+  | Exponential rate -> 1.0 /. rate
+  | Erlang (stages, rate) -> float_of_int stages /. rate
+  | Hypoexponential rates -> List.fold_left (fun acc r -> acc +. (1.0 /. r)) 0.0 rates
+  | Deterministic d -> d
+
+let sample_service rng = function
+  | Exponential rate -> Dist.exponential rng ~rate
+  | Erlang (stages, rate) ->
+      let total = ref 0.0 in
+      for _ = 1 to stages do
+        total := !total +. Dist.exponential rng ~rate
+      done;
+      !total
+  | Hypoexponential rates ->
+      List.fold_left (fun acc rate -> acc +. Dist.exponential rng ~rate) 0.0 rates
+  | Deterministic d -> d
+
+type result = {
+  time_avg_customers : float;
+  max_customers : int;
+  final_customers : int;
+  arrivals : int;
+  departures : int;
+}
+
+(* Event-driven walk over merged arrival/departure times.  In an infinite
+   server system departures never queue, so we track them in a heap keyed
+   by completion time. *)
+let walk ~rng ~arrival_rate ~service ~horizon ~visit =
+  let departures = P2p_des.Heap.create () in
+  let clock = ref 0.0 in
+  let population = ref 0 in
+  let arrivals = ref 0 in
+  let completed = ref 0 in
+  let next_arrival = ref (Dist.exponential rng ~rate:arrival_rate) in
+  let continue = ref true in
+  while !continue do
+    let next_departure = P2p_des.Heap.min_key departures in
+    let arrival_first =
+      match next_departure with None -> true | Some d -> !next_arrival <= d
+    in
+    let event_time = if arrival_first then !next_arrival else Option.get next_departure in
+    if event_time > horizon then begin
+      visit horizon !population;
+      continue := false
+    end
+    else begin
+      clock := event_time;
+      if arrival_first then begin
+        incr arrivals;
+        incr population;
+        let completion = event_time +. sample_service rng service in
+        ignore (P2p_des.Heap.insert departures ~key:completion ());
+        next_arrival := event_time +. Dist.exponential rng ~rate:arrival_rate
+      end
+      else begin
+        ignore (P2p_des.Heap.pop_min departures);
+        incr completed;
+        decr population
+      end;
+      visit event_time !population
+    end
+  done;
+  (!arrivals, !completed, !population)
+
+let simulate ~rng ~arrival_rate ~service ~horizon =
+  let avg = P2p_stats.Timeavg.create () in
+  let max_pop = ref 0 in
+  P2p_stats.Timeavg.observe avg ~time:0.0 ~value:0.0;
+  let visit time population =
+    P2p_stats.Timeavg.observe avg ~time ~value:(float_of_int population);
+    if population > !max_pop then max_pop := population
+  in
+  let arrivals, departures, final = walk ~rng ~arrival_rate ~service ~horizon ~visit in
+  {
+    time_avg_customers = P2p_stats.Timeavg.average avg;
+    max_customers = !max_pop;
+    final_customers = final;
+    arrivals;
+    departures;
+  }
+
+let stationary_mean ~arrival_rate ~service = arrival_rate *. mean_service service
+
+let exceedance_ever ~rng ~arrival_rate ~service ~horizon ~boundary =
+  let exceeded = ref false in
+  let visit time population =
+    if float_of_int population >= boundary time then exceeded := true
+  in
+  ignore (walk ~rng ~arrival_rate ~service ~horizon ~visit);
+  !exceeded

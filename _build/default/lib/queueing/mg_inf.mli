@@ -1,0 +1,46 @@
+(** M/GI/∞ queue simulation.
+
+    The transience proof (Lemma 5) dominates the population of young,
+    infected, and gifted peers by the number of customers in an M/GI/∞
+    system whose service time is a sum of [K] Exp(μ(1-ξ)) stages plus one
+    Exp(γ) stage.  This module simulates exactly that family of systems and
+    provides the closed-form stationary law (Poisson with mean λ·E[S]) used
+    to validate it. *)
+
+type service =
+  | Exponential of float  (** rate *)
+  | Erlang of int * float  (** [Erlang (stages, stage_rate)] *)
+  | Hypoexponential of float list
+      (** independent exponential stages with the listed rates — the
+          paper's service time is [Hypoexponential (K copies of μ(1-ξ)) ⧺
+          \[γ\]] *)
+  | Deterministic of float
+
+val mean_service : service -> float
+val sample_service : P2p_prng.Rng.t -> service -> float
+
+type result = {
+  time_avg_customers : float;  (** time-weighted mean population *)
+  max_customers : int;
+  final_customers : int;
+  arrivals : int;
+  departures : int;
+}
+
+val simulate :
+  rng:P2p_prng.Rng.t -> arrival_rate:float -> service:service -> horizon:float -> result
+(** Simulate from an empty system on [0, horizon]. *)
+
+val stationary_mean : arrival_rate:float -> service:service -> float
+(** [λ · E\[S\]]: the exact stationary mean population. *)
+
+val exceedance_ever :
+  rng:P2p_prng.Rng.t ->
+  arrival_rate:float ->
+  service:service ->
+  horizon:float ->
+  boundary:(float -> float) ->
+  bool
+(** Whether the population ever reaches the time-varying boundary
+    [boundary t] during one simulated run — the event bounded by
+    Lemma 21. *)

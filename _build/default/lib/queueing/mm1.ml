@@ -1,0 +1,49 @@
+module Dist = P2p_prng.Dist
+
+type result = { time_avg_queue : float; utilisation : float; served : int }
+
+let simulate ~rng ~arrival_rate ~service_rate ~horizon =
+  let avg = P2p_stats.Timeavg.create () in
+  let busy = P2p_stats.Timeavg.create () in
+  P2p_stats.Timeavg.observe avg ~time:0.0 ~value:0.0;
+  P2p_stats.Timeavg.observe busy ~time:0.0 ~value:0.0;
+  let clock = ref 0.0 in
+  let queue = ref 0 in
+  let served = ref 0 in
+  let next_arrival = ref (Dist.exponential rng ~rate:arrival_rate) in
+  let next_service = ref infinity in
+  let continue = ref true in
+  while !continue do
+    let event_time = Float.min !next_arrival !next_service in
+    if event_time > horizon then begin
+      P2p_stats.Timeavg.close avg ~time:horizon;
+      P2p_stats.Timeavg.close busy ~time:horizon;
+      continue := false
+    end
+    else begin
+      clock := event_time;
+      if !next_arrival <= !next_service then begin
+        incr queue;
+        if !queue = 1 then next_service := event_time +. Dist.exponential rng ~rate:service_rate;
+        next_arrival := event_time +. Dist.exponential rng ~rate:arrival_rate
+      end
+      else begin
+        decr queue;
+        incr served;
+        next_service :=
+          if !queue > 0 then event_time +. Dist.exponential rng ~rate:service_rate else infinity
+      end;
+      P2p_stats.Timeavg.observe avg ~time:event_time ~value:(float_of_int !queue);
+      P2p_stats.Timeavg.observe busy ~time:event_time ~value:(if !queue > 0 then 1.0 else 0.0)
+    end
+  done;
+  {
+    time_avg_queue = P2p_stats.Timeavg.average avg;
+    utilisation = P2p_stats.Timeavg.average busy;
+    served = !served;
+  }
+
+let stationary_mean_queue ~arrival_rate ~service_rate =
+  let rho = arrival_rate /. service_rate in
+  if rho >= 1.0 then invalid_arg "Mm1.stationary_mean_queue: unstable (rho >= 1)";
+  rho /. (1.0 -. rho)

@@ -1,0 +1,11 @@
+(** M/M/1 queue — a tiny analytically-solved system used as an end-to-end
+    sanity check of the RNG + event machinery (mean queue length
+    ρ/(1-ρ)). *)
+
+type result = { time_avg_queue : float; utilisation : float; served : int }
+
+val simulate :
+  rng:P2p_prng.Rng.t -> arrival_rate:float -> service_rate:float -> horizon:float -> result
+
+val stationary_mean_queue : arrival_rate:float -> service_rate:float -> float
+(** ρ/(1−ρ) for ρ = λ/μ < 1. @raise Invalid_argument if unstable. *)

@@ -1,0 +1,49 @@
+type estimate = {
+  mean : float;
+  half_width : float;
+  batches : int;
+  batch_means : float array;
+}
+
+(* two-sided 97.5% Student-t critical values for small degrees of freedom *)
+let t_critical df =
+  let table =
+    [| nan; 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+       2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086; 2.080;
+       2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045 |]
+  in
+  if df < 1 then nan else if df < Array.length table then table.(df) else 1.96
+
+let of_samples ?(warmup_fraction = 0.2) ?(batches = 16) samples =
+  if warmup_fraction < 0.0 || warmup_fraction >= 1.0 then
+    invalid_arg "Batch_means.of_samples: warmup_fraction out of [0,1)";
+  if batches < 2 then invalid_arg "Batch_means.of_samples: need at least 2 batches";
+  let n = Array.length samples in
+  let start = int_of_float (float_of_int n *. warmup_fraction) in
+  let usable = n - start in
+  if usable < 2 * batches then
+    invalid_arg "Batch_means.of_samples: too few samples for the requested batches";
+  let per_batch = usable / batches in
+  let batch_means =
+    Array.init batches (fun b ->
+        let lo = start + (b * per_batch) in
+        let acc = ref 0.0 in
+        for i = lo to lo + per_batch - 1 do
+          acc := !acc +. snd samples.(i)
+        done;
+        !acc /. float_of_int per_batch)
+  in
+  let w = Welford.create () in
+  Array.iter (Welford.add w) batch_means;
+  let mean = Welford.mean w in
+  let half_width =
+    if batches < 2 then nan else t_critical (batches - 1) *. Welford.std_error w
+  in
+  { mean; half_width; batches; batch_means }
+
+let of_int_samples ?warmup_fraction ?batches samples =
+  of_samples ?warmup_fraction ?batches
+    (Array.map (fun (t, v) -> (t, float_of_int v)) samples)
+
+let contains e value =
+  Float.abs (value -. e.mean) <= e.half_width

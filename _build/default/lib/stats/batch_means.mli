@@ -1,0 +1,30 @@
+(** Batch-means confidence intervals for steady-state simulation output.
+
+    A single long trajectory's samples are autocorrelated, so the naive
+    standard error of the mean is badly optimistic.  The classic remedy is
+    to split the (post-warm-up) run into [b] contiguous batches: batch
+    means are approximately independent once batches exceed the mixing
+    time, so a t-interval over them is honest.  Used to put error bars on
+    the time-average populations the experiments report. *)
+
+type estimate = {
+  mean : float;
+  half_width : float;  (** 95% half width; [nan] with < 2 batches *)
+  batches : int;
+  batch_means : float array;
+}
+
+val of_samples : ?warmup_fraction:float -> ?batches:int -> (float * float) array -> estimate
+(** [of_samples samples] treats [samples] as an equispaced [(t, value)]
+    trace of a piecewise-constant signal, drops the first
+    [warmup_fraction] (default 0.2), splits the rest into [batches]
+    (default 16) contiguous batches, and returns the batch-means estimate
+    of the steady-state mean with a 95% interval (normal critical value
+    for ≥ 30 batches, Student-t otherwise via a small built-in table).
+    @raise Invalid_argument with fewer than [2 * batches] usable samples
+    or out-of-range arguments. *)
+
+val of_int_samples : ?warmup_fraction:float -> ?batches:int -> (float * int) array -> estimate
+
+val contains : estimate -> float -> bool
+(** Whether a value lies inside the interval. *)

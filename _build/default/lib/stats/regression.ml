@@ -1,0 +1,46 @@
+type fit = {
+  slope : float;
+  intercept : float;
+  slope_stderr : float;
+  r_squared : float;
+  n : int;
+}
+
+let fit points =
+  let n = Array.length points in
+  if n < 3 then invalid_arg "Regression.fit: need at least 3 points";
+  let nf = float_of_int n in
+  let sx = ref 0.0 and sy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y)
+    points;
+  let mx = !sx /. nf and my = !sy /. nf in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let dx = x -. mx and dy = y -. my in
+      sxx := !sxx +. (dx *. dx);
+      sxy := !sxy +. (dx *. dy);
+      syy := !syy +. (dy *. dy))
+    points;
+  if !sxx <= 0.0 then invalid_arg "Regression.fit: degenerate x values";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_res = Float.max 0.0 (!syy -. (slope *. !sxy)) in
+  let r_squared = if !syy <= 0.0 then 1.0 else 1.0 -. (ss_res /. !syy) in
+  let residual_var = ss_res /. float_of_int (n - 2) in
+  let slope_stderr = sqrt (residual_var /. !sxx) in
+  { slope; intercept; slope_stderr; r_squared; n }
+
+let fit_lists ~xs ~ys =
+  let nx = List.length xs and ny = List.length ys in
+  if nx <> ny then invalid_arg "Regression.fit_lists: length mismatch";
+  fit (Array.of_list (List.combine xs ys |> List.map (fun (x, y) -> (x, y))))
+
+let slope_t_statistic f = if f.slope_stderr > 0.0 then f.slope /. f.slope_stderr else infinity
+
+let pp fmt f =
+  Format.fprintf fmt "slope=%.6g (se %.3g) intercept=%.6g R2=%.4f n=%d" f.slope f.slope_stderr
+    f.intercept f.r_squared f.n

@@ -1,0 +1,26 @@
+(** Ordinary least-squares line fit.
+
+    The transience experiments classify a run as unstable when the peer
+    count [N_t] grows linearly in [t] (Section VI shows
+    [N_t >= N_o - 2B + (Δ - 2ε) t] on the divergence event).  We estimate
+    the growth rate and its standard error by OLS over sampled
+    [(t, N_t)] points. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  slope_stderr : float;  (** standard error of the slope estimate *)
+  r_squared : float;
+  n : int;
+}
+
+val fit : (float * float) array -> fit
+(** Least-squares fit of [y = intercept + slope * x].
+    @raise Invalid_argument with fewer than 3 points or degenerate xs. *)
+
+val fit_lists : xs:float list -> ys:float list -> fit
+
+val slope_t_statistic : fit -> float
+(** [slope / slope_stderr]; large positive values reject "no growth". *)
+
+val pp : Format.formatter -> fit -> unit

@@ -1,0 +1,31 @@
+(** Online mean and variance (Welford's algorithm).
+
+    Numerically stable single-pass moments; used by every experiment to
+    summarise per-replication measurements. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val stddev : t -> float
+val std_error : t -> float
+(** Standard error of the mean. *)
+
+val min_value : t -> float
+val max_value : t -> float
+
+val confidence_interval : t -> z:float -> float * float
+(** [confidence_interval t ~z] is [mean ± z * std_error]; use [z = 1.96]
+    for a 95% normal interval. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (Chan's parallel update). *)
+
+val pp : Format.formatter -> t -> unit

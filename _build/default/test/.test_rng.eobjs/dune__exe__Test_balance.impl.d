@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Array Float Fun P2p_core P2p_prng Printf

@@ -1,0 +1,1 @@
+test/test_branching.ml: Alcotest Array Float List P2p_branching P2p_core P2p_pieceset P2p_prng P2p_stats Printf

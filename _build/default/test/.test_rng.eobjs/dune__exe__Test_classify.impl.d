@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Array Classify Float Int P2p_core P2p_pieceset P2p_prng Scenario

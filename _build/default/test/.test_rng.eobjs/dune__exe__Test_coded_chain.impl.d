@@ -1,0 +1,1 @@
+test/test_coded_chain.ml: Alcotest Array Classify Coded_chain Float List P2p_coding P2p_core P2p_prng Printf Sim_coded Stability

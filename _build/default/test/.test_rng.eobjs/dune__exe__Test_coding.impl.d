@@ -1,0 +1,1 @@
+test/test_coding.ml: Alcotest Array Float Int List P2p_coding P2p_gf P2p_prng Printf QCheck2 QCheck_alcotest

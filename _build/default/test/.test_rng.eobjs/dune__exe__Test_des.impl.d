@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest List Option P2p_des QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Float Hashtbl P2p_prng P2p_stats Printf

@@ -1,0 +1,1 @@
+test/test_erlang_chain.ml: Alcotest Erlang_chain Float List P2p_core P2p_pieceset Params Printf Scenario Sim_agent Truncated

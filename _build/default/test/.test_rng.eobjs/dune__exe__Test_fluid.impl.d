@@ -1,0 +1,1 @@
+test/test_fluid.ml: Alcotest Array Float Fluid List Lyapunov P2p_core P2p_pieceset P2p_stats Printf Scenario State

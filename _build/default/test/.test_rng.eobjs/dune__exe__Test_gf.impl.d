@@ -1,0 +1,1 @@
+test/test_gf.ml: Alcotest Array List P2p_gf P2p_prng Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float Hashtbl List P2p_graph P2p_prng QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hetero.ml: Alcotest Array Classify Float Hetero List P2p_core P2p_pieceset P2p_stats Params Printf Scenario Sim_agent Stability

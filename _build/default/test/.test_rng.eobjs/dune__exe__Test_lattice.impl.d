@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Float List P2p_coding P2p_prng Printf

@@ -1,0 +1,1 @@
+test/test_lyapunov.ml: Alcotest Float Int List Lyapunov P2p_core P2p_pieceset P2p_prng Params Printf Scenario State

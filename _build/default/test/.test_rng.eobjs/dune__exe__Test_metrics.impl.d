@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Float Metrics P2p_core P2p_pieceset Scenario Sim_agent State

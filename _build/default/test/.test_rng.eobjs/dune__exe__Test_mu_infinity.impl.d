@@ -1,0 +1,1 @@
+test/test_mu_infinity.ml: Alcotest Float Int List P2p_core P2p_prng P2p_stats Printf

@@ -1,0 +1,1 @@
+test/test_mu_infinity.mli:

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Array P2p_core P2p_pieceset Params

@@ -1,0 +1,1 @@
+test/test_pieceset.ml: Alcotest Float Hashtbl List Option P2p_pieceset P2p_prng QCheck2 QCheck_alcotest

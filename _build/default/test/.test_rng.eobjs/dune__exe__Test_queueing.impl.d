@@ -1,0 +1,1 @@
+test/test_queueing.ml: Alcotest Float List P2p_prng P2p_queueing P2p_stats Printf

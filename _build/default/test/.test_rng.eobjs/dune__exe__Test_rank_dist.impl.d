@@ -1,0 +1,1 @@
+test/test_rank_dist.ml: Alcotest Array Float List P2p_coding P2p_core P2p_prng Printf Stability

@@ -1,0 +1,1 @@
+test/test_rank_dist.mli:

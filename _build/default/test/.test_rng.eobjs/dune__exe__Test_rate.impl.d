@@ -1,0 +1,1 @@
+test/test_rate.ml: Alcotest Float List P2p_core P2p_pieceset P2p_prng Params Policy Printf Rate State

@@ -1,0 +1,1 @@
+test/test_reachability.ml: Alcotest List P2p_core P2p_pieceset Params Policy Reachability Scenario

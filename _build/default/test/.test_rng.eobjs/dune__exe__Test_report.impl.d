@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Filename List P2p_core Report String Sys Unix

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Float Format P2p_prng

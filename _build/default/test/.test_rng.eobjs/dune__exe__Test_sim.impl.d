@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Classify Float Int List P2p_core P2p_pieceset P2p_prng P2p_stats Params Policy Printf Rate Scenario Sim_agent Sim_markov Stability State

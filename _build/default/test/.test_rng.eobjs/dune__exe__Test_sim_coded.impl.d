@@ -1,0 +1,1 @@
+test/test_sim_coded.ml: Alcotest Array Classify Int P2p_core Printf Sim_coded Stability

@@ -1,0 +1,1 @@
+test/test_sim_network.ml: Alcotest Array Classify Float List P2p_core P2p_pieceset P2p_stats Printf Scenario Sim_agent Sim_network State

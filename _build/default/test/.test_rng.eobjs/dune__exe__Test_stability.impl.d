@@ -1,0 +1,1 @@
+test/test_stability.ml: Alcotest Float List P2p_core P2p_pieceset P2p_prng Params Printf Scenario Stability

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Float List P2p_core P2p_pieceset P2p_prng State

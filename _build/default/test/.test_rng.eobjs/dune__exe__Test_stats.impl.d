@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List P2p_prng P2p_stats Printf

@@ -1,0 +1,1 @@
+test/test_truncated.ml: Alcotest Array Float List P2p_core P2p_pieceset Params Printf Scenario Sim_markov Truncated

@@ -1,0 +1,1 @@
+test/test_watched.ml: Alcotest Array List P2p_core P2p_prng Printf Watched

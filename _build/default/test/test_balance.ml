@@ -1,0 +1,125 @@
+(* The generic stationary-distribution solver, against closed forms. *)
+
+module Balance = P2p_core.Balance
+
+let closef ?(tol = 1e-8) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.8g got %.8g" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let test_two_state_chain () =
+  (* 0 -> 1 at rate a, 1 -> 0 at rate b: pi = (b, a)/(a+b). *)
+  let a = 2.0 and b = 3.0 in
+  let s = { Balance.targets = [| [| 1 |]; [| 0 |] |]; rates = [| [| a |]; [| b |] |] } in
+  let pi = Balance.solve s ~sweep_key:[| 0; 1 |] in
+  closef "pi0" (b /. (a +. b)) pi.(0);
+  closef "pi1" (a /. (a +. b)) pi.(1)
+
+let test_birth_death_geometric () =
+  (* truncated M/M/1: birth l, death m; pi(i) proportional to (l/m)^i. *)
+  let l = 0.5 and m = 1.0 in
+  let n = 30 in
+  let targets =
+    Array.init (n + 1) (fun i ->
+        if i = 0 then [| 1 |] else if i = n then [| n - 1 |] else [| i + 1; i - 1 |])
+  in
+  let rates =
+    Array.init (n + 1) (fun i ->
+        if i = 0 then [| l |] else if i = n then [| m |] else [| l; m |])
+  in
+  let pi = Balance.solve { Balance.targets; rates } ~sweep_key:(Array.init (n + 1) Fun.id) in
+  let rho = l /. m in
+  (* compare ratios to avoid dealing with the truncated normaliser *)
+  for i = 0 to 5 do
+    closef (Printf.sprintf "ratio at %d" i) rho (pi.(i + 1) /. pi.(i))
+  done
+
+let test_three_state_cycle () =
+  (* cyclic 0->1->2->0 with unit rates: uniform stationary law. *)
+  let s =
+    { Balance.targets = [| [| 1 |]; [| 2 |]; [| 0 |] |];
+      rates = [| [| 1.0 |]; [| 1.0 |]; [| 1.0 |] |] }
+  in
+  let pi = Balance.solve s ~sweep_key:[| 0; 1; 2 |] in
+  Array.iter (fun p -> closef "uniform" (1.0 /. 3.0) p) pi
+
+let test_asymmetric_cycle () =
+  (* 0->1 rate 1, 1->2 rate 2, 2->0 rate 4: pi proportional to 1/out. *)
+  let s =
+    { Balance.targets = [| [| 1 |]; [| 2 |]; [| 0 |] |];
+      rates = [| [| 1.0 |]; [| 2.0 |]; [| 4.0 |] |] }
+  in
+  let pi = Balance.solve s ~sweep_key:[| 0; 1; 2 |] in
+  let z = 1.0 +. 0.5 +. 0.25 in
+  closef "pi0" (1.0 /. z) pi.(0);
+  closef "pi1" (0.5 /. z) pi.(1);
+  closef "pi2" (0.25 /. z) pi.(2)
+
+let test_shape_mismatch () =
+  Alcotest.(check bool) "shape guard" true
+    (try
+       ignore
+         (Balance.solve
+            { Balance.targets = [| [| 0 |] |]; rates = [| [| 1.0; 2.0 |] |] }
+            ~sweep_key:[| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_sum_to_one_and_nonnegative () =
+  let rng = P2p_prng.Rng.of_seed 1 in
+  for _ = 1 to 20 do
+    (* random strongly-connected-ish chain: ring plus random chords *)
+    let n = 5 + P2p_prng.Rng.int_below rng 10 in
+    let targets =
+      Array.init n (fun i ->
+          let chord = P2p_prng.Rng.int_below rng n in
+          if chord = i then [| (i + 1) mod n |] else [| (i + 1) mod n; chord |])
+    in
+    let rates =
+      Array.map
+        (Array.map (fun _ -> 0.1 +. P2p_prng.Rng.float rng))
+        targets
+    in
+    let pi = Balance.solve { Balance.targets; rates } ~sweep_key:(Array.init n Fun.id) in
+    closef "normalised" 1.0 (Array.fold_left ( +. ) 0.0 pi);
+    Array.iter (fun p -> Alcotest.(check bool) "nonnegative" true (p >= 0.0)) pi
+  done
+
+let test_balance_equations_hold () =
+  (* verify pi Q = 0 componentwise on a random chain *)
+  let rng = P2p_prng.Rng.of_seed 2 in
+  let n = 8 in
+  let targets =
+    Array.init n (fun i -> [| (i + 1) mod n; (i + 3) mod n |])
+  in
+  let rates = Array.map (Array.map (fun _ -> 0.2 +. P2p_prng.Rng.float rng)) targets in
+  let pi = Balance.solve { Balance.targets; rates } ~sweep_key:(Array.init n Fun.id) in
+  let inflow = Array.make n 0.0 in
+  let outflow = Array.make n 0.0 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun e j ->
+          inflow.(j) <- inflow.(j) +. (pi.(i) *. rates.(i).(e));
+          outflow.(i) <- outflow.(i) +. (pi.(i) *. rates.(i).(e)))
+        row)
+    targets;
+  for i = 0 to n - 1 do
+    closef ~tol:1e-7 (Printf.sprintf "balance at %d" i) outflow.(i) inflow.(i)
+  done
+
+let () =
+  Alcotest.run "balance"
+    [
+      ( "balance",
+        [
+          Alcotest.test_case "two states" `Quick test_two_state_chain;
+          Alcotest.test_case "birth-death geometric" `Quick test_birth_death_geometric;
+          Alcotest.test_case "uniform cycle" `Quick test_three_state_cycle;
+          Alcotest.test_case "asymmetric cycle" `Quick test_asymmetric_cycle;
+          Alcotest.test_case "shape mismatch" `Quick test_shape_mismatch;
+          Alcotest.test_case "normalised / nonnegative" `Quick test_sum_to_one_and_nonnegative;
+          Alcotest.test_case "balance equations" `Quick test_balance_equations_hold;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Branching processes: generic multitype machinery against closed forms,
+   and the paper's ABS constants of Section VI. *)
+
+module GW = P2p_branching.Galton_watson
+module Abs = P2p_branching.Abs
+module Rng = P2p_prng.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.6g got %.6g" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+(* ---- generic Galton-Watson ---- *)
+
+let test_single_type_progeny () =
+  (* mean offspring m < 1: expected total progeny = 1/(1-m). *)
+  List.iter
+    (fun m ->
+      let t = GW.create [| [| m |] |] in
+      close "1/(1-m)" (1.0 /. (1.0 -. m)) (GW.expected_progeny t).(0))
+    [ 0.0; 0.3; 0.9 ]
+
+let test_criticality () =
+  close ~tol:1e-6 "subcritical" 0.5 (GW.criticality (GW.create [| [| 0.5 |] |]));
+  Alcotest.(check bool) "subcritical flag" true (GW.is_subcritical (GW.create [| [| 0.99 |] |]));
+  Alcotest.(check bool) "supercritical flag" false (GW.is_subcritical (GW.create [| [| 1.01 |] |]))
+
+let test_supercritical_progeny_raises () =
+  let t = GW.create [| [| 1.5 |] |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (GW.expected_progeny t);
+       false
+     with Failure _ -> true)
+
+let test_two_type_progeny_solves_system () =
+  let m = [| [| 0.2; 0.3 |]; [| 0.1; 0.4 |] |] in
+  let t = GW.create m in
+  let prog = GW.expected_progeny t in
+  (* verify m = 1 + M m componentwise *)
+  for i = 0 to 1 do
+    let rhs = 1.0 +. (m.(i).(0) *. prog.(0)) +. (m.(i).(1) *. prog.(1)) in
+    close "fixed point" rhs prog.(i)
+  done
+
+let test_extinction_subcritical_is_one () =
+  let t = GW.create [| [| 0.2; 0.3 |]; [| 0.1; 0.4 |] |] in
+  let q = GW.extinction_probability t in
+  Array.iter (fun qi -> close ~tol:1e-6 "certain extinction" 1.0 qi) q
+
+let test_extinction_supercritical_poisson () =
+  (* Single type Poisson(2) offspring: q solves q = e^{2(q-1)}; q ≈ 0.2032. *)
+  let t = GW.create [| [| 2.0 |] |] in
+  let q = (GW.extinction_probability t).(0) in
+  close ~tol:1e-3 "Poisson(2) extinction" 0.2032 q
+
+let test_progeny_monte_carlo_matches () =
+  let rng = Rng.of_seed 11 in
+  let t = GW.create [| [| 0.3; 0.2 |]; [| 0.2; 0.3 |] |] in
+  let expected = (GW.expected_progeny t).(0) in
+  let mc = GW.mean_progeny_monte_carlo ~rng t ~root:0 ~replications:40_000 ~cap:100_000 in
+  close ~tol:0.05 "MC total progeny" expected (P2p_stats.Welford.mean mc)
+
+let test_invalid_matrices () =
+  Alcotest.(check bool) "non-square" true
+    (try
+       ignore (GW.create [| [| 1.0; 2.0 |] |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative entry" true
+    (try
+       ignore (GW.create [| [| -0.1 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- ABS constants (Section VI) ---- *)
+
+let abs_params = { Abs.k = 4; mu = 1.0; gamma = 2.0; xi = 0.05 }
+
+let test_abs_validation () =
+  Alcotest.(check bool) "mu >= gamma rejected" true
+    (try
+       Abs.validate { abs_params with gamma = 0.5 };
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "xi = 1 rejected" true
+    (try
+       Abs.validate { abs_params with xi = 1.0 };
+       false
+     with Invalid_argument _ -> true)
+
+let test_abs_mu_over_gamma_inf () =
+  close "finite" 0.5 (Abs.mu_over_gamma abs_params);
+  close "infinite gamma" 0.0 (Abs.mu_over_gamma { abs_params with gamma = infinity })
+
+let test_abs_limits () =
+  (* xi -> 0 limits from the paper:
+     m_b -> K/(1-mu/gamma), m_f -> 1/(1-mu/gamma). *)
+  let p = { abs_params with xi = 0.0 } in
+  close "m_b limit" (4.0 /. 0.5) (Abs.m_b_limit p);
+  close "m_f limit" 2.0 (Abs.m_f_limit p);
+  close "m_g limit |C|=1" ((3.0 +. 0.5) /. 0.5) (Abs.m_g_limit p ~c_size:1);
+  (* closed forms at xi = 0 equal the limits *)
+  close "m_b(0) = limit" (Abs.m_b_limit p) (Abs.m_b p);
+  close "m_f(0) = limit" (Abs.m_f_limit p) (Abs.m_f p);
+  close "m_g(0) = limit" (Abs.m_g_limit p ~c_size:2) (Abs.m_g p ~c_size:2)
+
+let test_abs_closed_form_vs_generic () =
+  (* The closed-form (m_b, m_f) must solve m = 1 + M m for the ABS mean
+     matrix; the generic GW solver must agree. *)
+  let p = abs_params in
+  Alcotest.(check bool) "finite regime" true (Abs.is_finite_regime p);
+  let gw = Abs.to_galton_watson p in
+  let prog = GW.expected_progeny gw in
+  close ~tol:1e-9 "m_b generic" (Abs.m_b p) prog.(0);
+  close ~tol:1e-9 "m_f generic" (Abs.m_f p) prog.(1)
+
+let test_abs_monotone_in_xi () =
+  (* Larger coupling slack inflates the dominating process. *)
+  let at xi = Abs.m_b { abs_params with xi } in
+  Alcotest.(check bool) "m_b increasing in xi" true (at 0.0 < at 0.05 && at 0.05 < at 0.1)
+
+let test_abs_finiteness_condition () =
+  (* Condition (6) fails for xi close to 1. *)
+  Alcotest.(check bool) "small xi finite" true (Abs.is_finite_regime { abs_params with xi = 0.01 });
+  Alcotest.(check bool) "large xi infinite" false
+    (Abs.is_finite_regime { abs_params with xi = 0.5 });
+  Alcotest.(check bool) "m_b raises outside regime" true
+    (try
+       ignore (Abs.m_b { abs_params with xi = 0.5 });
+       false
+     with Failure _ -> true)
+
+let test_abs_dhat_rate_limit_matches_threshold () =
+  (* The xi->0 ABS download rate is the RHS of the comparison in Section
+     VI; the Theorem 1 threshold (coefficient K+1-|C|) equals the ABS rate
+     (coefficient K-|C|+mu/gamma) plus the arrival rate of gifted peers,
+     because the transience condition compares arrivals *without* the rare
+     piece to D_t.  Cross-check this identity numerically. *)
+  let module PS = P2p_pieceset.Pieceset in
+  let params =
+    P2p_core.Params.make ~k:4 ~us:0.7 ~mu:1.0 ~gamma:2.0
+      ~arrivals:[ (PS.empty, 1.0); (PS.of_list [ 0; 1 ], 0.3); (PS.singleton 0, 0.2) ]
+  in
+  let piece = 0 in
+  let gifted = [ (2, 0.3); (1, 0.2) ] in
+  (* types containing piece 0 with their sizes *)
+  let gifted_rate = 0.3 +. 0.2 in
+  let abs_rate = Abs.dhat_rate_limit ~us:0.7 ~k:4 ~mu_over_gamma:0.5 ~gifted in
+  close ~tol:1e-9 "ABS rate + gifted arrivals = threshold"
+    (P2p_core.Stability.threshold params ~piece)
+    (abs_rate +. gifted_rate)
+
+let test_abs_dhat_rate_decreases_to_limit () =
+  let p0 = { abs_params with xi = 0.0 } in
+  let r0 = Abs.dhat_rate p0 ~us:1.0 ~gifted:[ (1, 0.5) ] in
+  let r1 = Abs.dhat_rate { abs_params with xi = 0.02 } ~us:1.0 ~gifted:[ (1, 0.5) ] in
+  Alcotest.(check bool) "rate grows with xi" true (r1 > r0);
+  close "xi=0 equals limit" (Abs.dhat_rate_limit ~us:1.0 ~k:4 ~mu_over_gamma:0.5 ~gifted:[ (1, 0.5) ]) r0
+
+let test_abs_progeny_monte_carlo () =
+  (* Simulate the two-type ABS with Poisson offspring; mean total progeny
+     of a type-(f) root should match m_f. *)
+  let rng = Rng.of_seed 12 in
+  let p = { Abs.k = 3; mu = 1.0; gamma = 3.0; xi = 0.05 } in
+  let gw = Abs.to_galton_watson p in
+  let mc = GW.mean_progeny_monte_carlo ~rng gw ~root:1 ~replications:30_000 ~cap:1_000_000 in
+  close ~tol:0.05 "MC m_f" (Abs.m_f p) (P2p_stats.Welford.mean mc)
+
+let () =
+  Alcotest.run "branching"
+    [
+      ( "galton-watson",
+        [
+          Alcotest.test_case "single-type progeny" `Quick test_single_type_progeny;
+          Alcotest.test_case "criticality" `Quick test_criticality;
+          Alcotest.test_case "supercritical raises" `Quick test_supercritical_progeny_raises;
+          Alcotest.test_case "two-type fixed point" `Quick test_two_type_progeny_solves_system;
+          Alcotest.test_case "extinction subcritical" `Quick test_extinction_subcritical_is_one;
+          Alcotest.test_case "extinction Poisson(2)" `Quick test_extinction_supercritical_poisson;
+          Alcotest.test_case "progeny Monte Carlo" `Quick test_progeny_monte_carlo_matches;
+          Alcotest.test_case "invalid matrices" `Quick test_invalid_matrices;
+        ] );
+      ( "abs",
+        [
+          Alcotest.test_case "validation" `Quick test_abs_validation;
+          Alcotest.test_case "mu/gamma conventions" `Quick test_abs_mu_over_gamma_inf;
+          Alcotest.test_case "xi->0 limits" `Quick test_abs_limits;
+          Alcotest.test_case "closed form vs generic" `Quick test_abs_closed_form_vs_generic;
+          Alcotest.test_case "monotone in xi" `Quick test_abs_monotone_in_xi;
+          Alcotest.test_case "finiteness condition (6)" `Quick test_abs_finiteness_condition;
+          Alcotest.test_case "dhat rate = threshold" `Quick test_abs_dhat_rate_limit_matches_threshold;
+          Alcotest.test_case "dhat rate vs xi" `Quick test_abs_dhat_rate_decreases_to_limit;
+          Alcotest.test_case "ABS progeny MC" `Quick test_abs_progeny_monte_carlo;
+        ] );
+    ]

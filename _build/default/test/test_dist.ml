@@ -1,0 +1,230 @@
+(* Tests for the distribution samplers, mostly by moment matching. *)
+
+module Rng = P2p_prng.Rng
+module Dist = P2p_prng.Dist
+
+let sample_mean_var n f =
+  let w = P2p_stats.Welford.create () in
+  for _ = 1 to n do
+    P2p_stats.Welford.add w (f ())
+  done;
+  (P2p_stats.Welford.mean w, P2p_stats.Welford.variance w)
+
+let close ?(tol = 0.05) name expected actual =
+  let rel = Float.abs (actual -. expected) /. Float.max 1.0 (Float.abs expected) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.4g got %.4g" name expected actual)
+    true (rel < tol)
+
+let test_exponential_moments () =
+  let rng = Rng.of_seed 1 in
+  let mean, var = sample_mean_var 200_000 (fun () -> Dist.exponential rng ~rate:2.0) in
+  close "exp mean" 0.5 mean;
+  close "exp var" 0.25 var
+
+let test_exponential_positive () =
+  let rng = Rng.of_seed 2 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "positive" true (Dist.exponential rng ~rate:0.1 > 0.0)
+  done
+
+let test_exponential_invalid () =
+  let rng = Rng.of_seed 3 in
+  Alcotest.check_raises "rate 0" (Invalid_argument "Dist.exponential: rate must be positive")
+    (fun () -> ignore (Dist.exponential rng ~rate:0.0))
+
+let test_uniform_moments () =
+  let rng = Rng.of_seed 4 in
+  let mean, var = sample_mean_var 200_000 (fun () -> Dist.uniform rng ~lo:2.0 ~hi:6.0) in
+  close "uniform mean" 4.0 mean;
+  close "uniform var" (16.0 /. 12.0) var
+
+let test_geometric_moments () =
+  let rng = Rng.of_seed 5 in
+  let p = 0.3 in
+  let mean, var =
+    sample_mean_var 200_000 (fun () -> float_of_int (Dist.geometric rng ~p))
+  in
+  close "geom mean" ((1.0 -. p) /. p) mean;
+  close "geom var" ((1.0 -. p) /. (p *. p)) var
+
+let test_geometric_p_one () =
+  let rng = Rng.of_seed 6 in
+  Alcotest.(check int) "p=1 gives 0" 0 (Dist.geometric rng ~p:1.0)
+
+let test_negative_binomial_moments () =
+  let rng = Rng.of_seed 7 in
+  (* successes before r-th failure, success prob p: mean = r p/(1-p). *)
+  let r = 4 and p = 0.5 in
+  let mean, var =
+    sample_mean_var 200_000 (fun () ->
+        float_of_int (Dist.negative_binomial rng ~failures:r ~p))
+  in
+  close "negbin mean" (float_of_int r *. p /. (1.0 -. p)) mean;
+  close "negbin var" (float_of_int r *. p /. ((1.0 -. p) ** 2.0)) var
+
+let test_negative_binomial_zero_failures () =
+  let rng = Rng.of_seed 8 in
+  Alcotest.(check int) "r=0 gives 0" 0 (Dist.negative_binomial rng ~failures:0 ~p:0.7)
+
+(* The paper's coin-flip variable Z (Section VIII-D): heads before the
+   (K-1)-th tail of a fair coin; E[Z] = K-1. *)
+let test_negative_binomial_is_z () =
+  let rng = Rng.of_seed 9 in
+  let k = 5 in
+  let mean, _ =
+    sample_mean_var 100_000 (fun () ->
+        float_of_int (Dist.negative_binomial rng ~failures:(k - 1) ~p:0.5))
+  in
+  close "E[Z] = K-1" (float_of_int (k - 1)) mean
+
+let test_poisson_small_moments () =
+  let rng = Rng.of_seed 10 in
+  let mean, var = sample_mean_var 200_000 (fun () -> float_of_int (Dist.poisson rng ~mean:3.5)) in
+  close "poisson small mean" 3.5 mean;
+  close "poisson small var" 3.5 var
+
+let test_poisson_large_moments () =
+  let rng = Rng.of_seed 11 in
+  let mean, var =
+    sample_mean_var 100_000 (fun () -> float_of_int (Dist.poisson rng ~mean:80.0))
+  in
+  close "poisson large mean" 80.0 mean;
+  close "poisson large var" 80.0 var
+
+let test_poisson_zero () =
+  let rng = Rng.of_seed 12 in
+  Alcotest.(check int) "mean 0" 0 (Dist.poisson rng ~mean:0.0)
+
+let test_binomial_small () =
+  let rng = Rng.of_seed 13 in
+  let n = 20 and p = 0.4 in
+  let mean, var =
+    sample_mean_var 100_000 (fun () -> float_of_int (Dist.binomial rng ~n ~p))
+  in
+  close "binomial mean" (float_of_int n *. p) mean;
+  close "binomial var" (float_of_int n *. p *. (1.0 -. p)) var
+
+let test_binomial_large () =
+  let rng = Rng.of_seed 14 in
+  let n = 500 and p = 0.02 in
+  let mean, _ = sample_mean_var 100_000 (fun () -> float_of_int (Dist.binomial rng ~n ~p)) in
+  close "binomial large-n mean" (float_of_int n *. p) mean
+
+let test_binomial_extremes () =
+  let rng = Rng.of_seed 15 in
+  Alcotest.(check int) "p=0" 0 (Dist.binomial rng ~n:10 ~p:0.0);
+  Alcotest.(check int) "p=1" 10 (Dist.binomial rng ~n:10 ~p:1.0)
+
+let test_categorical_frequencies () =
+  let rng = Rng.of_seed 16 in
+  let weights = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Dist.categorical rng ~weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      close
+        (Printf.sprintf "weight %d" i)
+        (weights.(i) /. 10.0)
+        (float_of_int c /. float_of_int n))
+    counts
+
+let test_categorical_zero_weight_excluded () =
+  let rng = Rng.of_seed 17 in
+  for _ = 1 to 5000 do
+    let i = Dist.categorical rng ~weights:[| 0.0; 1.0; 0.0 |] in
+    Alcotest.(check int) "only positive weight" 1 i
+  done
+
+let test_categorical_invalid () =
+  let rng = Rng.of_seed 18 in
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Dist.categorical: weights must be nonnegative with positive finite sum")
+    (fun () -> ignore (Dist.categorical rng ~weights:[| 0.0; 0.0 |]))
+
+let test_discrete_cdf () =
+  let cumul = [| 1.0; 3.0; 6.0 |] in
+  Alcotest.(check int) "first bin" 0 (Dist.discrete_cdf cumul ~total:6.0 ~u:0.1);
+  Alcotest.(check int) "second bin" 1 (Dist.discrete_cdf cumul ~total:6.0 ~u:0.4);
+  Alcotest.(check int) "third bin" 2 (Dist.discrete_cdf cumul ~total:6.0 ~u:0.9)
+
+let test_shuffle_permutation () =
+  let rng = Rng.of_seed 19 in
+  let arr = Array.init 50 (fun i -> i) in
+  Dist.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_shuffle_uniform_first () =
+  let rng = Rng.of_seed 20 in
+  let counts = Array.make 4 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let arr = [| 0; 1; 2; 3 |] in
+    Dist.shuffle_in_place rng arr;
+    counts.(arr.(0)) <- counts.(arr.(0)) + 1
+  done;
+  Array.iter
+    (fun c -> close "first position uniform" 0.25 (float_of_int c /. float_of_int n))
+    counts
+
+let test_sample_without_replacement () =
+  let rng = Rng.of_seed 21 in
+  for _ = 1 to 1000 do
+    let k = 1 + Rng.int_below rng 10 in
+    let n = k + Rng.int_below rng 20 in
+    let out = Dist.sample_without_replacement rng ~k ~n in
+    Alcotest.(check int) "size" k (Array.length out);
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun x ->
+        Alcotest.(check bool) "range" true (x >= 0 && x < n);
+        Alcotest.(check bool) "distinct" false (Hashtbl.mem seen x);
+        Hashtbl.add seen x ())
+      out
+  done
+
+let test_standard_normal_moments () =
+  let rng = Rng.of_seed 22 in
+  let mean, var = sample_mean_var 200_000 (fun () -> Dist.standard_normal rng) in
+  Alcotest.(check bool) "mean ~ 0" true (Float.abs mean < 0.01);
+  close "variance ~ 1" 1.0 var
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "moments",
+        [
+          Alcotest.test_case "exponential" `Quick test_exponential_moments;
+          Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+          Alcotest.test_case "exponential invalid" `Quick test_exponential_invalid;
+          Alcotest.test_case "uniform" `Quick test_uniform_moments;
+          Alcotest.test_case "geometric" `Quick test_geometric_moments;
+          Alcotest.test_case "geometric p=1" `Quick test_geometric_p_one;
+          Alcotest.test_case "negative binomial" `Quick test_negative_binomial_moments;
+          Alcotest.test_case "negative binomial r=0" `Quick test_negative_binomial_zero_failures;
+          Alcotest.test_case "Z of Section VIII-D" `Quick test_negative_binomial_is_z;
+          Alcotest.test_case "poisson small" `Quick test_poisson_small_moments;
+          Alcotest.test_case "poisson large" `Quick test_poisson_large_moments;
+          Alcotest.test_case "poisson zero" `Quick test_poisson_zero;
+          Alcotest.test_case "binomial small" `Quick test_binomial_small;
+          Alcotest.test_case "binomial large" `Quick test_binomial_large;
+          Alcotest.test_case "binomial extremes" `Quick test_binomial_extremes;
+        ] );
+      ( "discrete",
+        [
+          Alcotest.test_case "categorical frequencies" `Quick test_categorical_frequencies;
+          Alcotest.test_case "categorical zero weight" `Quick test_categorical_zero_weight_excluded;
+          Alcotest.test_case "categorical invalid" `Quick test_categorical_invalid;
+          Alcotest.test_case "discrete cdf" `Quick test_discrete_cdf;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "shuffle uniform" `Quick test_shuffle_uniform_first;
+          Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+          Alcotest.test_case "standard normal" `Quick test_standard_normal_moments;
+        ] );
+    ]

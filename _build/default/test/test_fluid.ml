@@ -1,0 +1,128 @@
+(* The fluid (mean-field) limit. *)
+
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let stable = Scenario.example3 ~lambda1:1.0 ~lambda2:1.0 ~lambda3:1.0 ~mu:1.0 ~gamma:1.5
+let transient = Scenario.flash_crowd ~k:3 ~lambda:1.0 ~us:0.1 ~mu:1.0 ~gamma:infinity
+
+let test_of_state () =
+  let s = State.of_counts [ (PS.empty, 2); (PS.singleton 1, 3) ] in
+  let x = Fluid.of_state ~k:3 s in
+  Alcotest.(check int) "dense size" 8 (Array.length x);
+  Alcotest.(check (float 1e-12)) "empty slot" 2.0 x.(0);
+  Alcotest.(check (float 1e-12)) "{2} slot" 3.0 x.(PS.to_index (PS.singleton 1));
+  Alcotest.(check (float 1e-12)) "total" 5.0 (Fluid.total x)
+
+let test_derivative_mass_balance () =
+  (* d(total)/dt = lambda_total - gamma x_F (finite gamma, no one at full
+     collection departs otherwise). *)
+  let x = Fluid.of_state ~k:3 (State.of_counts [ (PS.empty, 5); (PS.full ~k:3, 2) ]) in
+  let dx = Fluid.derivative stable x in
+  let total_rate = Array.fold_left ( +. ) 0.0 dx in
+  Alcotest.(check (float 1e-9)) "mass balance" (3.0 -. (1.5 *. 2.0)) total_rate
+
+let test_derivative_mass_balance_gamma_inf () =
+  (* gamma = inf: mass leaves through completions; with nobody one piece
+     away, total derivative = lambda exactly. *)
+  let x = Fluid.of_state ~k:3 (State.of_counts [ (PS.empty, 5) ]) in
+  let dx = Fluid.derivative transient x in
+  let total_rate = Array.fold_left ( +. ) 0.0 dx in
+  Alcotest.(check (float 1e-9)) "only arrivals" 1.0 total_rate
+
+let test_derivative_matches_generator_drift () =
+  (* The fluid RHS is the exact mean drift of the jump process: compare
+     against Lyapunov.drift of the per-type count functions. *)
+  let s =
+    State.of_counts [ (PS.empty, 4); (PS.singleton 0, 3); (PS.of_list [ 0; 1 ], 2) ]
+  in
+  let x = Fluid.of_state ~k:3 s in
+  let dx = Fluid.derivative stable x in
+  List.iter
+    (fun c ->
+      let f st = float_of_int (State.count st (PS.of_index c)) in
+      let expected = Lyapunov.drift stable ~f s in
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "type %d drift" c)
+        expected dx.(c))
+    (List.init 8 (fun i -> i))
+
+let test_integrate_records () =
+  let init = Fluid.of_state ~k:3 (State.create ()) in
+  let traj = Fluid.integrate stable ~init ~dt:0.1 ~horizon:10.0 ~record_every:10 in
+  Alcotest.(check bool) "records include end" true
+    (Array.length traj.times >= 10);
+  Alcotest.(check (float 1e-9)) "starts at 0" 0.0 traj.times.(0);
+  Alcotest.(check bool) "population grows from empty" true
+    (traj.totals.(Array.length traj.totals - 1) > 0.0)
+
+let test_equilibrium_stable () =
+  let init = Fluid.of_state ~k:3 (State.create ()) in
+  match Fluid.equilibrium stable ~init with
+  | None -> Alcotest.fail "expected equilibrium"
+  | Some eq ->
+      let dx = Fluid.derivative stable eq in
+      let norm = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 dx in
+      Alcotest.(check bool) "derivative tiny" true (norm < 1e-4);
+      Alcotest.(check bool) "finite population" true
+        (Fluid.total eq > 1.0 && Fluid.total eq < 100.0)
+
+let test_transient_no_equilibrium () =
+  (* Start from a heavy one-club; the transient fluid grows forever. *)
+  let club = PS.of_list [ 1; 2 ] in
+  let init = Fluid.of_state ~k:3 (State.of_counts [ (club, 100) ]) in
+  match Fluid.equilibrium ~horizon:300.0 transient ~init with
+  | None -> ()
+  | Some eq ->
+      Alcotest.failf "unexpected equilibrium with n = %.1f" (Fluid.total eq)
+
+let test_transient_linear_growth () =
+  let club = PS.of_list [ 1; 2 ] in
+  let init = Fluid.of_state ~k:3 (State.of_counts [ (club, 100) ]) in
+  let traj = Fluid.integrate transient ~init ~dt:0.02 ~horizon:200.0 ~record_every:100 in
+  let n = Array.length traj.times in
+  let pts = Array.init (n / 2) (fun i -> (traj.times.(i + (n / 2)), traj.totals.(i + (n / 2)))) in
+  let fit = P2p_stats.Regression.fit pts in
+  (* Delta = lambda - threshold = 1 - 0.1 = 0.9 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fluid slope %.3f near Delta 0.9" fit.slope)
+    true
+    (Float.abs (fit.slope -. 0.9) < 0.1)
+
+let test_nonnegativity_preserved () =
+  let init = Fluid.of_state ~k:3 (State.of_counts [ (PS.empty, 50) ]) in
+  let traj = Fluid.integrate stable ~init ~dt:0.05 ~horizon:50.0 ~record_every:20 in
+  Array.iter
+    (Array.iter (fun v -> Alcotest.(check bool) "nonnegative" true (v >= 0.0)))
+    traj.states
+
+let test_bad_arguments () =
+  let init = Fluid.of_state ~k:3 (State.create ()) in
+  Alcotest.(check bool) "wrong size" true
+    (try
+       ignore (Fluid.derivative stable (Array.make 3 0.0));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad dt" true
+    (try
+       ignore (Fluid.integrate stable ~init ~dt:0.0 ~horizon:1.0 ~record_every:1);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "fluid"
+    [
+      ( "fluid",
+        [
+          Alcotest.test_case "of_state" `Quick test_of_state;
+          Alcotest.test_case "mass balance" `Quick test_derivative_mass_balance;
+          Alcotest.test_case "mass balance gamma=inf" `Quick test_derivative_mass_balance_gamma_inf;
+          Alcotest.test_case "matches generator drift" `Quick test_derivative_matches_generator_drift;
+          Alcotest.test_case "integrate records" `Quick test_integrate_records;
+          Alcotest.test_case "equilibrium stable" `Quick test_equilibrium_stable;
+          Alcotest.test_case "no equilibrium transient" `Quick test_transient_no_equilibrium;
+          Alcotest.test_case "linear growth" `Quick test_transient_linear_growth;
+          Alcotest.test_case "nonnegativity" `Quick test_nonnegativity_preserved;
+          Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Finite fields and linear algebra over them. *)
+
+module Field = P2p_gf.Field
+module Mat = P2p_gf.Mat
+module Rng = P2p_prng.Rng
+
+let field_sizes = [ 2; 3; 5; 7; 4; 8; 16; 64; 9; 27; 25 ]
+
+let test_is_prime () =
+  List.iter
+    (fun (n, expected) -> Alcotest.(check bool) (string_of_int n) expected (Field.is_prime n))
+    [ (1, false); (2, true); (3, true); (4, false); (17, true); (91, false); (97, true) ]
+
+let test_gf_rejects_non_prime_power () =
+  List.iter
+    (fun q ->
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%d rejected" q)
+        true
+        (try
+           ignore (Field.gf q);
+           false
+         with Invalid_argument _ -> true))
+    [ 1; 6; 12; 100 ]
+
+let test_field_metadata () =
+  let f = Field.gf 64 in
+  Alcotest.(check int) "q" 64 f.q;
+  Alcotest.(check int) "p" 2 f.p;
+  Alcotest.(check int) "m" 6 f.m;
+  let g = Field.gf 27 in
+  Alcotest.(check int) "27 = 3^3" 3 g.m
+
+(* Exhaustive field-axiom checks on every element pair for small q, and
+   random sampling for the larger ones. *)
+let check_axioms (f : Field.t) pairs =
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check int) "commutative add" (f.add a b) (f.add b a);
+      Alcotest.(check int) "commutative mul" (f.mul a b) (f.mul b a);
+      Alcotest.(check int) "add zero" a (f.add a 0);
+      Alcotest.(check int) "mul one" a (f.mul a 1);
+      Alcotest.(check int) "mul zero" 0 (f.mul a 0);
+      Alcotest.(check int) "sub self" 0 (f.sub a a);
+      Alcotest.(check int) "add neg" 0 (f.add a (f.neg a));
+      if b <> 0 then begin
+        Alcotest.(check int) "div then mul" a (f.mul (f.div a b) b);
+        Alcotest.(check int) "inv" 1 (f.mul b (f.inv b))
+      end)
+    pairs
+
+let test_axioms_exhaustive_small () =
+  List.iter
+    (fun q ->
+      let f = Field.gf q in
+      let pairs = List.concat_map (fun a -> List.init q (fun b -> (a, b))) (List.init q (fun a -> a)) in
+      check_axioms f pairs)
+    [ 2; 3; 4; 5; 8; 9 ]
+
+let test_axioms_random_large () =
+  let rng = Rng.of_seed 1 in
+  List.iter
+    (fun q ->
+      let f = Field.gf q in
+      let pairs = List.init 300 (fun _ -> (Rng.int_below rng q, Rng.int_below rng q)) in
+      check_axioms f pairs)
+    [ 16; 64; 27; 25; 49 ]
+
+let test_associativity_distributivity () =
+  let rng = Rng.of_seed 2 in
+  List.iter
+    (fun q ->
+      let f = Field.gf q in
+      for _ = 1 to 200 do
+        let a = Rng.int_below rng q and b = Rng.int_below rng q and c = Rng.int_below rng q in
+        Alcotest.(check int) "assoc add" (f.add a (f.add b c)) (f.add (f.add a b) c);
+        Alcotest.(check int) "assoc mul" (f.mul a (f.mul b c)) (f.mul (f.mul a b) c);
+        Alcotest.(check int) "distributive" (f.mul a (f.add b c)) (f.add (f.mul a b) (f.mul a c))
+      done)
+    field_sizes
+
+let test_inv_zero_raises () =
+  let f = Field.gf 8 in
+  Alcotest.(check bool) "div by zero" true
+    (try
+       ignore (f.inv 0);
+       false
+     with Division_by_zero -> true)
+
+let test_pow () =
+  let f = Field.gf 7 in
+  Alcotest.(check int) "3^0" 1 (Field.pow f 3 0);
+  Alcotest.(check int) "3^2 mod 7" 2 (Field.pow f 3 2);
+  (* Fermat: a^(q-1) = 1 for a != 0. *)
+  List.iter
+    (fun q ->
+      let f = Field.gf q in
+      for a = 1 to q - 1 do
+        Alcotest.(check int) "fermat" 1 (Field.pow f a (q - 1))
+      done)
+    [ 5; 8; 9; 16 ]
+
+(* ---- matrices ---- *)
+
+let test_rank_identity_like () =
+  let f = Field.gf 5 in
+  let rows = [| [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] |] in
+  Alcotest.(check int) "full rank" 3 (Mat.rank f rows)
+
+let test_rank_dependent_rows () =
+  let f = Field.gf 5 in
+  (* row3 = row1 + 2*row2 *)
+  let rows = [| [| 1; 2; 3 |]; [| 0; 1; 1 |]; [| 1; 4; 0 |] |] in
+  Alcotest.(check int) "rank 2" 2 (Mat.rank f rows)
+
+let test_rank_zero_matrix () =
+  let f = Field.gf 2 in
+  Alcotest.(check int) "zero rank" 0 (Mat.rank f [| [| 0; 0 |]; [| 0; 0 |] |])
+
+let test_row_reduce_canonical () =
+  let f = Field.gf 7 in
+  let rows = [| [| 2; 4; 6 |]; [| 1; 2; 3 |]; [| 0; 0; 5 |] |] in
+  let basis = Mat.row_reduce f rows in
+  Alcotest.(check int) "rank 2 basis" 2 (Array.length basis);
+  (* pivots normalised to 1 and echelon-ordered *)
+  Array.iter
+    (fun row ->
+      let rec first_nonzero i = if row.(i) <> 0 then row.(i) else first_nonzero (i + 1) in
+      Alcotest.(check int) "pivot is 1" 1 (first_nonzero 0))
+    basis
+
+let test_in_row_space () =
+  let f = Field.gf 3 in
+  let basis = Mat.row_reduce f [| [| 1; 0; 2 |]; [| 0; 1; 1 |] |] in
+  Alcotest.(check bool) "combination inside" true
+    (Mat.in_row_space f ~basis (Mat.vec_add f (Mat.vec_scale f 2 [| 1; 0; 2 |]) [| 0; 1; 1 |]));
+  Alcotest.(check bool) "outside vector" false (Mat.in_row_space f ~basis [| 0; 0; 1 |]);
+  Alcotest.(check bool) "zero inside" true (Mat.in_row_space f ~basis [| 0; 0; 0 |])
+
+let prop_rank_invariant_under_row_ops =
+  QCheck2.Test.make ~name:"rank invariant under row swap/scale" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 0 3)
+        (array_size (return 4) (array_size (return 4) (int_range 0 6))))
+    (fun (scale_idx, m) ->
+      let f = Field.gf 7 in
+      let m = Array.map (Array.map (fun x -> x mod 7)) m in
+      let r1 = Mat.rank f m in
+      let m' = Array.map Array.copy m in
+      (* swap rows 0 and 1, scale row scale_idx by 3 *)
+      let tmp = m'.(0) in
+      m'.(0) <- m'.(1);
+      m'.(1) <- tmp;
+      m'.(scale_idx) <- Mat.vec_scale f 3 m'.(scale_idx);
+      Mat.rank f m' = r1)
+
+let prop_reduce_against_membership =
+  QCheck2.Test.make ~name:"reduce_against zero iff member" ~count:300
+    QCheck2.Gen.(array_size (return 3) (array_size (return 4) (int_range 0 4)))
+    (fun rows ->
+      let f = Field.gf 5 in
+      let rows = Array.map (Array.map (fun x -> x mod 5)) rows in
+      let basis = Mat.row_reduce f rows in
+      (* every original row reduces to zero against the basis *)
+      Array.for_all (fun row -> Mat.in_row_space f ~basis row) rows)
+
+let test_random_vec_range () =
+  let rng = Rng.of_seed 3 in
+  let f = Field.gf 16 in
+  for _ = 1 to 100 do
+    let v = Mat.random_vec f (Rng.int_below rng) 8 in
+    Array.iter (fun x -> Alcotest.(check bool) "in field" true (x >= 0 && x < 16)) v
+  done
+
+let () =
+  Alcotest.run "gf"
+    [
+      ( "field",
+        [
+          Alcotest.test_case "is_prime" `Quick test_is_prime;
+          Alcotest.test_case "non prime power" `Quick test_gf_rejects_non_prime_power;
+          Alcotest.test_case "metadata" `Quick test_field_metadata;
+          Alcotest.test_case "axioms exhaustive" `Quick test_axioms_exhaustive_small;
+          Alcotest.test_case "axioms random" `Quick test_axioms_random_large;
+          Alcotest.test_case "assoc/distrib" `Quick test_associativity_distributivity;
+          Alcotest.test_case "inv zero" `Quick test_inv_zero_raises;
+          Alcotest.test_case "pow / Fermat" `Quick test_pow;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "rank identity" `Quick test_rank_identity_like;
+          Alcotest.test_case "rank dependent" `Quick test_rank_dependent_rows;
+          Alcotest.test_case "rank zero" `Quick test_rank_zero_matrix;
+          Alcotest.test_case "row reduce canonical" `Quick test_row_reduce_canonical;
+          Alcotest.test_case "in row space" `Quick test_in_row_space;
+          Alcotest.test_case "random vec" `Quick test_random_vec_range;
+          QCheck_alcotest.to_alcotest prop_rank_invariant_under_row_ops;
+          QCheck_alcotest.to_alcotest prop_reduce_against_membership;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* The dynamic adjacency substrate. *)
+
+module A = P2p_graph.Adjacency
+module Rng = P2p_prng.Rng
+
+let test_basic_ops () =
+  let g = A.create () in
+  A.add_node g 1;
+  A.add_node g 2;
+  A.add_node g 3;
+  A.add_edge g 1 2;
+  A.add_edge g 2 3;
+  Alcotest.(check int) "nodes" 3 (A.node_count g);
+  Alcotest.(check int) "edges" 2 (A.edge_count g);
+  Alcotest.(check bool) "mem edge" true (A.mem_edge g 1 2);
+  Alcotest.(check bool) "symmetric" true (A.mem_edge g 2 1);
+  Alcotest.(check bool) "absent edge" false (A.mem_edge g 1 3);
+  Alcotest.(check int) "degree hub" 2 (A.degree g 2);
+  Alcotest.(check bool) "valid" true (A.validate g)
+
+let test_add_edge_idempotent () =
+  let g = A.create () in
+  A.add_node g 1;
+  A.add_node g 2;
+  A.add_edge g 1 2;
+  A.add_edge g 1 2;
+  A.add_edge g 2 1;
+  Alcotest.(check int) "one edge" 1 (A.edge_count g);
+  Alcotest.(check bool) "valid" true (A.validate g)
+
+let test_self_loop_rejected () =
+  let g = A.create () in
+  A.add_node g 1;
+  Alcotest.(check bool) "self loop" true
+    (try
+       A.add_edge g 1 1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_duplicate_node_rejected () =
+  let g = A.create () in
+  A.add_node g 1;
+  Alcotest.(check bool) "duplicate" true
+    (try
+       A.add_node g 1;
+       false
+     with Invalid_argument _ -> true)
+
+let test_remove_edge () =
+  let g = A.create () in
+  A.add_node g 1;
+  A.add_node g 2;
+  A.add_edge g 1 2;
+  A.remove_edge g 2 1;
+  Alcotest.(check int) "edges" 0 (A.edge_count g);
+  A.remove_edge g 1 2;
+  (* idempotent *)
+  Alcotest.(check bool) "valid" true (A.validate g)
+
+let test_remove_node_detaches () =
+  let g = A.create () in
+  List.iter (A.add_node g) [ 1; 2; 3; 4 ];
+  A.add_edge g 1 2;
+  A.add_edge g 1 3;
+  A.add_edge g 3 4;
+  A.remove_node g 1;
+  Alcotest.(check int) "nodes" 3 (A.node_count g);
+  Alcotest.(check int) "edges" 1 (A.edge_count g);
+  Alcotest.(check int) "degree 2 dropped" 0 (A.degree g 2);
+  Alcotest.(check bool) "valid" true (A.validate g)
+
+let test_neighbors_and_sampling () =
+  let rng = Rng.of_seed 1 in
+  let g = A.create () in
+  List.iter (A.add_node g) [ 0; 1; 2; 3 ];
+  A.add_edge g 0 1;
+  A.add_edge g 0 2;
+  let ns = A.neighbors g 0 in
+  Array.sort compare ns;
+  Alcotest.(check (array int)) "neighbors" [| 1; 2 |] ns;
+  Alcotest.(check (option int)) "isolated" None (A.sample_neighbor g 3 rng);
+  let counts = Array.make 3 0 in
+  for _ = 1 to 20_000 do
+    match A.sample_neighbor g 0 rng with
+    | Some id -> counts.(id) <- counts.(id) + 1
+    | None -> Alcotest.fail "should have a neighbor"
+  done;
+  Alcotest.(check bool) "uniform sampling" true
+    (Float.abs (float_of_int counts.(1) /. 20_000.0 -. 0.5) < 0.02)
+
+let test_attach_uniform () =
+  let rng = Rng.of_seed 2 in
+  let g = A.create () in
+  for i = 0 to 9 do
+    A.add_node g i
+  done;
+  A.add_node g 100;
+  A.attach_uniform g 100 ~degree:4 rng;
+  Alcotest.(check int) "attached" 4 (A.degree g 100);
+  Alcotest.(check bool) "no self edge" false (A.mem_edge g 100 100);
+  Alcotest.(check bool) "valid" true (A.validate g);
+  (* degree capped by available nodes *)
+  let g2 = A.create () in
+  A.add_node g2 0;
+  A.add_node g2 1;
+  A.attach_uniform g2 1 ~degree:10 rng;
+  Alcotest.(check int) "capped" 1 (A.degree g2 1)
+
+let test_components () =
+  let g = A.create () in
+  List.iter (A.add_node g) [ 1; 2; 3; 4; 5 ];
+  A.add_edge g 1 2;
+  A.add_edge g 4 5;
+  Alcotest.(check (list int)) "components" [ 2; 2; 1 ] (A.connected_component_sizes g)
+
+let test_mean_degree () =
+  let g = A.create () in
+  List.iter (A.add_node g) [ 1; 2; 3 ];
+  A.add_edge g 1 2;
+  Alcotest.(check (float 1e-9)) "mean degree" (2.0 /. 3.0) (A.mean_degree g)
+
+let prop_random_churn_keeps_invariants =
+  QCheck2.Test.make ~name:"random churn keeps invariants" ~count:60
+    QCheck2.Gen.(list_size (int_range 10 200) (pair (int_range 0 30) (int_range 0 3)))
+    (fun ops ->
+      let g = A.create () in
+      let rng = Rng.of_seed 3 in
+      let alive = Hashtbl.create 32 in
+      let next = ref 0 in
+      List.iter
+        (fun (node_hint, op) ->
+          match op with
+          | 0 ->
+              let id = !next in
+              incr next;
+              A.add_node g id;
+              Hashtbl.replace alive id ();
+              A.attach_uniform g id ~degree:3 rng
+          | 1 -> begin
+              let ids = Hashtbl.fold (fun k () acc -> k :: acc) alive [] in
+              match ids with
+              | [] -> ()
+              | ids ->
+                  let victim = List.nth ids (node_hint mod List.length ids) in
+                  A.remove_node g victim;
+                  Hashtbl.remove alive victim
+            end
+          | 2 -> begin
+              let ids = Hashtbl.fold (fun k () acc -> k :: acc) alive [] in
+              match ids with
+              | a :: b :: _ when a <> b -> A.add_edge g a b
+              | _ -> ()
+            end
+          | _ -> begin
+              let ids = Hashtbl.fold (fun k () acc -> k :: acc) alive [] in
+              match ids with a :: b :: _ -> A.remove_edge g a b | _ -> ()
+            end)
+        ops;
+      A.validate g && A.node_count g = Hashtbl.length alive)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "adjacency",
+        [
+          Alcotest.test_case "basic" `Quick test_basic_ops;
+          Alcotest.test_case "idempotent edges" `Quick test_add_edge_idempotent;
+          Alcotest.test_case "self loop" `Quick test_self_loop_rejected;
+          Alcotest.test_case "duplicate node" `Quick test_duplicate_node_rejected;
+          Alcotest.test_case "remove edge" `Quick test_remove_edge;
+          Alcotest.test_case "remove node" `Quick test_remove_node_detaches;
+          Alcotest.test_case "neighbors/sampling" `Quick test_neighbors_and_sampling;
+          Alcotest.test_case "attach uniform" `Quick test_attach_uniform;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "mean degree" `Quick test_mean_degree;
+          QCheck_alcotest.to_alcotest prop_random_churn_keeps_invariants;
+        ] );
+    ]

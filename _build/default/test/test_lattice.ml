@@ -1,0 +1,192 @@
+(* The subspace lattice of F_q^K. *)
+
+module L = P2p_coding.Lattice
+
+let gaussian_binomial_sum ~q ~k =
+  (* number of subspaces of F_q^k = sum of Gaussian binomials; computed
+     directly by the q-analog recursion for the test oracle. *)
+  let binom = Array.make_matrix (k + 1) (k + 1) 0 in
+  for n = 0 to k do
+    binom.(n).(0) <- 1;
+    for r = 1 to n do
+      let upper = if r <= n - 1 then binom.(n - 1).(r) else 0 in
+      (* [n r]_q = q^r [n-1 r]_q + [n-1 r-1]_q *)
+      let qr = int_of_float (float_of_int q ** float_of_int r) in
+      binom.(n).(r) <- (qr * upper) + binom.(n - 1).(r - 1)
+    done
+  done;
+  Array.fold_left ( + ) 0 (Array.init (k + 1) (fun r -> binom.(k).(r)))
+
+let test_counts () =
+  List.iter
+    (fun (q, k) ->
+      let t = L.build ~q ~k in
+      Alcotest.(check int)
+        (Printf.sprintf "q=%d k=%d" q k)
+        (gaussian_binomial_sum ~q ~k) (L.count t))
+    [ (2, 1); (2, 2); (2, 3); (2, 4); (3, 2); (3, 3); (4, 2); (5, 2); (2, 5) ]
+
+let t23 = L.build ~q:2 ~k:3
+
+let test_zero_full () =
+  Alcotest.(check int) "dim zero" 0 (L.dim t23 (L.zero t23));
+  Alcotest.(check int) "size zero" 1 (L.size t23 (L.zero t23));
+  Alcotest.(check int) "dim full" 3 (L.dim t23 (L.full t23));
+  Alcotest.(check int) "size full" 8 (L.size t23 (L.full t23));
+  Alcotest.(check bool) "zero <= full" true (L.leq t23 (L.zero t23) (L.full t23))
+
+let test_members_sorted_start_zero () =
+  for v = 0 to L.count t23 - 1 do
+    let m = L.members t23 v in
+    Alcotest.(check int) "starts with 0" 0 m.(0);
+    Alcotest.(check int) "size = q^dim" (1 lsl L.dim t23 v) (Array.length m);
+    for i = 1 to Array.length m - 1 do
+      Alcotest.(check bool) "sorted" true (m.(i) > m.(i - 1))
+    done
+  done
+
+let test_lattice_algebra () =
+  let n = L.count t23 in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let i = L.inter t23 a b and j = L.join t23 a b in
+      Alcotest.(check bool) "inter below both" true (L.leq t23 i a && L.leq t23 i b);
+      Alcotest.(check bool) "join above both" true (L.leq t23 a j && L.leq t23 b j);
+      (* dimension formula: dim a + dim b = dim inter + dim join holds for
+         modular pairs; in the subspace lattice it always holds. *)
+      Alcotest.(check int) "modular law"
+        (L.dim t23 a + L.dim t23 b)
+        (L.dim t23 i + L.dim t23 j)
+    done
+  done
+
+let test_covers () =
+  Array.iter
+    (fun w ->
+      Alcotest.(check int) "cover is one above" (L.dim t23 (L.zero t23) + 1) (L.dim t23 w))
+    (L.covers t23 (L.zero t23));
+  (* zero has (q^k - 1)/(q - 1) covers: the 1-dim subspaces = 7 for q=2,k=3 *)
+  Alcotest.(check int) "lines above zero" 7 (Array.length (L.covers t23 (L.zero t23)));
+  Alcotest.(check int) "nothing above full" 0 (Array.length (L.covers t23 (L.full t23)))
+
+let test_hyperplanes () =
+  Alcotest.(check int) "7 hyperplanes" 7 (Array.length (L.hyperplanes t23));
+  Array.iter
+    (fun h -> Alcotest.(check int) "dim k-1" 2 (L.dim t23 h))
+    (L.hyperplanes t23)
+
+let test_seed_move_total () =
+  (* From type V, the seed's vector is useful with prob 1 - |V|/q^k, and
+     the move probabilities over covers must sum to exactly that. *)
+  for v = 0 to L.count t23 - 1 do
+    if v <> L.full t23 then begin
+      let total =
+        Array.fold_left
+          (fun acc w -> acc +. L.seed_move_probability t23 ~downloader:v ~target:w)
+          0.0 (L.covers t23 v)
+      in
+      let expected = 1.0 -. (float_of_int (L.size t23 v) /. 8.0) in
+      Alcotest.(check (float 1e-12)) "seed totals" expected total
+    end
+  done
+
+let test_upload_move_total () =
+  (* Sum over covers = useful probability 1 - |V ∩ U| / |U|. *)
+  let n = L.count t23 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if v <> L.full t23 then begin
+        let total =
+          Array.fold_left
+            (fun acc w -> acc +. L.upload_move_probability t23 ~uploader:u ~downloader:v ~target:w)
+            0.0 (L.covers t23 v)
+        in
+        let expected =
+          1.0 -. (float_of_int (L.size t23 (L.inter t23 v u)) /. float_of_int (L.size t23 u))
+        in
+        Alcotest.(check (float 1e-12)) "upload totals" expected total
+      end
+    done
+  done
+
+let test_span_distribution_sums () =
+  List.iter
+    (fun j ->
+      let d = L.span_distribution t23 ~coded:j in
+      Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (Array.fold_left ( +. ) 0.0 d))
+    [ 0; 1; 2; 5 ]
+
+let test_span_distribution_values () =
+  let d1 = L.span_distribution t23 ~coded:1 in
+  Alcotest.(check (float 1e-12)) "P(zero) = 1/8" 0.125 d1.(L.zero t23);
+  (* each 1-dim subspace carries 1/8 (one nonzero vector out of 8) *)
+  Array.iter
+    (fun line -> Alcotest.(check (float 1e-12)) "line mass" 0.125 d1.(line))
+    (L.covers t23 (L.zero t23));
+  (* j=3: P(full) = (1-1/8)(1-1/4)(1-1/2) *)
+  let d3 = L.span_distribution t23 ~coded:3 in
+  Alcotest.(check (float 1e-9)) "P(full) at j=3" (0.875 *. 0.75 *. 0.5) d3.(L.full t23)
+
+let test_span_distribution_vs_monte_carlo () =
+  let rng = P2p_prng.Rng.of_seed 5 in
+  let d2 = L.span_distribution t23 ~coded:2 in
+  let counts = Array.make (L.count t23) 0 in
+  let trials = 40_000 in
+  for _ = 1 to trials do
+    let codes = Array.init 2 (fun _ -> P2p_prng.Rng.int_below rng 8) in
+    let v = L.dim_of_vector_span t23 codes in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun v p ->
+      let freq = float_of_int counts.(v) /. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "subspace %d: %.4f vs %.4f" v p freq)
+        true
+        (Float.abs (p -. freq) < 0.01))
+    d2
+
+let test_span_agrees_with_rank_pmf () =
+  (* Marginal over dimension must equal the rank law of random matrices. *)
+  let j = 2 in
+  let d = L.span_distribution t23 ~coded:j in
+  let pmf = P2p_coding.Rank_dist.rank_pmf ~q:2 ~rows:j ~cols:3 in
+  Array.iteri
+    (fun r expected ->
+      let total = ref 0.0 in
+      Array.iteri (fun v p -> if L.dim t23 v = r then total := !total +. p) d;
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "rank %d" r) expected !total)
+    pmf
+
+let test_build_guards () =
+  Alcotest.(check bool) "q^k too large" true
+    (try
+       ignore (L.build ~q:2 ~k:9);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too many subspaces" true
+    (try
+       ignore (L.build ~q:2 ~k:7);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "lattice"
+    [
+      ( "lattice",
+        [
+          Alcotest.test_case "subspace counts" `Quick test_counts;
+          Alcotest.test_case "zero/full" `Quick test_zero_full;
+          Alcotest.test_case "members canonical" `Quick test_members_sorted_start_zero;
+          Alcotest.test_case "inter/join/modular" `Quick test_lattice_algebra;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "hyperplanes" `Quick test_hyperplanes;
+          Alcotest.test_case "seed move totals" `Quick test_seed_move_total;
+          Alcotest.test_case "upload move totals" `Quick test_upload_move_total;
+          Alcotest.test_case "span sums" `Quick test_span_distribution_sums;
+          Alcotest.test_case "span values" `Quick test_span_distribution_values;
+          Alcotest.test_case "span vs Monte Carlo" `Quick test_span_distribution_vs_monte_carlo;
+          Alcotest.test_case "span vs rank pmf" `Quick test_span_agrees_with_rank_pmf;
+          Alcotest.test_case "build guards" `Quick test_build_guards;
+        ] );
+    ]

@@ -1,0 +1,240 @@
+(* The Foster-Lyapunov certificate: components of W, exact drift, and
+   negative drift on large states inside the stability region. *)
+
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let closef ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.8g got %.8g" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let stable = Scenario.example3 ~lambda1:1.0 ~lambda2:1.0 ~lambda3:1.0 ~mu:1.0 ~gamma:1.5
+let stable_inf = Params.with_gamma (Scenario.flash_crowd ~k:2 ~lambda:0.5 ~us:1.0 ~mu:1.0 ~gamma:2.0) ~gamma:infinity
+let dwell = Params.make ~k:2 ~us:0.5 ~mu:1.0 ~gamma:0.5 ~arrivals:[ (PS.empty, 5.0) ]
+
+(* ---- phi ---- *)
+
+let test_phi_shape () =
+  let c = Lyapunov.default_coeffs stable in
+  let edge = (2.0 *. c.d) +. (1.0 /. c.beta) in
+  (* linear part *)
+  closef "phi(0)" ((2.0 *. c.d) +. (1.0 /. (2.0 *. c.beta))) (Lyapunov.phi c 0.0);
+  closef "phi(d)" ((2.0 *. c.d) +. (1.0 /. (2.0 *. c.beta)) -. c.d) (Lyapunov.phi c c.d);
+  (* continuity at the joints *)
+  closef ~tol:1e-6 "continuous at 2d" (Lyapunov.phi c ((2.0 *. c.d) +. 1e-9))
+    (Lyapunov.phi c (2.0 *. c.d));
+  closef ~tol:1e-6 "zero at edge" 0.0 (Lyapunov.phi c edge);
+  closef "zero beyond" 0.0 (Lyapunov.phi c (edge +. 5.0))
+
+let test_phi_monotone_nonincreasing () =
+  let c = Lyapunov.default_coeffs stable in
+  let prev = ref (Lyapunov.phi c 0.0) in
+  for i = 1 to 300 do
+    let x = float_of_int i *. 0.5 in
+    let v = Lyapunov.phi c x in
+    Alcotest.(check bool) "nonincreasing" true (v <= !prev +. 1e-12);
+    prev := v
+  done
+
+let test_phi_slope_bounds () =
+  let c = Lyapunov.default_coeffs stable in
+  for i = 0 to 300 do
+    let x = float_of_int i *. 0.3 in
+    let s = Lyapunov.phi_slope_bound c x in
+    Alcotest.(check bool) "-1 <= phi' <= 0" true (s >= -1.0 && s <= 0.0)
+  done
+
+(* ---- E_C and H_C ---- *)
+
+let crafted_state () =
+  State.of_counts
+    [ (PS.empty, 1); (PS.singleton 0, 2); (PS.of_list [ 0; 1 ], 4); (PS.singleton 2, 8) ]
+
+let test_e_c () =
+  let s = crafted_state () in
+  Alcotest.(check int) "E_{0,1}" 7 (Lyapunov.e_c s ~c:(PS.of_list [ 0; 1 ]));
+  Alcotest.(check int) "E_F = n" 15 (Lyapunov.e_c s ~c:(PS.full ~k:3))
+
+let test_h_c () =
+  (* K=3, rho = 2/3: H_S = sum over helpers (K-|C'|+rho) x / (1-rho). *)
+  let p = Scenario.example3 ~lambda1:1.0 ~lambda2:1.0 ~lambda3:1.0 ~mu:1.0 ~gamma:1.5 in
+  let s = crafted_state () in
+  let rho = 2.0 /. 3.0 in
+  let expected = 8.0 *. (2.0 +. rho) /. (1.0 -. rho) in
+  (* only type {3} helps S = {1,2} *)
+  closef "H_{1,2}" expected (Lyapunov.h_c p s ~c:(PS.of_list [ 0; 1 ]));
+  closef "H_F = 0" 0.0 (Lyapunov.h_c p s ~c:(PS.full ~k:3))
+
+let test_h_prime_c () =
+  let p = dwell in
+  let s = State.of_counts [ (PS.empty, 3); (PS.singleton 0, 2) ] in
+  (* H'_{} counts helpers of the empty type: type {1} with weight K+1-1=2. *)
+  closef "H'_{}" 4.0 (Lyapunov.h_prime_c p s ~c:PS.empty)
+
+(* ---- W and regime dispatch ---- *)
+
+let test_w_regime_dispatch () =
+  let c = Lyapunov.default_coeffs stable in
+  let s = State.of_counts [ (PS.empty, 3) ] in
+  Alcotest.(check bool) "w on gamma<=mu raises" true
+    (try
+       ignore (Lyapunov.w dwell (Lyapunov.default_coeffs dwell) s);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "w_prime on gamma>mu raises" true
+    (try
+       ignore (Lyapunov.w_prime stable c s);
+       false
+     with Invalid_argument _ -> true);
+  (* auto dispatches without raising *)
+  ignore (Lyapunov.auto stable c s);
+  ignore (Lyapunov.auto dwell (Lyapunov.default_coeffs dwell) s)
+
+let test_w_grows_quadratically () =
+  let c = Lyapunov.default_coeffs stable in
+  let w_at n = Lyapunov.w stable c (State.of_counts [ (PS.of_list [ 0; 1 ], n) ]) in
+  let r = w_at 20_000 /. w_at 10_000 in
+  Alcotest.(check bool) "roughly quadratic" true (r > 3.0 && r < 5.0)
+
+let test_w_nonnegative () =
+  let rng = P2p_prng.Rng.of_seed 5 in
+  let c = Lyapunov.default_coeffs stable in
+  for _ = 1 to 100 do
+    let entries =
+      List.filter_map
+        (fun i ->
+          let count = P2p_prng.Rng.int_below rng 20 in
+          if count > 0 then Some (PS.of_index i, count) else None)
+        (List.init 8 (fun i -> i))
+    in
+    let s = State.of_counts entries in
+    Alcotest.(check bool) "W >= 0" true (Lyapunov.w stable c s >= 0.0)
+  done
+
+(* ---- drift ---- *)
+
+let test_drift_of_n_matches_flow () =
+  (* Qf for f = n is lambda_total - departure rate. *)
+  let p = stable in
+  let s = State.of_counts [ (PS.full ~k:3, 4); (PS.empty, 2) ] in
+  let drift_n = Lyapunov.drift p ~f:(fun st -> float_of_int (State.n st)) s in
+  closef "Qn = lambda - gamma x_F" (3.0 -. (1.5 *. 4.0)) drift_n
+
+let test_drift_constant_zero () =
+  let s = State.of_counts [ (PS.empty, 5) ] in
+  closef "Q(const) = 0" 0.0 (Lyapunov.drift stable ~f:(fun _ -> 3.0) s)
+
+let test_drift_linear_additive () =
+  let s = State.of_counts [ (PS.empty, 3); (PS.singleton 0, 1) ] in
+  let f1 st = float_of_int (State.n st) in
+  let f2 st = float_of_int (State.count st PS.empty) in
+  let sum st = f1 st +. f2 st in
+  closef ~tol:1e-9 "linearity"
+    (Lyapunov.drift stable ~f:f1 s +. Lyapunov.drift stable ~f:f2 s)
+    (Lyapunov.drift stable ~f:sum s)
+
+let assert_negative_drift params sizes =
+  let coeffs = Lyapunov.default_coeffs params in
+  List.iter
+    (fun (pt : Lyapunov.scan_point) ->
+      if pt.n >= List.fold_left Int.max 0 sizes then
+        Alcotest.(check bool)
+          (Printf.sprintf "QW < 0 at %s (got %.3f)" pt.state_desc pt.drift_per_peer)
+          true (pt.drift_value < 0.0))
+    (Lyapunov.scan_class_one params coeffs ~sizes)
+
+let test_negative_drift_stable_finite_gamma () = assert_negative_drift stable [ 3000 ]
+let test_negative_drift_stable_gamma_inf () = assert_negative_drift stable_inf [ 3000 ]
+
+let test_negative_drift_dwell_regime () =
+  (* gamma <= mu: the W' variant; drive is the seed (0.5) so n_0 is larger. *)
+  assert_negative_drift dwell [ 8000 ]
+
+let test_drift_positive_when_transient () =
+  (* In the transient regime the one-club state has growing E_club, and W
+     must increase there. *)
+  let p = Scenario.flash_crowd ~k:3 ~lambda:1.0 ~us:0.05 ~mu:1.0 ~gamma:infinity in
+  let coeffs = Lyapunov.default_coeffs p in
+  let club = PS.of_list [ 1; 2 ] in
+  let s = State.of_counts [ (club, 3000) ] in
+  Alcotest.(check bool) "drift positive at large one-club" true
+    (Lyapunov.drift_w p coeffs s > 0.0)
+
+let test_lw_approximation_bound () =
+  (* Lemma 8: |QW - LW| <= M_phi (D_total + 1) * Theta(1).  Verify the
+     normalised error is bounded by a modest constant over random states
+     and that LW tracks QW's sign on large one-type states. *)
+  let rng = P2p_prng.Rng.of_seed 17 in
+  let coeffs = Lyapunov.default_coeffs stable in
+  let mphi = Lyapunov.m_phi coeffs in
+  for _ = 1 to 50 do
+    let entries =
+      List.filter_map
+        (fun i ->
+          let count = P2p_prng.Rng.int_below rng 30 in
+          if count > 0 then Some (PS.of_index i, count) else None)
+        (List.init 8 (fun i -> i))
+    in
+    let s = State.of_counts entries in
+    let qw = Lyapunov.drift_w stable coeffs s in
+    let lw = Lyapunov.lw stable coeffs s in
+    let bound = mphi *. (Lyapunov.d_total stable s +. 1.0) in
+    Alcotest.(check bool)
+      (Printf.sprintf "|QW-LW| = %.3f within 8x Lemma-8 normaliser %.3f" (Float.abs (qw -. lw))
+         bound)
+      true
+      (Float.abs (qw -. lw) <= 8.0 *. bound)
+  done;
+  (* on a large one-club the approximation is tight in relative terms *)
+  let club = State.of_counts [ (PS.of_list [ 0; 1 ], 2000) ] in
+  let qw = Lyapunov.drift_w stable coeffs club in
+  let lw = Lyapunov.lw stable coeffs club in
+  Alcotest.(check bool)
+    (Printf.sprintf "same sign at scale: QW=%.1f LW=%.1f" qw lw)
+    true
+    (qw < 0.0 && lw < 0.0)
+
+let test_class_two_drift () =
+  let coeffs = Lyapunov.default_coeffs stable in
+  let rng = P2p_prng.Rng.of_seed 9 in
+  let points = Lyapunov.scan_class_two stable coeffs ~rng ~size:4000 ~samples:10 in
+  (* Class II states with two genuinely mixed blocks have strongly negative
+     drift (−Θ(n²) when the blocks can help each other). *)
+  List.iter
+    (fun (pt : Lyapunov.scan_point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class II drift < 0 at %s" pt.state_desc)
+        true
+        (pt.drift_value < 0.0 || pt.n < 100))
+    points
+
+let () =
+  Alcotest.run "lyapunov"
+    [
+      ( "components",
+        [
+          Alcotest.test_case "phi shape" `Quick test_phi_shape;
+          Alcotest.test_case "phi monotone" `Quick test_phi_monotone_nonincreasing;
+          Alcotest.test_case "phi slope" `Quick test_phi_slope_bounds;
+          Alcotest.test_case "E_C" `Quick test_e_c;
+          Alcotest.test_case "H_C" `Quick test_h_c;
+          Alcotest.test_case "H'_C" `Quick test_h_prime_c;
+          Alcotest.test_case "regime dispatch" `Quick test_w_regime_dispatch;
+          Alcotest.test_case "quadratic growth" `Quick test_w_grows_quadratically;
+          Alcotest.test_case "nonnegative" `Quick test_w_nonnegative;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "Qn" `Quick test_drift_of_n_matches_flow;
+          Alcotest.test_case "Q(const)" `Quick test_drift_constant_zero;
+          Alcotest.test_case "linearity" `Quick test_drift_linear_additive;
+          Alcotest.test_case "negative drift (gamma finite)" `Quick test_negative_drift_stable_finite_gamma;
+          Alcotest.test_case "negative drift (gamma inf)" `Quick test_negative_drift_stable_gamma_inf;
+          Alcotest.test_case "negative drift (gamma<=mu)" `Quick test_negative_drift_dwell_regime;
+          Alcotest.test_case "positive drift when transient" `Quick test_drift_positive_when_transient;
+          Alcotest.test_case "class II drift" `Quick test_class_two_drift;
+          Alcotest.test_case "LW approximation (Lemma 8)" `Quick test_lw_approximation_bound;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+(* Trajectory metrics and the quasi-stability onset probe. *)
+
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let test_piece_rarity_order () =
+  let s = State.of_counts [ (PS.of_list [ 0; 1 ], 3); (PS.singleton 0, 2) ] in
+  (* copies: piece 1 -> 5, piece 2 -> 3, piece 3 -> 0 *)
+  Alcotest.(check (list (pair int int))) "rarest first" [ (2, 0); (1, 3); (0, 5) ]
+    (Metrics.piece_rarity s ~k:3);
+  Alcotest.(check int) "rarest piece" 2 (Metrics.rarest_piece s ~k:3)
+
+let test_gini_balanced () =
+  let s = State.of_counts [ (PS.of_list [ 0; 1; 2 ], 5) ] in
+  Alcotest.(check (float 1e-9)) "perfectly balanced" 0.0 (Metrics.gini_of_piece_counts s ~k:3)
+
+let test_gini_concentrated () =
+  (* all copies of one piece *)
+  let s = State.of_counts [ (PS.singleton 0, 9) ] in
+  let g = Metrics.gini_of_piece_counts s ~k:3 in
+  Alcotest.(check bool) "high inequality" true (g > 0.6);
+  let empty = State.create () in
+  Alcotest.(check bool) "nan when no copies" true
+    (Float.is_nan (Metrics.gini_of_piece_counts empty ~k:3))
+
+let test_gini_one_club () =
+  (* one-club: every piece except one plentiful -> moderate Gini that
+     grows as the club grows *)
+  let club n = State.of_counts [ (PS.of_list [ 1; 2 ], n); (PS.full ~k:3, 1) ] in
+  let g1 = Metrics.gini_of_piece_counts (club 10) ~k:3 in
+  let g2 = Metrics.gini_of_piece_counts (club 100) ~k:3 in
+  Alcotest.(check bool) "club sharpens inequality" true (g2 > g1)
+
+let test_time_above_and_peak () =
+  let samples = [| (0.0, 1); (1.0, 5); (2.0, 9); (3.0, 4) |] in
+  Alcotest.(check (float 1e-9)) "time above 5" 0.5 (Metrics.time_above samples ~threshold:5);
+  let t, v = Metrics.peak samples in
+  Alcotest.(check (float 1e-9)) "peak time" 2.0 t;
+  Alcotest.(check int) "peak value" 9 v
+
+let test_drain_time () =
+  let samples = [| (0.0, 2); (1.0, 100); (2.0, 80); (3.0, 45); (4.0, 30) |] in
+  (* reaches 100 at t=1; first below 50 at t=3 -> drain 2.0 *)
+  Alcotest.(check (option (float 1e-9))) "drain" (Some 2.0)
+    (Metrics.drain_time samples ~from_:100);
+  Alcotest.(check (option (float 1e-9))) "never reaches" None
+    (Metrics.drain_time samples ~from_:500)
+
+let test_club_onset_detected () =
+  (* Transient flash crowd: the one-club must form from an empty start.
+     With symmetric empty-handed arrivals the syndrome strikes a random
+     piece, so first discover which piece went rare, then re-run with the
+     group tracker pointed at it. *)
+  let p = Scenario.flash_crowd ~k:3 ~lambda:1.5 ~us:0.1 ~mu:1.0 ~gamma:infinity in
+  let _, final = Sim_agent.run_seeded ~seed:5 (Sim_agent.default_config p) ~horizon:800.0 in
+  let rare = Metrics.rarest_piece final ~k:3 in
+  let stats, _ =
+    Sim_agent.run_seeded ~seed:5
+      { (Sim_agent.default_config p) with rare_piece = rare }
+      ~horizon:800.0
+  in
+  match Metrics.club_onset stats ~fraction:0.6 ~min_population:60 with
+  | Some t ->
+      Alcotest.(check bool) "onset strictly positive" true (t > 0.0);
+      Alcotest.(check bool) "onset within horizon" true (t <= 800.0)
+  | None -> Alcotest.fail "one-club never formed in a transient system"
+
+let test_club_onset_absent_when_stable () =
+  let p = Scenario.flash_crowd ~k:3 ~lambda:0.5 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let stats, _ =
+    Sim_agent.run_seeded ~seed:6 (Sim_agent.default_config p) ~horizon:800.0
+  in
+  Alcotest.(check bool) "no large club in a stable swarm" true
+    (Metrics.club_onset stats ~fraction:0.8 ~min_population:100 = None)
+
+let test_club_onset_bad_fraction () =
+  let p = Scenario.flash_crowd ~k:2 ~lambda:0.5 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let stats, _ = Sim_agent.run_seeded ~seed:7 (Sim_agent.default_config p) ~horizon:50.0 in
+  Alcotest.(check bool) "fraction validated" true
+    (try
+       ignore (Metrics.club_onset stats ~fraction:0.0 ~min_population:1);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "piece rarity" `Quick test_piece_rarity_order;
+          Alcotest.test_case "gini balanced" `Quick test_gini_balanced;
+          Alcotest.test_case "gini concentrated" `Quick test_gini_concentrated;
+          Alcotest.test_case "gini one-club" `Quick test_gini_one_club;
+          Alcotest.test_case "time above / peak" `Quick test_time_above_and_peak;
+          Alcotest.test_case "drain time" `Quick test_drain_time;
+          Alcotest.test_case "onset detected" `Quick test_club_onset_detected;
+          Alcotest.test_case "onset absent when stable" `Quick test_club_onset_absent_when_stable;
+          Alcotest.test_case "onset validation" `Quick test_club_onset_bad_fraction;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* The mu = infinity watched process (Section VIII-D). *)
+
+module Mu = P2p_core.Mu_infinity
+module Rng = P2p_prng.Rng
+
+let cfg = { Mu.k = 3; lambda = 1.0 }
+
+let test_validation () =
+  Alcotest.(check bool) "k=1 rejected" true
+    (try
+       Mu.validate { Mu.k = 1; lambda = 1.0 };
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "lambda=0 rejected" true
+    (try
+       Mu.validate { Mu.k = 3; lambda = 0.0 };
+       false
+     with Invalid_argument _ -> true)
+
+let test_initial_and_first_step () =
+  let rng = Rng.of_seed 1 in
+  let s = Mu.step rng cfg Mu.initial in
+  Alcotest.(check int) "first arrival n" 1 s.n;
+  Alcotest.(check int) "first arrival pieces" 1 s.pieces
+
+let test_lower_layer_climbs () =
+  (* From (n,k) with k < K-1, both outcomes add one peer; pieces never
+     decrease. *)
+  let rng = Rng.of_seed 2 in
+  for _ = 1 to 2000 do
+    let n = 1 + Rng.int_below rng 20 in
+    let before = { Mu.n; pieces = 1 } in
+    let after = Mu.step rng { Mu.k = 4; lambda = 1.0 } before in
+    Alcotest.(check int) "n + 1" (n + 1) after.n;
+    Alcotest.(check bool) "pieces in {1,2}" true (after.pieces = 1 || after.pieces = 2)
+  done
+
+let test_lower_layer_transition_probs () =
+  (* (n, k) -> (n+1, k) w.p. k/K. *)
+  let rng = Rng.of_seed 3 in
+  let k_cfg = { Mu.k = 4; lambda = 1.0 } in
+  let stays = ref 0 in
+  let n_trials = 60_000 in
+  for _ = 1 to n_trials do
+    let after = Mu.step rng k_cfg { Mu.n = 5; pieces = 2 } in
+    if after.pieces = 2 then incr stays
+  done;
+  let freq = float_of_int !stays /. float_of_int n_trials in
+  Alcotest.(check bool) "P(stay) = 2/4" true (Float.abs (freq -. 0.5) < 0.01)
+
+let test_top_layer_reachability () =
+  let rng = Rng.of_seed 4 in
+  for _ = 1 to 5000 do
+    let n = 2 + Rng.int_below rng 30 in
+    let before = { Mu.n; pieces = cfg.k - 1 } in
+    let after = Mu.step rng cfg before in
+    (* stays on top layer (possibly collapsed to 1 with fewer pieces) *)
+    Alcotest.(check bool) "reachable states" true
+      ((after.pieces = cfg.k - 1 && after.n >= 1 && after.n <= n + 1)
+      || (after.n = 1 && after.pieces >= 1 && after.pieces < cfg.k))
+  done
+
+let test_z_expectation () =
+  Alcotest.(check (float 1e-12)) "E[Z] = K-1" 2.0 (Mu.z_expectation ~k:3)
+
+let test_coin_flip_z_mean () =
+  (* With n huge the collapse never happens and Z has mean K-1. *)
+  let rng = Rng.of_seed 5 in
+  let w = P2p_stats.Welford.create () in
+  for _ = 1 to 100_000 do
+    match Mu.sample_missing_piece_arrival rng ~k:4 ~n:1_000_000 with
+    | Mu.Stay_top z -> P2p_stats.Welford.add w (float_of_int z)
+    | Mu.Collapse _ -> Alcotest.fail "collapse impossible at huge n"
+  done;
+  Alcotest.(check bool) "mean Z" true (Float.abs (P2p_stats.Welford.mean w -. 3.0) < 0.05)
+
+let test_coin_flip_collapse () =
+  (* With n = 1 the club collapses whenever the first flip is heads. *)
+  let rng = Rng.of_seed 6 in
+  let collapses = ref 0 in
+  let n_trials = 40_000 in
+  for _ = 1 to n_trials do
+    match Mu.sample_missing_piece_arrival rng ~k:3 ~n:1 with
+    | Mu.Collapse pieces ->
+        incr collapses;
+        Alcotest.(check bool) "newcomer pieces in range" true (pieces >= 1 && pieces <= 2)
+    | Mu.Stay_top z -> Alcotest.(check int) "no departures" 0 z
+  done;
+  (* P(collapse) = P(heads before 2 tails) = 1 - P(TT first...)... with n=1:
+     collapse iff a head occurs before the 2nd tail = 1 - (1/2)^1... compute:
+     sequences: T T -> stay (prob 1/4); T H, H -> collapse. P = 3/4. *)
+  let freq = float_of_int !collapses /. float_of_int n_trials in
+  Alcotest.(check bool) "collapse prob 3/4" true (Float.abs (freq -. 0.75) < 0.01)
+
+let test_top_layer_zero_drift () =
+  let rng = Rng.of_seed 7 in
+  let run = Mu.simulate rng cfg ~init:{ Mu.n = 100; pieces = 2 } ~steps:300_000 in
+  Alcotest.(check bool) "mean top increment near 0" true
+    (Float.abs run.mean_top_increment < 0.05);
+  Alcotest.(check bool) "top layer visited" true (run.top_layer_steps > 100_000)
+
+let test_holding_rate () =
+  Alcotest.(check (float 1e-12)) "K lambda" 3.0 (Mu.holding_rate cfg { Mu.n = 5; pieces = 2 })
+
+let test_excursions_terminate () =
+  let rng = Rng.of_seed 8 in
+  let excs = Mu.excursions rng cfg ~start_n:5 ~count:100 ~cap_steps:500_000 in
+  Alcotest.(check int) "100 excursions" 100 (List.length excs);
+  List.iter
+    (fun (e : Mu.excursion) ->
+      Alcotest.(check bool) "positive length" true (e.length > 0);
+      Alcotest.(check bool) "peak >= start" true (e.peak >= 5))
+    excs;
+  let finished = List.filter (fun (e : Mu.excursion) -> not e.capped) excs in
+  (* recurrence: almost all excursions should finish *)
+  Alcotest.(check bool) "most finish" true (List.length finished > 90)
+
+let test_excursions_heavy_tail () =
+  (* Null recurrence signature: excursion mean grows with the cap because
+     the tail is heavy.  Compare mean over finished excursions under a
+     small and a large cap. *)
+  let mean_with_cap seed cap =
+    let rng = Rng.of_seed seed in
+    let excs = Mu.excursions rng cfg ~start_n:3 ~count:3000 ~cap_steps:cap in
+    let lens = List.map (fun (e : Mu.excursion) -> Int.min e.length cap) excs in
+    float_of_int (List.fold_left ( + ) 0 lens) /. 3000.0
+  in
+  let small = mean_with_cap 9 100 in
+  let large = mean_with_cap 9 100_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "truncated mean grows: %.1f -> %.1f" small large)
+    true
+    (large > 1.5 *. small)
+
+let () =
+  Alcotest.run "mu_infinity"
+    [
+      ( "process",
+        [
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "initial step" `Quick test_initial_and_first_step;
+          Alcotest.test_case "lower layer climbs" `Quick test_lower_layer_climbs;
+          Alcotest.test_case "lower layer probabilities" `Quick test_lower_layer_transition_probs;
+          Alcotest.test_case "top layer reachability" `Quick test_top_layer_reachability;
+          Alcotest.test_case "E[Z]" `Quick test_z_expectation;
+          Alcotest.test_case "coin flips mean" `Quick test_coin_flip_z_mean;
+          Alcotest.test_case "collapse probability" `Quick test_coin_flip_collapse;
+          Alcotest.test_case "zero drift" `Quick test_top_layer_zero_drift;
+          Alcotest.test_case "holding rate" `Quick test_holding_rate;
+          Alcotest.test_case "excursions terminate" `Quick test_excursions_terminate;
+          Alcotest.test_case "heavy tail" `Slow test_excursions_heavy_tail;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Unit and property tests for piece sets. *)
+
+module PS = P2p_pieceset.Pieceset
+
+let ps_testable = Alcotest.testable PS.pp PS.equal
+
+(* qcheck generator for a piece set within k pieces. *)
+let gen_set k = QCheck2.Gen.map (fun bits -> PS.of_index (bits land ((1 lsl k) - 1))) QCheck2.Gen.nat
+
+let test_empty_full () =
+  Alcotest.(check int) "empty cardinal" 0 (PS.cardinal PS.empty);
+  Alcotest.(check bool) "empty is empty" true (PS.is_empty PS.empty);
+  let f = PS.full ~k:6 in
+  Alcotest.(check int) "full cardinal" 6 (PS.cardinal f);
+  Alcotest.(check bool) "full is full" true (PS.is_full ~k:6 f);
+  Alcotest.(check bool) "full not empty" false (PS.is_empty f)
+
+let test_full_max () =
+  let f = PS.full ~k:PS.max_pieces in
+  Alcotest.(check int) "62-piece full" PS.max_pieces (PS.cardinal f)
+
+let test_full_invalid () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Pieceset: k = 0 out of range [1, 62]") (fun () ->
+      ignore (PS.full ~k:0))
+
+let test_add_remove_mem () =
+  let c = PS.empty |> PS.add 3 |> PS.add 5 in
+  Alcotest.(check bool) "mem 3" true (PS.mem 3 c);
+  Alcotest.(check bool) "mem 5" true (PS.mem 5 c);
+  Alcotest.(check bool) "not mem 4" false (PS.mem 4 c);
+  Alcotest.(check ps_testable) "remove 3" (PS.singleton 5) (PS.remove 3 c);
+  Alcotest.(check ps_testable) "remove absent is noop" c (PS.remove 4 c)
+
+let test_elements_roundtrip () =
+  let sets = [ []; [ 0 ]; [ 1; 3; 7 ]; [ 0; 1; 2; 3 ]; [ 61 ] ] in
+  List.iter
+    (fun l -> Alcotest.(check (list int)) "roundtrip" l (PS.elements (PS.of_list l)))
+    sets
+
+let test_subset_relations () =
+  let a = PS.of_list [ 0; 2 ] and b = PS.of_list [ 0; 1; 2 ] in
+  Alcotest.(check bool) "a subset b" true (PS.subset a b);
+  Alcotest.(check bool) "b not subset a" false (PS.subset b a);
+  Alcotest.(check bool) "a subset a" true (PS.subset a a);
+  Alcotest.(check bool) "proper" true (PS.proper_subset a b);
+  Alcotest.(check bool) "not proper self" false (PS.proper_subset a a)
+
+let test_can_help () =
+  let up = PS.of_list [ 0; 1 ] and down = PS.of_list [ 1; 2 ] in
+  Alcotest.(check bool) "has piece 0 to offer" true (PS.can_help ~uploader:up ~downloader:down);
+  Alcotest.(check bool) "nothing to offer" false
+    (PS.can_help ~uploader:(PS.singleton 1) ~downloader:down);
+  Alcotest.(check bool) "empty cannot help" false
+    (PS.can_help ~uploader:PS.empty ~downloader:PS.empty)
+
+let test_complement () =
+  let c = PS.of_list [ 0; 2 ] in
+  Alcotest.(check ps_testable) "complement in 4" (PS.of_list [ 1; 3 ]) (PS.complement ~k:4 c);
+  Alcotest.(check int) "missing count" 2 (PS.missing_count ~k:4 c)
+
+let test_nth_element () =
+  let c = PS.of_list [ 1; 4; 9 ] in
+  Alcotest.(check int) "0th" 1 (PS.nth_element c 0);
+  Alcotest.(check int) "1st" 4 (PS.nth_element c 1);
+  Alcotest.(check int) "2nd" 9 (PS.nth_element c 2)
+
+let test_lowest () =
+  Alcotest.(check int) "lowest" 2 (PS.lowest (PS.of_list [ 5; 2; 9 ]))
+
+let test_choose_uniform () =
+  let rng = P2p_prng.Rng.of_seed 3 in
+  let c = PS.of_list [ 1; 4; 9 ] in
+  let counts = Hashtbl.create 3 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let x = PS.choose_uniform (P2p_prng.Rng.int_below rng) c in
+    Hashtbl.replace counts x (1 + Option.value (Hashtbl.find_opt counts x) ~default:0)
+  done;
+  List.iter
+    (fun x ->
+      let freq = float_of_int (Hashtbl.find counts x) /. float_of_int n in
+      Alcotest.(check bool) "uniform choice" true (Float.abs (freq -. (1.0 /. 3.0)) < 0.02))
+    [ 1; 4; 9 ]
+
+let test_all_counts () =
+  Alcotest.(check int) "2^4 subsets" 16 (List.length (PS.all ~k:4));
+  Alcotest.(check int) "proper subsets" 15 (List.length (PS.all_proper ~k:4));
+  Alcotest.(check bool) "full not proper" false
+    (List.exists (PS.equal (PS.full ~k:4)) (PS.all_proper ~k:4))
+
+let test_subsets_of () =
+  let c = PS.of_list [ 1; 3 ] in
+  let subs = PS.subsets_of c in
+  Alcotest.(check int) "2^2 subsets" 4 (List.length subs);
+  List.iter (fun s -> Alcotest.(check bool) "each is subset" true (PS.subset s c)) subs;
+  Alcotest.(check bool) "contains empty" true (List.exists PS.is_empty subs);
+  Alcotest.(check bool) "contains self" true (List.exists (PS.equal c) subs)
+
+let test_strict_supersets () =
+  let c = PS.of_list [ 0 ] in
+  let sups = PS.strict_supersets_within ~k:3 c in
+  Alcotest.(check int) "2^2 - 1 supersets" 3 (List.length sups);
+  List.iter
+    (fun s -> Alcotest.(check bool) "proper superset" true (PS.proper_subset c s))
+    sups
+
+let test_index_roundtrip () =
+  for i = 0 to 255 do
+    Alcotest.(check int) "roundtrip" i (PS.to_index (PS.of_index i))
+  done
+
+let test_pp () =
+  Alcotest.(check string) "pp 1-based" "{1,3}" (PS.to_string (PS.of_list [ 0; 2 ]));
+  Alcotest.(check string) "pp empty" "{}" (PS.to_string PS.empty)
+
+(* Property tests. *)
+let prop_union_cardinal =
+  QCheck2.Test.make ~name:"cardinal(a∪b) = |a|+|b|-|a∩b|" ~count:1000
+    (QCheck2.Gen.pair (gen_set 10) (gen_set 10))
+    (fun (a, b) ->
+      PS.cardinal (PS.union a b) = PS.cardinal a + PS.cardinal b - PS.cardinal (PS.inter a b))
+
+let prop_diff_disjoint =
+  QCheck2.Test.make ~name:"a\\b disjoint from b" ~count:1000
+    (QCheck2.Gen.pair (gen_set 10) (gen_set 10))
+    (fun (a, b) -> PS.is_empty (PS.inter (PS.diff a b) b))
+
+let prop_subset_iff_union =
+  QCheck2.Test.make ~name:"a⊆b iff a∪b=b" ~count:1000
+    (QCheck2.Gen.pair (gen_set 10) (gen_set 10))
+    (fun (a, b) -> PS.subset a b = PS.equal (PS.union a b) b)
+
+let prop_complement_involution =
+  QCheck2.Test.make ~name:"complement twice is identity" ~count:1000 (gen_set 8)
+    (fun a -> PS.equal a (PS.complement ~k:8 (PS.complement ~k:8 a)))
+
+let prop_fold_counts =
+  QCheck2.Test.make ~name:"fold visits cardinal elements" ~count:1000 (gen_set 12)
+    (fun a -> PS.fold (fun _ acc -> acc + 1) a 0 = PS.cardinal a)
+
+let prop_subsets_count =
+  QCheck2.Test.make ~name:"subsets_of size 2^|C|" ~count:200 (gen_set 8)
+    (fun a -> List.length (PS.subsets_of a) = 1 lsl PS.cardinal a)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_union_cardinal;
+        prop_diff_disjoint;
+        prop_subset_iff_union;
+        prop_complement_involution;
+        prop_fold_counts;
+        prop_subsets_count;
+      ]
+  in
+  Alcotest.run "pieceset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty/full" `Quick test_empty_full;
+          Alcotest.test_case "full max" `Quick test_full_max;
+          Alcotest.test_case "full invalid" `Quick test_full_invalid;
+          Alcotest.test_case "add/remove/mem" `Quick test_add_remove_mem;
+          Alcotest.test_case "elements roundtrip" `Quick test_elements_roundtrip;
+          Alcotest.test_case "subset" `Quick test_subset_relations;
+          Alcotest.test_case "can_help" `Quick test_can_help;
+          Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "nth_element" `Quick test_nth_element;
+          Alcotest.test_case "lowest" `Quick test_lowest;
+          Alcotest.test_case "choose_uniform" `Quick test_choose_uniform;
+          Alcotest.test_case "all counts" `Quick test_all_counts;
+          Alcotest.test_case "subsets_of" `Quick test_subsets_of;
+          Alcotest.test_case "strict supersets" `Quick test_strict_supersets;
+          Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,149 @@
+(* Piece-selection policies: the usefulness constraint of Section VIII-A
+   and each policy's specific choice rule. *)
+
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let all_policies =
+  [ Policy.random_useful; Policy.rarest_first; Policy.most_common_first; Policy.sequential ]
+
+let random_state rng k =
+  let entries =
+    List.filter_map
+      (fun c ->
+        let count = P2p_prng.Rng.int_below rng 4 in
+        if count > 0 then Some (PS.of_index c, count) else None)
+      (List.init ((1 lsl k) - 1) (fun i -> i))
+  in
+  if entries = [] then State.of_counts [ (PS.empty, 1) ] else State.of_counts entries
+
+let test_useful_pieces () =
+  let k = 4 in
+  Alcotest.(check int) "seed offers all missing" 3
+    (PS.cardinal (Policy.useful_pieces ~k ~uploader:Policy.Fixed_seed ~downloader:(PS.singleton 0)));
+  Alcotest.(check int) "peer offers difference" 1
+    (PS.cardinal
+       (Policy.useful_pieces ~k ~uploader:(Policy.Peer (PS.of_list [ 0; 1 ]))
+          ~downloader:(PS.of_list [ 1; 2 ])))
+
+let test_distributions_valid () =
+  (* Every policy must return a normalised distribution supported on
+     useful pieces, for random states and random uploader/downloader. *)
+  let rng = P2p_prng.Rng.of_seed 11 in
+  let k = 4 in
+  for _ = 1 to 300 do
+    let state = random_state rng k in
+    let downloader = PS.of_index (P2p_prng.Rng.int_below rng ((1 lsl k) - 1)) in
+    let uploader =
+      if P2p_prng.Rng.bool rng then Policy.Fixed_seed
+      else Policy.Peer (PS.of_index (P2p_prng.Rng.int_below rng (1 lsl k)))
+    in
+    let useful = Policy.useful_pieces ~k ~uploader ~downloader in
+    if not (PS.is_empty useful) then
+      List.iter
+        (fun (policy : Policy.t) ->
+          let dist = policy.distribution ~k ~state ~uploader ~downloader in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s valid" policy.name)
+            true
+            (Policy.validate_distribution dist ~useful))
+        all_policies
+  done
+
+let test_random_useful_uniform () =
+  let state = State.of_counts [ (PS.empty, 1) ] in
+  let dist =
+    Policy.random_useful.distribution ~k:4 ~state ~uploader:Policy.Fixed_seed
+      ~downloader:PS.empty
+  in
+  Alcotest.(check int) "4 options" 4 (List.length dist);
+  List.iter (fun (_, p) -> Alcotest.(check (float 1e-12)) "uniform" 0.25 p) dist
+
+let test_rarest_first_prefers_rare () =
+  (* piece 3 has no copies; the seed must choose it. *)
+  let state = State.of_counts [ (PS.of_list [ 0; 1 ], 5); (PS.singleton 0, 2) ] in
+  let dist =
+    Policy.rarest_first.distribution ~k:3 ~state ~uploader:Policy.Fixed_seed ~downloader:PS.empty
+  in
+  Alcotest.(check (list (pair int (float 1e-12)))) "only the rarest" [ (2, 1.0) ] dist
+
+let test_rarest_first_ties_uniform () =
+  let state = State.of_counts [ (PS.empty, 3) ] in
+  let dist =
+    Policy.rarest_first.distribution ~k:2 ~state ~uploader:Policy.Fixed_seed ~downloader:PS.empty
+  in
+  Alcotest.(check int) "both tied" 2 (List.length dist);
+  List.iter (fun (_, p) -> Alcotest.(check (float 1e-12)) "uniform over ties" 0.5 p) dist
+
+let test_most_common_first_prefers_common () =
+  let state = State.of_counts [ (PS.of_list [ 0; 1 ], 5); (PS.singleton 0, 2) ] in
+  let dist =
+    Policy.most_common_first.distribution ~k:3 ~state ~uploader:Policy.Fixed_seed
+      ~downloader:PS.empty
+  in
+  (* piece 1 has 7 copies: the most common. *)
+  Alcotest.(check (list (pair int (float 1e-12)))) "most common" [ (0, 1.0) ] dist
+
+let test_sequential_lowest () =
+  let state = State.of_counts [ (PS.empty, 1) ] in
+  let dist =
+    Policy.sequential.distribution ~k:4 ~state ~uploader:(Policy.Peer (PS.of_list [ 2; 3 ]))
+      ~downloader:(PS.singleton 3)
+  in
+  Alcotest.(check (list (pair int (float 1e-12)))) "lowest useful" [ (2, 1.0) ] dist
+
+let test_rarest_constrained_by_uploader () =
+  (* The globally rarest piece may not be held by the uploader; the policy
+     must still pick among useful pieces only. *)
+  let state = State.of_counts [ (PS.singleton 0, 10); (PS.singleton 2, 1) ] in
+  (* rarest overall is piece 2 (index 1, zero copies) but uploader {1}
+     holds only piece 1. *)
+  let dist =
+    Policy.rarest_first.distribution ~k:3 ~state ~uploader:(Policy.Peer (PS.singleton 0))
+      ~downloader:PS.empty
+  in
+  Alcotest.(check (list (pair int (float 1e-12)))) "forced useful" [ (0, 1.0) ] dist
+
+let test_sample_none_when_useless () =
+  let rng = P2p_prng.Rng.of_seed 12 in
+  let state = State.of_counts [ (PS.singleton 0, 1) ] in
+  Alcotest.(check (option int)) "no useful piece" None
+    (Policy.sample Policy.random_useful ~rng ~k:2 ~state
+       ~uploader:(Policy.Peer (PS.singleton 0)) ~downloader:(PS.of_list [ 0; 1 ]))
+
+let test_sample_respects_distribution () =
+  let rng = P2p_prng.Rng.of_seed 13 in
+  let state = State.of_counts [ (PS.empty, 1) ] in
+  let counts = Array.make 3 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    match
+      Policy.sample Policy.random_useful ~rng ~k:3 ~state ~uploader:Policy.Fixed_seed
+        ~downloader:PS.empty
+    with
+    | Some i -> counts.(i) <- counts.(i) + 1
+    | None -> Alcotest.fail "seed must always help an empty peer"
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "uniform sampling" true (Float.abs (freq -. (1.0 /. 3.0)) < 0.02))
+    counts
+
+let () =
+  Alcotest.run "policy"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "useful pieces" `Quick test_useful_pieces;
+          Alcotest.test_case "distributions valid" `Quick test_distributions_valid;
+          Alcotest.test_case "random uniform" `Quick test_random_useful_uniform;
+          Alcotest.test_case "rarest prefers rare" `Quick test_rarest_first_prefers_rare;
+          Alcotest.test_case "rarest ties" `Quick test_rarest_first_ties_uniform;
+          Alcotest.test_case "most common" `Quick test_most_common_first_prefers_common;
+          Alcotest.test_case "sequential lowest" `Quick test_sequential_lowest;
+          Alcotest.test_case "rarest constrained" `Quick test_rarest_constrained_by_uploader;
+          Alcotest.test_case "sample none" `Quick test_sample_none_when_useless;
+          Alcotest.test_case "sample distribution" `Quick test_sample_respects_distribution;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Rank distribution of random matrices over GF(q) and the generalised
+   Theorem 15 profile classification built on it. *)
+
+module RD = P2p_coding.Rank_dist
+open P2p_core
+
+let closef ?(tol = 1e-9) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.8g got %.8g" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let test_pmf_sums_to_one () =
+  List.iter
+    (fun (q, rows, cols) ->
+      let pmf = RD.rank_pmf ~q ~rows ~cols in
+      let total = Array.fold_left ( +. ) 0.0 pmf in
+      closef (Printf.sprintf "q=%d %dx%d" q rows cols) 1.0 total)
+    [ (2, 3, 3); (4, 2, 5); (16, 4, 4); (64, 3, 200); (3, 0, 5); (5, 6, 2) ]
+
+let test_single_vector () =
+  (* 1 x K: rank 0 with prob q^-K, else rank 1. *)
+  let pmf = RD.rank_pmf ~q:4 ~rows:1 ~cols:3 in
+  closef "P(rank 0)" (1.0 /. 64.0) pmf.(0);
+  closef "P(rank 1)" (1.0 -. (1.0 /. 64.0)) pmf.(1)
+
+let test_square_invertible () =
+  (* n x n full rank prob = prod (1 - q^{-i}), i=1..n. *)
+  let q = 3 and n = 4 in
+  let expected = ref 1.0 in
+  for i = 1 to n do
+    expected := !expected *. (1.0 -. (float_of_int q ** float_of_int (-i)))
+  done;
+  let pmf = RD.rank_pmf ~q ~rows:n ~cols:n in
+  closef "P(full rank)" !expected pmf.(n)
+
+let test_zero_rows () =
+  let pmf = RD.rank_pmf ~q:7 ~rows:0 ~cols:5 in
+  Alcotest.(check int) "only rank 0" 1 (Array.length pmf);
+  closef "certain" 1.0 pmf.(0)
+
+let test_pmf_vs_monte_carlo () =
+  let rng = P2p_prng.Rng.of_seed 1 in
+  let q = 3 and rows = 3 and cols = 4 in
+  let pmf = RD.rank_pmf ~q ~rows ~cols in
+  let counts = Array.make (Array.length pmf) 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let r = RD.sample_rank rng ~q ~rows ~cols in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Array.iteri
+    (fun r p ->
+      let freq = float_of_int counts.(r) /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank %d: %.4f vs %.4f" r p freq)
+        true
+        (Float.abs (p -. freq) < 0.01))
+    pmf
+
+let test_mean_rank_monotone () =
+  let m j = RD.mean_rank ~q:4 ~rows:j ~cols:6 in
+  Alcotest.(check bool) "increasing in rows" true (m 1 < m 2 && m 2 < m 4 && m 4 < m 8);
+  Alcotest.(check bool) "bounded by cols" true (m 20 <= 6.0)
+
+let test_outside_hyperplane_mass () =
+  (* total outside mass = 1 - q^-j (at least one vector outside V-). *)
+  let q = 5 and k = 4 and coded = 2 in
+  let decomposition = RD.outside_hyperplane_decomposition ~q ~k ~coded in
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 decomposition in
+  closef "P(V not in V-)" (1.0 -. (float_of_int q ** -2.0)) total
+
+let test_outside_hyperplane_k1 () =
+  (* K = 1: the hyperplane is {0}; outside mass = P(some nonzero vector). *)
+  let decomposition = RD.outside_hyperplane_decomposition ~q:4 ~k:1 ~coded:1 in
+  let total = Array.fold_left (fun acc (_, w) -> acc +. w) 0.0 decomposition in
+  closef "outside {0}" (3.0 /. 4.0) total
+
+let test_prob_spans () =
+  closef "j < k cannot span" 0.0 (RD.prob_spans ~q:4 ~k:3 ~coded:2);
+  (* 3x3 over GF(4): P(invertible) = (1-1/4)(1-1/16)(1-1/64) ~ 0.6918 *)
+  let p = RD.prob_spans ~q:4 ~k:3 ~coded:3 in
+  closef ~tol:1e-9 "j = k spanning probability" 0.692138671875 p;
+  Alcotest.(check bool) "more vectors raise it" true (RD.prob_spans ~q:4 ~k:3 ~coded:6 > p)
+
+(* ---- profile classification ---- *)
+
+let gift f = { Stability.Coded.q = 16; k = 8; us = 0.0; mu = 1.0; gamma = infinity;
+               lambda0 = 1.0 -. f; lambda1 = f }
+
+let test_profile_agrees_with_gift () =
+  List.iter
+    (fun f ->
+      let g = gift f in
+      Alcotest.(check string) (Printf.sprintf "f=%g" f)
+        (Stability.verdict_to_string (Stability.Coded.classify g))
+        (Stability.verdict_to_string
+           (Stability.Coded.classify_profile (Stability.Coded.profile_of_gift g))))
+    [ 0.01; 0.05; 0.1; 0.1337; 0.137; 0.15; 0.3; 0.8 ]
+
+let test_profile_agrees_with_gift_finite_gamma () =
+  List.iter
+    (fun gamma ->
+      let g = { (gift 0.1) with gamma; us = 0.2 } in
+      Alcotest.(check string) (Printf.sprintf "gamma=%g" gamma)
+        (Stability.verdict_to_string (Stability.Coded.classify g))
+        (Stability.verdict_to_string
+           (Stability.Coded.classify_profile (Stability.Coded.profile_of_gift g))))
+    [ 0.3; 0.95; 1.5; 4.0 ]
+
+let test_bigger_gifts_weaker_per_arrival () =
+  (* Counter-intuitive but exactly Theorem 15's weighting (K - dim V +
+     mu/gamma): a peer arriving with MORE coded pieces needs fewer
+     downloads, departs sooner, and therefore uploads the rare direction
+     fewer times.  At the same arrival fraction, j = 3 gifts stabilise
+     LESS than j = 1 gifts, so the critical fraction is larger. *)
+  let critical j =
+    let rhs f =
+      let profile =
+        { Stability.Coded.pq = 16; pk = 8; pus = 0.0; pmu = 1.0; pgamma = infinity;
+          parrivals = [ (0, 1.0 -. f); (j, f) ] }
+      in
+      snd (Stability.Coded.profile_thresholds profile)
+    in
+    let rec bisect lo hi iters =
+      if iters = 0 then (lo +. hi) /. 2.0
+      else begin
+        let mid = (lo +. hi) /. 2.0 in
+        if rhs mid > 1.0 then bisect lo mid (iters - 1) else bisect mid hi (iters - 1)
+      end
+    in
+    bisect 0.0 1.0 40
+  in
+  let c1 = critical 1 and c3 = critical 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "c3=%.4f > c1=%.4f" c3 c1)
+    true (c3 > c1)
+
+let test_profile_validation () =
+  let bad =
+    { Stability.Coded.pq = 16; pk = 8; pus = 0.0; pmu = 1.0; pgamma = infinity;
+      parrivals = [] }
+  in
+  Alcotest.(check bool) "empty arrivals rejected" true
+    (try
+       ignore (Stability.Coded.classify_profile bad);
+       false
+     with Invalid_argument _ -> true)
+
+let test_profile_no_gift_no_seed_transient () =
+  let p =
+    { Stability.Coded.pq = 16; pk = 8; pus = 0.0; pmu = 1.0; pgamma = 0.5;
+      parrivals = [ (0, 1.0) ] }
+  in
+  Alcotest.(check string) "nothing enters" "transient"
+    (Stability.verdict_to_string (Stability.Coded.classify_profile p))
+
+let () =
+  Alcotest.run "rank_dist"
+    [
+      ( "rank law",
+        [
+          Alcotest.test_case "pmf sums to 1" `Quick test_pmf_sums_to_one;
+          Alcotest.test_case "single vector" `Quick test_single_vector;
+          Alcotest.test_case "square invertible" `Quick test_square_invertible;
+          Alcotest.test_case "zero rows" `Quick test_zero_rows;
+          Alcotest.test_case "vs Monte Carlo" `Quick test_pmf_vs_monte_carlo;
+          Alcotest.test_case "mean rank monotone" `Quick test_mean_rank_monotone;
+          Alcotest.test_case "outside hyperplane" `Quick test_outside_hyperplane_mass;
+          Alcotest.test_case "k=1 hyperplane" `Quick test_outside_hyperplane_k1;
+          Alcotest.test_case "prob spans" `Quick test_prob_spans;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "agrees with gift" `Quick test_profile_agrees_with_gift;
+          Alcotest.test_case "agrees, finite gamma" `Quick test_profile_agrees_with_gift_finite_gamma;
+          Alcotest.test_case "bigger gifts weaker" `Quick test_bigger_gifts_weaker_per_arrival;
+          Alcotest.test_case "validation" `Quick test_profile_validation;
+          Alcotest.test_case "no inflow transient" `Quick test_profile_no_gift_no_seed_transient;
+        ] );
+    ]

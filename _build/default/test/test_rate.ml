@@ -1,0 +1,199 @@
+(* Transition rates: Eq. (1) closed form, general-policy rates, and the
+   generator row enumeration. *)
+
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let closef ?(tol = 1e-12) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.8g got %.8g" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let params ?(k = 2) ?(us = 1.0) ?(mu = 1.0) ?(gamma = 2.0) () =
+  Params.make ~k ~us ~mu ~gamma ~arrivals:[ (PS.empty, 1.0) ]
+
+(* Hand-computed instance of Eq. (1):
+   K=2, U_s=1, mu=1; x = (x_{} = 2, x_{1} = 1, x_{2} = 1, x_{12} = 1), n=5.
+   Gamma_{{},{1}} = (2/5)(U_s/2 + mu(x_{1}/1 + x_{12}/2)) = (2/5)(0.5+1.5) = 0.8 *)
+let worked_state () =
+  State.of_counts
+    [ (PS.empty, 2); (PS.singleton 0, 1); (PS.singleton 1, 1); (PS.of_list [ 0; 1 ], 1) ]
+
+let test_eq1_worked_example () =
+  let p = params () in
+  let s = worked_state () in
+  closef "Gamma {}->{1}" 0.8 (Rate.gamma_c_i p s ~c:PS.empty ~piece:0);
+  closef "Gamma {}->{2}" 0.8 (Rate.gamma_c_i p s ~c:PS.empty ~piece:1);
+  (* Gamma_{{1},{1,2}} = (1/5)(U_s/1 + mu(x_{2}/1 + x_{12}/1)) = (1/5)(1+2) = 0.6 *)
+  closef "Gamma {1}->{1,2}" 0.6 (Rate.gamma_c_i p s ~c:(PS.singleton 0) ~piece:1)
+
+let test_eq1_zero_cases () =
+  let p = params () in
+  let s = worked_state () in
+  closef "piece already held" 0.0 (Rate.gamma_c_i p s ~c:(PS.singleton 0) ~piece:0);
+  closef "empty state" 0.0 (Rate.gamma_c_i p (State.create ()) ~c:PS.empty ~piece:0);
+  closef "absent type" 0.0
+    (Rate.gamma_c_i p (State.of_counts [ (PS.singleton 0, 1) ]) ~c:PS.empty ~piece:1)
+
+let test_policy_rate_matches_eq1 () =
+  (* Under random-useful selection the general-policy rate must equal the
+     closed form, on randomized states. *)
+  let rng = P2p_prng.Rng.of_seed 7 in
+  let p = params ~k:3 ~us:0.7 ~mu:1.3 () in
+  for _ = 1 to 200 do
+    let entries =
+      List.filter_map
+        (fun c ->
+          let count = P2p_prng.Rng.int_below rng 4 in
+          if count > 0 then Some (PS.of_index c, count) else None)
+        (List.init 8 (fun i -> i))
+    in
+    let s = State.of_counts entries in
+    List.iter
+      (fun c ->
+        let cset = PS.of_index c in
+        PS.iter
+          (fun piece ->
+            closef ~tol:1e-9 "policy = Eq.(1)"
+              (Rate.gamma_c_i p s ~c:cset ~piece)
+              (Rate.transfer_rate ~policy:Policy.random_useful p s ~c:cset ~piece))
+          (PS.complement ~k:3 cset))
+      (List.init 7 (fun i -> i))
+  done
+
+let test_transitions_complete () =
+  let p = params () in
+  let s = worked_state () in
+  let ts = Rate.transitions p s in
+  (* 1 arrival stream + 1 seed departure + transfers:
+     {} can get piece 1, piece 2; {1} can get 2; {2} can get 1 -> 4 transfers *)
+  Alcotest.(check int) "transition count" 6 (List.length ts);
+  let total = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 ts in
+  closef ~tol:1e-9 "total rate" (Rate.total_rate p s) total;
+  (* seed departure rate = gamma * x_F = 2*1 *)
+  let dep =
+    List.fold_left
+      (fun acc (t, r) -> match t with Rate.Seed_departure -> acc +. r | _ -> acc)
+      0.0 ts
+  in
+  closef "departure rate" 2.0 dep
+
+let test_transitions_no_departure_when_inf () =
+  let p = params ~gamma:infinity () in
+  (* gamma = inf means no full peers can exist in a valid state; build a
+     state without them. *)
+  let s = State.of_counts [ (PS.empty, 2); (PS.singleton 0, 1) ] in
+  let ts = Rate.transitions p s in
+  Alcotest.(check bool) "no seed departure"
+    true
+    (List.for_all (function Rate.Seed_departure, _ -> false | _ -> true) ts)
+
+let test_apply_arrival () =
+  let p = params () in
+  let s = State.create () in
+  Rate.apply p s (Rate.Arrival PS.empty);
+  Alcotest.(check int) "added" 1 (State.count s PS.empty)
+
+let test_apply_transfer () =
+  let p = params () in
+  let s = State.of_counts [ (PS.empty, 1) ] in
+  Rate.apply p s (Rate.Transfer { downloader = PS.empty; piece = 0 });
+  Alcotest.(check int) "moved" 1 (State.count s (PS.singleton 0));
+  Alcotest.(check int) "n kept" 1 (State.n s)
+
+let test_apply_completion_finite_gamma () =
+  let p = params () in
+  let s = State.of_counts [ (PS.singleton 0, 1) ] in
+  Rate.apply p s (Rate.Transfer { downloader = PS.singleton 0; piece = 1 });
+  Alcotest.(check int) "became seed" 1 (State.count s (PS.full ~k:2));
+  Alcotest.(check int) "n kept" 1 (State.n s)
+
+let test_apply_completion_immediate () =
+  let p = params ~gamma:infinity () in
+  let s = State.of_counts [ (PS.singleton 0, 1) ] in
+  Rate.apply p s (Rate.Transfer { downloader = PS.singleton 0; piece = 1 });
+  Alcotest.(check int) "departed" 0 (State.n s)
+
+let test_apply_seed_departure () =
+  let p = params () in
+  let s = State.of_counts [ (PS.full ~k:2, 2) ] in
+  Rate.apply p s Rate.Seed_departure;
+  Alcotest.(check int) "one left" 1 (State.count s (PS.full ~k:2))
+
+let test_apply_invalid () =
+  let p = params () in
+  let s = State.of_counts [ (PS.singleton 0, 1) ] in
+  Alcotest.(check bool) "piece already held" true
+    (try
+       Rate.apply p s (Rate.Transfer { downloader = PS.singleton 0; piece = 0 });
+       false
+     with Invalid_argument _ -> true)
+
+(* Flow conservation: summing Gamma_{C,C+i} over all C,i against the
+   aggregate upload capacity. Each contact-with-useful-piece uploads, so
+   total transfer rate <= U_s + mu * n. *)
+let test_total_transfer_rate_bounded () =
+  let rng = P2p_prng.Rng.of_seed 8 in
+  let p = params ~k:3 ~us:0.5 ~mu:2.0 () in
+  for _ = 1 to 100 do
+    let entries =
+      List.filter_map
+        (fun c ->
+          let count = P2p_prng.Rng.int_below rng 5 in
+          if count > 0 then Some (PS.of_index c, count) else None)
+        (List.init 8 (fun i -> i))
+    in
+    if entries <> [] then begin
+      let s = State.of_counts entries in
+      let transfer_total =
+        List.fold_left
+          (fun acc (t, r) -> match t with Rate.Transfer _ -> acc +. r | _ -> acc)
+          0.0 (Rate.transitions p s)
+      in
+      let cap = p.us +. (p.mu *. float_of_int (State.n s)) in
+      Alcotest.(check bool) "bounded by capacity" true (transfer_total <= cap +. 1e-9)
+    end
+  done
+
+let test_rarest_first_rate_shifts_mass () =
+  (* With rarest-first, a type-{} peer downloading from the seed must get
+     the globally rarer piece with probability 1. *)
+  let p = params ~k:2 ~us:1.0 ~mu:1.0 () in
+  (* piece 2 (index 1) is rarer: 1 copy vs 3 copies of piece 1 *)
+  let s = State.of_counts [ (PS.empty, 5); (PS.singleton 0, 3); (PS.singleton 1, 1) ] in
+  let rate_rare =
+    Rate.transfer_rate ~policy:Policy.rarest_first p s ~c:PS.empty ~piece:1
+  in
+  let rate_common =
+    Rate.transfer_rate ~policy:Policy.rarest_first p s ~c:PS.empty ~piece:0
+  in
+  (* Seed always sends piece 2 to a type-{} peer; type-{1} peers can only
+     send piece 1 (still useful, forced); type-{2} sends piece 2. *)
+  let x_empty = 5.0 and n = 9.0 in
+  closef "rare piece rate" (x_empty /. n *. (1.0 +. 1.0)) rate_rare;
+  closef "common piece rate" (x_empty /. n *. 3.0) rate_common
+
+let () =
+  Alcotest.run "rate"
+    [
+      ( "eq1",
+        [
+          Alcotest.test_case "worked example" `Quick test_eq1_worked_example;
+          Alcotest.test_case "zero cases" `Quick test_eq1_zero_cases;
+          Alcotest.test_case "policy matches closed form" `Quick test_policy_rate_matches_eq1;
+          Alcotest.test_case "rarest-first shifts mass" `Quick test_rarest_first_rate_shifts_mass;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "transitions complete" `Quick test_transitions_complete;
+          Alcotest.test_case "no departure at gamma=inf" `Quick test_transitions_no_departure_when_inf;
+          Alcotest.test_case "apply arrival" `Quick test_apply_arrival;
+          Alcotest.test_case "apply transfer" `Quick test_apply_transfer;
+          Alcotest.test_case "apply completion (finite)" `Quick test_apply_completion_finite_gamma;
+          Alcotest.test_case "apply completion (inf)" `Quick test_apply_completion_immediate;
+          Alcotest.test_case "apply seed departure" `Quick test_apply_seed_departure;
+          Alcotest.test_case "apply invalid" `Quick test_apply_invalid;
+          Alcotest.test_case "capacity bound" `Quick test_total_transfer_rate_bounded;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+(* Reachable type sets under restricted piece-selection policies —
+   Section VIII-A's minimal closed set discussion. *)
+
+open P2p_core
+module PS = P2p_pieceset.Pieceset
+
+let flash gamma = Scenario.flash_crowd ~k:3 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma
+
+let test_sequential_prefix_only () =
+  (* The paper: under lowest-numbered-useful selection, every reachable
+     peer holds a consecutive prefix {1..j}. *)
+  let r = Reachability.explore ~policy:Policy.sequential (flash infinity) ~n_max:5 in
+  Alcotest.(check bool) "not truncated" false r.truncated;
+  Alcotest.(check bool) "prefix types only" true
+    (Reachability.prefix_types_only ~k:3 r.types_seen);
+  (* with gamma = inf the complete prefix departs instantly, so exactly
+     K types occur: {}, {1}, {1,2} *)
+  Alcotest.(check int) "K standing types" 3 (List.length r.types_seen)
+
+let test_sequential_prefix_only_finite_gamma () =
+  let r = Reachability.explore ~policy:Policy.sequential (flash 2.0) ~n_max:5 in
+  Alcotest.(check bool) "prefix types only" true
+    (Reachability.prefix_types_only ~k:3 r.types_seen);
+  Alcotest.(check int) "K+1 types incl. seeds" 4 (List.length r.types_seen)
+
+let test_random_reaches_everything () =
+  let r = Reachability.explore ~policy:Policy.random_useful (flash 2.0) ~n_max:5 in
+  Alcotest.(check bool) "all 2^K types" true
+    (Reachability.all_types_reachable ~k:3 r.types_seen);
+  Alcotest.(check bool) "not prefix-restricted" false
+    (Reachability.prefix_types_only ~k:3 r.types_seen)
+
+let test_rarest_reaches_everything () =
+  let r = Reachability.explore ~policy:Policy.rarest_first (flash 2.0) ~n_max:4 in
+  Alcotest.(check bool) "all 2^K types under rarest-first" true
+    (Reachability.all_types_reachable ~k:3 r.types_seen)
+
+let test_gifted_types_extend_reachability () =
+  (* sequential selection but peers arrive holding piece 3: non-prefix
+     collections appear. *)
+  let p =
+    Params.make ~k:3 ~us:1.0 ~mu:1.0 ~gamma:infinity
+      ~arrivals:[ (PS.empty, 1.0); (PS.singleton 2, 0.5) ]
+  in
+  let r = Reachability.explore ~policy:Policy.sequential p ~n_max:4 in
+  Alcotest.(check bool) "prefix property broken by gifts" false
+    (Reachability.prefix_types_only ~k:3 r.types_seen);
+  Alcotest.(check bool) "type {3} occurs" true
+    (List.exists (PS.equal (PS.singleton 2)) r.types_seen)
+
+let test_truncation_flag () =
+  let r =
+    Reachability.explore ~policy:Policy.random_useful ~max_states:50 (flash 2.0) ~n_max:6
+  in
+  Alcotest.(check bool) "truncated when capped" true r.truncated
+
+let test_monotone_in_cap () =
+  let count n_max =
+    (Reachability.explore ~policy:Policy.random_useful (flash 2.0) ~n_max).states_explored
+  in
+  Alcotest.(check bool) "state count grows with cap" true (count 2 < count 3 && count 3 < count 4)
+
+let test_helpers () =
+  Alcotest.(check bool) "prefixes accepted" true
+    (Reachability.prefix_types_only ~k:4
+       [ PS.empty; PS.of_list [ 0 ]; PS.of_list [ 0; 1; 2 ] ]);
+  Alcotest.(check bool) "gap rejected" false
+    (Reachability.prefix_types_only ~k:4 [ PS.of_list [ 0; 2 ] ]);
+  Alcotest.(check bool) "all-types check" true
+    (Reachability.all_types_reachable ~k:2 (List.map PS.of_index [ 0; 1; 2; 3 ]))
+
+let () =
+  Alcotest.run "reachability"
+    [
+      ( "reachability",
+        [
+          Alcotest.test_case "sequential = prefixes (paper)" `Quick test_sequential_prefix_only;
+          Alcotest.test_case "sequential, finite gamma" `Quick test_sequential_prefix_only_finite_gamma;
+          Alcotest.test_case "random reaches all" `Quick test_random_reaches_everything;
+          Alcotest.test_case "rarest reaches all" `Quick test_rarest_reaches_everything;
+          Alcotest.test_case "gifts break prefixes" `Quick test_gifted_types_extend_reachability;
+          Alcotest.test_case "truncation flag" `Quick test_truncation_flag;
+          Alcotest.test_case "monotone in cap" `Quick test_monotone_in_cap;
+          Alcotest.test_case "helpers" `Quick test_helpers;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* Report formatting and the CSV export hook. *)
+
+open P2p_core
+
+let with_captured_stdout f =
+  (* capture stdout via a temp file *)
+  let file = Filename.temp_file "report" ".txt" in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  flush stdout;
+  Unix.dup2 fd Unix.stdout;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved;
+    Unix.close fd
+  in
+  (try f () with e -> restore (); raise e);
+  restore ();
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  Sys.remove file;
+  content
+
+let test_fmt_float () =
+  Alcotest.(check string) "integer" "3" (Report.fmt_float 3.0);
+  Alcotest.(check string) "fraction" "0.005079" (Report.fmt_float 0.0050794);
+  Alcotest.(check string) "inf" "inf" (Report.fmt_float infinity);
+  Alcotest.(check string) "-inf" "-inf" (Report.fmt_float neg_infinity);
+  Alcotest.(check string) "nan" "nan" (Report.fmt_float nan);
+  Alcotest.(check string) "negative" "-2" (Report.fmt_float (-2.0))
+
+let test_fmt_bool () =
+  Alcotest.(check string) "yes" "yes" (Report.fmt_bool true);
+  Alcotest.(check string) "no" "no" (Report.fmt_bool false)
+
+let test_table_alignment () =
+  let out =
+    with_captured_stdout (fun () ->
+        Report.table ~header:[ "a"; "long-header" ] [ [ "xx"; "1" ]; [ "y"; "22" ] ])
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + rule + 2 rows" 4 (List.length lines);
+  (* all lines equally long after trimming trailing spaces is not required;
+     but the rule line must consist of dashes and spaces only *)
+  let rule = List.nth lines 1 in
+  Alcotest.(check bool) "rule line" true
+    (String.for_all (fun c -> c = '-' || c = ' ') rule)
+
+let test_table_pads_short_rows () =
+  let out =
+    with_captured_stdout (fun () -> Report.table ~header:[ "a"; "b"; "c" ] [ [ "1" ] ])
+  in
+  Alcotest.(check bool) "no exception, output produced" true (String.length out > 0)
+
+let test_csv_export () =
+  let dir = Filename.temp_file "reportdir" "" in
+  Sys.remove dir;
+  Report.set_output_dir (Some dir);
+  let _ =
+    with_captured_stdout (fun () ->
+        Report.banner "Test Banner!";
+        Report.table ~header:[ "x"; "y" ] [ [ "1"; "a,b" ]; [ "2"; "quo\"te" ] ])
+  in
+  Report.set_output_dir None;
+  let files = Sys.readdir dir in
+  Alcotest.(check int) "one csv written" 1 (Array.length files);
+  let content =
+    let ic = open_in (Filename.concat dir files.(0)) in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  Alcotest.(check bool) "header present" true
+    (String.length content >= 4 && String.sub content 0 3 = "x,y");
+  Alcotest.(check bool) "comma cell quoted" true
+    (String.length content > 0
+    && String.split_on_char '\n' content |> List.exists (fun l -> l = "1,\"a,b\""));
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) files;
+  Sys.rmdir dir
+
+let test_kv_alignment () =
+  let out =
+    with_captured_stdout (fun () -> Report.kv [ ("k", "v"); ("longer key", "w") ])
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "two lines" 2 (List.length lines);
+  (* the colon columns must align *)
+  let colon_pos line = String.index line ':' in
+  Alcotest.(check int) "aligned colons" (colon_pos (List.nth lines 0))
+    (colon_pos (List.nth lines 1))
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+          Alcotest.test_case "fmt_bool" `Quick test_fmt_bool;
+          Alcotest.test_case "table alignment" `Quick test_table_alignment;
+          Alcotest.test_case "short rows padded" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+          Alcotest.test_case "kv alignment" `Quick test_kv_alignment;
+        ] );
+    ]

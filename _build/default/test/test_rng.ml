@@ -1,0 +1,162 @@
+(* Tests for the xoshiro256** generator. *)
+
+module Rng = P2p_prng.Rng
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+let test_determinism () =
+  let a = Rng.of_seed 42 and b = Rng.of_seed 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.of_seed 1 and b = Rng.of_seed 2 in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!matches < 3)
+
+let test_copy_independent () =
+  let a = Rng.of_seed 7 in
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy same next" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* advancing a does not advance b; resync check *)
+  let x = Rng.bits64 a and y = Rng.bits64 b in
+  Alcotest.(check bool) "streams now offset" true (x <> y)
+
+let test_split_decorrelates () =
+  let parent = Rng.of_seed 99 in
+  let child = Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr matches
+  done;
+  Alcotest.(check bool) "child stream distinct" true (!matches < 3)
+
+let test_float_range () =
+  let rng = Rng.of_seed 5 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_pos_range () =
+  let rng = Rng.of_seed 6 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float_pos rng in
+    Alcotest.(check bool) "in (0,1]" true (x > 0.0 && x <= 1.0)
+  done
+
+let test_float_mean () =
+  let rng = Rng.of_seed 8 in
+  let acc = ref 0.0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_below_bounds () =
+  let rng = Rng.of_seed 9 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int_below rng 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done
+
+let test_int_below_uniform () =
+  let rng = Rng.of_seed 10 in
+  let counts = Array.make 5 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let x = Rng.int_below rng 5 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let freq = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "frequency near 1/5" true (Float.abs (freq -. 0.2) < 0.01))
+    counts
+
+let test_int_below_one () =
+  let rng = Rng.of_seed 11 in
+  check Alcotest.int "n=1 gives 0" 0 (Rng.int_below rng 1)
+
+let test_int_below_invalid () =
+  let rng = Rng.of_seed 12 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int_below: bound must be positive")
+    (fun () -> ignore (Rng.int_below rng 0))
+
+let test_int_in_range () =
+  let rng = Rng.of_seed 13 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in_range rng ~lo:(-3) ~hi:4 in
+    Alcotest.(check bool) "in [-3,4]" true (x >= -3 && x <= 4)
+  done
+
+let test_bool_balance () =
+  let rng = Rng.of_seed 14 in
+  let heads = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bool rng then incr heads
+  done;
+  let freq = float_of_int !heads /. float_of_int n in
+  Alcotest.(check bool) "fair coin" true (Float.abs (freq -. 0.5) < 0.01)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.of_seed 15 in
+  Alcotest.(check bool) "p=1 true" true (Rng.bernoulli rng ~p:1.0);
+  Alcotest.(check bool) "p=0 false" false (Rng.bernoulli rng ~p:0.0)
+
+let test_bernoulli_rate () =
+  let rng = Rng.of_seed 16 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p=0.3 frequency" true (Float.abs (freq -. 0.3) < 0.01)
+
+let test_jump_changes_state () =
+  let a = Rng.of_seed 21 in
+  let b = Rng.copy a in
+  Rng.jump a;
+  Alcotest.(check bool) "jumped stream differs" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_pp_stable () =
+  let rng = Rng.of_seed 1 in
+  let s1 = Format.asprintf "%a" Rng.pp rng in
+  let s2 = Format.asprintf "%a" Rng.pp (Rng.of_seed 1) in
+  check Alcotest.string "pp deterministic" s1 s2
+
+let () =
+  ignore checkf;
+  Alcotest.run "rng"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split_decorrelates;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float_pos range" `Quick test_float_pos_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "int_below bounds" `Quick test_int_below_bounds;
+          Alcotest.test_case "int_below uniform" `Quick test_int_below_uniform;
+          Alcotest.test_case "int_below n=1" `Quick test_int_below_one;
+          Alcotest.test_case "int_below invalid" `Quick test_int_below_invalid;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+          Alcotest.test_case "jump" `Quick test_jump_changes_state;
+          Alcotest.test_case "pp stable" `Quick test_pp_stable;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* The network-coded swarm simulator (Section VIII-B). *)
+
+open P2p_core
+
+let gift f =
+  { Stability.Coded.q = 16; k = 6; us = 0.0; mu = 1.0; gamma = infinity;
+    lambda0 = 1.0 -. f; lambda1 = f }
+
+let test_of_gift () =
+  let cfg = Sim_coded.of_gift (gift 0.3) in
+  Alcotest.(check int) "q" 16 cfg.q;
+  Alcotest.(check (list (pair int (float 1e-12)))) "arrivals" [ (0, 0.7); (1, 0.3) ] cfg.arrivals;
+  let cfg0 = Sim_coded.of_gift (gift 0.0) in
+  Alcotest.(check (list (pair int (float 1e-12)))) "no gift stream" [ (0, 1.0) ] cfg0.arrivals
+
+let test_conservation () =
+  let s = Sim_coded.run_seeded ~seed:1 (Sim_coded.of_gift (gift 0.4)) ~horizon:400.0 in
+  Alcotest.(check int) "arrivals - departures = final" (s.arrivals - s.departures) s.final_n;
+  Alcotest.(check int) "dim histogram sums to final" s.final_n
+    (Array.fold_left ( + ) 0 s.dim_histogram)
+
+let test_stable_side () =
+  let s = Sim_coded.run_seeded ~seed:2 (Sim_coded.of_gift (gift 0.5)) ~horizon:600.0 in
+  let r = Classify.of_samples s.samples in
+  Alcotest.(check string) "stable" "appears-stable" (Classify.verdict_to_string r.verdict);
+  Alcotest.(check bool) "small population" true (s.time_avg_n < 50.0)
+
+let test_transient_side () =
+  let s = Sim_coded.run_seeded ~seed:3 (Sim_coded.of_gift (gift 0.02)) ~horizon:600.0 in
+  let r = Classify.of_samples s.samples in
+  Alcotest.(check string) "unstable" "appears-unstable" (Classify.verdict_to_string r.verdict);
+  (* the coded one-club: by the end nearly everyone sits at dimension K-1
+     (the time average is lower because the club needs time to form) *)
+  let club_final =
+    float_of_int s.dim_histogram.(5) /. float_of_int (Int.max 1 s.final_n)
+  in
+  Alcotest.(check bool) "final near-complete club" true (club_final > 0.8);
+  Alcotest.(check bool) "club dominates time average too" true
+    (s.near_complete_fraction > 0.3)
+
+let test_completions_decode () =
+  let s = Sim_coded.run_seeded ~seed:4 (Sim_coded.of_gift (gift 0.5)) ~horizon:400.0 in
+  Alcotest.(check bool) "peers decode and depart" true (s.completions > 50);
+  Alcotest.(check bool) "useful transfers happen" true (s.useful_transfers > 0);
+  (* each completed peer needed at least K useful receptions (minus gifts) *)
+  Alcotest.(check bool) "useful >= completions * (K-1)" true
+    (s.useful_transfers >= s.completions * (6 - 1))
+
+let test_finite_gamma_seeds_dwell () =
+  let g = { (gift 0.5) with gamma = 1.0 } in
+  let s = Sim_coded.run_seeded ~seed:5 (Sim_coded.of_gift g) ~horizon:400.0 in
+  Alcotest.(check bool) "seeds counted in population" true (s.time_avg_n > 0.0);
+  Alcotest.(check int) "conservation with dwell" (s.arrivals - s.departures) s.final_n
+
+let test_smart_exchange_more_efficient () =
+  (* With q = 2 random combinations are often useless; Remark 16's
+     description exchange must strictly reduce useless transfers. *)
+  let g = { Stability.Coded.q = 2; k = 6; us = 0.0; mu = 1.0; gamma = infinity;
+            lambda0 = 0.5; lambda1 = 0.5 } in
+  let plain = Sim_coded.run_seeded ~seed:6 (Sim_coded.of_gift g) ~horizon:400.0 in
+  let smart =
+    Sim_coded.run_seeded ~seed:6 { (Sim_coded.of_gift g) with smart_exchange = true }
+      ~horizon:400.0
+  in
+  let ratio (s : Sim_coded.stats) =
+    float_of_int s.useless_transfers
+    /. float_of_int (Int.max 1 (s.useful_transfers + s.useless_transfers))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "useless ratio %.3f < %.3f" (ratio smart) (ratio plain))
+    true
+    (ratio smart < ratio plain)
+
+let test_gifted_with_many_pieces () =
+  (* Arrivals holding K random coded pieces usually decode instantly. *)
+  let cfg =
+    { Sim_coded.q = 16; k = 4; us = 0.0; mu = 1.0; gamma = infinity;
+      arrivals = [ (6, 1.0) ]; smart_exchange = false }
+  in
+  let s = Sim_coded.run_seeded ~seed:7 cfg ~horizon:200.0 in
+  Alcotest.(check bool) "most arrivals complete immediately" true
+    (s.completions > s.arrivals / 2)
+
+let test_deterministic () =
+  let run () = Sim_coded.run_seeded ~seed:8 (Sim_coded.of_gift (gift 0.3)) ~horizon:200.0 in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same events" a.events b.events;
+  Alcotest.(check int) "same useful" a.useful_transfers b.useful_transfers
+
+let test_validation () =
+  Alcotest.(check bool) "no arrivals rejected" true
+    (try
+       ignore
+         (Sim_coded.run_seeded ~seed:9
+            { Sim_coded.q = 4; k = 3; us = 0.0; mu = 1.0; gamma = infinity; arrivals = [];
+              smart_exchange = false }
+            ~horizon:10.0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "sim_coded"
+    [
+      ( "sim_coded",
+        [
+          Alcotest.test_case "of_gift" `Quick test_of_gift;
+          Alcotest.test_case "conservation" `Quick test_conservation;
+          Alcotest.test_case "stable side" `Quick test_stable_side;
+          Alcotest.test_case "transient side" `Quick test_transient_side;
+          Alcotest.test_case "completions decode" `Quick test_completions_decode;
+          Alcotest.test_case "finite gamma" `Quick test_finite_gamma_seeds_dwell;
+          Alcotest.test_case "smart exchange" `Quick test_smart_exchange_more_efficient;
+          Alcotest.test_case "gifted many pieces" `Quick test_gifted_with_many_pieces;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Theorem 1 and Theorem 15: the stability region. *)
+
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let closef ?(tol = 1e-12) name expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: expected %.8g got %.8g" name expected actual)
+    true
+    (Float.abs (expected -. actual) <= tol *. Float.max 1.0 (Float.abs expected))
+
+let verdict = Alcotest.testable Stability.pp_verdict ( = )
+
+(* ---- Example 1 (K=1): threshold U_s / (1 - mu/gamma) ---- *)
+
+let test_example1_region () =
+  let us = 0.5 and mu = 1.0 and gamma = 2.0 in
+  let crit = Scenario.example1_threshold ~us ~mu ~gamma in
+  closef "critical rate" 1.0 crit;
+  let classify lambda0 = Stability.classify (Scenario.example1 ~lambda0 ~us ~mu ~gamma) in
+  Alcotest.check verdict "below" Stability.Positive_recurrent (classify 0.99);
+  Alcotest.check verdict "above" Stability.Transient (classify 1.01);
+  Alcotest.check verdict "at" Stability.Borderline (classify 1.0)
+
+let test_example1_gamma_le_mu_always_stable () =
+  List.iter
+    (fun lambda0 ->
+      Alcotest.check verdict "any load stable" Stability.Positive_recurrent
+        (Stability.classify (Scenario.example1 ~lambda0 ~us:0.01 ~mu:1.0 ~gamma:0.8)))
+    [ 0.1; 10.0; 1000.0 ]
+
+let test_example1_gamma_le_mu_needs_inflow () =
+  (* gamma <= mu but U_s = 0 and no gifted arrivals: the piece can never
+     enter, so the system is trivially transient. *)
+  let p = Params.make ~k:1 ~us:0.0 ~mu:1.0 ~gamma:0.5 ~arrivals:[ (PS.empty, 1.0) ] in
+  Alcotest.check verdict "no inflow" Stability.Transient (Stability.classify p)
+
+(* ---- Example 2 (K=4): lambda12 < 2 lambda34 and lambda34 < 2 lambda12 ---- *)
+
+let test_example2_region () =
+  let classify l12 l34 = Stability.classify (Scenario.example2 ~lambda12:l12 ~lambda34:l34 ~mu:1.0) in
+  Alcotest.check verdict "interior" Stability.Positive_recurrent (classify 1.0 1.0);
+  Alcotest.check verdict "edge 1" Stability.Transient (classify 1.0 0.49);
+  Alcotest.check verdict "edge 2" Stability.Transient (classify 0.49 1.0);
+  Alcotest.check verdict "boundary" Stability.Borderline (classify 1.0 0.5);
+  Alcotest.check verdict "near boundary inside" Stability.Positive_recurrent (classify 1.0 0.51)
+
+(* ---- Example 3 (K=3): lambda_i + lambda_j < lambda_k (2+rho)/(1-rho) ---- *)
+
+let test_example3_region () =
+  let mu = 1.0 and gamma = 1.5 in
+  let rho = mu /. gamma in
+  let factor = (2.0 +. rho) /. (1.0 -. rho) in
+  closef "factor" 8.0 factor;
+  let classify l1 l2 l3 =
+    Stability.classify (Scenario.example3 ~lambda1:l1 ~lambda2:l2 ~lambda3:l3 ~mu ~gamma)
+  in
+  Alcotest.check verdict "symmetric stable" Stability.Positive_recurrent (classify 1.0 1.0 1.0);
+  (* lambda1 + lambda2 = 8.1 > 8 * lambda3 = 8 -> transient *)
+  Alcotest.check verdict "piece-3 club" Stability.Transient (classify 4.05 4.05 1.0);
+  Alcotest.check verdict "just inside" Stability.Positive_recurrent (classify 3.9 3.9 1.0)
+
+let test_example3_gamma_inf_symmetric_borderline () =
+  let p = Scenario.symmetric_singletons ~k:3 ~lambda:1.0 ~mu:1.0 in
+  Alcotest.check verdict "symmetric flat network is borderline" Stability.Borderline
+    (Stability.classify p);
+  (* any asymmetry is transient *)
+  let p' = Scenario.example3 ~lambda1:1.1 ~lambda2:1.0 ~lambda3:1.0 ~mu:1.0 ~gamma:infinity in
+  Alcotest.check verdict "asymmetric transient" Stability.Transient (Stability.classify p')
+
+(* ---- threshold and Delta_S agreement ---- *)
+
+let random_params rng =
+  let k = 2 + P2p_prng.Rng.int_below rng 3 in
+  let gamma =
+    if P2p_prng.Rng.bool rng then infinity else 1.0 +. P2p_prng.Rng.float rng *. 3.0
+  in
+  let mu = 0.2 +. (P2p_prng.Rng.float rng *. 0.7) in
+  (* keep mu < gamma so thresholds are finite *)
+  let us = P2p_prng.Rng.float rng *. 2.0 in
+  let arrivals =
+    List.filter_map
+      (fun c ->
+        if P2p_prng.Rng.bool rng then None
+        else begin
+          let cset = PS.of_index c in
+          if PS.is_full ~k cset && not (Float.is_finite gamma) then None
+          else Some (cset, P2p_prng.Rng.float rng *. 2.0)
+        end)
+      (List.init (1 lsl k) (fun i -> i))
+  in
+  let arrivals = if arrivals = [] then [ (PS.empty, 1.0) ] else arrivals in
+  try Some (Params.make ~k ~us ~mu ~gamma ~arrivals) with Invalid_argument _ -> None
+
+let test_threshold_delta_equivalence () =
+  (* The paper's remark: (3) for all k iff Delta_S < 0 for all proper S. *)
+  let rng = P2p_prng.Rng.of_seed 21 in
+  let checked = ref 0 in
+  while !checked < 300 do
+    match random_params rng with
+    | None -> ()
+    | Some p ->
+        incr checked;
+        Alcotest.(check bool) "equivalence" true (Stability.equivalent_check p)
+  done
+
+let test_delta_binding_subset_is_one_club () =
+  (* The binding constraint is attained at S = F - {k}: Delta there is the
+     largest among S missing piece k. *)
+  let p =
+    Params.make ~k:3 ~us:0.4 ~mu:1.0 ~gamma:2.0
+      ~arrivals:[ (PS.empty, 1.0); (PS.singleton 0, 0.5) ]
+  in
+  let club = PS.of_list [ 1; 2 ] in
+  (* S missing piece 0 *)
+  let delta_club = Stability.delta p ~s:club in
+  List.iter
+    (fun s ->
+      if (not (PS.mem 0 s)) && not (PS.equal s club) then
+        Alcotest.(check bool) "club is worst case" true (Stability.delta p ~s <= delta_club))
+    (PS.all_proper ~k:3)
+
+let test_delta_full_raises () =
+  let p = Params.make ~k:2 ~us:1.0 ~mu:1.0 ~gamma:2.0 ~arrivals:[ (PS.empty, 1.0) ] in
+  Alcotest.(check bool) "full set rejected" true
+    (try
+       ignore (Stability.delta p ~s:(PS.full ~k:2));
+       false
+     with Invalid_argument _ -> true)
+
+let test_stable_lambda_limit_is_boundary () =
+  let p = Scenario.flash_crowd ~k:3 ~lambda:1.0 ~us:0.8 ~mu:1.0 ~gamma:2.0 in
+  let limit = Stability.stable_lambda_limit p in
+  (* scaling arrivals to just under/over the limit flips the verdict *)
+  let scaled s = Params.with_arrivals p ~arrivals:[ (PS.empty, s) ] in
+  Alcotest.check verdict "under limit" Stability.Positive_recurrent
+    (Stability.classify (scaled (limit *. 0.99)));
+  Alcotest.check verdict "over limit" Stability.Transient
+    (Stability.classify (scaled (limit *. 1.01)))
+
+let test_binding_piece_asymmetric () =
+  (* Gifted copies of piece 1 make piece 2 the scarce one. *)
+  let p =
+    Params.make ~k:2 ~us:0.2 ~mu:1.0 ~gamma:2.0
+      ~arrivals:[ (PS.empty, 1.0); (PS.singleton 0, 1.0) ]
+  in
+  Alcotest.(check int) "piece 2 binds" 1 (Stability.binding_piece p)
+
+let test_threshold_formula () =
+  (* K=3, U_s=0.5, rho=1/2, arrivals: {} at 1, {1} at 0.4, {1,2} at 0.1.
+     threshold(piece 1) = (0.5 + 0.4*(3+1-1) + 0.1*(3+1-2)) / (1/2) *)
+  let p =
+    Params.make ~k:3 ~us:0.5 ~mu:1.0 ~gamma:2.0
+      ~arrivals:[ (PS.empty, 1.0); (PS.singleton 0, 0.4); (PS.of_list [ 0; 1 ], 0.1) ]
+  in
+  closef "threshold piece 1" ((0.5 +. (0.4 *. 3.0) +. (0.1 *. 2.0)) /. 0.5)
+    (Stability.threshold p ~piece:0);
+  closef "threshold piece 3" (0.5 /. 0.5) (Stability.threshold p ~piece:2)
+
+(* ---- Theorem 15 ---- *)
+
+let test_coded_paper_numbers () =
+  (* q = 64, K = 200: transient below 0.00507..., recurrent above 0.00516. *)
+  closef ~tol:1e-4 "transient threshold" 0.0050794
+    (Stability.Coded.transient_f_threshold ~q:64 ~k:200);
+  closef ~tol:1e-4 "recurrent threshold (paper approx)" 0.0051601
+    (Stability.Coded.recurrent_f_threshold_paper ~q:64 ~k:200);
+  closef ~tol:1e-3 "exact close to approx"
+    (Stability.Coded.recurrent_f_threshold_paper ~q:64 ~k:200)
+    (Stability.Coded.recurrent_f_threshold_exact ~q:64 ~k:200)
+
+let gift f = { Stability.Coded.q = 16; k = 8; us = 0.0; mu = 1.0; gamma = infinity;
+               lambda0 = 1.0 -. f; lambda1 = f }
+
+let test_coded_classify_regions () =
+  Alcotest.check verdict "low f transient" Stability.Transient
+    (Stability.Coded.classify (gift 0.05));
+  Alcotest.check verdict "high f recurrent" Stability.Positive_recurrent
+    (Stability.Coded.classify (gift 0.3));
+  (* between the necessary and sufficient thresholds: borderline *)
+  Alcotest.check verdict "gap borderline" Stability.Borderline
+    (Stability.Coded.classify (gift 0.137))
+
+let test_coded_no_gift_needs_seed () =
+  let g = { (gift 0.0) with lambda0 = 1.0; lambda1 = 0.0 } in
+  Alcotest.check verdict "no inflow" Stability.Transient (Stability.Coded.classify g);
+  let with_seed = { g with us = 20.0 } in
+  Alcotest.check verdict "big seed rescues" Stability.Positive_recurrent
+    (Stability.Coded.classify with_seed)
+
+let test_coded_gamma_le_mu_tilde () =
+  let g = { (gift 0.2) with gamma = 0.5 } in
+  (* gamma < mu_tilde = 15/16: second bullets apply; lambda1 > 0 spans. *)
+  Alcotest.check verdict "dwell regime stable" Stability.Positive_recurrent
+    (Stability.Coded.classify g)
+
+let test_uncoded_contrast () =
+  Alcotest.(check bool) "uncoded f=0.5 transient" true
+    (Stability.Coded.uncoded_equivalent_is_transient ~k:8 ~f:0.5);
+  Alcotest.(check bool) "uncoded f=0.99 transient" true
+    (Stability.Coded.uncoded_equivalent_is_transient ~k:8 ~f:0.99)
+
+let test_coded_threshold_ordering () =
+  List.iter
+    (fun (q, k) ->
+      Alcotest.(check bool) "transient < recurrent threshold" true
+        (Stability.Coded.transient_f_threshold ~q ~k
+        < Stability.Coded.recurrent_f_threshold_exact ~q ~k))
+    [ (2, 4); (16, 8); (64, 200); (256, 1000) ]
+
+let test_coded_gap_shrinks_in_q () =
+  let gap q =
+    Stability.Coded.recurrent_f_threshold_exact ~q ~k:100
+    -. Stability.Coded.transient_f_threshold ~q ~k:100
+  in
+  Alcotest.(check bool) "gap decreasing in q" true (gap 4 > gap 16 && gap 16 > gap 256)
+
+let () =
+  Alcotest.run "stability"
+    [
+      ( "theorem1",
+        [
+          Alcotest.test_case "example 1 region" `Quick test_example1_region;
+          Alcotest.test_case "example 1 gamma<=mu" `Quick test_example1_gamma_le_mu_always_stable;
+          Alcotest.test_case "example 1 no inflow" `Quick test_example1_gamma_le_mu_needs_inflow;
+          Alcotest.test_case "example 2 region" `Quick test_example2_region;
+          Alcotest.test_case "example 3 region" `Quick test_example3_region;
+          Alcotest.test_case "example 3 borderline" `Quick test_example3_gamma_inf_symmetric_borderline;
+          Alcotest.test_case "threshold/Delta equivalence" `Quick test_threshold_delta_equivalence;
+          Alcotest.test_case "one-club binds" `Quick test_delta_binding_subset_is_one_club;
+          Alcotest.test_case "delta full raises" `Quick test_delta_full_raises;
+          Alcotest.test_case "stable lambda limit" `Quick test_stable_lambda_limit_is_boundary;
+          Alcotest.test_case "binding piece" `Quick test_binding_piece_asymmetric;
+          Alcotest.test_case "threshold formula" `Quick test_threshold_formula;
+        ] );
+      ( "theorem15",
+        [
+          Alcotest.test_case "paper numbers q=64 K=200" `Quick test_coded_paper_numbers;
+          Alcotest.test_case "classify regions" `Quick test_coded_classify_regions;
+          Alcotest.test_case "no gift needs seed" `Quick test_coded_no_gift_needs_seed;
+          Alcotest.test_case "gamma <= mu_tilde" `Quick test_coded_gamma_le_mu_tilde;
+          Alcotest.test_case "uncoded contrast" `Quick test_uncoded_contrast;
+          Alcotest.test_case "threshold ordering" `Quick test_coded_threshold_ordering;
+          Alcotest.test_case "gap shrinks in q" `Quick test_coded_gap_shrinks_in_q;
+        ] );
+    ]

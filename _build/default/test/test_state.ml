@@ -1,0 +1,118 @@
+(* The type-count state vector. *)
+
+module PS = P2p_pieceset.Pieceset
+open P2p_core
+
+let test_empty () =
+  let s = State.create () in
+  Alcotest.(check int) "n" 0 (State.n s);
+  Alcotest.(check int) "occupied" 0 (State.occupied s);
+  Alcotest.(check int) "count of anything" 0 (State.count s PS.empty)
+
+let test_add_remove () =
+  let s = State.create () in
+  State.add_peer s PS.empty;
+  State.add_peer s PS.empty;
+  State.add_peer s (PS.singleton 1);
+  Alcotest.(check int) "n" 3 (State.n s);
+  Alcotest.(check int) "count empty" 2 (State.count s PS.empty);
+  State.remove_peer s PS.empty;
+  Alcotest.(check int) "after remove" 1 (State.count s PS.empty);
+  State.remove_peer s PS.empty;
+  Alcotest.(check int) "zero drops type" 1 (State.occupied s);
+  Alcotest.(check bool) "remove from empty raises" true
+    (try
+       State.remove_peer s PS.empty;
+       false
+     with Invalid_argument _ -> true)
+
+let test_move () =
+  let s = State.of_counts [ (PS.empty, 1) ] in
+  State.move_peer s ~from_:PS.empty ~to_:(PS.singleton 0);
+  Alcotest.(check int) "n preserved" 1 (State.n s);
+  Alcotest.(check int) "target" 1 (State.count s (PS.singleton 0));
+  Alcotest.(check int) "source" 0 (State.count s PS.empty)
+
+let test_of_counts () =
+  let s = State.of_counts [ (PS.empty, 2); (PS.empty, 3); (PS.singleton 0, 0) ] in
+  Alcotest.(check int) "summed duplicates" 5 (State.count s PS.empty);
+  Alcotest.(check int) "zero dropped" 1 (State.occupied s);
+  Alcotest.(check bool) "negative raises" true
+    (try
+       ignore (State.of_counts [ (PS.empty, -1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_copy_isolated () =
+  let s = State.of_counts [ (PS.empty, 2) ] in
+  let t = State.copy s in
+  State.add_peer t PS.empty;
+  Alcotest.(check int) "original" 2 (State.n s);
+  Alcotest.(check int) "copy" 3 (State.n t)
+
+let test_alist_sorted () =
+  let s = State.of_counts [ (PS.singleton 2, 1); (PS.empty, 1); (PS.singleton 0, 1) ] in
+  let types = List.map fst (State.to_alist s) in
+  Alcotest.(check (list int)) "sorted by bitmask" [ 0; 1; 4 ] (List.map PS.to_index types)
+
+let test_piece_counts () =
+  let s = State.of_counts [ (PS.of_list [ 0; 1 ], 2); (PS.singleton 1, 3); (PS.empty, 1) ] in
+  Alcotest.(check int) "piece 0 copies" 2 (State.piece_copies s ~k:3 ~piece:0);
+  Alcotest.(check int) "piece 1 copies" 5 (State.piece_copies s ~k:3 ~piece:1);
+  Alcotest.(check int) "piece 2 copies" 0 (State.piece_copies s ~k:3 ~piece:2);
+  Alcotest.(check (array int)) "vector" [| 2; 5; 0 |] (State.piece_count_vector s ~k:3)
+
+let test_subset_helpful_counts () =
+  let s =
+    State.of_counts [ (PS.empty, 1); (PS.singleton 0, 2); (PS.of_list [ 0; 1 ], 4); (PS.singleton 2, 8) ]
+  in
+  (* E_S for S = {0,1}: empty + {0} + {0,1} = 7; helpers: {2} = 8. *)
+  let sset = PS.of_list [ 0; 1 ] in
+  Alcotest.(check int) "E_S" 7 (State.count_subset_peers s sset);
+  Alcotest.(check int) "x_{H_S}" 8 (State.count_helpful_peers s sset);
+  Alcotest.(check int) "partition" (State.n s)
+    (State.count_subset_peers s sset + State.count_helpful_peers s sset)
+
+let test_sample_uniform_distribution () =
+  let rng = P2p_prng.Rng.of_seed 6 in
+  let s = State.of_counts [ (PS.empty, 3); (PS.singleton 0, 1) ] in
+  let hits = ref 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    if PS.is_empty (State.sample_uniform_peer s ~draw:(P2p_prng.Rng.int_below rng)) then incr hits
+  done;
+  let freq = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "3/4 of draws" true (Float.abs (freq -. 0.75) < 0.01)
+
+let test_sample_empty_raises () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (State.sample_uniform_peer (State.create ()) ~draw:(fun _ -> 0));
+       false
+     with Invalid_argument _ -> true)
+
+let test_equal () =
+  let a = State.of_counts [ (PS.empty, 2); (PS.singleton 0, 1) ] in
+  let b = State.of_counts [ (PS.singleton 0, 1); (PS.empty, 2) ] in
+  Alcotest.(check bool) "equal" true (State.equal a b);
+  State.add_peer b PS.empty;
+  Alcotest.(check bool) "not equal" false (State.equal a b)
+
+let () =
+  Alcotest.run "state"
+    [
+      ( "state",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "move" `Quick test_move;
+          Alcotest.test_case "of_counts" `Quick test_of_counts;
+          Alcotest.test_case "copy" `Quick test_copy_isolated;
+          Alcotest.test_case "alist sorted" `Quick test_alist_sorted;
+          Alcotest.test_case "piece counts" `Quick test_piece_counts;
+          Alcotest.test_case "subset/helpful counts" `Quick test_subset_helpful_counts;
+          Alcotest.test_case "sample distribution" `Quick test_sample_uniform_distribution;
+          Alcotest.test_case "sample empty" `Quick test_sample_empty_raises;
+          Alcotest.test_case "equal" `Quick test_equal;
+        ] );
+    ]

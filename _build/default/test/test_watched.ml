@@ -1,0 +1,79 @@
+(* The empirically watched process vs the analytic mu = infinity chain. *)
+
+open P2p_core
+
+let test_analytic_pmf_normalised () =
+  List.iter
+    (fun k ->
+      let pmf = Watched.analytic_jump_pmf ~k ~max_drop:12 in
+      let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 pmf in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "k=%d sums to 1" k) 1.0 total;
+      (* up-jump probability (K-1)/K *)
+      Alcotest.(check (float 1e-12)) "up mass"
+        (float_of_int (k - 1) /. float_of_int k)
+        (List.assoc 1 pmf))
+    [ 2; 3; 5 ]
+
+let test_analytic_pmf_z_values () =
+  (* K=3: P(Z=0) = (1/2)^2 = 1/4; jump 0 has mass (1/4)/3. *)
+  let pmf = Watched.analytic_jump_pmf ~k:3 ~max_drop:10 in
+  Alcotest.(check (float 1e-12)) "z=0" (0.25 /. 3.0) (List.assoc 0 pmf);
+  (* P(Z=1) = C(2,1)(1/2)^3 = 1/4 *)
+  Alcotest.(check (float 1e-12)) "z=1" (0.25 /. 3.0) (List.assoc (-1) pmf)
+
+let test_total_variation_basics () =
+  let pmf = [ (1, 0.5); (0, 0.5) ] in
+  Alcotest.(check (float 1e-9)) "identical" 0.0
+    (Watched.total_variation pmf [ (1, 50); (0, 50) ]);
+  Alcotest.(check (float 1e-9)) "disjoint" 1.0
+    (Watched.total_variation pmf [ (-5, 10) ]);
+  Alcotest.(check (float 1e-9)) "empty counts" 1.0 (Watched.total_variation pmf [])
+
+let test_convergence_in_mu () =
+  (* the watched jump law approaches the coin-flip law as mu grows *)
+  let pmf = Watched.analytic_jump_pmf ~k:3 ~max_drop:8 in
+  let tv mu seed =
+    let rng = P2p_prng.Rng.of_seed seed in
+    let tr = Watched.extract ~min_top_n:4 ~rng ~k:3 ~lambda:1.0 ~mu ~horizon:400.0 () in
+    Watched.total_variation pmf tr.top_layer_jumps
+  in
+  let coarse = tv 5.0 1 and fine = tv 100.0 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "TV falls: %.3f -> %.3f" coarse fine)
+    true
+    (fine < coarse /. 2.0 && fine < 0.08)
+
+let test_fast_fraction_vanishes () =
+  let frac mu =
+    let rng = P2p_prng.Rng.of_seed 2 in
+    (Watched.extract ~rng ~k:3 ~lambda:1.0 ~mu ~horizon:300.0 ()).fast_time_fraction
+  in
+  let slow = frac 5.0 and fast = frac 100.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "fast time fraction %.3f -> %.3f" slow fast)
+    true
+    (fast < 0.1 && fast < slow /. 3.0)
+
+let test_visits_start_reasonable () =
+  let rng = P2p_prng.Rng.of_seed 3 in
+  let tr = Watched.extract ~rng ~k:3 ~lambda:1.0 ~mu:50.0 ~horizon:100.0 () in
+  Alcotest.(check bool) "visits recorded" true (Array.length tr.visits > 10);
+  Array.iter
+    (fun (s : Watched.slow) ->
+      Alcotest.(check bool) "valid slow state" true
+        (s.n >= 0 && s.pieces >= 0 && s.pieces < 3))
+    tr.visits
+
+let () =
+  Alcotest.run "watched"
+    [
+      ( "watched",
+        [
+          Alcotest.test_case "pmf normalised" `Quick test_analytic_pmf_normalised;
+          Alcotest.test_case "pmf Z values" `Quick test_analytic_pmf_z_values;
+          Alcotest.test_case "total variation" `Quick test_total_variation_basics;
+          Alcotest.test_case "convergence in mu" `Slow test_convergence_in_mu;
+          Alcotest.test_case "fast fraction vanishes" `Quick test_fast_fraction_vanishes;
+          Alcotest.test_case "visits sane" `Quick test_visits_start_reasonable;
+        ] );
+    ]
