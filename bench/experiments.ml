@@ -8,6 +8,7 @@
 module PS = P2p_pieceset.Pieceset
 module Abs = P2p_branching.Abs
 module GW = P2p_branching.Galton_watson
+module Runner = P2p_runner.Runner
 open P2p_core
 
 let fmt = Report.fmt_float
@@ -425,19 +426,19 @@ let e10 () =
     "Witness: the ratio of time-average N at horizon 4000 vs 1000 (averaged\n\
      over 4 seeds).  Positive recurrence -> ratio near 1; null recurrence ->\n\
      the time average keeps growing with the horizon.";
-  let mean_n mu horizon seed =
-    let p = Scenario.symmetric_singletons ~k:3 ~lambda:1.0 ~mu in
-    (fst (Sim_markov.run_seeded ~seed (Sim_markov.default_config p) ~horizon)).time_avg_n
-  in
   let rows =
     List.map
       (fun mu ->
+        (* 4 replications per horizon, spread over the available cores. *)
         let avg horizon =
-          let w = P2p_stats.Welford.create () in
-          for seed = 0 to 3 do
-            P2p_stats.Welford.add w (mean_n mu horizon (1040 + seed))
-          done;
-          P2p_stats.Welford.mean w
+          let summary =
+            Runner.run_summary ~metrics:[ "mean N" ] ~master_seed:1040 ~replications:4
+              (fun ~rng ~index:_ ->
+                let p = Scenario.symmetric_singletons ~k:3 ~lambda:1.0 ~mu in
+                let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config p) ~horizon in
+                ([| stats.time_avg_n |], [||]))
+          in
+          P2p_stats.Welford.mean (snd (List.hd summary.stats))
         in
         let short = avg 1000.0 and long = avg 4000.0 in
         [ fmt mu; fmt short; fmt long; fmt (long /. short) ])
@@ -499,7 +500,15 @@ let e11 () =
 
 let e12 () =
   Report.banner "E12  Appendix bounds: Kingman (Prop. 20) and M/GI/inf (Lemma 21)";
-  let rng = P2p_prng.Rng.of_seed 121 in
+  (* Crossing frequencies are embarrassingly parallel: each replication is
+     an independent sample path, so both sweeps go through the runner. *)
+  let frequency ~master_seed ~replications crossed =
+    let summary =
+      Runner.run_summary ~metrics:[ "crossed" ] ~master_seed ~replications
+        (fun ~rng ~index:_ -> ([| (if crossed ~rng then 1.0 else 0.0) |], [||]))
+    in
+    P2p_stats.Welford.mean (snd (List.hd summary.stats))
+  in
   Report.subsection "Kingman bound on boundary crossing of a compound Poisson path";
   let batch = P2p_queueing.Compound_poisson.geometric_total_progeny ~mean_offspring:0.5 in
   let rows =
@@ -508,16 +517,13 @@ let e12 () =
         let bound =
           P2p_queueing.Compound_poisson.kingman_bound ~arrival_rate:1.0 ~batch ~b ~slope:3.0
         in
-        let crossings = ref 0 in
-        let reps = 300 in
-        for _ = 1 to reps do
-          let r =
-            P2p_queueing.Compound_poisson.simulate_crossing ~rng ~arrival_rate:1.0 ~batch
-              ~horizon:1500.0 ~b ~slope:3.0
-          in
-          if r.crossed then incr crossings
-        done;
-        [ fmt b; fmt bound; fmt (float_of_int !crossings /. float_of_int reps) ])
+        let freq =
+          frequency ~master_seed:121 ~replications:300 (fun ~rng ->
+              (P2p_queueing.Compound_poisson.simulate_crossing ~rng ~arrival_rate:1.0 ~batch
+                 ~horizon:1500.0 ~b ~slope:3.0)
+                .crossed)
+        in
+        [ fmt b; fmt bound; fmt freq ])
       [ 5.0; 15.0; 40.0 ]
   in
   Report.table ~header:[ "B"; "Kingman bound"; "empirical frequency" ] rows;
@@ -530,15 +536,12 @@ let e12 () =
           P2p_queueing.Bounds.mg_inf_maximal_bound ~arrival_rate:1.0 ~mean_service:1.0 ~b
             ~eps:1.0
         in
-        let crossings = ref 0 in
-        let reps = 200 in
-        for _ = 1 to reps do
-          if
-            P2p_queueing.Mg_inf.exceedance_ever ~rng ~arrival_rate:1.0 ~service ~horizon:400.0
-              ~boundary:(fun t -> b +. t)
-          then incr crossings
-        done;
-        [ fmt b; fmt bound; fmt (float_of_int !crossings /. float_of_int reps) ])
+        let freq =
+          frequency ~master_seed:122 ~replications:200 (fun ~rng ->
+              P2p_queueing.Mg_inf.exceedance_ever ~rng ~arrival_rate:1.0 ~service ~horizon:400.0
+                ~boundary:(fun t -> b +. t))
+        in
+        [ fmt b; fmt bound; fmt freq ])
       [ 8.0; 12.0; 20.0 ]
   in
   Report.table ~header:[ "B"; "Lemma 21 bound"; "empirical frequency" ] rows

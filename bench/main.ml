@@ -9,7 +9,7 @@
    Each experiment regenerates one of the paper's artefacts (see DESIGN.md
    Section 5 and EXPERIMENTS.md). *)
 
-let available = Experiments.all @ [ ("perf", Perf.run) ]
+let available = Experiments.all @ [ ("perf", Perf.run); ("scale", Perf.scaling) ]
 
 let list_targets () =
   print_endline "available targets:";

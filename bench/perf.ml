@@ -117,6 +117,49 @@ let tests =
     fluid_test;
   ]
 
+(* P2: multicore scaling of the replication runner.
+
+   An embarrassingly parallel sweep — R independent Sim_markov
+   replications — timed at 1, 2 and 4 domains.  Three things to check in
+   the output: wall-clock speedup approaching the domain count (on a
+   machine with that many cores), per-domain utilisation near 100%, and
+   the merged mean being IDENTICAL in every row (the runner's
+   determinism guarantee; the bit-identity is also enforced by
+   test_runner.ml). *)
+
+module Runner = P2p_runner.Runner
+
+let scaling () =
+  P2p_core.Report.banner "P2  replication-runner scaling (1/2/4 domains)";
+  let params = Scenario.flash_crowd ~k:4 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let reps = 32 in
+  let sweep jobs =
+    Runner.run_summary ~jobs ~metrics:[ "time-avg N" ] ~master_seed:7 ~replications:reps
+      (fun ~rng ~index:_ ->
+        let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config params) ~horizon:150.0 in
+        ([| stats.time_avg_n |], [||]))
+  in
+  Printf.printf "%d replications of Sim_markov (K=4, stable, horizon 150); %d cores recommended\n"
+    reps
+    (Domain.recommended_domain_count ());
+  let reference = sweep 1 in
+  let t1 = reference.timing.wall_s in
+  let ref_mean = P2p_stats.Welford.mean (snd (List.hd reference.stats)) in
+  let row (summary : Runner.summary) =
+    let mean = P2p_stats.Welford.mean (snd (List.hd summary.stats)) in
+    [
+      string_of_int summary.timing.jobs;
+      Printf.sprintf "%.3f" summary.timing.wall_s;
+      Printf.sprintf "%.2fx" (t1 /. summary.timing.wall_s);
+      Printf.sprintf "%.0f%%" (100.0 *. Runner.utilisation summary.timing);
+      Printf.sprintf "%.10g" mean;
+      (if mean = ref_mean then "yes" else "NO");
+    ]
+  in
+  P2p_core.Report.table
+    ~header:[ "domains"; "wall (s)"; "speedup"; "busy"; "merged mean N"; "bit-identical" ]
+    (row reference :: List.map (fun jobs -> row (sweep jobs)) [ 2; 4 ])
+
 let run () =
   P2p_core.Report.banner "P1  microbenchmarks (bechamel, OLS ns/run)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in

@@ -14,6 +14,8 @@
 
 open Cmdliner
 module Pieceset = P2p_pieceset.Pieceset
+module Runner = P2p_runner.Runner
+module Welford = P2p_stats.Welford
 open P2p_core
 
 (* ---- shared argument parsing ---- *)
@@ -61,6 +63,19 @@ let gamma_arg =
   Arg.(value & opt gamma_conv infinity & info [ "gamma" ] ~docv:"RATE" ~doc)
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"INT" ~doc:"PRNG seed.")
+
+let jobs_arg =
+  let doc =
+    "Domains for replication sweeps; 0 = one per recommended core. Results are identical for \
+     every value of $(docv) (deterministic seeding + ordered merge)."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"D" ~doc)
+
+let resolve_jobs jobs = if jobs <= 0 then Runner.default_jobs () else jobs
+
+let reps_arg ~default =
+  Arg.(value & opt int default & info [ "reps"; "r" ] ~docv:"R"
+       ~doc:"Independent replications (replication i uses the RNG stream (seed, i)).")
 
 let horizon_arg =
   Arg.(value & opt float 1000.0 & info [ "horizon"; "t" ] ~docv:"TIME" ~doc:"Simulation horizon.")
@@ -119,7 +134,51 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
          ~doc:"Write the sampled (t, N_t) trajectory as CSV.")
   in
-  let run params horizon seed agent policy csv =
+  let replicated params horizon seed agent policy reps jobs =
+    (* R independent replications, merged Welford per metric, pooled N_t
+       histogram; bit-identical for every jobs value. *)
+    let metrics = [ "time-avg N"; "final N"; "transfers"; "departures"; "growth dN/dt" ] in
+    let thunk ~rng ~index:_ =
+      let time_avg_n, final_n, transfers, departures, samples =
+        if agent then begin
+          let config = { (Sim_agent.default_config params) with policy } in
+          let s, _ = Sim_agent.run ~rng config ~horizon in
+          (s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples)
+        end
+        else begin
+          let config = { (Sim_markov.default_config params) with policy } in
+          let s, _ = Sim_markov.run ~rng config ~horizon in
+          (s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples)
+        end
+      in
+      let growth = (Classify.of_samples samples).growth_rate in
+      ( [| time_avg_n; float_of_int final_n; float_of_int transfers;
+           float_of_int departures; growth |],
+        [| time_avg_n |] )
+    in
+    let summary =
+      Runner.run_summary ~jobs:(resolve_jobs jobs)
+        ~hist:{ Runner.lo = 0.0; hi = 400.0; bins = 20 }
+        ~metrics ~master_seed:seed ~replications:reps thunk
+    in
+    Printf.printf "%d replications (master seed %d)\n" reps seed;
+    Report.table
+      ~header:[ "metric"; "mean"; "std err"; "95% CI"; "min"; "max" ]
+      (List.map
+         (fun (name, w) ->
+           let lo, hi = Welford.confidence_interval w ~z:1.96 in
+           [
+             name;
+             Report.fmt_float (Welford.mean w);
+             Report.fmt_float (Welford.std_error w);
+             Printf.sprintf "[%s, %s]" (Report.fmt_float lo) (Report.fmt_float hi);
+             Report.fmt_float (Welford.min_value w);
+             Report.fmt_float (Welford.max_value w);
+           ])
+         summary.stats);
+    Format.printf "%a@." Runner.pp_timing summary.timing
+  in
+  let run params horizon seed agent policy csv reps jobs =
     let write_csv samples =
       match csv with
       | None -> ()
@@ -130,7 +189,8 @@ let simulate_cmd =
           close_out oc;
           Printf.printf "wrote %s\n" file
     in
-    if agent then begin
+    if reps > 1 then replicated params horizon seed agent policy reps jobs
+    else if agent then begin
       let config = { (Sim_agent.default_config params) with policy } in
       let stats, _ = Sim_agent.run_seeded ~seed config ~horizon in
       Report.kv
@@ -154,6 +214,9 @@ let simulate_cmd =
     else begin
       let config = { (Sim_markov.default_config params) with policy } in
       let stats, _ = Sim_markov.run_seeded ~seed config ~horizon in
+      if stats.truncated then
+        print_endline "WARNING: max_events budget exhausted before the horizon; \
+                       time-based statistics are biased";
       Report.kv
         [
           ("events", string_of_int stats.events);
@@ -173,7 +236,8 @@ let simulate_cmd =
     end
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the exact stochastic simulation")
-    Term.(const run $ params_term $ horizon_arg $ seed_arg $ agent_arg $ policy_arg $ csv_arg)
+    Term.(const run $ params_term $ horizon_arg $ seed_arg $ agent_arg $ policy_arg $ csv_arg
+          $ reps_arg ~default:1 $ jobs_arg)
 
 (* ---- region ---- *)
 
@@ -187,12 +251,57 @@ let region_cmd =
   let umax_arg =
     Arg.(value & opt float 3.0 & info [ "us-max" ] ~docv:"RATE" ~doc:"Largest U_s.")
   in
-  let run k mu gamma steps lmax umax =
+  let run k mu gamma steps lmax umax seed reps jobs horizon =
+    let cell_params i j =
+      let lambda = float_of_int (i + 1) /. float_of_int steps *. lmax in
+      let us = float_of_int (j + 1) /. float_of_int steps *. umax in
+      Params.make ~k ~us ~mu ~gamma ~arrivals:[ (Pieceset.empty, lambda) ]
+    in
+    let theory_symbol p =
+      match Stability.classify p with
+      | Stability.Positive_recurrent -> "+"
+      | Stability.Transient -> "-"
+      | Stability.Borderline -> "0"
+    in
+    (* With --reps > 0, every cell is simulated reps times; the whole
+       (cell x replication) grid is one flat runner sweep. *)
+    let sim_symbols =
+      if reps <= 0 then None
+      else begin
+        let cells = steps * steps in
+        let verdicts, timing =
+          Runner.run_map ~jobs:(resolve_jobs jobs) ~master_seed:seed
+            ~replications:(cells * reps) (fun ~rng ~index ->
+              let cell = index / reps in
+              let p = cell_params (cell / steps) (cell mod steps) in
+              let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config p) ~horizon in
+              (Classify.of_samples stats.samples).verdict)
+        in
+        Format.printf "simulated %d cells x %d reps: %a@." cells reps Runner.pp_timing timing;
+        let symbol cell =
+          let count v =
+            let c = ref 0 in
+            for r = 0 to reps - 1 do
+              if verdicts.((cell * reps) + r) = v then incr c
+            done;
+            !c
+          in
+          let stable = count Classify.Appears_stable
+          and unstable = count Classify.Appears_unstable in
+          if stable > reps / 2 then "+" else if unstable > reps / 2 then "-" else "?"
+        in
+        Some symbol
+      end
+    in
     Printf.printf
       "Phase diagram for K=%d mu=%g gamma=%s, empty-handed arrivals.\n\
-       Rows: lambda (down = larger). Columns: U_s. '+' stable, '-' transient, '0' borderline.\n\n"
+       Rows: lambda (down = larger). Columns: U_s. '+' stable, '-' transient, '0' borderline.\n\
+       %s\n"
       k mu
-      (if Float.is_finite gamma then Printf.sprintf "%g" gamma else "inf");
+      (if Float.is_finite gamma then Printf.sprintf "%g" gamma else "inf")
+      (match sim_symbols with
+      | None -> ""
+      | Some _ -> "Cells: theory/simulated majority ('?' = no majority).\n");
     Printf.printf "%8s" "";
     for j = 0 to steps - 1 do
       Printf.printf "%7.2f" (float_of_int (j + 1) /. float_of_int steps *. umax)
@@ -202,21 +311,20 @@ let region_cmd =
       let lambda = float_of_int (i + 1) /. float_of_int steps *. lmax in
       Printf.printf "%8.2f" lambda;
       for j = 0 to steps - 1 do
-        let us = float_of_int (j + 1) /. float_of_int steps *. umax in
-        let p = Params.make ~k ~us ~mu ~gamma ~arrivals:[ (Pieceset.empty, lambda) ] in
-        let symbol =
-          match Stability.classify p with
-          | Stability.Positive_recurrent -> '+'
-          | Stability.Transient -> '-'
-          | Stability.Borderline -> '0'
+        let t = theory_symbol (cell_params i j) in
+        let cell =
+          match sim_symbols with
+          | None -> t
+          | Some symbol -> t ^ "/" ^ symbol ((i * steps) + j)
         in
-        Printf.printf "%7s" (String.make 1 symbol)
+        Printf.printf "%7s" cell
       done;
       print_newline ()
     done
   in
   Cmd.v (Cmd.info "region" ~doc:"Print the (lambda, U_s) phase diagram")
-    Term.(const run $ k_arg $ mu_arg $ gamma_arg $ steps_arg $ lmax_arg $ umax_arg)
+    Term.(const run $ k_arg $ mu_arg $ gamma_arg $ steps_arg $ lmax_arg $ umax_arg $ seed_arg
+          $ reps_arg ~default:0 $ jobs_arg $ horizon_arg)
 
 (* ---- coded ---- *)
 

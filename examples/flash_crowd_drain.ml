@@ -17,14 +17,18 @@
 
 open P2p_core
 module PS = P2p_pieceset.Pieceset
+module Runner = P2p_runner.Runner
+module Welford = P2p_stats.Welford
 
-let drain_time ~policy ~gamma ~n0 ~seed =
+let reps = 8
+
+let drain_time ~policy ~gamma ~n0 ~rng =
   (* tiny arrival rate: Params requires a positive total rate *)
   let params = Scenario.flash_crowd ~k:4 ~lambda:1e-6 ~us:1.0 ~mu:1.0 ~gamma in
   let config =
     { (Sim_agent.default_config params) with policy; initial = [ (PS.empty, n0) ] }
   in
-  let stats, _ = Sim_agent.run_seeded ~seed ~sample_every:1.0 config ~horizon:4000.0 in
+  let stats, _ = Sim_agent.run ~rng ~sample_every:1.0 config ~horizon:4000.0 in
   (* first sample at which at most 5% of the crowd remains *)
   let target = n0 / 20 in
   Array.fold_left
@@ -32,24 +36,49 @@ let drain_time ~policy ~gamma ~n0 ~seed =
       match acc with Some _ -> acc | None -> if n <= target then Some t else None)
     None stats.samples
 
-let fmt_time = function Some t -> Report.fmt_float t | None -> ">4000"
+(* Mean drain time over [reps] independent crowds (multicore runner);
+   censored runs (not drained within the horizon) are excluded from the
+   mean and reported as a count. *)
+let replicated_drain ~policy ~gamma ~n0 ~master_seed =
+  let times, _ =
+    Runner.run_map ~master_seed ~replications:reps (fun ~rng ~index:_ ->
+        drain_time ~policy ~gamma ~n0 ~rng)
+  in
+  let w = Welford.create () in
+  Array.iter (function Some t -> Welford.add w t | None -> ()) times;
+  (w, reps - Welford.count w)
+
+let fmt_drain (w, censored) =
+  if Welford.count w = 0 then ">4000"
+  else if censored > 0 then
+    Printf.sprintf "%s (%d/%d censored)" (Report.fmt_float (Welford.mean w)) censored reps
+  else
+    Printf.sprintf "%s +/- %s" (Report.fmt_float (Welford.mean w))
+      (Report.fmt_float (Welford.std_error w))
 
 let () =
   Report.banner "Flash crowd drain: who keeps the capacity?";
   Report.subsection
-    "time to serve 95% of N0 empty peers (seed rate 1, mu = 1), by dwell regime";
+    (Printf.sprintf
+       "time to serve 95%% of N0 empty peers (seed rate 1, mu = 1), by dwell regime; mean of \
+        %d replications"
+       reps);
   let rows =
     List.map
       (fun n0 ->
-        let leave = drain_time ~policy:Policy.random_useful ~gamma:infinity ~n0 ~seed:51 in
-        let dwell = drain_time ~policy:Policy.random_useful ~gamma:1.0 ~n0 ~seed:51 in
+        let leave =
+          replicated_drain ~policy:Policy.random_useful ~gamma:infinity ~n0 ~master_seed:51
+        in
+        let dwell =
+          replicated_drain ~policy:Policy.random_useful ~gamma:1.0 ~n0 ~master_seed:51
+        in
         [
           string_of_int n0;
-          fmt_time leave;
-          fmt_time dwell;
-          (match dwell with
-          | Some t -> Report.fmt_float (t /. log (float_of_int n0))
-          | None -> "-");
+          fmt_drain leave;
+          fmt_drain dwell;
+          (let w, _ = dwell in
+           if Welford.count w = 0 then "-"
+           else Report.fmt_float (Welford.mean w /. log (float_of_int n0)));
         ])
       [ 50; 100; 200; 400; 800 ]
   in
@@ -64,12 +93,14 @@ let () =
      drain time grows only logarithmically: the corollary's one extra\n\
      upload, visible in the flash crowd itself.";
 
-  Report.subsection "policy effect during the transient (N0 = 400, leave-at-once)";
+  Report.subsection
+    (Printf.sprintf "policy effect during the transient (N0 = 400, leave-at-once, %d reps)"
+       reps);
   let rows =
     List.map
       (fun (policy : Policy.t) ->
-        let t = drain_time ~policy ~gamma:infinity ~n0:400 ~seed:52 in
-        [ policy.name; fmt_time t ])
+        let d = replicated_drain ~policy ~gamma:infinity ~n0:400 ~master_seed:52 in
+        [ policy.name; fmt_drain d ])
       [ Policy.random_useful; Policy.rarest_first; Policy.most_common_first; Policy.sequential ]
   in
   Report.table ~header:[ "piece selection"; "95% drain time" ] rows;

@@ -21,6 +21,7 @@ type stats = {
   max_n : int;
   final_n : int;
   visits_to_empty : int;
+  truncated : bool;
   samples : (float * int) array;
 }
 
@@ -88,6 +89,7 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
   record_samples_through 0.0;
   let clock = ref 0.0 in
   let running = ref true in
+  let truncated = ref false in
   while !running do
     let n = State.n state in
     let seeds = State.count state full in
@@ -101,6 +103,10 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
     let dt = Dist.exponential rng ~rate:total in
     let t_next = !clock +. dt in
     if t_next > horizon || counters.events >= max_events then begin
+      (* The event budget ran out before the horizon: the state is frozen
+         from !clock to horizon, which biases every time-based statistic.
+         Record that instead of truncating silently. *)
+      if t_next <= horizon then truncated := true;
       record_samples_through horizon;
       P2p_stats.Timeavg.close avg ~time:horizon;
       clock := horizon;
@@ -154,6 +160,7 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
       max_n = counters.max_n;
       final_n = State.n state;
       visits_to_empty = counters.visits_to_empty;
+      truncated = !truncated;
       samples = Array.of_list (List.rev !samples);
     }
   in

@@ -31,6 +31,12 @@ type stats = {
   max_n : int;
   final_n : int;
   visits_to_empty : int;  (** entries into the empty state *)
+  truncated : bool;
+      (** the [max_events] budget ran out before [horizon]: the state is
+          frozen from the last event to the horizon, so [final_time]
+          still reads [horizon] but [time_avg_n], [samples] and every
+          other time-based statistic are biased toward the frozen
+          state.  Check this flag before trusting long runs. *)
   samples : (float * int) array;  (** (t, N_t) on the sampling grid *)
 }
 

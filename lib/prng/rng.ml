@@ -27,6 +27,20 @@ let of_seed seed =
   let s3 = splitmix64 sm in
   { s0; s1; s2; s3 }
 
+(* Derive the [stream]-th generator of the family rooted at [master]:
+   perturb the SplitMix64 chain of [master] by the golden-ratio-scrambled
+   stream index, then draw the xoshiro state as in [of_seed].  Used by the
+   replication runner with stream = replication index. *)
+let of_seed_pair ~master ~stream =
+  let sm = ref (Int64.of_int master) in
+  let base = splitmix64 sm in
+  let sm = ref (Int64.logxor base (Int64.mul (Int64.of_int stream) 0x9E3779B97F4A7C15L)) in
+  let s0 = splitmix64 sm in
+  let s1 = splitmix64 sm in
+  let s2 = splitmix64 sm in
+  let s3 = splitmix64 sm in
+  { s0; s1; s2; s3 }
+
 let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
 
 let bits64 t =
@@ -105,3 +119,4 @@ let bool t = Int64.compare (bits64 t) 0L < 0
 let bernoulli t ~p = if p >= 1.0 then true else if p <= 0.0 then false else float t < p
 
 let pp fmt t = Format.fprintf fmt "xoshiro256**{%Lx;%Lx;%Lx;%Lx}" t.s0 t.s1 t.s2 t.s3
+

@@ -15,6 +15,17 @@ type t
 val of_seed : int -> t
 (** [of_seed seed] creates a generator deterministically from [seed]. *)
 
+val of_seed_pair : master:int -> stream:int -> t
+(** [of_seed_pair ~master ~stream] derives the [stream]-th generator of
+    the family rooted at [master], deterministically and without any
+    shared state: the SplitMix64 seeding chain of [master] is perturbed
+    by the golden-ratio-scrambled stream index before the xoshiro state
+    is drawn.  Streams with the same [master] and distinct [stream]
+    indices are statistically independent; this is the seed-derivation
+    scheme of the Monte-Carlo replication runner, which uses
+    [stream = replication index] so that replication results do not
+    depend on how replications are scheduled across domains. *)
+
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 

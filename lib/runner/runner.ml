@@ -1,0 +1,161 @@
+module Rng = P2p_prng.Rng
+module Welford = P2p_stats.Welford
+module Histogram = P2p_stats.Histogram
+
+type timing = {
+  wall_s : float;
+  jobs : int;
+  chunks : int;
+  busy_s : float array;
+}
+
+let utilisation t =
+  if t.wall_s <= 0.0 then nan
+  else
+    Array.fold_left ( +. ) 0.0 t.busy_s
+    /. (t.wall_s *. float_of_int (Array.length t.busy_s))
+
+let pp_timing fmt t =
+  Format.fprintf fmt "wall %.2fs, %d domain%s, %.0f%% busy" t.wall_s t.jobs
+    (if t.jobs = 1 then "" else "s")
+    (100.0 *. utilisation t)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let derive_rng ~master_seed ~index = Rng.of_seed_pair ~master:master_seed ~stream:index
+
+(* The scheduling core shared by run_map and run_fold.
+
+   [work c] processes chunk [c] (a contiguous index range computed by the
+   caller) and must only write to slots owned by that chunk.  Chunks are
+   claimed from an atomic counter, so the assignment of chunks to domains
+   is racy — but since every per-chunk result lands in a slot keyed by the
+   chunk index, the *outputs* are scheduling-independent. *)
+let drive ~jobs ~nchunks ~work =
+  let next = Atomic.make 0 in
+  let busy = Array.make jobs 0.0 in
+  let failure = Atomic.make None in
+  let worker d =
+    let rec loop () =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < nchunks then begin
+        let t0 = Unix.gettimeofday () in
+        (try work c
+         with exn ->
+           (* Remember the first failure; let other domains drain the
+              queue (each remaining chunk is cheap to skip because we
+              stop claiming once a failure is recorded). *)
+           ignore (Atomic.compare_and_set failure None (Some exn)));
+        busy.(d) <- busy.(d) +. (Unix.gettimeofday () -. t0);
+        if Atomic.get failure = None then loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Unix.gettimeofday () in
+  if jobs = 1 then worker 0
+  else begin
+    let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+    worker 0;
+    Array.iter Domain.join domains
+  end;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match Atomic.get failure with Some exn -> raise exn | None -> ());
+  { wall_s; jobs; chunks = nchunks; busy_s = busy }
+
+let validate ?jobs ?(chunk = 4) ~replications () =
+  if replications < 0 then invalid_arg "Runner: replications < 0";
+  if chunk < 1 then invalid_arg "Runner: chunk < 1";
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Runner: jobs < 1";
+  let nchunks = (replications + chunk - 1) / chunk in
+  (* Never spawn more domains than there are chunks to claim. *)
+  let jobs = Int.max 1 (Int.min jobs nchunks) in
+  (jobs, chunk, nchunks)
+
+let chunk_bounds ~chunk ~replications c =
+  let lo = c * chunk in
+  (lo, Int.min replications (lo + chunk))
+
+let run_map ?jobs ?chunk ~master_seed ~replications f =
+  let jobs, chunk, nchunks = validate ?jobs ?chunk ~replications () in
+  let results = Array.make replications None in
+  let work c =
+    let lo, hi = chunk_bounds ~chunk ~replications c in
+    for i = lo to hi - 1 do
+      let rng = derive_rng ~master_seed ~index:i in
+      results.(i) <- Some (f ~rng ~index:i)
+    done
+  in
+  let timing = drive ~jobs ~nchunks ~work in
+  ( Array.map
+      (function Some v -> v | None -> assert false (* drive raised otherwise *))
+      results,
+    timing )
+
+let run_fold ?jobs ?chunk ~master_seed ~replications ~init ~add ~merge f =
+  let jobs, chunk, nchunks = validate ?jobs ?chunk ~replications () in
+  let accs = Array.make nchunks None in
+  let work c =
+    let lo, hi = chunk_bounds ~chunk ~replications c in
+    let acc = init () in
+    for i = lo to hi - 1 do
+      let rng = derive_rng ~master_seed ~index:i in
+      add acc (f ~rng ~index:i)
+    done;
+    accs.(c) <- Some acc
+  in
+  let timing = drive ~jobs ~nchunks ~work in
+  (* Chunk order, not completion order: this is what makes the merged
+     aggregate independent of the domain count. *)
+  let merged =
+    Array.fold_left
+      (fun acc -> function Some a -> merge acc a | None -> assert false)
+      (init ()) accs
+  in
+  (merged, timing)
+
+type hist_spec = { lo : float; hi : float; bins : int }
+
+type summary = {
+  stats : (string * Welford.t) list;
+  hist : Histogram.t option;
+  timing : timing;
+}
+
+type sacc = { welford : Welford.t array; shist : Histogram.t option }
+
+let run_summary ?jobs ?chunk ?hist ~metrics ~master_seed ~replications f =
+  let nmetrics = List.length metrics in
+  let init () =
+    {
+      welford = Array.init nmetrics (fun _ -> Welford.create ());
+      shist = Option.map (fun { lo; hi; bins } -> Histogram.create ~lo ~hi ~bins) hist;
+    }
+  in
+  let add acc (values, observations) =
+    if Array.length values <> nmetrics then
+      invalid_arg
+        (Printf.sprintf "Runner.run_summary: thunk returned %d metrics, expected %d"
+           (Array.length values) nmetrics);
+    Array.iteri (fun m v -> Welford.add acc.welford.(m) v) values;
+    match acc.shist with
+    | None -> ()
+    | Some h -> Array.iter (Histogram.add h) observations
+  in
+  let merge a b =
+    {
+      welford = Array.init nmetrics (fun m -> Welford.merge a.welford.(m) b.welford.(m));
+      shist =
+        (match (a.shist, b.shist) with
+        | Some ha, Some hb -> Some (Histogram.merge ha hb)
+        | None, None -> None
+        | _ -> assert false);
+    }
+  in
+  let acc, timing = run_fold ?jobs ?chunk ~master_seed ~replications ~init ~add ~merge f in
+  {
+    stats = List.mapi (fun m name -> (name, acc.welford.(m))) metrics;
+    hist = acc.shist;
+    timing;
+  }

@@ -1,0 +1,125 @@
+(** Multicore Monte-Carlo replication runner.
+
+    Runs [R] independent replications of a simulation thunk across [D]
+    domains (OCaml 5 [Domain]s) and folds the per-replication outputs
+    into aggregate statistics.  The three design rules:
+
+    {ol
+    {- {b Deterministic seeding.}  Replication [i] draws all of its
+       randomness from [Rng.of_seed_pair ~master:master_seed ~stream:i].
+       No RNG state is shared between replications, so the output of
+       replication [i] depends only on [(master_seed, i)] — never on
+       which domain ran it or in what order.}
+    {- {b Deterministic aggregation.}  Work is dealt in fixed-size
+       chunks of consecutive replication indices; each chunk
+       accumulates locally and the per-chunk accumulators are merged
+       {e in chunk order} after all domains join.  The chunk layout
+       depends only on [(replications, chunk)], so merged aggregates
+       are bit-identical for any [jobs] count — and across back-to-back
+       runs.  (A test asserts both.)}
+    {- {b Lock-free scheduling.}  Domains claim chunks from a single
+       atomic counter; no locks, no channels, no shared mutable
+       simulation state.}}
+
+    The thunk must be self-contained: it may only touch its [rng]
+    argument and its own allocations.  All simulators in this
+    repository satisfy this (they draw randomness exclusively through
+    the [rng] handed to [run]). *)
+
+module Rng = P2p_prng.Rng
+module Welford = P2p_stats.Welford
+module Histogram = P2p_stats.Histogram
+
+type timing = {
+  wall_s : float;  (** wall-clock seconds for the whole sweep *)
+  jobs : int;  (** domains actually used (including the caller's) *)
+  chunks : int;  (** number of work-queue chunks *)
+  busy_s : float array;  (** per-domain busy seconds, length [jobs] *)
+}
+
+val utilisation : timing -> float
+(** Mean fraction of the wall-clock each domain spent in replication
+    work; 1.0 = perfect scaling, [nan] when [wall_s = 0]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val derive_rng : master_seed:int -> index:int -> Rng.t
+(** The runner's seed-derivation scheme, exposed so tests and
+    documentation can name it: equal to
+    [Rng.of_seed_pair ~master:master_seed ~stream:index]. *)
+
+val run_map :
+  ?jobs:int ->
+  ?chunk:int ->
+  master_seed:int ->
+  replications:int ->
+  (rng:Rng.t -> index:int -> 'a) ->
+  'a array * timing
+(** [run_map ~master_seed ~replications f] evaluates
+    [f ~rng:(derive_rng ~master_seed ~index:i) ~index:i] for
+    [i = 0 .. replications-1] and returns the results indexed by
+    replication.  [jobs] defaults to {!default_jobs} (clamped to the
+    number of chunks); [chunk] (default 4) is the number of consecutive
+    replications claimed per queue pop.  Neither affects [run_map]
+    results at all; for {!run_fold} and {!run_summary} the chunk size
+    fixes the (deterministic) merge grouping, so results there are
+    independent of [jobs] but may differ in floating-point rounding
+    across different [chunk] values — hold [chunk] at its default when
+    comparing runs.
+    @raise Invalid_argument if [replications < 0], [jobs < 1] or
+    [chunk < 1].  Exceptions raised by [f] are re-raised in the
+    caller after all domains join. *)
+
+val run_fold :
+  ?jobs:int ->
+  ?chunk:int ->
+  master_seed:int ->
+  replications:int ->
+  init:(unit -> 'acc) ->
+  add:('acc -> 'a -> unit) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  (rng:Rng.t -> index:int -> 'a) ->
+  'acc * timing
+(** Streaming version of {!run_map}: each chunk folds its replications
+    into a fresh [init ()] accumulator with [add] (in index order), and
+    the chunk accumulators are combined left-to-right in chunk order
+    with [merge] (starting from [init ()], so [replications = 0] just
+    returns an empty accumulator).  Per-replication outputs are never
+    retained, so sweeps with large [R] run in constant memory. *)
+
+(** {1 Canned aggregation: named metrics + pooled histogram} *)
+
+type hist_spec = { lo : float; hi : float; bins : int }
+
+type summary = {
+  stats : (string * Welford.t) list;
+      (** one merged accumulator per metric, in [metrics] order *)
+  hist : Histogram.t option;
+      (** pooled over every observation the thunk emitted *)
+  timing : timing;
+}
+
+val run_summary :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?hist:hist_spec ->
+  metrics:string list ->
+  master_seed:int ->
+  replications:int ->
+  (rng:Rng.t -> index:int -> float array * float array) ->
+  summary
+(** The common experiment shape.  The thunk returns
+    [(metric values, histogram observations)]: the first array must
+    have one entry per name in [metrics] (checked), the second may have
+    any length and is pooled into the histogram when [?hist] is given
+    (it is ignored otherwise — return [[||]] if you have none).
+    Welford accumulators are merged with Chan's parallel update rather
+    than by concatenating samples: a merged accumulator is O(metrics)
+    memory independent of [R], loses no precision (the algebra test
+    pins means and variances to the single-pass values), and keeps
+    exact min/max/count.
+    @raise Invalid_argument if a metric array has the wrong length. *)
+
+val pp_timing : Format.formatter -> timing -> unit
+(** ["wall 1.23s, 4 domains, 87% busy"]. *)

@@ -63,6 +63,22 @@ let fraction_at_or_above t x =
 
 let mean t = if t.total = 0 then nan else t.sum /. float_of_int t.total
 
+let same_shape a b =
+  a.lo = b.lo && a.hi = b.hi && Array.length a.bins = Array.length b.bins
+
+let merge a b =
+  if not (same_shape a b) then invalid_arg "Histogram.merge: incompatible bin layouts";
+  {
+    lo = a.lo;
+    hi = a.hi;
+    bins = Array.init (Array.length a.bins) (fun i -> a.bins.(i) + b.bins.(i));
+    underflow = a.underflow + b.underflow;
+    overflow = a.overflow + b.overflow;
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+    width = a.width;
+  }
+
 let pp fmt t =
   let max_count = Array.fold_left max 1 t.bins in
   Format.fprintf fmt "histogram n=%d underflow=%d overflow=%d@." t.total t.underflow t.overflow;

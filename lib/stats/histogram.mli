@@ -23,5 +23,13 @@ val fraction_at_or_above : t -> float -> float
 val mean : t -> float
 (** Mean of all added samples (exact, not binned). *)
 
+val merge : t -> t -> t
+(** [merge a b] pools two histograms with identical [lo]/[hi]/[bins]
+    layouts: counts add bin-wise, so merging is exact, associative and
+    commutative (the [mean] accumulator commutes because IEEE addition
+    is commutative).  Used by the replication runner to pool
+    per-chunk histograms.
+    @raise Invalid_argument if the layouts differ. *)
+
 val pp : Format.formatter -> t -> unit
 (** A compact textual bar rendering. *)

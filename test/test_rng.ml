@@ -37,6 +37,44 @@ let test_split_decorrelates () =
   done;
   Alcotest.(check bool) "child stream distinct" true (!matches < 3)
 
+let test_seed_pair_deterministic () =
+  let a = Rng.of_seed_pair ~master:42 ~stream:17 in
+  let b = Rng.of_seed_pair ~master:42 ~stream:17 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_pair_streams_decorrelate () =
+  (* Adjacent stream indices of the same master must look independent —
+     the replication runner hands stream i to replication i. *)
+  let a = Rng.of_seed_pair ~master:7 ~stream:0 in
+  let b = Rng.of_seed_pair ~master:7 ~stream:1 in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "adjacent streams diverge" true (!matches < 3)
+
+let test_seed_pair_masters_decorrelate () =
+  let a = Rng.of_seed_pair ~master:1 ~stream:5 in
+  let b = Rng.of_seed_pair ~master:2 ~stream:5 in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr matches
+  done;
+  Alcotest.(check bool) "same stream, different masters diverge" true (!matches < 3)
+
+let test_seed_pair_mean_uniform () =
+  (* Pool one draw from each of many streams: cross-stream output should
+     still be uniform, not clustered by the derivation. *)
+  let acc = ref 0.0 in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    acc := !acc +. Rng.float (Rng.of_seed_pair ~master:3 ~stream:i)
+  done;
+  Alcotest.(check bool) "cross-stream mean near 1/2" true
+    (Float.abs ((!acc /. float_of_int n) -. 0.5) < 0.01)
+
 let test_float_range () =
   let rng = Rng.of_seed 5 in
   for _ = 1 to 10_000 do
@@ -145,6 +183,10 @@ let () =
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
           Alcotest.test_case "copy" `Quick test_copy_independent;
           Alcotest.test_case "split" `Quick test_split_decorrelates;
+          Alcotest.test_case "seed pair determinism" `Quick test_seed_pair_deterministic;
+          Alcotest.test_case "seed pair streams" `Quick test_seed_pair_streams_decorrelate;
+          Alcotest.test_case "seed pair masters" `Quick test_seed_pair_masters_decorrelate;
+          Alcotest.test_case "seed pair uniform" `Quick test_seed_pair_mean_uniform;
           Alcotest.test_case "float range" `Quick test_float_range;
           Alcotest.test_case "float_pos range" `Quick test_float_pos_range;
           Alcotest.test_case "float mean" `Quick test_float_mean;

@@ -1,0 +1,213 @@
+(* The parallel-correctness layer for the Monte-Carlo replication runner:
+   merged aggregates must be bit-identical for every domain count (and
+   across back-to-back runs), exceptions must propagate, and the runner
+   must reproduce the sequential simulators exactly. *)
+
+module Runner = P2p_runner.Runner
+module Rng = P2p_prng.Rng
+module Welford = P2p_stats.Welford
+module Histogram = P2p_stats.Histogram
+open P2p_core
+
+let stable_params = Scenario.flash_crowd ~k:3 ~lambda:0.5 ~us:0.8 ~mu:1.0 ~gamma:2.0
+
+(* A realistic thunk: a short Markov-chain simulation, metrics + pooled
+   N_t observations for the histogram path. *)
+let sim_thunk ~rng ~index:_ =
+  let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config stable_params) ~horizon:60.0 in
+  ( [| stats.time_avg_n; float_of_int stats.final_n; float_of_int stats.transfers |],
+    Array.map (fun (_, n) -> float_of_int n) stats.samples )
+
+let summary jobs =
+  Runner.run_summary ~jobs ~hist:{ Runner.lo = 0.0; hi = 20.0; bins = 10 }
+    ~metrics:[ "time-avg N"; "final N"; "transfers" ]
+    ~master_seed:2024 ~replications:16 sim_thunk
+
+(* Bit-identical: Float.equal on every accumulator component, no tolerance. *)
+let check_welford_identical name a b =
+  Alcotest.(check int) (name ^ ": count") (Welford.count a) (Welford.count b);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: mean %.17g = %.17g" name (Welford.mean a) (Welford.mean b))
+    true
+    (Float.equal (Welford.mean a) (Welford.mean b));
+  Alcotest.(check bool) (name ^ ": variance") true
+    (Float.equal (Welford.variance a) (Welford.variance b));
+  Alcotest.(check bool) (name ^ ": min") true
+    (Float.equal (Welford.min_value a) (Welford.min_value b));
+  Alcotest.(check bool) (name ^ ": max") true
+    (Float.equal (Welford.max_value a) (Welford.max_value b))
+
+let check_hist_identical name a b =
+  Alcotest.(check int) (name ^ ": count") (Histogram.count a) (Histogram.count b);
+  Alcotest.(check int) (name ^ ": underflow") (Histogram.underflow a) (Histogram.underflow b);
+  Alcotest.(check int) (name ^ ": overflow") (Histogram.overflow a) (Histogram.overflow b);
+  for i = 0 to 9 do
+    Alcotest.(check int)
+      (Printf.sprintf "%s: bin %d" name i)
+      (Histogram.bin_count a i) (Histogram.bin_count b i)
+  done;
+  Alcotest.(check bool) (name ^ ": mean") true
+    (Float.equal (Histogram.mean a) (Histogram.mean b))
+
+let check_summary_identical name (a : Runner.summary) (b : Runner.summary) =
+  List.iter2
+    (fun (na, wa) (nb, wb) ->
+      Alcotest.(check string) (name ^ ": metric name") na nb;
+      check_welford_identical (name ^ "/" ^ na) wa wb)
+    a.stats b.stats;
+  check_hist_identical (name ^ "/hist") (Option.get a.hist) (Option.get b.hist)
+
+let test_deterministic_across_jobs () =
+  let s1 = summary 1 and s2 = summary 2 and s4 = summary 4 in
+  Alcotest.(check int) "jobs=1 used 1 domain" 1 s1.timing.jobs;
+  check_summary_identical "jobs 1 vs 2" s1 s2;
+  check_summary_identical "jobs 1 vs 4" s1 s4
+
+let test_deterministic_back_to_back () =
+  check_summary_identical "run 1 vs run 2" (summary 2) (summary 2)
+
+let test_run_map_indexed_by_replication () =
+  (* Results land in replication order regardless of scheduling, and each
+     replication sees exactly the stream (master, index). *)
+  let f ~rng ~index = (index, Rng.bits64 rng) in
+  let seq, _ = Runner.run_map ~jobs:1 ~master_seed:5 ~replications:23 f in
+  let par, _ = Runner.run_map ~jobs:4 ~chunk:2 ~master_seed:5 ~replications:23 f in
+  Alcotest.(check int) "length" 23 (Array.length par);
+  Array.iteri
+    (fun i (idx, bits) ->
+      Alcotest.(check int) "index in slot" i idx;
+      let expected = Rng.bits64 (Runner.derive_rng ~master_seed:5 ~index:i) in
+      Alcotest.check Alcotest.int64 "derived stream" expected bits;
+      Alcotest.check Alcotest.int64 "matches sequential" (snd seq.(i)) bits)
+    par
+
+let test_matches_sequential_simulator () =
+  (* Replication i through the runner = a plain sequential run with the
+     derived rng: the runner adds nothing to the stochastic law. *)
+  let outputs, _ =
+    Runner.run_map ~jobs:3 ~master_seed:99 ~replications:6 (fun ~rng ~index:_ ->
+        let stats, _ =
+          Sim_markov.run ~rng (Sim_markov.default_config stable_params) ~horizon:40.0
+        in
+        (stats.events, stats.final_n))
+  in
+  Array.iteri
+    (fun i (events, final_n) ->
+      let rng = Runner.derive_rng ~master_seed:99 ~index:i in
+      let stats, _ =
+        Sim_markov.run ~rng (Sim_markov.default_config stable_params) ~horizon:40.0
+      in
+      Alcotest.(check int) "events" stats.events events;
+      Alcotest.(check int) "final n" stats.final_n final_n)
+    outputs
+
+let test_zero_replications () =
+  let results, timing = Runner.run_map ~jobs:2 ~master_seed:1 ~replications:0 (fun ~rng:_ ~index -> index) in
+  Alcotest.(check int) "no results" 0 (Array.length results);
+  Alcotest.(check int) "no chunks" 0 timing.chunks;
+  let s =
+    Runner.run_summary ~jobs:2 ~metrics:[ "m" ] ~master_seed:1 ~replications:0
+      (fun ~rng:_ ~index:_ -> ([| 0.0 |], [||]))
+  in
+  Alcotest.(check int) "empty accumulator" 0 (Welford.count (snd (List.hd s.stats)))
+
+let test_more_jobs_than_replications () =
+  let results, timing =
+    Runner.run_map ~jobs:16 ~chunk:1 ~master_seed:3 ~replications:3 (fun ~rng:_ ~index -> index)
+  in
+  Alcotest.(check int) "domains clamped to chunks" 3 timing.jobs;
+  Alcotest.(check (array int)) "all replications ran" [| 0; 1; 2 |] results
+
+let test_invalid_arguments () =
+  let check_invalid name f =
+    Alcotest.(check bool) name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  check_invalid "negative replications" (fun () ->
+      Runner.run_map ~master_seed:1 ~replications:(-1) (fun ~rng:_ ~index -> index));
+  check_invalid "zero chunk" (fun () ->
+      Runner.run_map ~chunk:0 ~master_seed:1 ~replications:4 (fun ~rng:_ ~index -> index));
+  check_invalid "zero jobs" (fun () ->
+      Runner.run_map ~jobs:0 ~master_seed:1 ~replications:4 (fun ~rng:_ ~index -> index));
+  check_invalid "metric arity mismatch" (fun () ->
+      Runner.run_summary ~metrics:[ "a"; "b" ] ~master_seed:1 ~replications:4
+        (fun ~rng:_ ~index:_ -> ([| 1.0 |], [||])))
+
+exception Boom
+
+let test_exception_propagates () =
+  Alcotest.(check bool) "raises across domains" true
+    (try
+       ignore
+         (Runner.run_map ~jobs:4 ~chunk:1 ~master_seed:1 ~replications:12
+            (fun ~rng:_ ~index -> if index = 7 then raise Boom else index));
+       false
+     with Boom -> true)
+
+let test_utilisation_sane () =
+  let _, timing = Runner.run_map ~jobs:2 ~master_seed:8 ~replications:16 sim_thunk in
+  let u = Runner.utilisation timing in
+  Alcotest.(check bool) "utilisation in (0, 1.05]" true (u > 0.0 && u <= 1.05);
+  Alcotest.(check bool) "wall clock positive" true (timing.wall_s >= 0.0)
+
+(* ---- cross-implementation agreement at scale ----
+
+   test_sim.ml compares single trajectories; here the runner drives 32
+   short replications of each simulator on the same stable scenario and
+   the two time-average populations must agree within the overlap of
+   their 95% confidence intervals.  Deterministic given the master
+   seeds, so this cannot flake. *)
+
+let test_markov_vs_agent_at_scale () =
+  let reps = 32 and horizon = 400.0 in
+  let mean_ci master_seed f =
+    let s =
+      Runner.run_summary ~metrics:[ "time-avg N" ] ~master_seed ~replications:reps f
+    in
+    let w = snd (List.hd s.stats) in
+    (Welford.mean w, Welford.confidence_interval w ~z:1.96)
+  in
+  let m_mean, (m_lo, m_hi) =
+    mean_ci 7001 (fun ~rng ~index:_ ->
+        let stats, _ =
+          Sim_markov.run ~rng (Sim_markov.default_config stable_params) ~horizon
+        in
+        ([| stats.time_avg_n |], [||]))
+  in
+  let a_mean, (a_lo, a_hi) =
+    mean_ci 7002 (fun ~rng ~index:_ ->
+        let stats, _ = Sim_agent.run ~rng (Sim_agent.default_config stable_params) ~horizon in
+        ([| stats.time_avg_n |], [||]))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "CI overlap: markov %.3f [%.3f, %.3f] vs agent %.3f [%.3f, %.3f]" m_mean
+       m_lo m_hi a_mean a_lo a_hi)
+    true
+    (m_lo <= a_hi && a_lo <= m_hi)
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "identical across jobs 1/2/4" `Quick test_deterministic_across_jobs;
+          Alcotest.test_case "identical back-to-back" `Quick test_deterministic_back_to_back;
+          Alcotest.test_case "run_map indexed by replication" `Quick
+            test_run_map_indexed_by_replication;
+          Alcotest.test_case "matches sequential simulator" `Quick
+            test_matches_sequential_simulator;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "zero replications" `Quick test_zero_replications;
+          Alcotest.test_case "more jobs than replications" `Quick
+            test_more_jobs_than_replications;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "utilisation sane" `Quick test_utilisation_sane;
+        ] );
+      ( "cross-implementation",
+        [
+          Alcotest.test_case "markov vs agent, 32 replications" `Slow
+            test_markov_vs_agent_at_scale;
+        ] );
+    ]

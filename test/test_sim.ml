@@ -104,6 +104,18 @@ let test_markov_seed_arrivals () =
   close ~tol:0.08 "Little's law for the seed stage" 0.55
     (P2p_stats.Timeavg.average seed_avg)
 
+let test_markov_truncation_flag () =
+  (* A tiny max_events budget must be reported, not silently absorbed:
+     the run freezes at the cap but still claims final_time = horizon. *)
+  let config = (Sim_markov.default_config stable_params) in
+  let stats, _ = Sim_markov.run_seeded ~seed:9 ~max_events:25 config ~horizon:1000.0 in
+  Alcotest.(check bool) "truncated flagged" true stats.truncated;
+  Alcotest.(check int) "stopped exactly at the budget" 25 stats.events;
+  Alcotest.(check (float 1e-9)) "final_time still reads horizon" 1000.0 stats.final_time;
+  (* An untruncated run of the same scenario reports false. *)
+  let stats, _ = Sim_markov.run_seeded ~seed:9 config ~horizon:50.0 in
+  Alcotest.(check bool) "ample budget not flagged" false stats.truncated
+
 let test_markov_samples_grid () =
   let stats, _ = Sim_markov.run_seeded ~seed:7 ~sample_every:10.0
       (Sim_markov.default_config stable_params) ~horizon:100.0 in
@@ -241,6 +253,7 @@ let () =
           Alcotest.test_case "rates match generator" `Quick test_markov_empirical_rates_match_generator;
           Alcotest.test_case "policy invariance" `Slow test_markov_policy_changes_dynamics_not_stability;
           Alcotest.test_case "seed arrivals (lambda_F)" `Quick test_markov_seed_arrivals;
+          Alcotest.test_case "truncation flag" `Quick test_markov_truncation_flag;
           Alcotest.test_case "sample grid" `Quick test_markov_samples_grid;
         ] );
       ( "agent",

@@ -57,6 +57,59 @@ let test_welford_merge () =
   closef ~tol:1e-12 "merged mean" (Welford.mean whole) (Welford.mean merged);
   closef ~tol:1e-10 "merged variance" (Welford.variance whole) (Welford.variance merged)
 
+(* Merge algebra the replication runner relies on: empty is an exact
+   identity, order does not matter (within float tolerance), and merging
+   disjoint halves reproduces the single-pass result. *)
+
+let welford_of xs =
+  let w = Welford.create () in
+  List.iter (Welford.add w) xs;
+  w
+
+let test_welford_merge_empty_identity () =
+  let xs = List.init 31 (fun i -> exp (sin (float_of_int i))) in
+  let a = welford_of xs and e = Welford.create () in
+  List.iter
+    (fun (name, m) ->
+      Alcotest.(check int) (name ^ ": count") (Welford.count a) (Welford.count m);
+      Alcotest.(check bool) (name ^ ": mean exact") true
+        (Float.equal (Welford.mean a) (Welford.mean m));
+      Alcotest.(check bool) (name ^ ": variance exact") true
+        (Float.equal (Welford.variance a) (Welford.variance m));
+      Alcotest.(check bool) (name ^ ": min exact") true
+        (Float.equal (Welford.min_value a) (Welford.min_value m));
+      Alcotest.(check bool) (name ^ ": max exact") true
+        (Float.equal (Welford.max_value a) (Welford.max_value m)))
+    [ ("right identity", Welford.merge a e); ("left identity", Welford.merge e a) ];
+  let ee = Welford.merge e (Welford.create ()) in
+  Alcotest.(check int) "empty + empty count" 0 (Welford.count ee);
+  Alcotest.(check bool) "empty + empty mean nan" true (Float.is_nan (Welford.mean ee))
+
+let test_welford_merge_order_insensitive () =
+  let parts =
+    List.init 4 (fun p -> List.init (10 + (7 * p)) (fun i -> cos (float_of_int ((13 * p) + i))))
+  in
+  let accs = List.map welford_of parts in
+  let fwd = List.fold_left Welford.merge (Welford.create ()) accs in
+  let rev = List.fold_left Welford.merge (Welford.create ()) (List.rev accs) in
+  Alcotest.(check int) "count" (Welford.count fwd) (Welford.count rev);
+  closef ~tol:1e-12 "mean" (Welford.mean fwd) (Welford.mean rev);
+  closef ~tol:1e-12 "variance" (Welford.variance fwd) (Welford.variance rev);
+  Alcotest.(check bool) "min exact" true
+    (Float.equal (Welford.min_value fwd) (Welford.min_value rev));
+  Alcotest.(check bool) "max exact" true
+    (Float.equal (Welford.max_value fwd) (Welford.max_value rev))
+
+let test_welford_merge_halves_vs_single_pass () =
+  let xs = List.init 200 (fun i -> (1e6 +. sin (float_of_int i)) *. 0.5) in
+  let n = List.length xs / 2 in
+  let halves = Welford.merge (welford_of (List.filteri (fun i _ -> i < n) xs))
+      (welford_of (List.filteri (fun i _ -> i >= n) xs)) in
+  let whole = welford_of xs in
+  closef ~tol:1e-12 "mean" (Welford.mean whole) (Welford.mean halves);
+  closef ~tol:1e-12 "variance" (Welford.variance whole) (Welford.variance halves);
+  Alcotest.(check int) "count" (Welford.count whole) (Welford.count halves)
+
 let test_welford_ci () =
   let w = Welford.create () in
   for i = 1 to 100 do
@@ -156,6 +209,52 @@ let test_histogram_tail () =
   let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
   List.iter (Histogram.add h) [ 1.0; 2.0; 8.5; 9.5; 100.0 ];
   closef "fraction >= 8" (3.0 /. 5.0) (Histogram.fraction_at_or_above h 8.0)
+
+(* Merge: the pooled-histogram path of the replication runner. *)
+
+let hist_of xs =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Histogram.add h) xs;
+  h
+
+let check_hist_equal name a b =
+  Alcotest.(check int) (name ^ ": count") (Histogram.count a) (Histogram.count b);
+  Alcotest.(check int) (name ^ ": underflow") (Histogram.underflow a) (Histogram.underflow b);
+  Alcotest.(check int) (name ^ ": overflow") (Histogram.overflow a) (Histogram.overflow b);
+  for i = 0 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "%s: bin %d" name i)
+      (Histogram.bin_count a i) (Histogram.bin_count b i)
+  done
+
+let test_histogram_merge_binwise () =
+  let xs = [ 0.5; 3.3; -2.0; 11.0 ] and ys = [ 3.4; 9.9; 9.8; -1.0; 0.6 ] in
+  let m = Histogram.merge (hist_of xs) (hist_of ys) in
+  check_hist_equal "pooled = single pass" m (hist_of (xs @ ys));
+  closef "pooled mean exact" (Histogram.mean (hist_of (xs @ ys))) (Histogram.mean m)
+
+let test_histogram_merge_empty_identity () =
+  let a = hist_of [ 1.0; 2.5; 7.7; 42.0 ] in
+  check_hist_equal "right identity" a (Histogram.merge a (hist_of []));
+  check_hist_equal "left identity" a (Histogram.merge (hist_of []) a)
+
+let test_histogram_merge_commutative () =
+  let a = hist_of [ 0.1; 4.9; 12.0 ] and b = hist_of [ 2.2; 2.3; -5.0 ] in
+  check_hist_equal "a+b = b+a" (Histogram.merge a b) (Histogram.merge b a);
+  (* counts are integers, so commutativity is exact; the mean accumulator
+     commutes too because IEEE addition is commutative *)
+  Alcotest.(check bool) "mean commutes exactly" true
+    (Float.equal (Histogram.mean (Histogram.merge a b)) (Histogram.mean (Histogram.merge b a)))
+
+let test_histogram_merge_layout_mismatch () =
+  let a = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let raises h = try ignore (Histogram.merge a h); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "different bins" true
+    (raises (Histogram.create ~lo:0.0 ~hi:10.0 ~bins:6));
+  Alcotest.(check bool) "different lo" true
+    (raises (Histogram.create ~lo:1.0 ~hi:10.0 ~bins:5));
+  Alcotest.(check bool) "different hi" true
+    (raises (Histogram.create ~lo:0.0 ~hi:20.0 ~bins:5))
 
 (* ---- Quantile ---- *)
 
@@ -302,6 +401,10 @@ let () =
           Alcotest.test_case "single" `Quick test_welford_single;
           Alcotest.test_case "minmax" `Quick test_welford_minmax;
           Alcotest.test_case "merge" `Quick test_welford_merge;
+          Alcotest.test_case "merge empty identity" `Quick test_welford_merge_empty_identity;
+          Alcotest.test_case "merge order insensitive" `Quick test_welford_merge_order_insensitive;
+          Alcotest.test_case "merge halves = single pass" `Quick
+            test_welford_merge_halves_vs_single_pass;
           Alcotest.test_case "confidence interval" `Quick test_welford_ci;
         ] );
       ( "timeavg",
@@ -323,6 +426,10 @@ let () =
           Alcotest.test_case "binning" `Quick test_histogram_binning;
           Alcotest.test_case "mean exact" `Quick test_histogram_mean_exact;
           Alcotest.test_case "tail" `Quick test_histogram_tail;
+          Alcotest.test_case "merge bin-wise" `Quick test_histogram_merge_binwise;
+          Alcotest.test_case "merge empty identity" `Quick test_histogram_merge_empty_identity;
+          Alcotest.test_case "merge commutative" `Quick test_histogram_merge_commutative;
+          Alcotest.test_case "merge layout mismatch" `Quick test_histogram_merge_layout_mismatch;
         ] );
       ( "quantile",
         [

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Tier-1 gate: full build + full test run, under a wall-clock budget.
+#
+#   tools/check.sh                      # default 900 s budget
+#   CHECK_BUDGET_SECONDS=300 tools/check.sh
+#
+# Exits non-zero if the build fails, any test fails, or the budget is
+# exceeded (timeout exits 124).  For a fast edit loop use the quick
+# alias instead: dune build @quick
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUDGET="${CHECK_BUDGET_SECONDS:-900}"
+
+echo "== tier-1 check (budget ${BUDGET}s) =="
+timeout "$BUDGET" sh -c 'dune build && dune runtest'
+echo "== tier-1 check OK =="
