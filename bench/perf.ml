@@ -137,7 +137,7 @@ let scaling () =
     Runner.run_summary ~jobs ~metrics:[ "time-avg N" ] ~master_seed:7 ~replications:reps
       (fun ~rng ~index:_ ->
         let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config params) ~horizon:150.0 in
-        ([| stats.time_avg_n |], [||]))
+        Runner.rep [| stats.time_avg_n |])
   in
   Printf.printf "%d replications of Sim_markov (K=4, stable, horizon 150); %d cores recommended\n"
     reps

@@ -20,26 +20,34 @@ open P2p_core
 
 (* ---- shared argument parsing ---- *)
 
-let parse_arrival spec =
-  match String.split_on_char '=' spec with
-  | [ pieces; rate ] ->
-      let rate =
+(* Arrival streams parse straight to (Pieceset.t, rate) through a Cmdliner
+   conv, so a typo produces a usage error naming the offending token plus
+   the expected shape — not an uncaught Failure with a backtrace. *)
+let arrival_conv =
+  let hint = "expected PIECES=RATE, e.g. 'none=1.0' or '1,3=0.25'" in
+  let parse spec =
+    let fail fmt = Printf.ksprintf (fun m -> Error (`Msg (m ^ "; " ^ hint))) fmt in
+    match String.split_on_char '=' spec with
+    | [ pieces; rate ] -> begin
         match float_of_string_opt rate with
-        | Some r -> r
-        | None -> failwith (Printf.sprintf "bad rate in %S" spec)
-      in
-      let set =
-        if pieces = "none" || pieces = "" then Pieceset.empty
-        else
-          String.split_on_char ',' pieces
-          |> List.map (fun s ->
-                 match int_of_string_opt (String.trim s) with
-                 | Some i when i >= 1 -> i - 1
-                 | _ -> failwith (Printf.sprintf "bad piece %S in %S" s spec))
-          |> Pieceset.of_list
-      in
-      (set, rate)
-  | _ -> failwith (Printf.sprintf "arrival spec %S is not PIECES=RATE" spec)
+        | None -> fail "bad rate %S in arrival spec %S" rate spec
+        | Some rate ->
+            let rec pieces_of acc = function
+              | [] -> Ok (Pieceset.of_list acc, rate)
+              | s :: rest -> (
+                  match int_of_string_opt (String.trim s) with
+                  | Some i when i >= 1 -> pieces_of ((i - 1) :: acc) rest
+                  | Some _ | None -> fail "bad piece %S in arrival spec %S" s spec)
+            in
+            if pieces = "none" || pieces = "" then Ok (Pieceset.empty, rate)
+            else pieces_of [] (String.split_on_char ',' pieces)
+      end
+    | _ -> fail "arrival spec %S is not of the form PIECES=RATE" spec
+  in
+  let pp fmt (set, rate) =
+    Format.fprintf fmt "%s=%g" (if Pieceset.is_empty set then "none" else Pieceset.to_string set) rate
+  in
+  Arg.conv (parse, pp)
 
 let arrivals_arg =
   let doc =
@@ -47,7 +55,8 @@ let arrivals_arg =
      1-based piece numbers, or 'none' for empty-handed peers. Example: --arrive none=1.0 \
      --arrive 1,2=0.3"
   in
-  Arg.(value & opt_all string [ "none=1.0" ] & info [ "arrive"; "a" ] ~docv:"SPEC" ~doc)
+  Arg.(value & opt_all arrival_conv [ (Pieceset.empty, 1.0) ]
+       & info [ "arrive"; "a" ] ~docv:"SPEC" ~doc)
 
 let k_arg = Arg.(value & opt int 4 & info [ "k"; "num-pieces" ] ~docv:"K" ~doc:"Number of pieces.")
 let us_arg = Arg.(value & opt float 1.0 & info [ "us" ] ~docv:"RATE" ~doc:"Fixed seed contact rate U_s.")
@@ -80,11 +89,112 @@ let reps_arg ~default =
 let horizon_arg =
   Arg.(value & opt float 1000.0 & info [ "horizon"; "t" ] ~docv:"TIME" ~doc:"Simulation horizon.")
 
-let make_params k us mu gamma arrivals =
-  let arrivals = List.map parse_arrival arrivals in
-  Params.make ~k ~us ~mu ~gamma ~arrivals
+let make_params k us mu gamma arrivals = Params.make ~k ~us ~mu ~gamma ~arrivals
 
 let params_term = Term.(const make_params $ k_arg $ us_arg $ mu_arg $ gamma_arg $ arrivals_arg)
+
+(* ---- fault injection flags (shared by simulate) ---- *)
+
+let outage_arg =
+  let doc =
+    "Take the fixed seed through alternating Exp(UP)/Exp(DOWN) up and down periods (mean \
+     durations). While down the seed uploads nothing; Theorem 1 at the effective rate U_s \
+     x UP/(UP+DOWN) predicts where the missing piece syndrome sets in."
+  in
+  let parse s =
+    let bad () =
+      Error
+        (`Msg
+           (Printf.sprintf "seed outage %S is not UP,DOWN (two positive mean durations, e.g. '50,10')" s))
+    in
+    match String.split_on_char ',' s with
+    | [ up; down ] -> (
+        match (float_of_string_opt up, float_of_string_opt down) with
+        | Some u, Some d when u > 0.0 && d > 0.0 && Float.is_finite u && Float.is_finite d ->
+            Ok (u, d)
+        | _ -> bad ())
+    | _ -> bad ()
+  in
+  let outage_c = Arg.conv (parse, fun fmt (u, d) -> Format.fprintf fmt "%g,%g" u d) in
+  Arg.(value & opt (some outage_c) None & info [ "seed-outage" ] ~docv:"UP,DOWN" ~doc)
+
+let nonneg_rate_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v >= 0.0 -> Ok v
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "%s must be a finite non-negative number, got %S" what s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%g" v)
+
+let abort_rate_arg =
+  Arg.(value & opt (nonneg_rate_conv "abort rate") 0.0
+       & info [ "abort-rate" ] ~docv:"RATE"
+           ~doc:"Churn: each unfinished peer aborts (leaves without the file) at rate $(docv).")
+
+let loss_prob_arg =
+  let parse s =
+    match float_of_string_opt s with
+    | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+    | Some _ | None -> Error (`Msg (Printf.sprintf "loss probability must be in [0, 1], got %S" s))
+  in
+  let prob_c = Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%g" v) in
+  Arg.(value & opt prob_c 0.0
+       & info [ "loss-prob" ] ~docv:"P"
+           ~doc:"Each would-be upload is lost (no piece transferred) with probability $(docv).")
+
+let faults_term =
+  let make outage abort_rate loss_prob = Faults.make ?outage ~abort_rate ~loss_prob () in
+  Term.(const make $ outage_arg $ abort_rate_arg $ loss_prob_arg)
+
+let on_error_arg =
+  let doc =
+    "What to do when a replication raises: 'abort' (default; re-raise with backtrace), 'skip' \
+     (drop it, keep the sweep), or 'retry:N' (up to N fresh deterministic streams, then skip)."
+  in
+  let parse s =
+    match String.lowercase_ascii s with
+    | "abort" -> Ok Runner.Abort
+    | "skip" -> Ok Runner.Skip
+    | s when String.length s > 6 && String.sub s 0 6 = "retry:" -> (
+        match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+        | Some n when n >= 1 -> Ok (Runner.Retry n)
+        | Some _ | None ->
+            Error (`Msg (Printf.sprintf "retry count in %S must be a positive integer" s)))
+    | _ -> Error (`Msg (Printf.sprintf "unknown policy %S (expected abort, skip, or retry:N)" s))
+  in
+  let pp fmt = function
+    | Runner.Abort -> Format.pp_print_string fmt "abort"
+    | Runner.Skip -> Format.pp_print_string fmt "skip"
+    | Runner.Retry n -> Format.fprintf fmt "retry:%d" n
+  in
+  Arg.(value & opt (conv (parse, pp)) Runner.Abort & info [ "on-error" ] ~docv:"POLICY" ~doc)
+
+let max_events_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-events" ] ~docv:"N"
+           ~doc:"Per-replication event budget; a run that exhausts it is frozen at its current \
+                 state and counted as partial.")
+
+(* Degraded-seed commentary shared by the simulate paths: what Theorem 1
+   predicts once U_s is scaled by the outage duty cycle. *)
+let report_effective_verdict (params : Params.t) faults =
+  match (faults : Faults.t).outage with
+  | None -> ()
+  | Some _ ->
+      let uf = Faults.uptime_fraction faults in
+      Printf.printf "seed uptime fraction %.4f: effective U_s = %s; Theorem 1 there: %s\n"
+        uf
+        (Report.fmt_float (Faults.effective_us faults ~us:params.us))
+        (Stability.verdict_to_string (Stability.classify_effective params ~uptime_fraction:uf))
+
+let report_failures (timing : Runner.timing) =
+  if timing.failures <> [] then begin
+    Printf.printf "failed replications (excluded from aggregates):\n";
+    List.iter (fun f -> Format.printf "  @[<v>%a@]@." Runner.pp_failure f) timing.failures
+  end;
+  if timing.interrupted then
+    print_endline "interrupted by SIGINT: aggregates cover completed chunks only"
 
 (* ---- classify ---- *)
 
@@ -134,30 +244,41 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
          ~doc:"Write the sampled (t, N_t) trajectory as CSV.")
   in
-  let replicated params horizon seed agent policy reps jobs =
+  let replicated params horizon seed agent policy reps jobs faults on_error max_events =
     (* R independent replications, merged Welford per metric, pooled N_t
-       histogram; bit-identical for every jobs value. *)
-    let metrics = [ "time-avg N"; "final N"; "transfers"; "departures"; "growth dN/dt" ] in
+       histogram; bit-identical for every jobs value (including under
+       skip/retry: surviving replications keep their streams). *)
+    let with_faults = not (Faults.is_none faults) in
+    let metrics =
+      [ "time-avg N"; "final N"; "transfers"; "departures"; "growth dN/dt" ]
+      @ (if with_faults then [ "outage time"; "aborted peers"; "lost transfers" ] else [])
+    in
     let thunk ~rng ~index:_ =
-      let time_avg_n, final_n, transfers, departures, samples =
+      let time_avg_n, final_n, transfers, departures, samples, truncated, fault_counts =
         if agent then begin
-          let config = { (Sim_agent.default_config params) with policy } in
-          let s, _ = Sim_agent.run ~rng config ~horizon in
-          (s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples)
+          let config = { (Sim_agent.default_config params) with policy; faults } in
+          let s, _ = Sim_agent.run ?max_events ~rng config ~horizon in
+          ( s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples, s.truncated,
+            [| s.outage_time; float_of_int s.aborted_peers; float_of_int s.lost_transfers |] )
         end
         else begin
-          let config = { (Sim_markov.default_config params) with policy } in
-          let s, _ = Sim_markov.run ~rng config ~horizon in
-          (s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples)
+          let config = { (Sim_markov.default_config params) with policy; faults } in
+          let s, _ = Sim_markov.run ?max_events ~rng config ~horizon in
+          ( s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples, s.truncated,
+            [| s.outage_time; float_of_int s.aborted_peers; float_of_int s.lost_transfers |] )
         end
       in
       let growth = (Classify.of_samples samples).growth_rate in
-      ( [| time_avg_n; float_of_int final_n; float_of_int transfers;
-           float_of_int departures; growth |],
-        [| time_avg_n |] )
+      let values =
+        Array.append
+          [| time_avg_n; float_of_int final_n; float_of_int transfers;
+             float_of_int departures; growth |]
+          (if with_faults then fault_counts else [||])
+      in
+      Runner.rep ~flagged:truncated ~obs:[| time_avg_n |] values
     in
     let summary =
-      Runner.run_summary ~jobs:(resolve_jobs jobs)
+      Runner.run_summary ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true
         ~hist:{ Runner.lo = 0.0; hi = 400.0; bins = 20 }
         ~metrics ~master_seed:seed ~replications:reps thunk
     in
@@ -176,9 +297,15 @@ let simulate_cmd =
              Report.fmt_float (Welford.max_value w);
            ])
          summary.stats);
+    report_effective_verdict params faults;
+    if summary.partial > 0 then
+      Printf.printf "%d replication%s partial (event budget or wall budget exhausted)\n"
+        summary.partial
+        (if summary.partial = 1 then "" else "s");
+    report_failures summary.timing;
     Format.printf "%a@." Runner.pp_timing summary.timing
   in
-  let run params horizon seed agent policy csv reps jobs =
+  let run params horizon seed agent policy csv reps jobs faults on_error max_events =
     let write_csv samples =
       match csv with
       | None -> ()
@@ -189,55 +316,71 @@ let simulate_cmd =
           close_out oc;
           Printf.printf "wrote %s\n" file
     in
-    if reps > 1 then replicated params horizon seed agent policy reps jobs
-    else if agent then begin
-      let config = { (Sim_agent.default_config params) with policy } in
-      let stats, _ = Sim_agent.run_seeded ~seed config ~horizon in
-      Report.kv
+    let fault_rows (outage_time, aborted, lost) =
+      if Faults.is_none faults then []
+      else
         [
-          ("events", string_of_int stats.events);
-          ("arrivals", string_of_int stats.arrivals);
-          ("transfers", string_of_int stats.transfers);
-          ("departures", string_of_int stats.departures);
-          ("time-avg N", Report.fmt_float stats.time_avg_n);
-          ("max N", string_of_int stats.max_n);
-          ("final N", string_of_int stats.final_n);
-          ("mean sojourn", Report.fmt_float stats.mean_sojourn);
-          ("one-club fraction", Report.fmt_float stats.one_club_time_fraction);
-        ];
-      let r = Classify.of_samples stats.samples in
-      Printf.printf "empirical verdict: %s (growth %s/t)\n"
-        (Classify.verdict_to_string r.verdict)
-        (Report.fmt_float r.growth_rate);
-      write_csv stats.samples
-    end
-    else begin
-      let config = { (Sim_markov.default_config params) with policy } in
-      let stats, _ = Sim_markov.run_seeded ~seed config ~horizon in
+          ("seed outage time", Report.fmt_float outage_time);
+          ("aborted peers", string_of_int aborted);
+          ("lost transfers", string_of_int lost);
+        ]
+    in
+    if reps > 1 then replicated params horizon seed agent policy reps jobs faults on_error max_events
+    else if agent then begin
+      let config = { (Sim_agent.default_config params) with policy; faults } in
+      let stats, _ = Sim_agent.run_seeded ?max_events ~seed config ~horizon in
       if stats.truncated then
         print_endline "WARNING: max_events budget exhausted before the horizon; \
                        time-based statistics are biased";
       Report.kv
-        [
-          ("events", string_of_int stats.events);
-          ("arrivals", string_of_int stats.arrivals);
-          ("transfers", string_of_int stats.transfers);
-          ("departures", string_of_int stats.departures);
-          ("time-avg N", Report.fmt_float stats.time_avg_n);
-          ("max N", string_of_int stats.max_n);
-          ("final N", string_of_int stats.final_n);
-          ("visits to empty", string_of_int stats.visits_to_empty);
-        ];
+        ([
+           ("events", string_of_int stats.events);
+           ("arrivals", string_of_int stats.arrivals);
+           ("transfers", string_of_int stats.transfers);
+           ("departures", string_of_int stats.departures);
+           ("time-avg N", Report.fmt_float stats.time_avg_n);
+           ("max N", string_of_int stats.max_n);
+           ("final N", string_of_int stats.final_n);
+           ("mean sojourn", Report.fmt_float stats.mean_sojourn);
+           ("one-club fraction", Report.fmt_float stats.one_club_time_fraction);
+         ]
+        @ fault_rows (stats.outage_time, stats.aborted_peers, stats.lost_transfers));
       let r = Classify.of_samples stats.samples in
       Printf.printf "empirical verdict: %s (growth %s/t)\n"
         (Classify.verdict_to_string r.verdict)
         (Report.fmt_float r.growth_rate);
+      report_effective_verdict params faults;
+      write_csv stats.samples
+    end
+    else begin
+      let config = { (Sim_markov.default_config params) with policy; faults } in
+      let stats, _ = Sim_markov.run_seeded ?max_events ~seed config ~horizon in
+      if stats.truncated then
+        print_endline "WARNING: max_events budget exhausted before the horizon; \
+                       time-based statistics are biased";
+      Report.kv
+        ([
+           ("events", string_of_int stats.events);
+           ("arrivals", string_of_int stats.arrivals);
+           ("transfers", string_of_int stats.transfers);
+           ("departures", string_of_int stats.departures);
+           ("time-avg N", Report.fmt_float stats.time_avg_n);
+           ("max N", string_of_int stats.max_n);
+           ("final N", string_of_int stats.final_n);
+           ("visits to empty", string_of_int stats.visits_to_empty);
+         ]
+        @ fault_rows (stats.outage_time, stats.aborted_peers, stats.lost_transfers));
+      let r = Classify.of_samples stats.samples in
+      Printf.printf "empirical verdict: %s (growth %s/t)\n"
+        (Classify.verdict_to_string r.verdict)
+        (Report.fmt_float r.growth_rate);
+      report_effective_verdict params faults;
       write_csv stats.samples
     end
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the exact stochastic simulation")
     Term.(const run $ params_term $ horizon_arg $ seed_arg $ agent_arg $ policy_arg $ csv_arg
-          $ reps_arg ~default:1 $ jobs_arg)
+          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ max_events_arg)
 
 (* ---- region ---- *)
 
@@ -251,7 +394,7 @@ let region_cmd =
   let umax_arg =
     Arg.(value & opt float 3.0 & info [ "us-max" ] ~docv:"RATE" ~doc:"Largest U_s.")
   in
-  let run k mu gamma steps lmax umax seed reps jobs horizon =
+  let run k mu gamma steps lmax umax seed reps jobs horizon on_error =
     let cell_params i j =
       let lambda = float_of_int (i + 1) /. float_of_int steps *. lmax in
       let us = float_of_int (j + 1) /. float_of_int steps *. umax in
@@ -264,25 +407,28 @@ let region_cmd =
       | Stability.Borderline -> "0"
     in
     (* With --reps > 0, every cell is simulated reps times; the whole
-       (cell x replication) grid is one flat runner sweep. *)
+       (cell x replication) grid is one flat runner sweep.  A replication
+       skipped by --on-error (or cut off by Ctrl-C) leaves a None slot and
+       simply doesn't vote for its cell. *)
     let sim_symbols =
       if reps <= 0 then None
       else begin
         let cells = steps * steps in
         let verdicts, timing =
-          Runner.run_map ~jobs:(resolve_jobs jobs) ~master_seed:seed
-            ~replications:(cells * reps) (fun ~rng ~index ->
+          Runner.run_map ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true
+            ~master_seed:seed ~replications:(cells * reps) (fun ~rng ~index ->
               let cell = index / reps in
               let p = cell_params (cell / steps) (cell mod steps) in
               let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config p) ~horizon in
               (Classify.of_samples stats.samples).verdict)
         in
         Format.printf "simulated %d cells x %d reps: %a@." cells reps Runner.pp_timing timing;
+        report_failures timing;
         let symbol cell =
           let count v =
             let c = ref 0 in
             for r = 0 to reps - 1 do
-              if verdicts.((cell * reps) + r) = v then incr c
+              if verdicts.((cell * reps) + r) = Some v then incr c
             done;
             !c
           in
@@ -324,7 +470,7 @@ let region_cmd =
   in
   Cmd.v (Cmd.info "region" ~doc:"Print the (lambda, U_s) phase diagram")
     Term.(const run $ k_arg $ mu_arg $ gamma_arg $ steps_arg $ lmax_arg $ umax_arg $ seed_arg
-          $ reps_arg ~default:0 $ jobs_arg $ horizon_arg)
+          $ reps_arg ~default:0 $ jobs_arg $ horizon_arg $ on_error_arg)
 
 (* ---- coded ---- *)
 
@@ -446,37 +592,52 @@ let overlay_cmd =
 (* ---- hetero ---- *)
 
 let hetero_cmd =
+  let class_conv =
+    let hint = "expected LABEL=MU,GAMMA,RATE, e.g. 'fast=2,inf,0.5' (GAMMA may be 'inf')" in
+    let parse spec =
+      let fail fmt = Printf.ksprintf (fun m -> Error (`Msg (m ^ "; " ^ hint))) fmt in
+      match String.split_on_char '=' spec with
+      | [ label; rest ] -> begin
+          match String.split_on_char ',' rest with
+          | [ mu; gamma; rate ] ->
+              let parse_float name s k =
+                if s = "inf" then k infinity
+                else
+                  match float_of_string_opt s with
+                  | Some v -> k v
+                  | None -> fail "bad %s %S in class spec %S" name s spec
+              in
+              parse_float "mu" mu (fun mu ->
+                  parse_float "gamma" gamma (fun gamma ->
+                      parse_float "rate" rate (fun rate ->
+                          Ok
+                            {
+                              Hetero.label;
+                              mu;
+                              gamma;
+                              arrivals = [ (Pieceset.empty, rate) ];
+                            })))
+          | _ -> fail "class spec %S is not of the form LABEL=MU,GAMMA,RATE" spec
+        end
+      | _ -> fail "class spec %S is not of the form LABEL=MU,GAMMA,RATE" spec
+    in
+    let pp fmt (c : Hetero.klass) =
+      let rate = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 c.arrivals in
+      Format.fprintf fmt "%s=%g,%g,%g" c.label c.mu c.gamma rate
+    in
+    Arg.conv (parse, pp)
+  in
   let class_arg =
     let doc =
       "A peer class $(docv) as LABEL=MU,GAMMA,RATE (empty-handed arrivals at RATE; GAMMA may \
        be 'inf'); repeatable."
     in
-    Arg.(value & opt_all string [ "all=1,2,1" ] & info [ "class"; "c" ] ~docv:"SPEC" ~doc)
+    Arg.(value
+         & opt_all class_conv
+             [ { Hetero.label = "all"; mu = 1.0; gamma = 2.0; arrivals = [ (Pieceset.empty, 1.0) ] } ]
+         & info [ "class"; "c" ] ~docv:"SPEC" ~doc)
   in
-  let parse_class spec =
-    match String.split_on_char '=' spec with
-    | [ label; rest ] -> begin
-        match String.split_on_char ',' rest with
-        | [ mu; gamma; rate ] ->
-            let parse_float name s =
-              if s = "inf" then infinity
-              else
-                match float_of_string_opt s with
-                | Some v -> v
-                | None -> failwith (Printf.sprintf "bad %s in %S" name spec)
-            in
-            {
-              Hetero.label;
-              mu = parse_float "mu" mu;
-              gamma = parse_float "gamma" gamma;
-              arrivals = [ (Pieceset.empty, parse_float "rate" rate) ];
-            }
-        | _ -> failwith (Printf.sprintf "class spec %S is not LABEL=MU,GAMMA,RATE" spec)
-      end
-    | _ -> failwith (Printf.sprintf "class spec %S is not LABEL=MU,GAMMA,RATE" spec)
-  in
-  let run k us horizon seed class_specs =
-    let classes = List.map parse_class class_specs in
+  let run k us horizon seed classes =
     let h = Hetero.make ~k ~us ~classes in
     Report.kv
       [

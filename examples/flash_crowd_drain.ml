@@ -45,7 +45,7 @@ let replicated_drain ~policy ~gamma ~n0 ~master_seed =
         drain_time ~policy ~gamma ~n0 ~rng)
   in
   let w = Welford.create () in
-  Array.iter (function Some t -> Welford.add w t | None -> ()) times;
+  Array.iter (function Some (Some t) -> Welford.add w t | Some None | None -> ()) times;
   (w, reps - Welford.count w)
 
 let fmt_drain (w, censored) =

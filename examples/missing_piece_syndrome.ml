@@ -79,7 +79,7 @@ let () =
       (fun ~rng ~index:_ ->
         let stats, _ = Sim_agent.run ~rng ~sample_every:10.0 config ~horizon:400.0 in
         let fit = Classify.of_samples stats.samples in
-        ([| fit.growth_rate; stats.one_club_time_fraction |], [||]))
+        Runner.rep [| fit.growth_rate; stats.one_club_time_fraction |])
   in
   List.iter
     (fun (name, w) ->

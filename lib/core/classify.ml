@@ -64,7 +64,7 @@ let of_samples samples =
 let of_stats (s : Sim_markov.stats) = of_samples s.samples
 
 let run ?(horizon = 2000.0) ?(policy = Policy.random_useful) ?(initial = []) ~seed params =
-  let config = { Sim_markov.params; policy; initial } in
+  let config = { Sim_markov.params; policy; initial; faults = Faults.none } in
   let stats, _ = Sim_markov.run_seeded ~seed config ~horizon in
   of_stats stats
 

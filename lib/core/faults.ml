@@ -1,0 +1,94 @@
+module Rng = P2p_prng.Rng
+module Dist = P2p_prng.Dist
+
+type outage = { mean_up : float; mean_down : float }
+
+type t = { outage : outage option; abort_rate : float; loss_prob : float }
+
+let none = { outage = None; abort_rate = 0.0; loss_prob = 0.0 }
+
+let make ?outage ?(abort_rate = 0.0) ?(loss_prob = 0.0) () =
+  let outage =
+    Option.map
+      (fun (mean_up, mean_down) ->
+        let positive name v =
+          if not (Float.is_finite v && v > 0.0) then
+            invalid_arg (Printf.sprintf "Faults.make: %s must be finite > 0, got %g" name v)
+        in
+        positive "outage mean_up" mean_up;
+        positive "outage mean_down" mean_down;
+        { mean_up; mean_down })
+      outage
+  in
+  if not (Float.is_finite abort_rate && abort_rate >= 0.0) then
+    invalid_arg (Printf.sprintf "Faults.make: abort_rate must be finite >= 0, got %g" abort_rate);
+  if not (Float.is_finite loss_prob && loss_prob >= 0.0 && loss_prob <= 1.0) then
+    invalid_arg (Printf.sprintf "Faults.make: loss_prob must be in [0, 1], got %g" loss_prob);
+  { outage; abort_rate; loss_prob }
+
+let is_none t = t.outage = None && t.abort_rate = 0.0 && t.loss_prob = 0.0
+
+let uptime_fraction t =
+  match t.outage with
+  | None -> 1.0
+  | Some { mean_up; mean_down } -> mean_up /. (mean_up +. mean_down)
+
+let effective_us t ~us = us *. uptime_fraction t
+
+let pp fmt t =
+  if is_none t then Format.pp_print_string fmt "no faults"
+  else begin
+    Format.fprintf fmt "@[<h>";
+    (match t.outage with
+    | Some o ->
+        Format.fprintf fmt "seed outage Exp(up %g)/Exp(down %g) (duty %.3f)" o.mean_up
+          o.mean_down (uptime_fraction t)
+    | None -> ());
+    if t.abort_rate > 0.0 then Format.fprintf fmt " abort-rate %g" t.abort_rate;
+    if t.loss_prob > 0.0 then Format.fprintf fmt " loss-prob %g" t.loss_prob;
+    Format.fprintf fmt "@]"
+  end
+
+type run = {
+  spec : t;
+  frng : Rng.t;  (* the dedicated fault stream; a dummy when spec is none *)
+  mutable up : bool;
+  mutable toggle_at : float;
+  mutable went_down_at : float;
+  mutable down_total : float;
+}
+
+let draw_period run =
+  match run.spec.outage with
+  | None -> infinity
+  | Some { mean_up; mean_down } ->
+      let mean = if run.up then mean_up else mean_down in
+      Dist.exponential run.frng ~rate:(1.0 /. mean)
+
+let start spec ~rng =
+  (* Splitting advances the parent generator, so only do it when a fault
+     can actually draw: a [none] spec must leave [rng] untouched for the
+     bit-identity regression guarantee. *)
+  let frng = if is_none spec then Rng.of_seed 0 else Rng.split rng in
+  let run = { spec; frng; up = true; toggle_at = infinity; went_down_at = 0.0; down_total = 0.0 } in
+  run.toggle_at <- draw_period run;
+  run
+
+let seed_up run = run.up
+let next_toggle run = run.toggle_at
+
+let toggle run ~now =
+  run.up <- not run.up;
+  if run.up then run.down_total <- run.down_total +. (now -. run.went_down_at)
+  else run.went_down_at <- now;
+  run.toggle_at <- now +. draw_period run
+
+let finish run ~now =
+  if not run.up then begin
+    run.down_total <- run.down_total +. (now -. run.went_down_at);
+    run.went_down_at <- now
+  end
+
+let outage_time run = run.down_total
+
+let lost run = run.spec.loss_prob > 0.0 && Rng.bernoulli run.frng ~p:run.spec.loss_prob

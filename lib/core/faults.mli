@@ -1,0 +1,103 @@
+(** Deterministic fault injection for the simulators.
+
+    Theorem 1 assumes an always-available fixed seed and peers that never
+    abandon a download in progress.  This module describes the three ways
+    a production swarm degrades from that ideal:
+
+    - {b seed outages}: the fixed seed alternates between up and down
+      periods, an alternating renewal process with Exp(1/mean_up) up
+      durations and Exp(1/mean_down) down durations.  While down, the
+      seed's contact rate is 0 — exactly the transient rare-piece
+      starvation that triggers the missing piece syndrome;
+    - {b peer churn}: every in-progress peer (one not yet holding the
+      full collection) aborts its download at rate [abort_rate],
+      departing without completing;
+    - {b transfer loss}: each upload is independently lost with
+      probability [loss_prob] — the contact happens, a useful piece is
+      chosen, but nothing arrives.
+
+    {b Determinism.}  All fault randomness (outage durations, loss
+    coins) is drawn from a dedicated stream split off the replication's
+    own generator at simulation start, so the fault schedule of
+    replication [i] is a pure function of [(master_seed, i)] — the same
+    derivation discipline as the replication runner.  When the spec is
+    {!none}, {b no draw is ever made and the parent generator is never
+    touched}: a simulator run with [faults = none] is bit-identical to
+    one that predates fault injection (a regression test pins this). *)
+
+type outage = {
+  mean_up : float;  (** mean duration of an up period (Exp distributed) *)
+  mean_down : float;  (** mean duration of a down period (Exp distributed) *)
+}
+
+type t = private {
+  outage : outage option;
+  abort_rate : float;  (** per-peer abort rate [nu]; 0 = never *)
+  loss_prob : float;  (** per-transfer loss probability; 0 = lossless *)
+}
+
+val none : t
+(** No faults: the paper's model. *)
+
+val make : ?outage:float * float -> ?abort_rate:float -> ?loss_prob:float -> unit -> t
+(** [make ~outage:(mean_up, mean_down) ~abort_rate ~loss_prob ()].
+    @raise Invalid_argument if a mean duration is not finite positive,
+    [abort_rate] is not finite nonnegative, or [loss_prob] is outside
+    [0, 1] (the offending value is echoed in the message). *)
+
+val is_none : t -> bool
+(** [true] iff the spec injects nothing ([none] or an all-zero {!make}). *)
+
+val uptime_fraction : t -> float
+(** Long-run fraction of time the seed is up:
+    [mean_up / (mean_up + mean_down)], or [1.0] without an outage spec.
+    This is the duty cycle at which {!Stability.classify_effective}
+    evaluates the degraded stability region. *)
+
+val effective_us : t -> us:float -> float
+(** [us *. uptime_fraction t]: the seed rate an observer averaging over
+    outage cycles sees. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Per-run fault clockwork}
+
+    A {!run} owns the dedicated fault stream and the mutable outage
+    state of one simulation run.  The simulators treat
+    {!next_toggle} as a time barrier (like a scheduled departure):
+    when the next event would land past it, they advance the clock to
+    the toggle instead, call {!toggle}, and redraw — valid by
+    memorylessness of the exponential race. *)
+
+type run
+
+val start : t -> rng:P2p_prng.Rng.t -> run
+(** Begin a run at time 0 with the seed up.  Splits one dedicated fault
+    stream off [rng] — unless the spec {!is_none}, in which case [rng]
+    is not touched at all. *)
+
+val seed_up : run -> bool
+(** Is the fixed seed currently available? Always [true] without an
+    outage spec. *)
+
+val next_toggle : run -> float
+(** Time of the next up/down transition; [infinity] without an outage
+    spec. *)
+
+val toggle : run -> now:float -> unit
+(** Flip the seed's availability at time [now] (the caller advances its
+    clock to {!next_toggle} first) and draw the next period length from
+    the fault stream. *)
+
+val finish : run -> now:float -> unit
+(** Close the outage accounting at the end of the run: if the seed is
+    down, the period up to [now] is added to {!outage_time}. *)
+
+val outage_time : run -> float
+(** Total time the seed has been down so far (call {!finish} first for
+    the final figure). *)
+
+val lost : run -> bool
+(** Draw one transfer-loss coin: [true] with probability [loss_prob].
+    Never draws when [loss_prob = 0], so lossless runs consume no fault
+    randomness on transfers. *)

@@ -9,10 +9,15 @@ type t = {
 }
 
 let make ~k ~us ~mu ~gamma ~arrivals =
-  if k < 1 || k > Pieceset.max_pieces then invalid_arg "Params.make: k out of range";
-  if us < 0.0 || not (Float.is_finite us) then invalid_arg "Params.make: us must be finite >= 0";
-  if mu <= 0.0 || not (Float.is_finite mu) then invalid_arg "Params.make: mu must be finite > 0";
-  if gamma <= 0.0 then invalid_arg "Params.make: gamma must be positive (or infinity)";
+  if k < 1 || k > Pieceset.max_pieces then
+    invalid_arg
+      (Printf.sprintf "Params.make: k must be in [1, %d], got %d" Pieceset.max_pieces k);
+  if us < 0.0 || not (Float.is_finite us) then
+    invalid_arg (Printf.sprintf "Params.make: us must be finite >= 0, got %g" us);
+  if mu <= 0.0 || not (Float.is_finite mu) then
+    invalid_arg (Printf.sprintf "Params.make: mu must be finite > 0, got %g" mu);
+  if gamma <= 0.0 then
+    invalid_arg (Printf.sprintf "Params.make: gamma must be positive (or infinity), got %g" gamma);
   let full = Pieceset.full ~k in
   (* Deduplicate: sum rates per type, drop zero entries. *)
   let table = Hashtbl.create 16 in
@@ -23,7 +28,9 @@ let make ~k ~us ~mu ~gamma ~arrivals =
           (Printf.sprintf "Params.make: arrival type %s has pieces beyond K=%d"
              (Pieceset.to_string c) k);
       if rate < 0.0 || not (Float.is_finite rate) then
-        invalid_arg "Params.make: arrival rates must be finite >= 0";
+        invalid_arg
+          (Printf.sprintf "Params.make: arrival rates must be finite >= 0, got %g for type %s"
+             rate (Pieceset.to_string c));
       let prev = Option.value (Hashtbl.find_opt table c) ~default:0.0 in
       Hashtbl.replace table c (prev +. rate))
     arrivals;

@@ -11,10 +11,12 @@ type config = {
   eta : float;
   rare_piece : int;
   initial : (Pieceset.t * int) list;
+  faults : Faults.t;
 }
 
 let default_config params =
-  { params; policy = Policy.random_useful; dwell = Exp_dwell; eta = 1.0; rare_piece = 0; initial = [] }
+  { params; policy = Policy.random_useful; dwell = Exp_dwell; eta = 1.0; rare_piece = 0;
+    initial = []; faults = Faults.none }
 
 type groups = {
   young : int;
@@ -48,6 +50,10 @@ type stats = {
   time_avg_n : float;
   max_n : int;
   final_n : int;
+  truncated : bool;
+  outage_time : float;
+  aborted_peers : int;
+  lost_transfers : int;
   samples : (float * int) array;
   group_samples : (float * groups) array;
   mean_sojourn : float;
@@ -170,6 +176,11 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
   let seed_boosted = ref false in
   let lambda_total = Params.lambda_total p in
   let arrival_weights = Array.map snd p.arrivals in
+  let frun = Faults.start config.faults ~rng in
+  let abort_rate = config.faults.abort_rate in
+  let aborted = ref 0 in
+  let lost = ref 0 in
+  let truncated = ref false in
 
   let new_peer c ~time =
     let peer =
@@ -248,7 +259,14 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
       (match uploader with
       | None -> seed_boosted := not success
       | Some up -> if not up.departed then Population.set_boosted pop up (not success));
-      match choice with Some piece -> deliver downloader piece ~time | None -> ()
+      match choice with
+      | Some _ when Faults.lost frun ->
+          (* Uploader found a useful piece but the transfer dropped: the
+             contact counts as successful for the retry speedup (something
+             useful was on offer), yet nothing is delivered. *)
+          incr lost
+      | Some piece -> deliver downloader piece ~time
+      | None -> ()
     end
   in
 
@@ -302,18 +320,33 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
     let n = Population.size pop in
     let rate_arrival = lambda_total in
     let rate_seed =
-      if n = 0 then 0.0 else if !seed_boosted then config.eta *. p.us else p.us
+      if n = 0 || not (Faults.seed_up frun) then 0.0
+      else if !seed_boosted then config.eta *. p.us
+      else p.us
     in
     let rate_peers = Population.contact_rate pop ~mu:p.mu ~eta:config.eta in
-    let total = rate_arrival +. rate_seed +. rate_peers in
+    let rate_abort = abort_rate *. float_of_int (n - State.count state full) in
+    let total = rate_arrival +. rate_seed +. rate_peers +. rate_abort in
     let dt = Dist.exponential rng ~rate:total in
     let t_candidate = !clock +. dt in
-    (* Scheduled departures act as time barriers for the exponential race. *)
+    (* Scheduled departures and outage toggles act as time barriers for
+       the exponential race. *)
     let next_departure = P2p_des.Heap.min_key departures_heap in
-    let departure_first =
-      match next_departure with Some d -> d <= t_candidate && d <= horizon | None -> false
+    let toggle = Faults.next_toggle frun in
+    let toggle_first =
+      toggle <= t_candidate && toggle <= horizon
+      && (match next_departure with Some d -> toggle <= d | None -> true)
     in
-    if departure_first then begin
+    let departure_first =
+      (not toggle_first)
+      && match next_departure with Some d -> d <= t_candidate && d <= horizon | None -> false
+    in
+    if toggle_first then begin
+      record_samples_through toggle;
+      clock := toggle;
+      Faults.toggle frun ~now:toggle
+    end
+    else if departure_first then begin
       match P2p_des.Heap.pop_min departures_heap with
       | Some (time, peer) ->
           record_samples_through time;
@@ -324,6 +357,7 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
       | None -> assert false
     end
     else if t_candidate > horizon || !events >= max_events then begin
+      if t_candidate <= horizon then truncated := true;
       record_samples_through horizon;
       P2p_stats.Timeavg.close avg ~time:horizon;
       P2p_stats.Timeavg.close club_avg ~time:horizon;
@@ -343,13 +377,24 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
         if Pieceset.equal c full then schedule_departure peer ~time:!clock
       end
       else if u < rate_arrival +. rate_seed then contact None ~time:!clock
-      else begin
+      else if u < rate_arrival +. rate_seed +. rate_peers then begin
         let uploader = Population.weighted pop rng ~eta:config.eta in
         contact (Some uploader) ~time:!clock
+      end
+      else begin
+        (* Churn: a uniformly chosen in-progress peer abandons its
+           download.  rate_abort > 0 guarantees a non-seed peer exists. *)
+        let rec pick () =
+          let peer = Population.uniform pop rng in
+          if Pieceset.equal peer.pieces full then pick () else peer
+        in
+        depart (pick ()) ~time:!clock;
+        incr aborted
       end;
       observe !clock
     end
   done;
+  Faults.finish frun ~now:!clock;
   let stats =
     {
       final_time = !clock;
@@ -361,6 +406,10 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
       time_avg_n = P2p_stats.Timeavg.average avg;
       max_n = !max_n;
       final_n = Population.size pop;
+      truncated = !truncated;
+      outage_time = Faults.outage_time frun;
+      aborted_peers = !aborted;
+      lost_transfers = !lost;
       samples = Array.of_list (List.rev !samples);
       group_samples = Array.of_list (List.rev !group_samples);
       mean_sojourn = P2p_stats.Welford.mean sojourn;

@@ -28,10 +28,11 @@ type config = {
   eta : float;  (** unsuccessful-contact speedup; 1.0 = paper model *)
   rare_piece : int;  (** the piece the group decomposition tracks *)
   initial : (Pieceset.t * int) list;
+  faults : Faults.t;  (** fault injection; {!Faults.none} = the paper's model *)
 }
 
 val default_config : Params.t -> config
-(** Random-useful, exponential dwell, [eta = 1.0], rare piece 0. *)
+(** Random-useful, exponential dwell, [eta = 1.0], rare piece 0, no faults. *)
 
 type groups = {
   young : int;  (** missing the rare piece and at least one other *)
@@ -53,6 +54,12 @@ type stats = {
   time_avg_n : float;
   max_n : int;
   final_n : int;
+  truncated : bool;
+      (** the [max_events] budget ran out before [horizon]; time-based
+          statistics are biased toward the frozen final state *)
+  outage_time : float;  (** total time the fixed seed spent down *)
+  aborted_peers : int;  (** churn departures (also counted in [departures]) *)
+  lost_transfers : int;  (** uploads dropped by transfer loss *)
   samples : (float * int) array;
   group_samples : (float * groups) array;
   mean_sojourn : float;  (** of departed peers; [nan] if none departed *)

@@ -6,9 +6,11 @@ type config = {
   params : Params.t;
   policy : Policy.t;
   initial : (Pieceset.t * int) list;
+  faults : Faults.t;
 }
 
-let default_config params = { params; policy = Policy.random_useful; initial = [] }
+let default_config params =
+  { params; policy = Policy.random_useful; initial = []; faults = Faults.none }
 
 type stats = {
   final_time : float;
@@ -22,6 +24,9 @@ type stats = {
   final_n : int;
   visits_to_empty : int;
   truncated : bool;
+  outage_time : float;
+  aborted_peers : int;
+  lost_transfers : int;
   samples : (float * int) array;
 }
 
@@ -33,14 +38,20 @@ type counters = {
   mutable departures : int;
   mutable max_n : int;
   mutable visits_to_empty : int;
+  mutable aborted : int;
+  mutable lost : int;
 }
 
 (* One contact resolution: [uploader] tries to push a piece to a uniformly
    chosen peer.  Returns true iff the state changed. *)
-let resolve_contact ~rng ~(p : Params.t) ~policy ~state ~uploader ~counters =
+let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader ~counters =
   let downloader = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
   match Policy.sample policy ~rng ~k:p.k ~state ~uploader ~downloader with
   | None -> false
+  | Some _ when Faults.lost frun ->
+      (* The upload happened but the piece never arrived. *)
+      counters.lost <- counters.lost + 1;
+      false
   | Some piece ->
       counters.transfers <- counters.transfers + 1;
       let target = Pieceset.add piece downloader in
@@ -71,8 +82,12 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
       departures = 0;
       max_n = State.n state;
       visits_to_empty = 0;
+      aborted = 0;
+      lost = 0;
     }
   in
+  let frun = Faults.start config.faults ~rng in
+  let abort_rate = config.faults.abort_rate in
   let avg = P2p_stats.Timeavg.create () in
   P2p_stats.Timeavg.observe avg ~time:0.0 ~value:(float_of_int (State.n state));
   let sample_every =
@@ -94,15 +109,26 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
     let n = State.n state in
     let seeds = State.count state full in
     let rate_arrival = lambda_total in
-    let rate_seed_contact = if n > 0 then p.us else 0.0 in
+    let rate_seed_contact = if n > 0 && Faults.seed_up frun then p.us else 0.0 in
     let rate_peer_contact = p.mu *. float_of_int n in
+    let rate_abort = abort_rate *. float_of_int (n - seeds) in
     let rate_departure =
       if Params.immediate_departure p then 0.0 else p.gamma *. float_of_int seeds
     in
-    let total = rate_arrival +. rate_seed_contact +. rate_peer_contact +. rate_departure in
+    let total =
+      rate_arrival +. rate_seed_contact +. rate_peer_contact +. rate_abort +. rate_departure
+    in
     let dt = Dist.exponential rng ~rate:total in
     let t_next = !clock +. dt in
-    if t_next > horizon || counters.events >= max_events then begin
+    let toggle = Faults.next_toggle frun in
+    if toggle <= t_next && toggle <= horizon && counters.events < max_events then begin
+      (* The outage flips before the next event: advance to the toggle and
+         redraw — valid by memorylessness of the exponential race. *)
+      record_samples_through toggle;
+      clock := toggle;
+      Faults.toggle frun ~now:toggle
+    end
+    else if t_next > horizon || counters.events >= max_events then begin
       (* The event budget ran out before the horizon: the state is frozen
          from !clock to horizon, which biases every time-based statistic.
          Record that instead of truncating silently. *)
@@ -126,12 +152,25 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
           true
         end
         else if u < rate_arrival +. rate_seed_contact then
-          resolve_contact ~rng ~p ~policy:config.policy ~state ~uploader:Policy.Fixed_seed
-            ~counters
+          resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
+            ~uploader:Policy.Fixed_seed ~counters
         else if u < rate_arrival +. rate_seed_contact +. rate_peer_contact then begin
           let uploader_type = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
-          resolve_contact ~rng ~p ~policy:config.policy ~state
+          resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
             ~uploader:(Policy.Peer uploader_type) ~counters
+        end
+        else if u < rate_arrival +. rate_seed_contact +. rate_peer_contact +. rate_abort
+        then begin
+          (* Churn: a uniformly chosen in-progress peer abandons its
+             download.  rate_abort > 0 guarantees a non-seed peer exists. *)
+          let rec pick () =
+            let c = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
+            if Pieceset.equal c full then pick () else c
+          in
+          State.remove_peer state (pick ());
+          counters.aborted <- counters.aborted + 1;
+          counters.departures <- counters.departures + 1;
+          true
         end
         else begin
           State.remove_peer state full;
@@ -148,6 +187,7 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
       end
     end
   done;
+  Faults.finish frun ~now:!clock;
   let stats =
     {
       final_time = !clock;
@@ -161,6 +201,9 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
       final_n = State.n state;
       visits_to_empty = counters.visits_to_empty;
       truncated = !truncated;
+      outage_time = Faults.outage_time frun;
+      aborted_peers = counters.aborted;
+      lost_transfers = counters.lost;
       samples = Array.of_list (List.rev !samples);
     }
   in

@@ -15,10 +15,11 @@ type config = {
   params : Params.t;
   policy : Policy.t;
   initial : (Pieceset.t * int) list;  (** starting population *)
+  faults : Faults.t;  (** fault injection; {!Faults.none} = the paper's model *)
 }
 
 val default_config : Params.t -> config
-(** Random-useful policy, empty initial state. *)
+(** Random-useful policy, empty initial state, no faults. *)
 
 type stats = {
   final_time : float;
@@ -37,6 +38,9 @@ type stats = {
           still reads [horizon] but [time_avg_n], [samples] and every
           other time-based statistic are biased toward the frozen
           state.  Check this flag before trusting long runs. *)
+  outage_time : float;  (** total time the fixed seed spent down *)
+  aborted_peers : int;  (** churn departures (also counted in [departures]) *)
+  lost_transfers : int;  (** uploads dropped by transfer loss *)
   samples : (float * int) array;  (** (t, N_t) on the sampling grid *)
 }
 

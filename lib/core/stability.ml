@@ -70,6 +70,17 @@ let classify ?tolerance p =
   let verdict, _, _ = classify_detail ?tolerance p in
   verdict
 
+let effective_params (p : Params.t) ~uptime_fraction =
+  if not (Float.is_finite uptime_fraction && uptime_fraction >= 0.0 && uptime_fraction <= 1.0)
+  then
+    invalid_arg
+      (Printf.sprintf "Stability.effective_params: uptime_fraction must be in [0, 1], got %g"
+         uptime_fraction);
+  Params.with_us p ~us:(p.us *. uptime_fraction)
+
+let classify_effective ?tolerance p ~uptime_fraction =
+  classify ?tolerance (effective_params p ~uptime_fraction)
+
 let stable_lambda_limit (p : Params.t) =
   let rho = Params.mu_over_gamma p in
   if rho >= 1.0 then

@@ -45,6 +45,19 @@ val classify_detail : ?tolerance:float -> Params.t -> verdict * int * float
     [(threshold − λ_total) / threshold] (positive inside the stable
     region). *)
 
+val effective_params : Params.t -> uptime_fraction:float -> Params.t
+(** The degraded-seed parameter set: [U_s] scaled by the long-run
+    fraction of time the seed is available (see
+    {!Faults.uptime_fraction}).  A seed on an alternating up/down
+    renewal process delivers contacts at long-run rate
+    [U_s · uptime_fraction], so Theorem 1 evaluated at the scaled rate
+    predicts where the missing piece syndrome sets in under outages.
+    @raise Invalid_argument if [uptime_fraction] is outside [0, 1]. *)
+
+val classify_effective : ?tolerance:float -> Params.t -> uptime_fraction:float -> verdict
+(** {!classify} of {!effective_params}: Eq. (2)/(3) at
+    [U_s · uptime_fraction]. *)
+
 val stable_lambda_limit : Params.t -> float
 (** The largest total arrival rate keeping these parameters stable when
     all arrival rates are scaled proportionally: the infimum over pieces

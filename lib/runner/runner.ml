@@ -2,11 +2,18 @@ module Rng = P2p_prng.Rng
 module Welford = P2p_stats.Welford
 module Histogram = P2p_stats.Histogram
 
+type failure = { index : int; error : exn; backtrace : Printexc.raw_backtrace }
+
+type on_error = Abort | Skip | Retry of int
+
 type timing = {
   wall_s : float;
   jobs : int;
   chunks : int;
   busy_s : float array;
+  failures : failure list;
+  over_budget : int;
+  interrupted : bool;
 }
 
 let utilisation t =
@@ -18,11 +25,33 @@ let utilisation t =
 let pp_timing fmt t =
   Format.fprintf fmt "wall %.2fs, %d domain%s, %.0f%% busy" t.wall_s t.jobs
     (if t.jobs = 1 then "" else "s")
-    (100.0 *. utilisation t)
+    (100.0 *. utilisation t);
+  if t.failures <> [] then
+    Format.fprintf fmt ", %d replication%s failed" (List.length t.failures)
+      (if List.length t.failures = 1 then "" else "s");
+  if t.over_budget > 0 then Format.fprintf fmt ", %d over budget" t.over_budget;
+  if t.interrupted then Format.fprintf fmt ", INTERRUPTED"
+
+let pp_failure fmt f =
+  Format.fprintf fmt "replication %d: %s" f.index (Printexc.to_string f.error);
+  let bt = Printexc.raw_backtrace_to_string f.backtrace in
+  if bt <> "" then Format.fprintf fmt "@,%s" (String.trim bt)
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 let derive_rng ~master_seed ~index = Rng.of_seed_pair ~master:master_seed ~stream:index
+
+(* Retry [attempt] of replication [index] re-keys the stream family from
+   one output of the attempt-0 stream, so each attempt sees a fresh
+   deterministic stream: a pure function of (master_seed, index, attempt),
+   never of which domain ran it or how many times other replications
+   retried. *)
+let derive_retry_rng ~master_seed ~index ~attempt =
+  if attempt < 0 then invalid_arg "Runner: retry attempt < 0";
+  if attempt = 0 then derive_rng ~master_seed ~index
+  else
+    let base = derive_rng ~master_seed ~index in
+    Rng.of_seed_pair ~master:(Int64.to_int (Rng.bits64 base)) ~stream:attempt
 
 (* The scheduling core shared by run_map and run_fold.
 
@@ -30,42 +59,81 @@ let derive_rng ~master_seed ~index = Rng.of_seed_pair ~master:master_seed ~strea
    caller) and must only write to slots owned by that chunk.  Chunks are
    claimed from an atomic counter, so the assignment of chunks to domains
    is racy — but since every per-chunk result lands in a slot keyed by the
-   chunk index, the *outputs* are scheduling-independent. *)
-let drive ~jobs ~nchunks ~work =
+   chunk index, the *outputs* are scheduling-independent.
+
+   An exception escaping [work] (an [Abort]ing replication, or a bug in an
+   accumulator) is captured once, with its backtrace, and re-raised in the
+   caller after every domain joins.  With [handle_sigint], a SIGINT stops
+   the domains from claiming further chunks instead of killing the
+   process: completed chunks are kept and [interrupted] is reported so the
+   caller can flush partial results. *)
+let drive ~jobs ~nchunks ~handle_sigint ~work =
   let next = Atomic.make 0 in
   let busy = Array.make jobs 0.0 in
   let failure = Atomic.make None in
+  let interrupted = Atomic.make false in
+  let stop () = Atomic.get failure <> None || Atomic.get interrupted in
   let worker d =
     let rec loop () =
-      let c = Atomic.fetch_and_add next 1 in
-      if c < nchunks then begin
-        let t0 = Unix.gettimeofday () in
-        (try work c
-         with exn ->
-           (* Remember the first failure; let other domains drain the
-              queue (each remaining chunk is cheap to skip because we
-              stop claiming once a failure is recorded). *)
-           ignore (Atomic.compare_and_set failure None (Some exn)));
-        busy.(d) <- busy.(d) +. (Unix.gettimeofday () -. t0);
-        if Atomic.get failure = None then loop ()
+      if not (stop ()) then begin
+        let c = Atomic.fetch_and_add next 1 in
+        if c < nchunks then begin
+          let t0 = Unix.gettimeofday () in
+          (try work c
+           with exn ->
+             let bt = Printexc.get_raw_backtrace () in
+             (* Remember the first failure; let other domains drain the
+                queue (each remaining chunk is cheap to skip because we
+                stop claiming once a failure is recorded). *)
+             ignore (Atomic.compare_and_set failure None (Some (exn, bt))));
+          busy.(d) <- busy.(d) +. (Unix.gettimeofday () -. t0);
+          loop ()
+        end
       end
     in
     loop ()
   in
+  let previous_handler =
+    if not handle_sigint then None
+    else
+      Some
+        (Sys.signal Sys.sigint
+           (Sys.Signal_handle (fun _ -> Atomic.set interrupted true)))
+  in
   let t0 = Unix.gettimeofday () in
-  if jobs = 1 then worker 0
-  else begin
-    let domains = Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
-    worker 0;
-    Array.iter Domain.join domains
-  end;
+  let finish () =
+    match previous_handler with
+    | Some h -> Sys.set_signal Sys.sigint h
+    | None -> ()
+  in
+  (if jobs = 1 then worker 0
+   else begin
+     (* Backtrace recording is per-domain state in OCaml 5; propagate the
+        caller's setting so a failure on a spawned domain still carries
+        its raise site. *)
+     let record_bt = Printexc.backtrace_status () in
+     let domains =
+       Array.init (jobs - 1) (fun i ->
+           Domain.spawn (fun () ->
+               Printexc.record_backtrace record_bt;
+               worker (i + 1)))
+     in
+     worker 0;
+     Array.iter Domain.join domains
+   end);
+  finish ();
   let wall_s = Unix.gettimeofday () -. t0 in
-  (match Atomic.get failure with Some exn -> raise exn | None -> ());
-  { wall_s; jobs; chunks = nchunks; busy_s = busy }
+  (match Atomic.get failure with
+  | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+  | None -> ());
+  (wall_s, busy, Atomic.get interrupted)
 
-let validate ?jobs ?(chunk = 4) ~replications () =
+let validate ?jobs ?(chunk = 4) ?(on_error = Abort) ~replications () =
   if replications < 0 then invalid_arg "Runner: replications < 0";
   if chunk < 1 then invalid_arg "Runner: chunk < 1";
+  (match on_error with
+  | Retry n when n < 1 -> invalid_arg "Runner: Retry count < 1"
+  | _ -> ());
   let jobs = match jobs with None -> default_jobs () | Some j -> j in
   if jobs < 1 then invalid_arg "Runner: jobs < 1";
   let nchunks = (replications + chunk - 1) / chunk in
@@ -77,71 +145,140 @@ let chunk_bounds ~chunk ~replications c =
   let lo = c * chunk in
   (lo, Int.min replications (lo + chunk))
 
-let run_map ?jobs ?chunk ~master_seed ~replications f =
-  let jobs, chunk, nchunks = validate ?jobs ?chunk ~replications () in
+(* One replication under the failure policy: derive the stream, run,
+   retry on fresh streams as allowed, and either return the value or the
+   last failure.  Everything here depends only on (master_seed, index,
+   on_error), so skipping and retrying preserve the bit-identical
+   aggregation of the surviving replications across any [jobs] count. *)
+let run_replication ~on_error ~master_seed ~index f =
+  let retries = match on_error with Retry n -> n | Abort | Skip -> 0 in
+  let rec go attempt =
+    let rng = derive_retry_rng ~master_seed ~index ~attempt in
+    match f ~rng ~index with
+    | v -> Ok v
+    | exception exn ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        if attempt < retries then go (attempt + 1) else Error { index; error = exn; backtrace }
+  in
+  go 0
+
+(* Per-chunk fault bookkeeping: each chunk owns its own slots, so the
+   records are race-free and, concatenated in chunk order, sorted by
+   replication index. *)
+type chunk_log = { failures : failure list array; over : int array }
+
+let chunk_log nchunks = { failures = Array.make nchunks []; over = Array.make nchunks 0 }
+
+let log_of ~(log : chunk_log) ~wall_s ~jobs ~nchunks ~busy ~interrupted =
+  {
+    wall_s;
+    jobs;
+    chunks = nchunks;
+    busy_s = busy;
+    failures = List.concat_map List.rev (Array.to_list log.failures);
+    over_budget = Array.fold_left ( + ) 0 log.over;
+    interrupted;
+  }
+
+(* Run replication [i] of chunk [c], enforcing policy and wall budget;
+   [keep] consumes the value of a surviving replication. *)
+let step ~on_error ~budget_s ~(log : chunk_log) ~master_seed ~c ~keep f i =
+  let t0 = Unix.gettimeofday () in
+  let result = run_replication ~on_error ~master_seed ~index:i f in
+  (match budget_s with
+  | Some budget when Unix.gettimeofday () -. t0 > budget ->
+      log.over.(c) <- log.over.(c) + 1
+  | _ -> ());
+  match result with
+  | Ok v -> keep v
+  | Error fail -> (
+      match on_error with
+      | Abort -> Printexc.raise_with_backtrace fail.error fail.backtrace
+      | Skip | Retry _ -> log.failures.(c) <- fail :: log.failures.(c))
+
+let run_map ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false) ~master_seed ~replications
+    f =
+  let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ~replications () in
+  let on_error = Option.value on_error ~default:Abort in
+  let log = chunk_log nchunks in
   let results = Array.make replications None in
   let work c =
     let lo, hi = chunk_bounds ~chunk ~replications c in
     for i = lo to hi - 1 do
-      let rng = derive_rng ~master_seed ~index:i in
-      results.(i) <- Some (f ~rng ~index:i)
+      step ~on_error ~budget_s ~log ~master_seed ~c ~keep:(fun v -> results.(i) <- Some v) f i
     done
   in
-  let timing = drive ~jobs ~nchunks ~work in
-  ( Array.map
-      (function Some v -> v | None -> assert false (* drive raised otherwise *))
-      results,
-    timing )
+  let wall_s, busy, interrupted = drive ~jobs ~nchunks ~handle_sigint ~work in
+  (results, log_of ~log ~wall_s ~jobs ~nchunks ~busy ~interrupted)
 
-let run_fold ?jobs ?chunk ~master_seed ~replications ~init ~add ~merge f =
-  let jobs, chunk, nchunks = validate ?jobs ?chunk ~replications () in
+let run_fold ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false) ~master_seed ~replications
+    ~init ~add ~merge f =
+  let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ~replications () in
+  let on_error = Option.value on_error ~default:Abort in
+  let log = chunk_log nchunks in
   let accs = Array.make nchunks None in
   let work c =
     let lo, hi = chunk_bounds ~chunk ~replications c in
     let acc = init () in
     for i = lo to hi - 1 do
-      let rng = derive_rng ~master_seed ~index:i in
-      add acc (f ~rng ~index:i)
+      step ~on_error ~budget_s ~log ~master_seed ~c ~keep:(add acc) f i
     done;
     accs.(c) <- Some acc
   in
-  let timing = drive ~jobs ~nchunks ~work in
+  let wall_s, busy, interrupted = drive ~jobs ~nchunks ~handle_sigint ~work in
   (* Chunk order, not completion order: this is what makes the merged
-     aggregate independent of the domain count. *)
+     aggregate independent of the domain count.  A [None] chunk was never
+     claimed (interrupt) and contributes nothing. *)
   let merged =
     Array.fold_left
-      (fun acc -> function Some a -> merge acc a | None -> assert false)
+      (fun acc -> function
+        | Some a -> merge acc a
+        | None ->
+            assert interrupted;
+            acc)
       (init ()) accs
   in
-  (merged, timing)
+  (merged, log_of ~log ~wall_s ~jobs ~nchunks ~busy ~interrupted)
 
 type hist_spec = { lo : float; hi : float; bins : int }
+
+type rep = { values : float array; observations : float array; flagged : bool }
+
+let rep ?(flagged = false) ?(obs = [||]) values = { values; observations = obs; flagged }
 
 type summary = {
   stats : (string * Welford.t) list;
   hist : Histogram.t option;
+  partial : int;
   timing : timing;
 }
 
-type sacc = { welford : Welford.t array; shist : Histogram.t option }
+type sacc = {
+  welford : Welford.t array;
+  shist : Histogram.t option;
+  mutable flagged : int;
+}
 
-let run_summary ?jobs ?chunk ?hist ~metrics ~master_seed ~replications f =
+let run_summary ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?hist ~metrics ~master_seed
+    ~replications f =
   let nmetrics = List.length metrics in
   let init () =
     {
       welford = Array.init nmetrics (fun _ -> Welford.create ());
       shist = Option.map (fun { lo; hi; bins } -> Histogram.create ~lo ~hi ~bins) hist;
+      flagged = 0;
     }
   in
-  let add acc (values, observations) =
-    if Array.length values <> nmetrics then
+  let add acc r =
+    if Array.length r.values <> nmetrics then
       invalid_arg
         (Printf.sprintf "Runner.run_summary: thunk returned %d metrics, expected %d"
-           (Array.length values) nmetrics);
-    Array.iteri (fun m v -> Welford.add acc.welford.(m) v) values;
+           (Array.length r.values) nmetrics);
+    Array.iteri (fun m v -> Welford.add acc.welford.(m) v) r.values;
+    if r.flagged then acc.flagged <- acc.flagged + 1;
     match acc.shist with
     | None -> ()
-    | Some h -> Array.iter (Histogram.add h) observations
+    | Some h -> Array.iter (Histogram.add h) r.observations
   in
   let merge a b =
     {
@@ -151,11 +288,16 @@ let run_summary ?jobs ?chunk ?hist ~metrics ~master_seed ~replications f =
         | Some ha, Some hb -> Some (Histogram.merge ha hb)
         | None, None -> None
         | _ -> assert false);
+      flagged = a.flagged + b.flagged;
     }
   in
-  let acc, timing = run_fold ?jobs ?chunk ~master_seed ~replications ~init ~add ~merge f in
+  let acc, timing =
+    run_fold ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ~master_seed ~replications ~init
+      ~add ~merge f
+  in
   {
     stats = List.mapi (fun m name -> (name, acc.welford.(m))) metrics;
     hist = acc.shist;
+    partial = acc.flagged + timing.over_budget;
     timing;
   }

@@ -21,6 +21,16 @@
        atomic counter; no locks, no channels, no shared mutable
        simulation state.}}
 
+    {b Failure isolation.}  A replication that raises no longer has to
+    poison the sweep: the {!on_error} policy decides whether the first
+    failure aborts everything (the default, as before), is skipped, or
+    is retried on a fresh deterministic stream.  Skipped and
+    retried-then-failed replications are recorded as {!failure} values —
+    index, exception, and the backtrace captured at the raise — in
+    {!timing.failures}.  Because the policy is applied inside the chunk
+    walk, the surviving replications' merged aggregates remain
+    bit-identical across any [jobs] count.
+
     The thunk must be self-contained: it may only touch its [rng]
     argument and its own allocations.  All simulators in this
     repository satisfy this (they draw randomness exclusively through
@@ -30,11 +40,28 @@ module Rng = P2p_prng.Rng
 module Welford = P2p_stats.Welford
 module Histogram = P2p_stats.Histogram
 
+type failure = {
+  index : int;  (** the replication that raised *)
+  error : exn;
+  backtrace : Printexc.raw_backtrace;  (** captured at the raise site *)
+}
+
+type on_error =
+  | Abort  (** first failure re-raised (with its backtrace) after all domains join *)
+  | Skip  (** failed replications are dropped and recorded in [timing.failures] *)
+  | Retry of int
+      (** retry up to [n] more times, each attempt on a fresh
+          deterministic stream ({!derive_retry_rng}); a replication still
+          failing after [n] retries is skipped and recorded *)
+
 type timing = {
   wall_s : float;  (** wall-clock seconds for the whole sweep *)
   jobs : int;  (** domains actually used (including the caller's) *)
   chunks : int;  (** number of work-queue chunks *)
   busy_s : float array;  (** per-domain busy seconds, length [jobs] *)
+  failures : failure list;  (** skipped replications, sorted by index *)
+  over_budget : int;  (** replications that exceeded [budget_s] *)
+  interrupted : bool;  (** a SIGINT cut the sweep short (see [handle_sigint]) *)
 }
 
 val utilisation : timing -> float
@@ -49,31 +76,62 @@ val derive_rng : master_seed:int -> index:int -> Rng.t
     documentation can name it: equal to
     [Rng.of_seed_pair ~master:master_seed ~stream:index]. *)
 
+val derive_retry_rng : master_seed:int -> index:int -> attempt:int -> Rng.t
+(** Stream of retry [attempt] of a replication: [attempt = 0] is
+    {!derive_rng}; [attempt >= 1] re-keys the family from one output of
+    the attempt-0 stream, so every attempt is deterministic in
+    [(master_seed, index, attempt)] and independent of scheduling.
+    @raise Invalid_argument if [attempt < 0]. *)
+
+(** {1 Sweeps}
+
+    Common optional arguments:
+
+    - [jobs] (default {!default_jobs}, clamped to the number of chunks)
+      — domains to use; never affects results.
+    - [chunk] (default 4) — consecutive replications per queue pop; fixes
+      the (deterministic) float merge grouping for the folded paths, so
+      hold it at its default when comparing runs.
+    - [on_error] (default [Abort]) — the failure policy above.
+    - [budget_s] — per-replication wall-clock budget: a replication
+      running longer is still kept (OCaml cannot safely preempt it) but
+      is counted in [timing.over_budget] so the caller knows the sweep
+      outran its budget instead of silently trusting it.
+    - [handle_sigint] (default [false]) — install a SIGINT handler for
+      the duration of the sweep that stops domains from claiming further
+      chunks, joins them, restores the previous handler, and returns the
+      completed chunks with [timing.interrupted = true].  Merged results
+      under interruption reflect whichever chunks completed, so they are
+      {e not} jobs-independent — check the flag before comparing. *)
+
 val run_map :
   ?jobs:int ->
   ?chunk:int ->
+  ?on_error:on_error ->
+  ?budget_s:float ->
+  ?handle_sigint:bool ->
   master_seed:int ->
   replications:int ->
   (rng:Rng.t -> index:int -> 'a) ->
-  'a array * timing
+  'a option array * timing
 (** [run_map ~master_seed ~replications f] evaluates
     [f ~rng:(derive_rng ~master_seed ~index:i) ~index:i] for
     [i = 0 .. replications-1] and returns the results indexed by
-    replication.  [jobs] defaults to {!default_jobs} (clamped to the
-    number of chunks); [chunk] (default 4) is the number of consecutive
-    replications claimed per queue pop.  Neither affects [run_map]
-    results at all; for {!run_fold} and {!run_summary} the chunk size
-    fixes the (deterministic) merge grouping, so results there are
-    independent of [jobs] but may differ in floating-point rounding
-    across different [chunk] values — hold [chunk] at its default when
-    comparing runs.
-    @raise Invalid_argument if [replications < 0], [jobs < 1] or
-    [chunk < 1].  Exceptions raised by [f] are re-raised in the
-    caller after all domains join. *)
+    replication.  A slot is [None] only if that replication was skipped
+    under [Skip]/[Retry] (it is then named in [timing.failures]) or
+    never ran because of an interrupt — under the default [Abort] policy
+    an uninterrupted sweep returns all [Some].
+    @raise Invalid_argument if [replications < 0], [jobs < 1],
+    [chunk < 1] or [Retry n] with [n < 1].  Under [Abort], the first
+    exception raised by [f] is re-raised in the caller after all domains
+    join, with the original backtrace preserved. *)
 
 val run_fold :
   ?jobs:int ->
   ?chunk:int ->
+  ?on_error:on_error ->
+  ?budget_s:float ->
+  ?handle_sigint:bool ->
   master_seed:int ->
   replications:int ->
   init:(unit -> 'acc) ->
@@ -86,40 +144,65 @@ val run_fold :
     the chunk accumulators are combined left-to-right in chunk order
     with [merge] (starting from [init ()], so [replications = 0] just
     returns an empty accumulator).  Per-replication outputs are never
-    retained, so sweeps with large [R] run in constant memory. *)
+    retained, so sweeps with large [R] run in constant memory.  Skipped
+    replications are simply never [add]ed, which keeps the surviving
+    merge bit-identical across [jobs]. *)
 
 (** {1 Canned aggregation: named metrics + pooled histogram} *)
 
 type hist_spec = { lo : float; hi : float; bins : int }
+
+type rep = {
+  values : float array;  (** one entry per metric, in [metrics] order *)
+  observations : float array;  (** pooled into the histogram when [?hist] is given *)
+  flagged : bool;
+      (** the replication self-reports as degraded (e.g. the simulator's
+          [max_events] budget truncated it); counted in [summary.partial] *)
+}
+
+val rep : ?flagged:bool -> ?obs:float array -> float array -> rep
+(** Thunk-side constructor: [rep values], [rep ~obs values],
+    [rep ~flagged:stats.truncated values]. *)
 
 type summary = {
   stats : (string * Welford.t) list;
       (** one merged accumulator per metric, in [metrics] order *)
   hist : Histogram.t option;
       (** pooled over every observation the thunk emitted *)
+  partial : int;
+      (** replications whose contribution is suspect: thunk-[flagged]
+          ones plus [timing.over_budget].  [0] means every aggregated
+          replication ran to completion within budget. *)
   timing : timing;
 }
 
 val run_summary :
   ?jobs:int ->
   ?chunk:int ->
+  ?on_error:on_error ->
+  ?budget_s:float ->
+  ?handle_sigint:bool ->
   ?hist:hist_spec ->
   metrics:string list ->
   master_seed:int ->
   replications:int ->
-  (rng:Rng.t -> index:int -> float array * float array) ->
+  (rng:Rng.t -> index:int -> rep) ->
   summary
-(** The common experiment shape.  The thunk returns
-    [(metric values, histogram observations)]: the first array must
-    have one entry per name in [metrics] (checked), the second may have
-    any length and is pooled into the histogram when [?hist] is given
-    (it is ignored otherwise — return [[||]] if you have none).
-    Welford accumulators are merged with Chan's parallel update rather
-    than by concatenating samples: a merged accumulator is O(metrics)
-    memory independent of [R], loses no precision (the algebra test
-    pins means and variances to the single-pass values), and keeps
-    exact min/max/count.
+(** The common experiment shape.  The thunk returns a {!rep}: [values]
+    must have one entry per name in [metrics] (checked), [observations]
+    may have any length and is pooled into the histogram when [?hist] is
+    given (ignored otherwise), and [flagged] marks the replication as
+    degraded.  Welford accumulators are merged with Chan's parallel
+    update rather than by concatenating samples: a merged accumulator is
+    O(metrics) memory independent of [R], loses no precision (the
+    algebra test pins means and variances to the single-pass values),
+    and keeps exact min/max/count.
     @raise Invalid_argument if a metric array has the wrong length. *)
 
 val pp_timing : Format.formatter -> timing -> unit
-(** ["wall 1.23s, 4 domains, 87% busy"]. *)
+(** ["wall 1.23s, 4 domains, 87% busy"], plus failure / budget /
+    interrupt counts when present. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+(** ["replication 7: Failure(...)"] followed by the captured backtrace
+    when one is available. *)

@@ -15,8 +15,9 @@ let stable_params = Scenario.flash_crowd ~k:3 ~lambda:0.5 ~us:0.8 ~mu:1.0 ~gamma
    N_t observations for the histogram path. *)
 let sim_thunk ~rng ~index:_ =
   let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config stable_params) ~horizon:60.0 in
-  ( [| stats.time_avg_n; float_of_int stats.final_n; float_of_int stats.transfers |],
-    Array.map (fun (_, n) -> float_of_int n) stats.samples )
+  Runner.rep
+    ~obs:(Array.map (fun (_, n) -> float_of_int n) stats.samples)
+    [| stats.time_avg_n; float_of_int stats.final_n; float_of_int stats.transfers |]
 
 let summary jobs =
   Runner.run_summary ~jobs ~hist:{ Runner.lo = 0.0; hi = 20.0; bins = 10 }
@@ -74,11 +75,12 @@ let test_run_map_indexed_by_replication () =
   let par, _ = Runner.run_map ~jobs:4 ~chunk:2 ~master_seed:5 ~replications:23 f in
   Alcotest.(check int) "length" 23 (Array.length par);
   Array.iteri
-    (fun i (idx, bits) ->
+    (fun i slot ->
+      let idx, bits = Option.get slot in
       Alcotest.(check int) "index in slot" i idx;
       let expected = Rng.bits64 (Runner.derive_rng ~master_seed:5 ~index:i) in
       Alcotest.check Alcotest.int64 "derived stream" expected bits;
-      Alcotest.check Alcotest.int64 "matches sequential" (snd seq.(i)) bits)
+      Alcotest.check Alcotest.int64 "matches sequential" (snd (Option.get seq.(i))) bits)
     par
 
 let test_matches_sequential_simulator () =
@@ -92,7 +94,8 @@ let test_matches_sequential_simulator () =
         (stats.events, stats.final_n))
   in
   Array.iteri
-    (fun i (events, final_n) ->
+    (fun i slot ->
+      let events, final_n = Option.get slot in
       let rng = Runner.derive_rng ~master_seed:99 ~index:i in
       let stats, _ =
         Sim_markov.run ~rng (Sim_markov.default_config stable_params) ~horizon:40.0
@@ -107,7 +110,7 @@ let test_zero_replications () =
   Alcotest.(check int) "no chunks" 0 timing.chunks;
   let s =
     Runner.run_summary ~jobs:2 ~metrics:[ "m" ] ~master_seed:1 ~replications:0
-      (fun ~rng:_ ~index:_ -> ([| 0.0 |], [||]))
+      (fun ~rng:_ ~index:_ -> Runner.rep [| 0.0 |])
   in
   Alcotest.(check int) "empty accumulator" 0 (Welford.count (snd (List.hd s.stats)))
 
@@ -116,7 +119,8 @@ let test_more_jobs_than_replications () =
     Runner.run_map ~jobs:16 ~chunk:1 ~master_seed:3 ~replications:3 (fun ~rng:_ ~index -> index)
   in
   Alcotest.(check int) "domains clamped to chunks" 3 timing.jobs;
-  Alcotest.(check (array int)) "all replications ran" [| 0; 1; 2 |] results
+  Alcotest.(check (array int)) "all replications ran" [| 0; 1; 2 |]
+    (Array.map Option.get results)
 
 let test_invalid_arguments () =
   let check_invalid name f =
@@ -130,7 +134,10 @@ let test_invalid_arguments () =
       Runner.run_map ~jobs:0 ~master_seed:1 ~replications:4 (fun ~rng:_ ~index -> index));
   check_invalid "metric arity mismatch" (fun () ->
       Runner.run_summary ~metrics:[ "a"; "b" ] ~master_seed:1 ~replications:4
-        (fun ~rng:_ ~index:_ -> ([| 1.0 |], [||])))
+        (fun ~rng:_ ~index:_ -> Runner.rep [| 1.0 |]));
+  check_invalid "retry count < 1" (fun () ->
+      Runner.run_map ~on_error:(Runner.Retry 0) ~master_seed:1 ~replications:4
+        (fun ~rng:_ ~index -> index))
 
 exception Boom
 
@@ -171,18 +178,180 @@ let test_markov_vs_agent_at_scale () =
         let stats, _ =
           Sim_markov.run ~rng (Sim_markov.default_config stable_params) ~horizon
         in
-        ([| stats.time_avg_n |], [||]))
+        Runner.rep [| stats.time_avg_n |])
   in
   let a_mean, (a_lo, a_hi) =
     mean_ci 7002 (fun ~rng ~index:_ ->
         let stats, _ = Sim_agent.run ~rng (Sim_agent.default_config stable_params) ~horizon in
-        ([| stats.time_avg_n |], [||]))
+        Runner.rep [| stats.time_avg_n |])
   in
   Alcotest.(check bool)
     (Printf.sprintf "CI overlap: markov %.3f [%.3f, %.3f] vs agent %.3f [%.3f, %.3f]" m_mean
        m_lo m_hi a_mean a_lo a_hi)
     true
     (m_lo <= a_hi && a_lo <= m_hi)
+
+(* ---- failure isolation ----
+
+   Skip/Retry must (a) name exactly the replications that failed, with
+   the exception and its backtrace, (b) leave the surviving
+   replications' streams and merged aggregates untouched — bit-identical
+   across jobs and equal to a clean sweep's values slot for slot. *)
+
+(* Same draws as a clean thunk, but detonates on one index (after the
+   draw, through a helper, so a backtrace frame exists). *)
+let detonate () = raise Boom
+
+let flaky_value ~fail_at ~rng ~index =
+  let bits = Rng.bits64 rng in
+  if index = fail_at then detonate ();
+  (index, bits)
+
+let test_skip_names_failure_and_keeps_survivors () =
+  Printexc.record_backtrace true;
+  let clean, _ =
+    Runner.run_map ~jobs:1 ~master_seed:2024 ~replications:12 (flaky_value ~fail_at:(-1))
+  in
+  let skip, timing =
+    Runner.run_map ~jobs:3 ~chunk:2 ~on_error:Runner.Skip ~master_seed:2024 ~replications:12
+      (flaky_value ~fail_at:5)
+  in
+  (match timing.failures with
+  | [ f ] ->
+      Alcotest.(check int) "failed index" 5 f.index;
+      Alcotest.(check bool) "exception preserved" true (f.error = Boom);
+      Alcotest.(check bool) "backtrace captured" true
+        (Printexc.raw_backtrace_to_string f.backtrace <> "")
+  | l -> Alcotest.failf "expected exactly one failure, got %d" (List.length l));
+  Array.iteri
+    (fun i slot ->
+      if i = 5 then Alcotest.(check bool) "failed slot is None" true (slot = None)
+      else
+        Alcotest.check Alcotest.int64 "survivor untouched"
+          (snd (Option.get clean.(i)))
+          (snd (Option.get slot)))
+    skip
+
+let test_skip_summary_bit_identical_across_jobs () =
+  let sweep jobs =
+    Runner.run_summary ~jobs ~on_error:Runner.Skip
+      ~hist:{ Runner.lo = 0.0; hi = 20.0; bins = 10 }
+      ~metrics:[ "time-avg N"; "final N"; "transfers" ]
+      ~master_seed:2024 ~replications:16
+      (fun ~rng ~index ->
+        let r = sim_thunk ~rng ~index in
+        if index = 3 || index = 11 then detonate ();
+        r)
+  in
+  let s1 = sweep 1 and s2 = sweep 2 and s4 = sweep 4 in
+  List.iter
+    (fun (s : Runner.summary) ->
+      Alcotest.(check (list int)) "failed indices" [ 3; 11 ]
+        (List.map (fun (f : Runner.failure) -> f.index) s.timing.failures))
+    [ s1; s2; s4 ];
+  check_summary_identical "skip: jobs 1 vs 2" s1 s2;
+  check_summary_identical "skip: jobs 1 vs 4" s1 s4;
+  (* and equal to a clean 16-replication sweep with the two failed
+     replications' contributions absent: count is the cheap witness *)
+  Alcotest.(check int) "14 survivors aggregated" 14 (Welford.count (snd (List.hd s1.stats)))
+
+let test_retry_uses_fresh_deterministic_stream () =
+  (* The thunk fails exactly when it sees the attempt-0 draw of (42, 3),
+     so index 3 fails once and then succeeds on the attempt-1 stream. *)
+  let bait = Rng.bits64 (Runner.derive_rng ~master_seed:42 ~index:3) in
+  let thunk ~rng ~index:_ =
+    let b = Rng.bits64 rng in
+    if Int64.equal b bait then detonate ();
+    b
+  in
+  let res, timing =
+    Runner.run_map ~jobs:2 ~on_error:(Runner.Retry 2) ~master_seed:42 ~replications:6 thunk
+  in
+  Alcotest.(check int) "no failures recorded" 0 (List.length timing.failures);
+  let expected = Rng.bits64 (Runner.derive_retry_rng ~master_seed:42 ~index:3 ~attempt:1) in
+  Alcotest.check Alcotest.int64 "slot 3 holds the attempt-1 value" expected (Option.get res.(3));
+  (* every other slot is its ordinary attempt-0 value *)
+  for i = 0 to 5 do
+    if i <> 3 then
+      Alcotest.check Alcotest.int64 "attempt-0 value"
+        (Rng.bits64 (Runner.derive_rng ~master_seed:42 ~index:i))
+        (Option.get res.(i))
+  done
+
+let test_retry_exhaustion_records_failure () =
+  Printexc.record_backtrace true;
+  let res, timing =
+    Runner.run_map ~jobs:1 ~on_error:(Runner.Retry 2) ~master_seed:7 ~replications:4
+      (fun ~rng:_ ~index -> if index = 2 then detonate () else index)
+  in
+  (match timing.failures with
+  | [ f ] ->
+      Alcotest.(check int) "failed index" 2 f.index;
+      Alcotest.(check bool) "exception preserved" true (f.error = Boom)
+  | l -> Alcotest.failf "expected exactly one failure, got %d" (List.length l));
+  Alcotest.(check bool) "failed slot is None" true (res.(2) = None);
+  Alcotest.(check int) "survivor" 3 (Option.get res.(3))
+
+let test_abort_still_propagates_with_backtrace () =
+  Printexc.record_backtrace true;
+  match
+    Runner.run_map ~jobs:2 ~chunk:1 ~on_error:Runner.Abort ~master_seed:1 ~replications:8
+      (fun ~rng:_ ~index -> if index = 4 then detonate () else index)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom ->
+      let bt = Printexc.get_backtrace () in
+      Alcotest.(check bool) "backtrace survives the domain join" true (bt <> "")
+
+let test_flagged_and_budget_feed_partial () =
+  (* flagged replications count toward summary.partial ... *)
+  let s =
+    Runner.run_summary ~jobs:2 ~metrics:[ "m" ] ~master_seed:1 ~replications:8
+      (fun ~rng:_ ~index -> Runner.rep ~flagged:(index mod 2 = 0) [| 1.0 |])
+  in
+  Alcotest.(check int) "flagged -> partial" 4 s.partial;
+  Alcotest.(check int) "flagged but aggregated" 8 (Welford.count (snd (List.hd s.stats)));
+  (* ... as do replications that blow the wall budget *)
+  let burn ~rng:_ ~index:_ =
+    let acc = ref 0.0 in
+    for i = 1 to 200_000 do acc := !acc +. float_of_int i done;
+    Runner.rep [| !acc |]
+  in
+  let s = Runner.run_summary ~jobs:1 ~budget_s:0.0 ~metrics:[ "m" ] ~master_seed:1 ~replications:3 burn in
+  Alcotest.(check int) "over budget counted" 3 s.timing.over_budget;
+  Alcotest.(check int) "over budget -> partial" 3 s.partial;
+  Alcotest.(check int) "over budget still aggregated" 3 (Welford.count (snd (List.hd s.stats)))
+
+let test_simulator_truncation_flag_propagates () =
+  let s =
+    Runner.run_summary ~jobs:1 ~metrics:[ "time-avg N" ] ~master_seed:3 ~replications:2
+      (fun ~rng ~index:_ ->
+        let stats, _ =
+          Sim_markov.run ~max_events:10 ~rng (Sim_markov.default_config stable_params)
+            ~horizon:60.0
+        in
+        Alcotest.(check bool) "10 events cannot reach t=60" true stats.truncated;
+        Runner.rep ~flagged:stats.truncated [| stats.time_avg_n |])
+  in
+  Alcotest.(check int) "truncated -> partial" 2 s.partial
+
+let test_sigint_flushes_partial_results () =
+  (* The first replication SIGINTs its own process; the runner's handler
+     stops further chunks from being claimed, finishes the current one,
+     and reports interrupted instead of dying. *)
+  let res, timing =
+    Runner.run_map ~jobs:1 ~chunk:2 ~handle_sigint:true ~master_seed:1 ~replications:64
+      (fun ~rng:_ ~index ->
+        if index = 0 then Unix.kill (Unix.getpid ()) Sys.sigint;
+        (* give the pending signal a safe point to land on *)
+        ignore (Sys.opaque_identity (Array.make 1024 index));
+        index)
+  in
+  Alcotest.(check bool) "flagged as interrupted" true timing.interrupted;
+  Alcotest.(check int) "chunk 0 completed" 0 (Option.get res.(0));
+  Alcotest.(check bool) "tail chunks never ran" true (res.(63) = None);
+  let completed = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 res in
+  Alcotest.(check bool) "stopped early" true (completed < 64)
 
 let () =
   Alcotest.run "runner"
@@ -204,6 +373,25 @@ let () =
           Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
           Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
           Alcotest.test_case "utilisation sane" `Quick test_utilisation_sane;
+        ] );
+      ( "failure isolation",
+        [
+          Alcotest.test_case "skip names failure, keeps survivors" `Quick
+            test_skip_names_failure_and_keeps_survivors;
+          Alcotest.test_case "skip summary bit-identical across jobs" `Quick
+            test_skip_summary_bit_identical_across_jobs;
+          Alcotest.test_case "retry uses fresh deterministic stream" `Quick
+            test_retry_uses_fresh_deterministic_stream;
+          Alcotest.test_case "retry exhaustion records failure" `Quick
+            test_retry_exhaustion_records_failure;
+          Alcotest.test_case "abort propagates with backtrace" `Quick
+            test_abort_still_propagates_with_backtrace;
+          Alcotest.test_case "flagged and budget feed partial" `Quick
+            test_flagged_and_budget_feed_partial;
+          Alcotest.test_case "simulator truncation flag propagates" `Quick
+            test_simulator_truncation_flag_propagates;
+          Alcotest.test_case "SIGINT flushes partial results" `Quick
+            test_sigint_flushes_partial_results;
         ] );
       ( "cross-implementation",
         [

@@ -5,14 +5,62 @@
 #   CHECK_BUDGET_SECONDS=300 tools/check.sh
 #
 # Exits non-zero if the build fails, any test fails, or the budget is
-# exceeded (timeout exits 124).  For a fast edit loop use the quick
-# alias instead: dune build @quick
+# exceeded.  The test phase runs suite by suite against the remaining
+# budget, so a hang or a blown budget names the suite that ate the time
+# instead of a bare `timeout` exit 124.  For a fast edit loop use the
+# quick alias instead: dune build @quick
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BUDGET="${CHECK_BUDGET_SECONDS:-900}"
+START=$(date +%s)
+
+remaining() {
+  echo $((BUDGET - ($(date +%s) - START)))
+}
 
 echo "== tier-1 check (budget ${BUDGET}s) =="
-timeout "$BUDGET" sh -c 'dune build && dune runtest'
+
+left=$(remaining)
+status=0
+timeout "$left" dune build || status=$?
+if [ "$status" -ne 0 ]; then
+  if [ "$status" -eq 124 ]; then
+    echo "FAIL: 'dune build' exceeded the remaining budget (${left}s)" >&2
+  else
+    echo "FAIL: 'dune build' exited $status" >&2
+  fi
+  exit "$status"
+fi
+
+# Run each test executable separately so a timeout or a failure is
+# attributed to a suite by name.
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+fail=""
+for exe in _build/default/test/test_*.exe; do
+  name=$(basename "$exe" .exe)
+  left=$(remaining)
+  if [ "$left" -le 0 ]; then
+    echo "FAIL: budget exhausted before test suite $name (and everything after it)" >&2
+    exit 124
+  fi
+  status=0
+  timeout "$left" "$exe" -c >"$log" 2>&1 || status=$?
+  if [ "$status" -eq 124 ]; then
+    echo "FAIL: test suite $name timed out with ${left}s left of the ${BUDGET}s budget" >&2
+    exit 124
+  elif [ "$status" -ne 0 ]; then
+    echo "FAIL: test suite $name exited $status; last lines of its output:" >&2
+    tail -n 25 "$log" >&2
+    fail="$fail $name"
+  fi
+done
+
+if [ -n "$fail" ]; then
+  echo "FAIL: failing suites:$fail" >&2
+  exit 1
+fi
+
 echo "== tier-1 check OK =="
