@@ -160,6 +160,124 @@ let scaling () =
     ~header:[ "domains"; "wall (s)"; "speedup"; "busy"; "merged mean N"; "bit-identical" ]
     (row reference :: List.map (fun jobs -> row (sweep jobs)) [ 2; 4 ])
 
+(* P3: machine-readable performance baseline (BENCH_PR3.json).
+
+   Three sections, written with the in-tree JSON emitter:
+
+   - events/sec of both simulators on the same stable flash-crowd config,
+     measured with telemetry off, with swarm probes sampling, and with
+     event tracing into a sink — quantifying the observability overhead
+     promised in DESIGN.md Section 10;
+   - replication-runner scaling at 1/2/4 domains (wall, speedup,
+     utilisation) with the bit-identity of the merged mean asserted;
+   - the probe series determinism witness: the merged mean must match
+     across every jobs count.
+
+   The quick variant shrinks horizons/reps so CI can run it as a smoke
+   test; the full variant regenerates the committed baseline. *)
+
+module Json = P2p_obs.Json
+module Probe = P2p_obs.Probe
+module Series = P2p_obs.Series
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let sim_section ~quick =
+  let params = Scenario.flash_crowd ~k:4 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let horizon = if quick then 200.0 else 2000.0 in
+  let sampling_probe () =
+    let series = Series.create ~k:4 in
+    Probe.make ~interval:(horizon /. 200.0) ~on_sample:(Series.record series) ()
+  in
+  let tracing_probe () = Probe.make ~on_event:(fun ~time:_ _ -> ()) () in
+  let measure name run =
+    let events_of probe =
+      let stats, wall = timed (fun () -> run probe) in
+      (stats, wall)
+    in
+    let events_off, wall_off = events_of Probe.none in
+    let _, wall_sampling = events_of (sampling_probe ()) in
+    let _, wall_tracing = events_of (tracing_probe ()) in
+    let eps wall = if wall > 0.0 then float_of_int events_off /. wall else nan in
+    ( name,
+      Json.Obj
+        [
+          ("events", Json.Int events_off);
+          ("horizon", Json.Float horizon);
+          ("wall_s", Json.Float wall_off);
+          ("events_per_sec", Json.Float (eps wall_off));
+          ("events_per_sec_probe_sampling", Json.Float (eps wall_sampling));
+          ("events_per_sec_probe_tracing", Json.Float (eps wall_tracing));
+        ] )
+  in
+  [
+    measure "sim_markov" (fun probe ->
+        let s, _ =
+          Sim_markov.run_seeded ~probe ~seed:1 (Sim_markov.default_config params) ~horizon
+        in
+        s.Sim_markov.events);
+    measure "sim_agent" (fun probe ->
+        let s, _ =
+          Sim_agent.run_seeded ~probe ~seed:1 (Sim_agent.default_config params) ~horizon
+        in
+        s.Sim_agent.events);
+  ]
+
+let scaling_section ~quick =
+  let params = Scenario.flash_crowd ~k:4 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let reps = if quick then 8 else 64 in
+  let horizon = if quick then 50.0 else 300.0 in
+  let sweep jobs =
+    Runner.run_summary ~jobs ~metrics:[ "time-avg N" ] ~master_seed:7 ~replications:reps
+      (fun ~rng ~index:_ ->
+        let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config params) ~horizon in
+        Runner.rep [| stats.Sim_markov.time_avg_n |])
+  in
+  let reference = sweep 1 in
+  let t1 = reference.Runner.timing.wall_s in
+  let ref_mean = P2p_stats.Welford.mean (snd (List.hd reference.Runner.stats)) in
+  let row (summary : Runner.summary) =
+    let mean = P2p_stats.Welford.mean (snd (List.hd summary.stats)) in
+    Json.Obj
+      [
+        ("jobs", Json.Int summary.timing.jobs);
+        ("wall_s", Json.Float summary.timing.wall_s);
+        ("speedup", Json.Float (t1 /. summary.timing.wall_s));
+        ("utilisation", Json.Float (Runner.utilisation summary.timing));
+        ("merged_mean_n", Json.Float mean);
+        ("bit_identical", Json.Bool (mean = ref_mean));
+      ]
+  in
+  ( Json.List (row reference :: List.map (fun jobs -> row (sweep jobs)) [ 2; 4 ]),
+    ("replications", Json.Int reps) )
+
+let bench_json_to ~quick path =
+  let sims = sim_section ~quick in
+  let scaling_rows, reps_field = scaling_section ~quick in
+  let j =
+    Json.Obj
+      [
+        ("bench", Json.String "p2p swarm simulator performance baseline");
+        ("pr", Json.Int 3);
+        ("quick", Json.Bool quick);
+        ("simulators", Json.Obj sims);
+        ("runner_scaling", scaling_rows);
+        reps_field;
+        ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+      ]
+  in
+  let oc = open_out path in
+  Json.to_channel oc j;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let bench_json () = bench_json_to ~quick:false "BENCH_PR3.json"
+let bench_json_quick () = bench_json_to ~quick:true "BENCH_smoke.json"
+
 let run () =
   P2p_core.Report.banner "P1  microbenchmarks (bechamel, OLS ns/run)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in

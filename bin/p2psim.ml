@@ -16,6 +16,11 @@ open Cmdliner
 module Pieceset = P2p_pieceset.Pieceset
 module Runner = P2p_runner.Runner
 module Welford = P2p_stats.Welford
+module Probe = P2p_obs.Probe
+module Trace = P2p_obs.Trace
+module Series = P2p_obs.Series
+module Profile = P2p_obs.Profile
+module Progress = P2p_obs.Progress
 open P2p_core
 
 (* ---- shared argument parsing ---- *)
@@ -176,6 +181,115 @@ let max_events_arg =
            ~doc:"Per-replication event budget; a run that exhausts it is frozen at its current \
                  state and counted as partial.")
 
+(* ---- telemetry flags (simulate / region) ---- *)
+
+type telemetry = {
+  trace : string option;
+  probe_interval : float option;
+  metrics_out : string option;
+  progress : bool;
+  profile : bool;
+}
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a structured event trace of the run to $(docv): Chrome trace-event JSON \
+                 when the name ends in .json (open in chrome://tracing or Perfetto), JSONL \
+                 otherwise. Timestamps are simulation time. Requires --reps 1.")
+
+let probe_interval_arg =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0.0 -> Ok v
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "probe interval must be a finite positive number, got %S" s))
+  in
+  let c = Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%g" v) in
+  Arg.(value & opt (some c) None
+       & info [ "probe-interval" ] ~docv:"T"
+           ~doc:"Sample the swarm (population, peer seeds, one-club size, per-piece copies) \
+                 every $(docv) units of simulation time and print the time-averaged summary. \
+                 Simulation time, never wall clock: the series is reproducible bit for bit.")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the probe sample series as JSONL to $(docv) (render it later with \
+                 'p2psim report'). Implies probing (default interval horizon/200 unless \
+                 --probe-interval is given). Requires --reps 1.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Live progress meter on stderr for replication sweeps: replications done, \
+                 aggregate events/s, ETA.")
+
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Wall-clock phase profile of the simulator (setup / event loop / finalisation), \
+                 printed after the run.")
+
+let telemetry_term =
+  let make trace probe_interval metrics_out progress profile =
+    { trace; probe_interval; metrics_out; progress; profile }
+  in
+  Term.(const make $ trace_arg $ probe_interval_arg $ metrics_out_arg $ progress_arg
+        $ profile_arg)
+
+let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline ("p2psim: " ^ m); exit 2) fmt
+
+(* Build the probe for a single run, hand it to [f], then flush the
+   attached sinks (metrics file, trace file, profile report). *)
+let with_single_run_probe tel ~k ~horizon f =
+  let tracer = Option.map Trace.to_file tel.trace in
+  let series =
+    if tel.probe_interval <> None || tel.metrics_out <> None then Some (Series.create ~k)
+    else None
+  in
+  let prof = if tel.profile then Profile.create () else Profile.disabled in
+  let probe =
+    if tracer = None && series = None && not tel.profile then Probe.none
+    else
+      Probe.make
+        ?interval:
+          (match (tel.probe_interval, series) with
+          | Some dt, _ -> Some dt
+          | None, Some _ -> Some (horizon /. 200.0)
+          | None, None -> None)
+        ?on_event:(Option.map Probe.trace_hook tracer)
+        ?on_sample:(Option.map (fun s sample -> Series.record s sample) series)
+        ~profile:prof ()
+  in
+  let result = f probe in
+  Option.iter
+    (fun s ->
+      Series.close s ~time:horizon;
+      Report.kv
+        [
+          ("probe samples", string_of_int (Series.count s));
+          ("time-avg one-club size", Report.fmt_float (Series.avg_one_club s));
+          ("time-avg rarest-piece copies", Report.fmt_float (Series.avg_rarest_count s));
+          ("time-avg peer seeds", Report.fmt_float (Series.avg_seeds s));
+        ];
+      match tel.metrics_out with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          Series.write s oc;
+          close_out oc;
+          Printf.printf "wrote %d probe samples to %s\n" (Series.count s) file)
+    series;
+  Option.iter
+    (fun t ->
+      let n = Trace.events_written t in
+      Trace.close t;
+      Printf.printf "wrote %d trace events to %s\n" n (Option.get tel.trace))
+    tracer;
+  if tel.profile then Format.printf "%a@." Profile.pp prof;
+  result
+
 (* Degraded-seed commentary shared by the simulate paths: what Theorem 1
    predicts once U_s is scaled by the outage duty cycle. *)
 let report_effective_verdict (params : Params.t) faults =
@@ -244,10 +358,12 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
          ~doc:"Write the sampled (t, N_t) trajectory as CSV.")
   in
-  let replicated params horizon seed agent policy reps jobs faults on_error max_events =
+  let replicated params horizon seed agent policy reps jobs faults on_error max_events
+      ~progress:want_progress =
     (* R independent replications, merged Welford per metric, pooled N_t
        histogram; bit-identical for every jobs value (including under
        skip/retry: surviving replications keep their streams). *)
+    let progress = if want_progress then Progress.create ~total:reps () else Progress.silent in
     let with_faults = not (Faults.is_none faults) in
     let metrics =
       [ "time-avg N"; "final N"; "transfers"; "departures"; "growth dN/dt" ]
@@ -258,12 +374,14 @@ let simulate_cmd =
         if agent then begin
           let config = { (Sim_agent.default_config params) with policy; faults } in
           let s, _ = Sim_agent.run ?max_events ~rng config ~horizon in
+          Progress.add_events progress s.events;
           ( s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples, s.truncated,
             [| s.outage_time; float_of_int s.aborted_peers; float_of_int s.lost_transfers |] )
         end
         else begin
           let config = { (Sim_markov.default_config params) with policy; faults } in
           let s, _ = Sim_markov.run ?max_events ~rng config ~horizon in
+          Progress.add_events progress s.events;
           ( s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples, s.truncated,
             [| s.outage_time; float_of_int s.aborted_peers; float_of_int s.lost_transfers |] )
         end
@@ -278,7 +396,7 @@ let simulate_cmd =
       Runner.rep ~flagged:truncated ~obs:[| time_avg_n |] values
     in
     let summary =
-      Runner.run_summary ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true
+      Runner.run_summary ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true ~progress
         ~hist:{ Runner.lo = 0.0; hi = 400.0; bins = 20 }
         ~metrics ~master_seed:seed ~replications:reps thunk
     in
@@ -305,7 +423,7 @@ let simulate_cmd =
     report_failures summary.timing;
     Format.printf "%a@." Runner.pp_timing summary.timing
   in
-  let run params horizon seed agent policy csv reps jobs faults on_error max_events =
+  let run params horizon seed agent policy csv reps jobs faults on_error max_events tel =
     let write_csv samples =
       match csv with
       | None -> ()
@@ -325,10 +443,20 @@ let simulate_cmd =
           ("lost transfers", string_of_int lost);
         ]
     in
-    if reps > 1 then replicated params horizon seed agent policy reps jobs faults on_error max_events
+    if reps > 1 then begin
+      if tel.trace <> None then
+        usage_error "--trace requires --reps 1 (per-replication traces would interleave)";
+      if tel.metrics_out <> None then
+        usage_error "--metrics-out requires --reps 1 (one probe series per run)";
+      replicated params horizon seed agent policy reps jobs faults on_error max_events
+        ~progress:tel.progress
+    end
     else if agent then begin
       let config = { (Sim_agent.default_config params) with policy; faults } in
-      let stats, _ = Sim_agent.run_seeded ?max_events ~seed config ~horizon in
+      let stats, _ =
+        with_single_run_probe tel ~k:params.k ~horizon (fun probe ->
+            Sim_agent.run_seeded ~probe ?max_events ~seed config ~horizon)
+      in
       if stats.truncated then
         print_endline "WARNING: max_events budget exhausted before the horizon; \
                        time-based statistics are biased";
@@ -354,7 +482,10 @@ let simulate_cmd =
     end
     else begin
       let config = { (Sim_markov.default_config params) with policy; faults } in
-      let stats, _ = Sim_markov.run_seeded ?max_events ~seed config ~horizon in
+      let stats, _ =
+        with_single_run_probe tel ~k:params.k ~horizon (fun probe ->
+            Sim_markov.run_seeded ~probe ?max_events ~seed config ~horizon)
+      in
       if stats.truncated then
         print_endline "WARNING: max_events budget exhausted before the horizon; \
                        time-based statistics are biased";
@@ -380,7 +511,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the exact stochastic simulation")
     Term.(const run $ params_term $ horizon_arg $ seed_arg $ agent_arg $ policy_arg $ csv_arg
-          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ max_events_arg)
+          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ max_events_arg
+          $ telemetry_term)
 
 (* ---- region ---- *)
 
@@ -394,7 +526,7 @@ let region_cmd =
   let umax_arg =
     Arg.(value & opt float 3.0 & info [ "us-max" ] ~docv:"RATE" ~doc:"Largest U_s.")
   in
-  let run k mu gamma steps lmax umax seed reps jobs horizon on_error =
+  let run k mu gamma steps lmax umax seed reps jobs horizon on_error want_progress =
     let cell_params i j =
       let lambda = float_of_int (i + 1) /. float_of_int steps *. lmax in
       let us = float_of_int (j + 1) /. float_of_int steps *. umax in
@@ -414,12 +546,16 @@ let region_cmd =
       if reps <= 0 then None
       else begin
         let cells = steps * steps in
+        let progress =
+          if want_progress then Progress.create ~total:(cells * reps) () else Progress.silent
+        in
         let verdicts, timing =
-          Runner.run_map ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true
+          Runner.run_map ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true ~progress
             ~master_seed:seed ~replications:(cells * reps) (fun ~rng ~index ->
               let cell = index / reps in
               let p = cell_params (cell / steps) (cell mod steps) in
               let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config p) ~horizon in
+              Progress.add_events progress stats.events;
               (Classify.of_samples stats.samples).verdict)
         in
         Format.printf "simulated %d cells x %d reps: %a@." cells reps Runner.pp_timing timing;
@@ -470,7 +606,7 @@ let region_cmd =
   in
   Cmd.v (Cmd.info "region" ~doc:"Print the (lambda, U_s) phase diagram")
     Term.(const run $ k_arg $ mu_arg $ gamma_arg $ steps_arg $ lmax_arg $ umax_arg $ seed_arg
-          $ reps_arg ~default:0 $ jobs_arg $ horizon_arg $ on_error_arg)
+          $ reps_arg ~default:0 $ jobs_arg $ horizon_arg $ on_error_arg $ progress_arg)
 
 (* ---- coded ---- *)
 
@@ -772,6 +908,68 @@ let borderline_cmd =
   Cmd.v (Cmd.info "borderline" ~doc:"The mu=infinity borderline process (Section VIII-D)")
     Term.(const run $ k_arg $ seed_arg $ start_arg $ count_arg $ cap_arg)
 
+(* ---- report ---- *)
+
+let report_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"PROBE_FILE"
+             ~doc:"Probe series file written by 'p2psim simulate --metrics-out'.")
+  in
+  let run file =
+    match Series.read_file file with
+    | Error msg -> usage_error "cannot read %s: %s" file msg
+    | Ok s ->
+        let k = Series.k s in
+        let nsamples = Series.count s in
+        Report.kv
+          [
+            ("samples", string_of_int nsamples);
+            ("pieces (K)", string_of_int k);
+            ("time-avg population N", Report.fmt_float (Series.avg_n s));
+            ("time-avg peer seeds", Report.fmt_float (Series.avg_seeds s));
+            ("time-avg one-club size", Report.fmt_float (Series.avg_one_club s));
+            ("time-avg rarest-piece copies", Report.fmt_float (Series.avg_rarest_count s));
+          ];
+        Report.subsection "per-piece scarcity (time-averaged copies in the swarm)";
+        let piece_avgs = Array.init k (fun i -> Series.avg_piece s i) in
+        let rarest = ref 0 in
+        Array.iteri (fun i v -> if v < piece_avgs.(!rarest) then rarest := i) piece_avgs;
+        let avg_n = Series.avg_n s in
+        Report.table
+          ~header:[ "piece"; "avg copies"; "copies per peer"; "" ]
+          (List.init k (fun i ->
+               [
+                 string_of_int (i + 1);
+                 Report.fmt_float piece_avgs.(i);
+                 (if avg_n > 0.0 then Report.fmt_float (piece_avgs.(i) /. avg_n) else "-");
+                 (if i = !rarest then "<- rarest" else "");
+               ]));
+        Report.subsection "one-club growth (the missing piece syndrome witness)";
+        let club = Series.one_club_series s in
+        if Array.length club < 16 then
+          Printf.printf "only %d samples; need at least 16 for a growth fit\n"
+            (Array.length club)
+        else begin
+          let r = Classify.of_samples club in
+          Report.kv
+            [
+              ("one-club growth rate", Report.fmt_float r.growth_rate ^ " peers/t");
+              ("growth t-statistic", Report.fmt_float r.growth_t_stat);
+              ("final one-club size", string_of_int r.final_n);
+              ("one-club verdict", Classify.verdict_to_string r.verdict);
+            ];
+          if r.verdict = Classify.Appears_unstable then
+            print_endline
+              "one-club grows linearly: the missing piece syndrome transient signature \
+               (Theorem 1, growth rate ~ Delta)"
+        end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a probe series file: per-piece scarcity and one-club growth")
+    Term.(const run $ file_arg)
+
 let () =
   let info = Cmd.info "p2psim" ~version:"1.0.0" ~doc:"P2P swarm stability toolkit (Zhu & Hajek)" in
   exit
@@ -779,5 +977,5 @@ let () =
        (Cmd.group info
           [
             classify_cmd; simulate_cmd; region_cmd; overlay_cmd; hetero_cmd; coded_cmd; drift_cmd;
-            exact_cmd; reachable_cmd; borderline_cmd;
+            exact_cmd; reachable_cmd; borderline_cmd; report_cmd;
           ]))

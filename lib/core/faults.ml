@@ -56,6 +56,7 @@ type run = {
   mutable toggle_at : float;
   mutable went_down_at : float;
   mutable down_total : float;
+  mutable observer : (now:float -> up:bool -> unit) option;
 }
 
 let draw_period run =
@@ -70,7 +71,10 @@ let start spec ~rng =
      can actually draw: a [none] spec must leave [rng] untouched for the
      bit-identity regression guarantee. *)
   let frng = if is_none spec then Rng.of_seed 0 else Rng.split rng in
-  let run = { spec; frng; up = true; toggle_at = infinity; went_down_at = 0.0; down_total = 0.0 } in
+  let run =
+    { spec; frng; up = true; toggle_at = infinity; went_down_at = 0.0; down_total = 0.0;
+      observer = None }
+  in
   run.toggle_at <- draw_period run;
   run
 
@@ -81,7 +85,10 @@ let toggle run ~now =
   run.up <- not run.up;
   if run.up then run.down_total <- run.down_total +. (now -. run.went_down_at)
   else run.went_down_at <- now;
-  run.toggle_at <- now +. draw_period run
+  run.toggle_at <- now +. draw_period run;
+  match run.observer with Some f -> f ~now ~up:run.up | None -> ()
+
+let set_observer run f = run.observer <- Some f
 
 let finish run ~now =
   if not run.up then begin

@@ -87,7 +87,13 @@ val next_toggle : run -> float
 val toggle : run -> now:float -> unit
 (** Flip the seed's availability at time [now] (the caller advances its
     clock to {!next_toggle} first) and draw the next period length from
-    the fault stream. *)
+    the fault stream.  Notifies the observer, if one is set. *)
+
+val set_observer : run -> (now:float -> up:bool -> unit) -> unit
+(** Telemetry hook: called after every {!toggle} with the toggle time and
+    the seed's new availability.  Used by the simulators to forward seed
+    up/down transitions to an attached {!P2p_obs.Probe.t}; never touches
+    the fault stream, so setting one cannot perturb the schedule. *)
 
 val finish : run -> now:float -> unit
 (** Close the outage accounting at the end of the run: if the seed is

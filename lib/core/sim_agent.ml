@@ -1,6 +1,8 @@
 module Pieceset = P2p_pieceset.Pieceset
 module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
+module Probe = P2p_obs.Probe
+module Profile = P2p_obs.Profile
 
 type dwell = Exp_dwell | Deterministic_dwell | Erlang_dwell of int
 
@@ -152,11 +154,14 @@ let sample_dwell config rng =
       done;
       !total
 
-let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
+let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
   let p = config.params in
   if config.eta < 1.0 then invalid_arg "Sim_agent.run: eta must be >= 1";
   if config.rare_piece < 0 || config.rare_piece >= p.k then
     invalid_arg "Sim_agent.run: rare piece out of range";
+  let prof = probe.Probe.profile in
+  let tracing = probe.Probe.tracing in
+  let setup_span = Profile.start prof "sim_agent/setup" in
   let full = Params.full_set p in
   let one_club_type = Pieceset.remove config.rare_piece full in
   let pop = Population.create () in
@@ -177,6 +182,8 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
   let lambda_total = Params.lambda_total p in
   let arrival_weights = Array.map snd p.arrivals in
   let frun = Faults.start config.faults ~rng in
+  if tracing then
+    Faults.set_observer frun (fun ~now ~up -> Probe.event probe ~time:now (Seed_toggle { up }));
   let abort_rate = config.faults.abort_rate in
   let aborted = ref 0 in
   let lost = ref 0 in
@@ -216,6 +223,8 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
     incr transfers;
     let was_one_club_now = Pieceset.equal peer.pieces one_club_type in
     let target = Pieceset.add piece peer.pieces in
+    if tracing then
+      Probe.event probe ~time (Transfer { piece; completed = Pieceset.equal target full });
     if piece = config.rare_piece && (not peer.gifted) && not was_one_club_now then
       peer.infected <- true;
     if Pieceset.equal target one_club_type then peer.was_one_club <- true;
@@ -225,7 +234,8 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
       peer.pieces <- target;
       Population.remove pop peer;
       incr departures;
-      P2p_stats.Welford.add sojourn (time -. peer.arrival_time)
+      P2p_stats.Welford.add sojourn (time -. peer.arrival_time);
+      if tracing then Probe.event probe ~time (Departure { kind = Completed })
     end
     else begin
       State.move_peer state ~from_:peer.pieces ~to_:target;
@@ -256,6 +266,8 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
               ~downloader:downloader.pieces
       in
       let success = Option.is_some choice in
+      if tracing then
+        Probe.event probe ~time (Contact { seed = Option.is_none uploader; useful = success });
       (match uploader with
       | None -> seed_boosted := not success
       | Some up -> if not up.departed then Population.set_boosted pop up (not success));
@@ -264,7 +276,8 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
           (* Uploader found a useful piece but the transfer dropped: the
              contact counts as successful for the retry speedup (something
              useful was on offer), yet nothing is delivered. *)
-          incr lost
+          incr lost;
+          if tracing then Probe.event probe ~time Transfer_lost
       | Some piece -> deliver downloader piece ~time
       | None -> ()
     end
@@ -306,16 +319,31 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
   let samples = ref [] in
   let group_samples = ref [] in
   let next_sample = ref 0.0 in
+  (* Probe samples ride the sim-time grid (see Sim_markov for why). *)
+  let probing = Probe.sampling probe in
+  let next_probe = ref 0.0 in
+  let emit_probe_sample () =
+    probe.Probe.on_sample
+      (Probe.sample ~time:!next_probe ~k:p.k ~n:(State.n state) ~count_of:(State.count state)
+         ~piece_counts:(State.piece_count_vector state ~k:p.k))
+  in
   let record_samples_through time =
     while !next_sample <= time && !next_sample <= horizon do
       samples := (!next_sample, Population.size pop) :: !samples;
       group_samples := (!next_sample, classify_groups config pop) :: !group_samples;
       next_sample := !next_sample +. sample_every
-    done
+    done;
+    if probing then
+      while !next_probe <= time && !next_probe <= horizon do
+        emit_probe_sample ();
+        next_probe := !next_probe +. probe.Probe.interval
+      done
   in
   record_samples_through 0.0;
 
   let running = ref true in
+  Profile.stop setup_span;
+  let loop_span = Profile.start prof "sim_agent/event-loop" in
   while !running do
     let n = Population.size pop in
     let rate_arrival = lambda_total in
@@ -352,7 +380,10 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
           record_samples_through time;
           clock := time;
           incr events;
-          if not peer.departed then depart peer ~time;
+          if not peer.departed then begin
+            depart peer ~time;
+            if tracing then Probe.event probe ~time (Departure { kind = Seed_departed })
+          end;
           observe time
       | None -> assert false
     end
@@ -374,6 +405,7 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
         let c = fst p.arrivals.(idx) in
         let peer = new_peer c ~time:!clock in
         incr arrivals;
+        if tracing then Probe.event probe ~time:!clock (Arrival { pieces = c });
         if Pieceset.equal c full then schedule_departure peer ~time:!clock
       end
       else if u < rate_arrival +. rate_seed then contact None ~time:!clock
@@ -389,11 +421,14 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
           if Pieceset.equal peer.pieces full then pick () else peer
         in
         depart (pick ()) ~time:!clock;
-        incr aborted
+        incr aborted;
+        if tracing then Probe.event probe ~time:!clock (Departure { kind = Aborted })
       end;
       observe !clock
     end
   done;
+  Profile.stop loop_span;
+  let finish_span = Profile.start prof "sim_agent/finalise" in
   Faults.finish frun ~now:!clock;
   let stats =
     {
@@ -417,7 +452,8 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
       one_club_time_fraction = P2p_stats.Timeavg.average club_avg;
     }
   in
+  Profile.stop finish_span;
   (stats, state)
 
-let run_seeded ?sample_every ?max_events ~seed config ~horizon =
-  run ?sample_every ?max_events ~rng:(Rng.of_seed seed) config ~horizon
+let run_seeded ?probe ?sample_every ?max_events ~seed config ~horizon =
+  run ?probe ?sample_every ?max_events ~rng:(Rng.of_seed seed) config ~horizon

@@ -70,6 +70,7 @@ type stats = {
 }
 
 val run :
+  ?probe:P2p_obs.Probe.t ->
   ?sample_every:float ->
   ?max_events:int ->
   rng:P2p_prng.Rng.t ->
@@ -77,7 +78,17 @@ val run :
   horizon:float ->
   stats * State.t
 (** Simulate on [0, horizon]; returns statistics and the final aggregate
-    state (type counts). *)
+    state (type counts).
+
+    [probe] (default {!P2p_obs.Probe.none}) attaches telemetry exactly as
+    in {!Sim_markov.run}: pure observation, never a perturbation — runs
+    are bit-identical with and without a probe attached. *)
 
 val run_seeded :
-  ?sample_every:float -> ?max_events:int -> seed:int -> config -> horizon:float -> stats * State.t
+  ?probe:P2p_obs.Probe.t ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  seed:int ->
+  config ->
+  horizon:float ->
+  stats * State.t

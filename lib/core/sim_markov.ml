@@ -1,6 +1,8 @@
 module Pieceset = P2p_pieceset.Pieceset
 module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
+module Probe = P2p_obs.Probe
+module Profile = P2p_obs.Profile
 
 type config = {
   params : Params.t;
@@ -43,32 +45,47 @@ type counters = {
 }
 
 (* One contact resolution: [uploader] tries to push a piece to a uniformly
-   chosen peer.  Returns true iff the state changed. *)
-let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader ~counters =
+   chosen peer.  Returns true iff the state changed.  [probe] only ever
+   receives events here (never randomness or state), so a [Probe.none]
+   run takes the exact same draws in the exact same order. *)
+let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader ~counters ~probe ~time =
+  let tracing = probe.Probe.tracing in
+  let is_seed = match uploader with Policy.Fixed_seed -> true | Policy.Peer _ -> false in
   let downloader = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
-  match Policy.sample policy ~rng ~k:p.k ~state ~uploader ~downloader with
+  let choice = Policy.sample policy ~rng ~k:p.k ~state ~uploader ~downloader in
+  if tracing then
+    Probe.event probe ~time (Contact { seed = is_seed; useful = Option.is_some choice });
+  match choice with
   | None -> false
   | Some _ when Faults.lost frun ->
       (* The upload happened but the piece never arrived. *)
       counters.lost <- counters.lost + 1;
+      if tracing then Probe.event probe ~time Transfer_lost;
       false
   | Some piece ->
       counters.transfers <- counters.transfers + 1;
       let target = Pieceset.add piece downloader in
       let full = Params.full_set p in
-      if Pieceset.equal target full then begin
+      let completed = Pieceset.equal target full in
+      if tracing then Probe.event probe ~time (Transfer { piece; completed });
+      if completed then begin
         counters.completions <- counters.completions + 1;
         if Params.immediate_departure p then begin
           State.remove_peer state downloader;
-          counters.departures <- counters.departures + 1
+          counters.departures <- counters.departures + 1;
+          if tracing then Probe.event probe ~time (Departure { kind = Completed })
         end
         else State.move_peer state ~from_:downloader ~to_:target
       end
       else State.move_peer state ~from_:downloader ~to_:target;
       true
 
-let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
+let run ?(probe = Probe.none) ?observer ?sample_every ?(max_events = 200_000_000) ~rng config
+    ~horizon =
   let p = config.params in
+  let prof = probe.Probe.profile in
+  let tracing = probe.Probe.tracing in
+  let setup_span = Profile.start prof "sim_markov/setup" in
   let full = Params.full_set p in
   let state = State.of_counts config.initial in
   let lambda_total = Params.lambda_total p in
@@ -87,6 +104,8 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
     }
   in
   let frun = Faults.start config.faults ~rng in
+  if tracing then
+    Faults.set_observer frun (fun ~now ~up -> Probe.event probe ~time:now (Seed_toggle { up }));
   let abort_rate = config.faults.abort_rate in
   let avg = P2p_stats.Timeavg.create () in
   P2p_stats.Timeavg.observe avg ~time:0.0 ~value:(float_of_int (State.n state));
@@ -95,16 +114,33 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
   in
   let samples = ref [] in
   let next_sample = ref 0.0 in
+  (* Swarm probes walk their own sim-time grid, in lockstep with the
+     sampling grid's "state before the event" semantics.  Sim time, never
+     wall clock: probe series must be bit-identical across --jobs. *)
+  let probing = Probe.sampling probe in
+  let next_probe = ref 0.0 in
+  let emit_probe_sample () =
+    probe.Probe.on_sample
+      (Probe.sample ~time:!next_probe ~k:p.k ~n:(State.n state) ~count_of:(State.count state)
+         ~piece_counts:(State.piece_count_vector state ~k:p.k))
+  in
   let record_samples_through time =
     while !next_sample <= time && !next_sample <= horizon do
       samples := (!next_sample, State.n state) :: !samples;
       next_sample := !next_sample +. sample_every
-    done
+    done;
+    if probing then
+      while !next_probe <= time && !next_probe <= horizon do
+        emit_probe_sample ();
+        next_probe := !next_probe +. probe.Probe.interval
+      done
   in
   record_samples_through 0.0;
   let clock = ref 0.0 in
   let running = ref true in
   let truncated = ref false in
+  Profile.stop setup_span;
+  let loop_span = Profile.start prof "sim_markov/event-loop" in
   while !running do
     let n = State.n state in
     let seeds = State.count state full in
@@ -147,17 +183,19 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
       let changed =
         if u < rate_arrival then begin
           let idx = Dist.categorical rng ~weights:arrival_weights in
-          State.add_peer state (fst p.arrivals.(idx));
+          let pieces = fst p.arrivals.(idx) in
+          State.add_peer state pieces;
           counters.arrivals <- counters.arrivals + 1;
+          if tracing then Probe.event probe ~time:!clock (Arrival { pieces });
           true
         end
         else if u < rate_arrival +. rate_seed_contact then
           resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-            ~uploader:Policy.Fixed_seed ~counters
+            ~uploader:Policy.Fixed_seed ~counters ~probe ~time:!clock
         else if u < rate_arrival +. rate_seed_contact +. rate_peer_contact then begin
           let uploader_type = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
           resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-            ~uploader:(Policy.Peer uploader_type) ~counters
+            ~uploader:(Policy.Peer uploader_type) ~counters ~probe ~time:!clock
         end
         else if u < rate_arrival +. rate_seed_contact +. rate_peer_contact +. rate_abort
         then begin
@@ -170,11 +208,13 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
           State.remove_peer state (pick ());
           counters.aborted <- counters.aborted + 1;
           counters.departures <- counters.departures + 1;
+          if tracing then Probe.event probe ~time:!clock (Departure { kind = Aborted });
           true
         end
         else begin
           State.remove_peer state full;
           counters.departures <- counters.departures + 1;
+          if tracing then Probe.event probe ~time:!clock (Departure { kind = Seed_departed });
           true
         end
       in
@@ -187,6 +227,8 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
       end
     end
   done;
+  Profile.stop loop_span;
+  let finish_span = Profile.start prof "sim_markov/finalise" in
   Faults.finish frun ~now:!clock;
   let stats =
     {
@@ -207,8 +249,9 @@ let run ?observer ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon
       samples = Array.of_list (List.rev !samples);
     }
   in
+  Profile.stop finish_span;
   (stats, state)
 
-let run_seeded ?observer ?sample_every ?max_events ~seed config ~horizon =
+let run_seeded ?probe ?observer ?sample_every ?max_events ~seed config ~horizon =
   let rng = Rng.of_seed seed in
-  run ?observer ?sample_every ?max_events ~rng config ~horizon
+  run ?probe ?observer ?sample_every ?max_events ~rng config ~horizon

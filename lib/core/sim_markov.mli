@@ -45,6 +45,7 @@ type stats = {
 }
 
 val run :
+  ?probe:P2p_obs.Probe.t ->
   ?observer:(time:float -> state:State.t -> unit) ->
   ?sample_every:float ->
   ?max_events:int ->
@@ -55,9 +56,18 @@ val run :
 (** Simulate on [0, horizon].  [observer] fires after every state change;
     [sample_every] sets the grid for [samples] (default [horizon/200]);
     [max_events] is a safety valve (default 200 million).  Returns the
-    statistics and the final state. *)
+    statistics and the final state.
+
+    [probe] (default {!P2p_obs.Probe.none}) attaches telemetry: event
+    tracing (arrivals, contacts, transfers, departures, seed toggles),
+    periodic swarm samples on the probe's own sim-time grid, and phase
+    profiling.  The probe only ever {e observes} — it never draws from
+    [rng] or touches the state — so any run with [probe = Probe.none]
+    is bit-identical to one with telemetry attached (a regression test
+    pins this). *)
 
 val run_seeded :
+  ?probe:P2p_obs.Probe.t ->
   ?observer:(time:float -> state:State.t -> unit) ->
   ?sample_every:float ->
   ?max_events:int ->

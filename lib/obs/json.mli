@@ -1,0 +1,41 @@
+(** Minimal JSON values: enough to emit and re-read the telemetry files
+    (event traces, probe series, bench baselines) without an external
+    dependency.
+
+    The emitter produces strict JSON.  Non-finite floats have no JSON
+    encoding, so they serialise as [null]; finite floats print with
+    enough digits to round-trip bit-exactly.  The parser accepts strict
+    JSON (objects, arrays, strings with the standard escapes, numbers,
+    booleans, null) and reports errors with a character offset. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+val to_channel : out_channel -> t -> unit
+
+val of_string : string -> (t, string) result
+(** [Error msg] carries the character offset of the failure. *)
+
+val of_string_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+(** {1 Accessors} — shallow, total lookups used by the readers. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_float_opt : t -> float option
+(** [Int] and [Float] both convert; [Null] reads as [nan] (the emitter's
+    encoding of non-finite floats). *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -1,0 +1,86 @@
+type counter = { mutable count : int; c_live : bool }
+type gauge = { mutable value : float; g_live : bool }
+type timer = { mutable total_s : float; mutable spans : int; t_live : bool }
+
+type entry = C of counter | G of gauge | T of timer
+
+type t = { live : bool; entries : (string, entry) Hashtbl.t }
+
+let disabled = { live = false; entries = Hashtbl.create 1 }
+let create () = { live = true; entries = Hashtbl.create 16 }
+let enabled t = t.live
+
+let dead_counter = { count = 0; c_live = false }
+let dead_gauge = { value = 0.0; g_live = false }
+let dead_timer = { total_s = 0.0; spans = 0; t_live = false }
+
+let kind_error name = invalid_arg (Printf.sprintf "Metrics: %S registered as a different kind" name)
+
+let counter t name =
+  if not t.live then dead_counter
+  else
+    match Hashtbl.find_opt t.entries name with
+    | Some (C c) -> c
+    | Some _ -> kind_error name
+    | None ->
+        let c = { count = 0; c_live = true } in
+        Hashtbl.add t.entries name (C c);
+        c
+
+let incr c = if c.c_live then c.count <- c.count + 1
+let add c n = if c.c_live then c.count <- c.count + n
+let counter_value c = c.count
+
+let gauge t name =
+  if not t.live then dead_gauge
+  else
+    match Hashtbl.find_opt t.entries name with
+    | Some (G g) -> g
+    | Some _ -> kind_error name
+    | None ->
+        let g = { value = 0.0; g_live = true } in
+        Hashtbl.add t.entries name (G g);
+        g
+
+let set g v = if g.g_live then g.value <- v
+let gauge_value g = g.value
+
+let timer t name =
+  if not t.live then dead_timer
+  else
+    match Hashtbl.find_opt t.entries name with
+    | Some (T tm) -> tm
+    | Some _ -> kind_error name
+    | None ->
+        let tm = { total_s = 0.0; spans = 0; t_live = true } in
+        Hashtbl.add t.entries name (T tm);
+        tm
+
+let time tm f =
+  if not tm.t_live then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        tm.total_s <- tm.total_s +. (Unix.gettimeofday () -. t0);
+        tm.spans <- tm.spans + 1)
+      f
+  end
+
+let timer_total_s tm = tm.total_s
+let timer_count tm = tm.spans
+
+let to_json t =
+  let fields =
+    Hashtbl.fold
+      (fun name entry acc ->
+        let value =
+          match entry with
+          | C c -> Json.Int c.count
+          | G g -> Json.Float g.value
+          | T tm -> Json.Obj [ ("total_s", Json.Float tm.total_s); ("count", Json.Int tm.spans) ]
+        in
+        (name, value) :: acc)
+      t.entries []
+  in
+  Json.Obj (List.sort (fun (a, _) (b, _) -> String.compare a b) fields)

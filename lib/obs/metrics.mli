@@ -1,0 +1,54 @@
+(** Named counters, gauges, and wall-clock timers.
+
+    The overhead contract: an instrument obtained from {!disabled} is a
+    dead cell — updating it is a single branch on an immutable field, no
+    allocation, no hashing, no clock read.  Simulation code can therefore
+    update instruments unconditionally in hot loops; with telemetry off
+    the cost is negligible and (because instruments never touch the
+    simulation RNG or any float statistic) the simulated trajectory is
+    bit-identical either way.  A golden test pins that guarantee.
+
+    Registries are not thread-safe for {e registration}; register all
+    instruments before handing them to worker domains.  Updates from a
+    single domain at a time are the intended pattern (one registry per
+    replication). *)
+
+type t
+(** A registry of named instruments. *)
+
+val disabled : t
+(** The shared no-op registry: every instrument it returns is dead. *)
+
+val create : unit -> t
+val enabled : t -> bool
+
+type counter
+
+val counter : t -> string -> counter
+(** Registers (or re-fetches) the named counter.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type timer
+
+val timer : t -> string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Runs the thunk, accumulating its wall-clock duration; when the timer
+    is dead the thunk runs with no clock read. *)
+
+val timer_total_s : timer -> float
+val timer_count : timer -> int
+
+val to_json : t -> Json.t
+(** [Obj] keyed by instrument name (sorted): counters as [Int], gauges as
+    [Float], timers as [{"total_s": ..., "count": ...}]. *)

@@ -1,0 +1,98 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+type departure_kind = Completed | Aborted | Seed_departed
+
+type event =
+  | Arrival of { pieces : Pieceset.t }
+  | Contact of { seed : bool; useful : bool }
+  | Transfer of { piece : int; completed : bool }
+  | Transfer_lost
+  | Departure of { kind : departure_kind }
+  | Seed_toggle of { up : bool }
+
+let event_name = function
+  | Arrival _ -> "arrival"
+  | Contact _ -> "contact"
+  | Transfer _ -> "transfer"
+  | Transfer_lost -> "transfer_lost"
+  | Departure { kind = Completed } -> "departure_completed"
+  | Departure { kind = Aborted } -> "departure_aborted"
+  | Departure { kind = Seed_departed } -> "departure_seed"
+  | Seed_toggle _ -> "seed_toggle"
+
+let event_args = function
+  | Arrival { pieces } ->
+      [
+        ("pieces", Json.String (Pieceset.to_string pieces));
+        ("held", Json.Int (Pieceset.cardinal pieces));
+      ]
+  | Contact { seed; useful } -> [ ("seed", Json.Bool seed); ("useful", Json.Bool useful) ]
+  | Transfer { piece; completed } ->
+      (* 1-based piece numbers on the wire, matching the paper and the CLI. *)
+      [ ("piece", Json.Int (piece + 1)); ("completed", Json.Bool completed) ]
+  | Transfer_lost -> []
+  | Departure _ -> []
+  | Seed_toggle { up } -> [ ("up", Json.Bool up) ]
+
+type sample = {
+  time : float;
+  n : int;
+  seeds : int;
+  one_club : int;
+  rarest_piece : int;
+  rarest_count : int;
+  piece_counts : int array;
+}
+
+let sample ~time ~k ~n ~count_of ~piece_counts =
+  if Array.length piece_counts <> k then invalid_arg "Probe.sample: piece_counts length <> k";
+  let rarest = ref 0 in
+  for piece = 1 to k - 1 do
+    if piece_counts.(piece) < piece_counts.(!rarest) then rarest := piece
+  done;
+  let full = Pieceset.full ~k in
+  {
+    time;
+    n;
+    seeds = count_of full;
+    one_club = count_of (Pieceset.remove !rarest full);
+    rarest_piece = !rarest;
+    rarest_count = piece_counts.(!rarest);
+    piece_counts;
+  }
+
+type t = {
+  interval : float;
+  tracing : bool;
+  on_event : time:float -> event -> unit;
+  on_sample : sample -> unit;
+  profile : Profile.t;
+}
+
+let noop_event ~time:_ _ = ()
+let noop_sample _ = ()
+
+let none =
+  {
+    interval = infinity;
+    tracing = false;
+    on_event = noop_event;
+    on_sample = noop_sample;
+    profile = Profile.disabled;
+  }
+
+let make ?(interval = infinity) ?on_event ?on_sample ?(profile = Profile.disabled) () =
+  if not (interval > 0.0) then invalid_arg "Probe.make: interval must be > 0";
+  {
+    interval;
+    tracing = Option.is_some on_event;
+    on_event = Option.value on_event ~default:noop_event;
+    on_sample = Option.value on_sample ~default:noop_sample;
+    profile;
+  }
+
+let trace_hook trace ~time ev =
+  Trace.emit trace ~time ~name:(event_name ev) ~args:(event_args ev)
+
+let sampling t = t.interval < infinity
+let event t ~time ev = t.on_event ~time ev

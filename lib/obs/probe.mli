@@ -1,0 +1,88 @@
+(** The observability hook record threaded through the simulators.
+
+    A [Probe.t] bundles everything a simulator can report without knowing
+    who is listening: structured events (for the tracer), periodic swarm
+    samples on a {e simulation-time} grid (for time-series probes), and a
+    phase profiler.  {!none} is the contract's zero element — every hook
+    is a no-op closure, the sampling interval is [infinity], and the
+    simulators skip event construction entirely after one physical
+    equality / flag check per site.
+
+    {b Determinism.}  Probes never touch the simulation RNG, never
+    perturb event ordering, and sample on the simulation clock — never
+    the wall clock — so (a) a run with a probe attached is bit-identical
+    to the same run without one, and (b) per-replication probe series
+    are bit-identical across any [--jobs] count.  Tests pin both. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+(** {1 Events} *)
+
+type departure_kind =
+  | Completed  (** finished the file and left (γ = ∞ instant departure) *)
+  | Aborted  (** churn: left without the file *)
+  | Seed_departed  (** peer seed dwelled and left (finite γ) *)
+
+type event =
+  | Arrival of { pieces : Pieceset.t }
+  | Contact of { seed : bool; useful : bool }
+      (** a contact resolved; [seed] = fixed-seed upload attempt;
+          [useful] = the policy found a piece to push *)
+  | Transfer of { piece : int; completed : bool }
+      (** a piece actually arrived; [completed] = it was the last one *)
+  | Transfer_lost  (** fault injection dropped a would-be upload *)
+  | Departure of { kind : departure_kind }
+  | Seed_toggle of { up : bool }  (** fault injection flipped the fixed seed *)
+
+val event_name : event -> string
+val event_args : event -> (string * Json.t) list
+
+(** {1 Swarm samples} *)
+
+type sample = {
+  time : float;
+  n : int;  (** total population *)
+  seeds : int;  (** peer seeds (holders of the full set) *)
+  one_club : int;  (** holders of exactly [full \ rarest] *)
+  rarest_piece : int;
+  rarest_count : int;  (** copies of the rarest piece among peers *)
+  piece_counts : int array;  (** copies of each piece, length [k] *)
+}
+
+val sample :
+  time:float -> k:int -> n:int -> count_of:(Pieceset.t -> int) -> piece_counts:int array -> sample
+(** Build a sample from a state's counting functions.  The rarest piece
+    is the argmin of [piece_counts] (lowest index on ties), and the
+    one-club is counted against {e that} piece — the instantaneous
+    missing-piece candidate. *)
+
+(** {1 The hook record} *)
+
+type t = private {
+  interval : float;  (** sim-time sampling period; [infinity] = never *)
+  tracing : bool;  (** false ⇒ skip event construction *)
+  on_event : time:float -> event -> unit;
+  on_sample : sample -> unit;
+  profile : Profile.t;
+}
+
+val none : t
+
+val make :
+  ?interval:float ->
+  ?on_event:(time:float -> event -> unit) ->
+  ?on_sample:(sample -> unit) ->
+  ?profile:Profile.t ->
+  unit ->
+  t
+(** [tracing] is true iff [on_event] is supplied.
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val trace_hook : Trace.t -> time:float -> event -> unit
+(** An [on_event] that forwards to a trace sink. *)
+
+val sampling : t -> bool
+(** Whether the probe wants grid samples ([interval < infinity]). *)
+
+val event : t -> time:float -> event -> unit
+(** Call under [if probe.tracing then ...] in hot loops. *)

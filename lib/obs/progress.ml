@@ -1,0 +1,97 @@
+type t = {
+  live : bool;
+  total : int;
+  t0 : float;
+  done_ : int Atomic.t;
+  events : int Atomic.t;
+  out : out_channel option;
+  min_interval_s : float;
+  mutable last_print : float;  (* guarded by [print_lock] *)
+  mutable final_printed : bool;  (* guarded by [print_lock] *)
+  print_lock : Mutex.t;
+}
+
+let make ~live ~out ~min_interval_s ~total =
+  {
+    live;
+    total;
+    t0 = Unix.gettimeofday ();
+    done_ = Atomic.make 0;
+    events = Atomic.make 0;
+    out;
+    min_interval_s;
+    last_print = neg_infinity;
+    final_printed = false;
+    print_lock = Mutex.create ();
+  }
+
+let silent = make ~live:false ~out:None ~min_interval_s:infinity ~total:0
+
+let create ?(out = stderr) ?(min_interval_s = 0.25) ~total () =
+  if total < 0 then invalid_arg "Progress.create: total < 0";
+  if min_interval_s < 0.0 then invalid_arg "Progress.create: min_interval_s < 0";
+  make ~live:true ~out:(Some out) ~min_interval_s ~total
+
+let enabled t = t.live
+let done_count t = Atomic.get t.done_
+let events_total t = Atomic.get t.events
+
+let fmt_rate r =
+  if r >= 1e6 then Printf.sprintf "%.2fM" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk" (r /. 1e3)
+  else Printf.sprintf "%.0f" r
+
+let fmt_eta s =
+  if not (Float.is_finite s) then "-"
+  else if s >= 3600.0 then Printf.sprintf "%.1fh" (s /. 3600.0)
+  else if s >= 60.0 then Printf.sprintf "%.1fm" (s /. 60.0)
+  else Printf.sprintf "%.1fs" s
+
+let render t ~final oc =
+  let now = Unix.gettimeofday () in
+  let elapsed = Float.max 1e-9 (now -. t.t0) in
+  let d = Atomic.get t.done_ in
+  let ev = Atomic.get t.events in
+  let rep_rate = float_of_int d /. elapsed in
+  let eta =
+    if d = 0 || d >= t.total then (if final then 0.0 else infinity)
+    else float_of_int (t.total - d) /. rep_rate
+  in
+  Printf.fprintf oc "\r%d/%d replications (%3.0f%%)  %s events/s  ETA %s%s%!" d t.total
+    (if t.total = 0 then 100.0 else 100.0 *. float_of_int d /. float_of_int t.total)
+    (fmt_rate (float_of_int ev /. elapsed))
+    (fmt_eta eta)
+    (if final then Printf.sprintf "  (%.2fs wall)\n" elapsed else "")
+
+let maybe_print t ~final =
+  match t.out with
+  | None -> ()
+  | Some oc ->
+      if Mutex.try_lock t.print_lock then begin
+        let now = Unix.gettimeofday () in
+        if (final || now -. t.last_print >= t.min_interval_s) && not t.final_printed then begin
+          t.last_print <- now;
+          if final then t.final_printed <- true;
+          render t ~final oc
+        end;
+        Mutex.unlock t.print_lock
+      end
+      else if final then begin
+        (* The final line must not be lost to a losing try_lock race. *)
+        Mutex.lock t.print_lock;
+        if not t.final_printed then begin
+          t.final_printed <- true;
+          render t ~final oc
+        end;
+        Mutex.unlock t.print_lock
+      end
+
+let step t =
+  if t.live then begin
+    let d = 1 + Atomic.fetch_and_add t.done_ 1 in
+    maybe_print t ~final:(d >= t.total)
+  end
+
+let add_events t n = if t.live then ignore (Atomic.fetch_and_add t.events n)
+
+let finish t = if t.live then maybe_print t ~final:true

@@ -1,0 +1,35 @@
+(** Live progress for replication sweeps: replications done, simulator
+    events per second, and an ETA.
+
+    Counters are atomics so any number of runner domains can report
+    concurrently; printing is throttled to [min_interval_s] of wall time
+    and serialised through a non-blocking [Mutex.try_lock], so a domain
+    never waits on the console to make progress.
+
+    Progress output is {e advisory}: it goes to [out] (stderr by
+    default), never into result files, and reads the wall clock — it has
+    no effect on simulation results or their determinism. *)
+
+type t
+
+val silent : t
+(** Counts nothing, prints nothing; the no-op default. *)
+
+val create : ?out:out_channel -> ?min_interval_s:float -> total:int -> unit -> t
+(** A meter expecting [total] replications.
+    @raise Invalid_argument if [total < 0] or [min_interval_s < 0]. *)
+
+val enabled : t -> bool
+
+val step : t -> unit
+(** One replication finished; may redraw the progress line. *)
+
+val add_events : t -> int -> unit
+(** Credit simulator events to the throughput estimate. *)
+
+val done_count : t -> int
+val events_total : t -> int
+
+val finish : t -> unit
+(** Final line (always printed when enabled) plus a newline, so later
+    output starts clean. *)

@@ -1,0 +1,179 @@
+module Timeavg = P2p_stats.Timeavg
+
+type t = {
+  k : int;
+  mutable rev_samples : Probe.sample list;
+  mutable count : int;
+  avg_n : Timeavg.t;
+  avg_seeds : Timeavg.t;
+  avg_club : Timeavg.t;
+  avg_rarest : Timeavg.t;
+  avg_pieces : Timeavg.t array;
+}
+
+let create ~k =
+  if k < 1 then invalid_arg "Series.create: k < 1";
+  {
+    k;
+    rev_samples = [];
+    count = 0;
+    avg_n = Timeavg.create ();
+    avg_seeds = Timeavg.create ();
+    avg_club = Timeavg.create ();
+    avg_rarest = Timeavg.create ();
+    avg_pieces = Array.init k (fun _ -> Timeavg.create ());
+  }
+
+let k t = t.k
+
+let record t (s : Probe.sample) =
+  if Array.length s.piece_counts <> t.k then
+    invalid_arg "Series.record: sample k does not match series k";
+  Timeavg.observe t.avg_n ~time:s.time ~value:(float_of_int s.n);
+  Timeavg.observe t.avg_seeds ~time:s.time ~value:(float_of_int s.seeds);
+  Timeavg.observe t.avg_club ~time:s.time ~value:(float_of_int s.one_club);
+  Timeavg.observe t.avg_rarest ~time:s.time ~value:(float_of_int s.rarest_count);
+  Array.iteri
+    (fun piece avg -> Timeavg.observe avg ~time:s.time ~value:(float_of_int s.piece_counts.(piece)))
+    t.avg_pieces;
+  t.rev_samples <- s :: t.rev_samples;
+  t.count <- t.count + 1
+
+let close t ~time =
+  Timeavg.close t.avg_n ~time;
+  Timeavg.close t.avg_seeds ~time;
+  Timeavg.close t.avg_club ~time;
+  Timeavg.close t.avg_rarest ~time;
+  Array.iter (fun avg -> Timeavg.close avg ~time) t.avg_pieces
+
+let count t = t.count
+let samples t = Array.of_list (List.rev t.rev_samples)
+
+let series_of field t =
+  Array.of_list (List.rev_map (fun (s : Probe.sample) -> (s.time, field s)) t.rev_samples)
+
+let one_club_series = series_of (fun s -> s.one_club)
+let population_series = series_of (fun s -> s.n)
+
+let avg_n t = Timeavg.average t.avg_n
+let avg_seeds t = Timeavg.average t.avg_seeds
+let avg_one_club t = Timeavg.average t.avg_club
+let avg_rarest_count t = Timeavg.average t.avg_rarest
+
+let avg_piece t piece =
+  if piece < 0 || piece >= t.k then invalid_arg "Series.avg_piece: piece out of range";
+  Timeavg.average t.avg_pieces.(piece)
+
+(* ---- persistence ---- *)
+
+let schema = "p2p-swarm-probe"
+let version = 1
+
+let header t =
+  Json.Obj [ ("schema", Json.String schema); ("version", Json.Int version); ("k", Json.Int t.k) ]
+
+let sample_json (s : Probe.sample) =
+  Json.Obj
+    [
+      ("t", Json.Float s.time);
+      ("n", Json.Int s.n);
+      ("seeds", Json.Int s.seeds);
+      ("club", Json.Int s.one_club);
+      ("rarest", Json.Int (s.rarest_piece + 1));
+      ("rarest_n", Json.Int s.rarest_count);
+      ("pieces", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) s.piece_counts)));
+    ]
+
+let write t oc =
+  Json.to_channel oc (header t);
+  output_char oc '\n';
+  List.iter
+    (fun s ->
+      Json.to_channel oc (sample_json s);
+      output_char oc '\n')
+    (List.rev t.rev_samples)
+
+let sample_of_json ~k json =
+  let int_field name =
+    match Json.member name json with
+    | Some v -> (
+        match Json.to_int_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "field %S is not an integer" name))
+    | None -> Error (Printf.sprintf "missing field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* time =
+    match Option.bind (Json.member "t" json) Json.to_float_opt with
+    | Some f -> Ok f
+    | None -> Error "missing or bad field \"t\""
+  in
+  let* n = int_field "n" in
+  let* seeds = int_field "seeds" in
+  let* one_club = int_field "club" in
+  let* rarest = int_field "rarest" in
+  let* rarest_count = int_field "rarest_n" in
+  let* pieces =
+    match Option.bind (Json.member "pieces" json) Json.to_list_opt with
+    | Some items ->
+        let counts = List.filter_map Json.to_int_opt items in
+        if List.length counts = List.length items && List.length counts = k then
+          Ok (Array.of_list counts)
+        else Error "field \"pieces\" is not an int array of length k"
+    | None -> Error "missing field \"pieces\""
+  in
+  if rarest < 1 || rarest > k then Error "field \"rarest\" out of [1, k]"
+  else
+    Ok
+      {
+        Probe.time;
+        n;
+        seeds;
+        one_club;
+        rarest_piece = rarest - 1;
+        rarest_count;
+        piece_counts = pieces;
+      }
+
+let read ic =
+  let next_line () = try Some (input_line ic) with End_of_file -> None in
+  match next_line () with
+  | None -> Error "empty probe file"
+  | Some first -> (
+      match Json.of_string first with
+      | Error msg -> Error ("bad header line: " ^ msg)
+      | Ok header ->
+          if Option.bind (Json.member "schema" header) Json.to_string_opt <> Some schema then
+            Error (Printf.sprintf "not a %s file (bad or missing schema)" schema)
+          else begin
+            match Option.bind (Json.member "k" header) Json.to_int_opt with
+            | None -> Error "header has no \"k\""
+            | Some k when k < 1 -> Error "header \"k\" < 1"
+            | Some k -> (
+                let t = create ~k in
+                let rec loop lineno =
+                  match next_line () with
+                  | None -> Ok ()
+                  | Some line when String.trim line = "" -> loop (lineno + 1)
+                  | Some line -> (
+                      match Json.of_string line with
+                      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+                      | Ok json -> (
+                          match sample_of_json ~k json with
+                          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+                          | Ok sample ->
+                              record t sample;
+                              loop (lineno + 1)))
+                in
+                match loop 2 with
+                | Error _ as e -> e
+                | Ok () ->
+                    (match t.rev_samples with
+                    | last :: _ -> close t ~time:last.Probe.time
+                    | [] -> ());
+                    Ok t)
+          end)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)

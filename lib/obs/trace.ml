@@ -1,0 +1,94 @@
+type format = Jsonl | Chrome
+
+type sink = {
+  format : format;
+  oc : out_channel;
+  owns_channel : bool;
+  mutable first : bool;
+  mutable written : int;
+  mutable closed : bool;
+}
+
+type t = Null | Sink of sink
+
+let null = Null
+let enabled = function Null -> false | Sink _ -> true
+
+let start_sink ~format ~owns_channel oc =
+  (match format with Chrome -> output_string oc "[\n" | Jsonl -> ());
+  Sink { format; oc; owns_channel; first = true; written = 0; closed = false }
+
+let create ~format oc = start_sink ~format ~owns_channel:false oc
+
+let format_of_path path =
+  if Filename.check_suffix path ".json" then Chrome else Jsonl
+
+let to_file path = start_sink ~format:(format_of_path path) ~owns_channel:true (open_out path)
+
+(* Chrome's [ts] field is in microseconds; we map 1 simulation time unit
+   to one second so traces of O(1000)-time-unit runs stay readable. *)
+let chrome_ts time = Json.Float (time *. 1e6)
+
+let write_record s json =
+  (match s.format with
+  | Jsonl -> ()
+  | Chrome -> if s.first then s.first <- false else output_string s.oc ",\n");
+  Json.to_channel s.oc json;
+  (match s.format with Jsonl -> output_char s.oc '\n' | Chrome -> ());
+  s.written <- s.written + 1
+
+let emit t ~time ~name ~args =
+  match t with
+  | Null -> ()
+  | Sink s ->
+      if s.closed then invalid_arg "Trace.emit: sink is closed";
+      let json =
+        match s.format with
+        | Jsonl -> Json.Obj (("t", Json.Float time) :: ("ev", Json.String name) :: args)
+        | Chrome ->
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("ph", Json.String "i");
+                ("s", Json.String "t");
+                ("ts", chrome_ts time);
+                ("pid", Json.Int 1);
+                ("tid", Json.Int 1);
+                ("args", Json.Obj args);
+              ]
+      in
+      write_record s json
+
+let emit_span t ~start ~dur ~name =
+  match t with
+  | Null -> ()
+  | Sink s ->
+      if s.closed then invalid_arg "Trace.emit_span: sink is closed";
+      let json =
+        match s.format with
+        | Jsonl ->
+            Json.Obj
+              [ ("t", Json.Float start); ("ev", Json.String name); ("dur", Json.Float dur) ]
+        | Chrome ->
+            Json.Obj
+              [
+                ("name", Json.String name);
+                ("ph", Json.String "X");
+                ("ts", chrome_ts start);
+                ("dur", chrome_ts dur);
+                ("pid", Json.Int 1);
+                ("tid", Json.Int 1);
+              ]
+      in
+      write_record s json
+
+let events_written = function Null -> 0 | Sink s -> s.written
+
+let close = function
+  | Null -> ()
+  | Sink s ->
+      if not s.closed then begin
+        s.closed <- true;
+        (match s.format with Chrome -> output_string s.oc "\n]\n" | Jsonl -> ());
+        if s.owns_channel then close_out s.oc else flush s.oc
+      end

@@ -1,6 +1,7 @@
 module Rng = P2p_prng.Rng
 module Welford = P2p_stats.Welford
 module Histogram = P2p_stats.Histogram
+module Progress = P2p_obs.Progress
 
 type failure = { index : int; error : exn; backtrace : Printexc.raw_backtrace }
 
@@ -182,13 +183,14 @@ let log_of ~(log : chunk_log) ~wall_s ~jobs ~nchunks ~busy ~interrupted =
 
 (* Run replication [i] of chunk [c], enforcing policy and wall budget;
    [keep] consumes the value of a surviving replication. *)
-let step ~on_error ~budget_s ~(log : chunk_log) ~master_seed ~c ~keep f i =
+let step ~on_error ~budget_s ~progress ~(log : chunk_log) ~master_seed ~c ~keep f i =
   let t0 = Unix.gettimeofday () in
   let result = run_replication ~on_error ~master_seed ~index:i f in
   (match budget_s with
   | Some budget when Unix.gettimeofday () -. t0 > budget ->
       log.over.(c) <- log.over.(c) + 1
   | _ -> ());
+  Progress.step progress;
   match result with
   | Ok v -> keep v
   | Error fail -> (
@@ -196,8 +198,8 @@ let step ~on_error ~budget_s ~(log : chunk_log) ~master_seed ~c ~keep f i =
       | Abort -> Printexc.raise_with_backtrace fail.error fail.backtrace
       | Skip | Retry _ -> log.failures.(c) <- fail :: log.failures.(c))
 
-let run_map ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false) ~master_seed ~replications
-    f =
+let run_map ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false)
+    ?(progress = Progress.silent) ~master_seed ~replications f =
   let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ~replications () in
   let on_error = Option.value on_error ~default:Abort in
   let log = chunk_log nchunks in
@@ -205,14 +207,17 @@ let run_map ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false) ~master_se
   let work c =
     let lo, hi = chunk_bounds ~chunk ~replications c in
     for i = lo to hi - 1 do
-      step ~on_error ~budget_s ~log ~master_seed ~c ~keep:(fun v -> results.(i) <- Some v) f i
+      step ~on_error ~budget_s ~progress ~log ~master_seed ~c
+        ~keep:(fun v -> results.(i) <- Some v)
+        f i
     done
   in
   let wall_s, busy, interrupted = drive ~jobs ~nchunks ~handle_sigint ~work in
+  Progress.finish progress;
   (results, log_of ~log ~wall_s ~jobs ~nchunks ~busy ~interrupted)
 
-let run_fold ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false) ~master_seed ~replications
-    ~init ~add ~merge f =
+let run_fold ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false)
+    ?(progress = Progress.silent) ~master_seed ~replications ~init ~add ~merge f =
   let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ~replications () in
   let on_error = Option.value on_error ~default:Abort in
   let log = chunk_log nchunks in
@@ -221,11 +226,12 @@ let run_fold ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false) ~master_s
     let lo, hi = chunk_bounds ~chunk ~replications c in
     let acc = init () in
     for i = lo to hi - 1 do
-      step ~on_error ~budget_s ~log ~master_seed ~c ~keep:(add acc) f i
+      step ~on_error ~budget_s ~progress ~log ~master_seed ~c ~keep:(add acc) f i
     done;
     accs.(c) <- Some acc
   in
   let wall_s, busy, interrupted = drive ~jobs ~nchunks ~handle_sigint ~work in
+  Progress.finish progress;
   (* Chunk order, not completion order: this is what makes the merged
      aggregate independent of the domain count.  A [None] chunk was never
      claimed (interrupt) and contributes nothing. *)
@@ -259,8 +265,8 @@ type sacc = {
   mutable flagged : int;
 }
 
-let run_summary ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?hist ~metrics ~master_seed
-    ~replications f =
+let run_summary ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?progress ?hist ~metrics
+    ~master_seed ~replications f =
   let nmetrics = List.length metrics in
   let init () =
     {
@@ -292,8 +298,8 @@ let run_summary ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?hist ~metrics ~
     }
   in
   let acc, timing =
-    run_fold ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ~master_seed ~replications ~init
-      ~add ~merge f
+    run_fold ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?progress ~master_seed
+      ~replications ~init ~add ~merge f
   in
   {
     stats = List.mapi (fun m name -> (name, acc.welford.(m))) metrics;

@@ -102,7 +102,12 @@ val derive_retry_rng : master_seed:int -> index:int -> attempt:int -> Rng.t
       chunks, joins them, restores the previous handler, and returns the
       completed chunks with [timing.interrupted = true].  Merged results
       under interruption reflect whichever chunks completed, so they are
-      {e not} jobs-independent — check the flag before comparing. *)
+      {e not} jobs-independent — check the flag before comparing.
+    - [progress] (default {!P2p_obs.Progress.silent}) — a live progress
+      meter ticked once per finished replication, from whichever domain
+      finished it (the meter is thread-safe).  Thunks that want the
+      events/s figure call [Progress.add_events] themselves.  Purely
+      observational: it never affects scheduling, seeding, or results. *)
 
 val run_map :
   ?jobs:int ->
@@ -110,6 +115,7 @@ val run_map :
   ?on_error:on_error ->
   ?budget_s:float ->
   ?handle_sigint:bool ->
+  ?progress:P2p_obs.Progress.t ->
   master_seed:int ->
   replications:int ->
   (rng:Rng.t -> index:int -> 'a) ->
@@ -132,6 +138,7 @@ val run_fold :
   ?on_error:on_error ->
   ?budget_s:float ->
   ?handle_sigint:bool ->
+  ?progress:P2p_obs.Progress.t ->
   master_seed:int ->
   replications:int ->
   init:(unit -> 'acc) ->
@@ -182,6 +189,7 @@ val run_summary :
   ?on_error:on_error ->
   ?budget_s:float ->
   ?handle_sigint:bool ->
+  ?progress:P2p_obs.Progress.t ->
   ?hist:hist_spec ->
   metrics:string list ->
   master_seed:int ->

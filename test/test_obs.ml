@@ -1,0 +1,632 @@
+(* Telemetry layer: JSON round trips, dead-cell instruments, trace
+   formats, probe sample construction, and the two determinism
+   guarantees the observability PR pins — a probed run is bit-identical
+   to an unprobed one, and probe series are bit-identical across any
+   [--jobs] count because they sample on the simulation clock. *)
+
+open P2p_core
+
+(* aliased after [open P2p_core] on purpose: the core library has its own
+   [Metrics] (summary metrics), and here the telemetry one must win *)
+module Rng = P2p_prng.Rng
+module Json = P2p_obs.Json
+module Metrics = P2p_obs.Metrics
+module Trace = P2p_obs.Trace
+module Profile = P2p_obs.Profile
+module Probe = P2p_obs.Probe
+module Series = P2p_obs.Series
+module Progress = P2p_obs.Progress
+module Pieceset = P2p_pieceset.Pieceset
+
+let params = Scenario.flash_crowd ~k:3 ~lambda:0.5 ~us:0.8 ~mu:1.0 ~gamma:2.0
+
+let with_temp_file f =
+  let path = Filename.temp_file "p2p_obs_test" ".tmp" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lines_of s =
+  String.split_on_char '\n' s |> List.filter (fun l -> String.trim l <> "")
+
+(* ---- Json ---- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("int", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("bool", Json.Bool true);
+        ("null", Json.Null);
+        ("str", Json.String "a \"quoted\"\n\tbackslash \\ control \x01");
+        ("list", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip structural" true (Json.of_string_exn (Json.to_string v) = v)
+
+let test_json_float_bit_exact () =
+  List.iter
+    (fun x ->
+      match Json.to_float_opt (Json.of_string_exn (Json.to_string (Json.Float x))) with
+      | Some y ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h survives" x)
+            true
+            (Int64.bits_of_float x = Int64.bits_of_float y)
+      | None -> Alcotest.failf "%h did not parse back to a number" x)
+    [ 0.1 +. 0.2; 1.0 /. 3.0; 1e-300; 1.7976931348623157e308; -0.0; 3.5017060493169474 ]
+
+let test_json_nonfinite_as_null () =
+  Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float nan));
+  Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.Float infinity));
+  (* and the reader's convention maps null back to nan *)
+  match Json.to_float_opt (Json.of_string_exn "null") with
+  | Some x -> Alcotest.(check bool) "null reads as nan" true (Float.is_nan x)
+  | None -> Alcotest.fail "null should read as a float"
+
+let test_json_parse_errors () =
+  let rejects name s =
+    match Json.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: %S should not parse" name s
+  in
+  rejects "garbage" "notjson";
+  rejects "trailing content" "{} {}";
+  rejects "unterminated string" "\"abc";
+  rejects "bare comma" "[1,]";
+  rejects "missing colon" "{\"a\" 1}";
+  rejects "empty input" ""
+
+let test_json_accessors () =
+  let v = Json.of_string_exn {|{"a": 1, "b": [true, null], "c": "s"}|} in
+  Alcotest.(check (option int)) "member a" (Some 1) (Option.bind (Json.member "a" v) Json.to_int_opt);
+  Alcotest.(check bool) "missing member" true (Json.member "zzz" v = None);
+  Alcotest.(check (option string))
+    "member c" (Some "s")
+    (Option.bind (Json.member "c" v) Json.to_string_opt);
+  match Option.bind (Json.member "b" v) Json.to_list_opt with
+  | Some [ Json.Bool true; Json.Null ] -> ()
+  | _ -> Alcotest.fail "member b should be [true, null]"
+
+(* ---- Metrics ---- *)
+
+let test_metrics_disabled_dead () =
+  let r = Metrics.disabled in
+  Alcotest.(check bool) "disabled not enabled" false (Metrics.enabled r);
+  let c = Metrics.counter r "events" in
+  Metrics.incr c;
+  Metrics.add c 100;
+  Alcotest.(check int) "dead counter stays 0" 0 (Metrics.counter_value c);
+  let g = Metrics.gauge r "n" in
+  Metrics.set g 7.0;
+  Alcotest.(check (float 0.0)) "dead gauge stays 0" 0.0 (Metrics.gauge_value g);
+  let t = Metrics.timer r "loop" in
+  let x = Metrics.time t (fun () -> 41 + 1) in
+  Alcotest.(check int) "dead timer still runs the thunk" 42 x;
+  Alcotest.(check int) "dead timer count 0" 0 (Metrics.timer_count t)
+
+let test_metrics_enabled () =
+  let r = Metrics.create () in
+  Alcotest.(check bool) "enabled" true (Metrics.enabled r);
+  let c = Metrics.counter r "events" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Alcotest.(check int) "counter 11" 11 (Metrics.counter_value c);
+  let c' = Metrics.counter r "events" in
+  Metrics.incr c';
+  Alcotest.(check int) "re-fetch shares the cell" 12 (Metrics.counter_value c);
+  let g = Metrics.gauge r "n" in
+  Metrics.set g 3.5;
+  Alcotest.(check (float 0.0)) "gauge holds last set" 3.5 (Metrics.gauge_value g);
+  let t = Metrics.timer r "loop" in
+  ignore (Metrics.time t (fun () -> Sys.opaque_identity ()));
+  ignore (Metrics.time t (fun () -> Sys.opaque_identity ()));
+  Alcotest.(check int) "timer entered twice" 2 (Metrics.timer_count t);
+  Alcotest.(check bool) "timer total nonnegative" true (Metrics.timer_total_s t >= 0.0);
+  (* registering the same name as a different kind is a bug, not a merge *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics: \"events\" registered as a different kind") (fun () ->
+      ignore (Metrics.gauge r "events"))
+
+let test_metrics_to_json () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "transfers") 3;
+  Metrics.set (Metrics.gauge r "final_n") 9.0;
+  match Metrics.to_json r with
+  | Json.Obj kvs ->
+      Alcotest.(check (option int))
+        "counter serialised" (Some 3)
+        (Option.bind (List.assoc_opt "transfers" kvs) Json.to_int_opt);
+      Alcotest.(check bool) "keys sorted" true (List.map fst kvs = List.sort compare (List.map fst kvs))
+  | _ -> Alcotest.fail "to_json should be an object"
+
+(* ---- Trace ---- *)
+
+let test_trace_jsonl () =
+  with_temp_file (fun path ->
+      let tr = Trace.to_file path in
+      Alcotest.(check bool) "enabled" true (Trace.enabled tr);
+      Trace.emit tr ~time:1.5 ~name:"arrival" ~args:[ ("pieces", Json.Int 0) ];
+      Trace.emit tr ~time:2.0 ~name:"transfer" ~args:[ ("piece", Json.Int 2) ];
+      Trace.close tr;
+      Trace.close tr;
+      (* idempotent *)
+      Alcotest.(check int) "events_written" 2 (Trace.events_written tr);
+      let lines = lines_of (read_file path) in
+      Alcotest.(check int) "one line per event" 2 (List.length lines);
+      List.iter
+        (fun line ->
+          let v = Json.of_string_exn line in
+          Alcotest.(check bool) "has t" true (Json.member "t" v <> None);
+          Alcotest.(check bool) "has ev" true (Json.member "ev" v <> None))
+        lines)
+
+let test_trace_chrome () =
+  let path = Filename.temp_file "p2p_obs_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let tr = Trace.to_file path in
+      Trace.emit tr ~time:0.5 ~name:"arrival" ~args:[];
+      Trace.emit_span tr ~start:0.0 ~dur:1.0 ~name:"event-loop";
+      Trace.close tr;
+      (* the whole file must be one valid JSON array (chrome://tracing) *)
+      match Json.of_string_exn (read_file path) with
+      | Json.List entries ->
+          Alcotest.(check int) "array length = events written" (Trace.events_written tr)
+            (List.length entries);
+          let phs =
+            List.filter_map (fun e -> Option.bind (Json.member "ph" e) Json.to_string_opt) entries
+          in
+          Alcotest.(check bool) "instant event present" true (List.mem "i" phs);
+          Alcotest.(check bool) "span event present" true (List.mem "X" phs);
+          let ts =
+            List.filter_map (fun e -> Option.bind (Json.member "ts" e) Json.to_float_opt) entries
+          in
+          (* sim time 0.5 s -> 5e5 microseconds *)
+          Alcotest.(check bool) "ts in microseconds" true (List.mem 500000.0 ts)
+      | _ -> Alcotest.fail "chrome trace should parse as a JSON array")
+
+let test_trace_null_sink () =
+  Alcotest.(check bool) "null disabled" false (Trace.enabled Trace.null);
+  Trace.emit Trace.null ~time:0.0 ~name:"x" ~args:[];
+  Trace.close Trace.null;
+  Alcotest.(check int) "null counts nothing" 0 (Trace.events_written Trace.null)
+
+(* ---- Probe ---- *)
+
+let test_probe_none_is_inert () =
+  Alcotest.(check bool) "none does not trace" false Probe.none.Probe.tracing;
+  Alcotest.(check bool) "none does not sample" false (Probe.sampling Probe.none);
+  (* calling the hooks anyway is harmless *)
+  Probe.event Probe.none ~time:1.0 (Probe.Transfer_lost);
+  Probe.none.Probe.on_sample
+    (Probe.sample ~time:0.0 ~k:2 ~n:0 ~count_of:(fun _ -> 0) ~piece_counts:[| 0; 0 |])
+
+let test_probe_make_validation () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "interval %f rejected" bad)
+        true
+        (try
+           ignore (Probe.make ~interval:bad ());
+           false
+         with Invalid_argument _ -> true))
+    [ 0.0; -1.0; nan ];
+  let p = Probe.make ~on_event:(fun ~time:_ _ -> ()) () in
+  Alcotest.(check bool) "on_event implies tracing" true p.Probe.tracing;
+  Alcotest.(check bool) "no interval means no sampling" false (Probe.sampling p);
+  let q = Probe.make ~interval:2.0 () in
+  Alcotest.(check bool) "interval means sampling" true (Probe.sampling q);
+  Alcotest.(check bool) "no on_event means no tracing" false q.Probe.tracing
+
+let test_probe_sample_construction () =
+  (* A hand-built swarm with k = 3: piece 1 is rarest; the one-club is
+     whoever holds exactly {0, 2} = full \ {rarest}. *)
+  let k = 3 in
+  let one_club_set = Pieceset.remove 1 (Pieceset.full ~k) in
+  let count_of s =
+    if s = Pieceset.full ~k then 2 (* peer seeds *)
+    else if s = one_club_set then 5
+    else 0
+  in
+  let s =
+    Probe.sample ~time:7.0 ~k ~n:11 ~count_of ~piece_counts:[| 9; 4; 9 |]
+  in
+  Alcotest.(check int) "n" 11 s.Probe.n;
+  Alcotest.(check int) "seeds counted from full set" 2 s.Probe.seeds;
+  Alcotest.(check int) "rarest piece is argmin" 1 s.Probe.rarest_piece;
+  Alcotest.(check int) "rarest count" 4 s.Probe.rarest_count;
+  Alcotest.(check int) "one-club counted against the rarest piece" 5 s.Probe.one_club;
+  (* ties break to the lowest index *)
+  let s' = Probe.sample ~time:0.0 ~k ~n:0 ~count_of:(fun _ -> 0) ~piece_counts:[| 3; 3; 3 |] in
+  Alcotest.(check int) "tie goes to lowest piece" 0 s'.Probe.rarest_piece
+
+let test_probe_event_names () =
+  let named ev = Probe.event_name ev in
+  Alcotest.(check string) "arrival" "arrival" (named (Probe.Arrival { pieces = Pieceset.empty }));
+  Alcotest.(check string) "seed toggle" "seed_toggle" (named (Probe.Seed_toggle { up = false }));
+  (* every event's args serialise *)
+  List.iter
+    (fun ev -> ignore (Json.to_string (Json.Obj (Probe.event_args ev))))
+    [
+      Probe.Arrival { pieces = Pieceset.singleton 0 };
+      Probe.Contact { seed = true; useful = false };
+      Probe.Transfer { piece = 1; completed = true };
+      Probe.Transfer_lost;
+      Probe.Departure { kind = Probe.Completed };
+      Probe.Departure { kind = Probe.Aborted };
+      Probe.Departure { kind = Probe.Seed_departed };
+      Probe.Seed_toggle { up = true };
+    ]
+
+(* ---- probes attached to the simulators ---- *)
+
+let faulty_config_markov () =
+  {
+    (Sim_markov.default_config params) with
+    Sim_markov.faults = Faults.make ~outage:(20.0, 5.0) ~abort_rate:0.02 ~loss_prob:0.05 ();
+  }
+
+let faulty_config_agent () =
+  {
+    (Sim_agent.default_config params) with
+    Sim_agent.faults = Faults.make ~outage:(20.0, 5.0) ~abort_rate:0.02 ~loss_prob:0.05 ();
+  }
+
+let busy_probe () =
+  (* listens to everything, into throwaway sinks *)
+  let series = Series.create ~k:3 in
+  let events = ref 0 in
+  ( Probe.make ~interval:7.0
+      ~on_event:(fun ~time:_ _ -> incr events)
+      ~on_sample:(Series.record series)
+      ~profile:(Profile.create ()) (),
+    events )
+
+let check_markov_stats_equal name (a : Sim_markov.stats) (b : Sim_markov.stats) =
+  Alcotest.(check int) (name ^ " events") a.Sim_markov.events b.Sim_markov.events;
+  Alcotest.(check int) (name ^ " arrivals") a.Sim_markov.arrivals b.Sim_markov.arrivals;
+  Alcotest.(check int) (name ^ " transfers") a.Sim_markov.transfers b.Sim_markov.transfers;
+  Alcotest.(check int) (name ^ " departures") a.Sim_markov.departures b.Sim_markov.departures;
+  Alcotest.(check int) (name ^ " final_n") a.Sim_markov.final_n b.Sim_markov.final_n;
+  Alcotest.(check int) (name ^ " aborted") a.Sim_markov.aborted_peers b.Sim_markov.aborted_peers;
+  Alcotest.(check int) (name ^ " lost") a.Sim_markov.lost_transfers b.Sim_markov.lost_transfers;
+  Alcotest.(check bool)
+    (name ^ " time_avg_n bit-identical")
+    true
+    (Int64.bits_of_float a.Sim_markov.time_avg_n = Int64.bits_of_float b.Sim_markov.time_avg_n);
+  Alcotest.(check bool)
+    (name ^ " outage_time bit-identical")
+    true
+    (Int64.bits_of_float a.Sim_markov.outage_time = Int64.bits_of_float b.Sim_markov.outage_time);
+  Alcotest.(check bool) (name ^ " sample grid") true (a.Sim_markov.samples = b.Sim_markov.samples)
+
+let test_markov_probe_bit_identity () =
+  let config = faulty_config_markov () in
+  let bare, _ = Sim_markov.run_seeded ~seed:77 config ~horizon:250.0 in
+  let probe, events = busy_probe () in
+  let probed, _ = Sim_markov.run_seeded ~probe ~seed:77 config ~horizon:250.0 in
+  check_markov_stats_equal "markov" bare probed;
+  Alcotest.(check bool) "the probe actually saw traffic" true (!events > 0)
+
+let test_agent_probe_bit_identity () =
+  let config = faulty_config_agent () in
+  let bare, _ = Sim_agent.run_seeded ~seed:77 config ~horizon:250.0 in
+  let probe, events = busy_probe () in
+  let probed, _ = Sim_agent.run_seeded ~probe ~seed:77 config ~horizon:250.0 in
+  Alcotest.(check int) "agent events" bare.Sim_agent.events probed.Sim_agent.events;
+  Alcotest.(check int) "agent transfers" bare.Sim_agent.transfers probed.Sim_agent.transfers;
+  Alcotest.(check int) "agent departures" bare.Sim_agent.departures probed.Sim_agent.departures;
+  Alcotest.(check int) "agent final_n" bare.Sim_agent.final_n probed.Sim_agent.final_n;
+  Alcotest.(check bool)
+    "agent time_avg_n bit-identical" true
+    (Int64.bits_of_float bare.Sim_agent.time_avg_n
+    = Int64.bits_of_float probed.Sim_agent.time_avg_n);
+  Alcotest.(check bool)
+    "agent mean_sojourn bit-identical" true
+    (Int64.bits_of_float bare.Sim_agent.mean_sojourn
+    = Int64.bits_of_float probed.Sim_agent.mean_sojourn);
+  Alcotest.(check bool) "agent sample grid" true (bare.Sim_agent.samples = probed.Sim_agent.samples);
+  Alcotest.(check bool) "the probe actually saw traffic" true (!events > 0)
+
+let probe_times ~run ~interval =
+  let times = ref [] in
+  let probe = Probe.make ~interval ~on_sample:(fun s -> times := s.Probe.time :: !times) () in
+  run ~probe;
+  List.rev !times
+
+let test_probe_grid_is_sim_time () =
+  (* interval 5 over horizon 50: exactly the 11 grid points 0, 5, .., 50,
+     exact floats — no wall-clock jitter, no drift *)
+  let config = Sim_markov.default_config params in
+  let expect = List.init 11 (fun i -> 5.0 *. float_of_int i) in
+  let times =
+    probe_times
+      ~run:(fun ~probe -> ignore (Sim_markov.run_seeded ~probe ~seed:5 config ~horizon:50.0))
+      ~interval:5.0
+  in
+  Alcotest.(check (list (float 0.0))) "markov grid" expect times;
+  let config_a = Sim_agent.default_config params in
+  let times_a =
+    probe_times
+      ~run:(fun ~probe -> ignore (Sim_agent.run_seeded ~probe ~seed:5 config_a ~horizon:50.0))
+      ~interval:5.0
+  in
+  Alcotest.(check (list (float 0.0))) "agent grid" expect times_a
+
+let test_probe_interval_longer_than_run () =
+  (* satellite (c): one sample at t = 0 and nothing else *)
+  let config = Sim_markov.default_config params in
+  let times =
+    probe_times
+      ~run:(fun ~probe -> ignore (Sim_markov.run_seeded ~probe ~seed:5 config ~horizon:10.0))
+      ~interval:100.0
+  in
+  Alcotest.(check (list (float 0.0))) "single t=0 sample" [ 0.0 ] times
+
+let collect_series ~seed ~horizon ~interval =
+  let series = Series.create ~k:3 in
+  let probe = Probe.make ~interval ~on_sample:(Series.record series) () in
+  ignore (Sim_markov.run_seeded ~probe ~seed (faulty_config_markov ()) ~horizon);
+  Series.close series ~time:horizon;
+  series
+
+let test_probe_samples_deterministic () =
+  let a = collect_series ~seed:2024 ~horizon:120.0 ~interval:3.0 in
+  let b = collect_series ~seed:2024 ~horizon:120.0 ~interval:3.0 in
+  Alcotest.(check bool) "sample arrays identical" true (Series.samples a = Series.samples b);
+  Alcotest.(check bool)
+    "time averages bit-identical" true
+    (Int64.bits_of_float (Series.avg_n a) = Int64.bits_of_float (Series.avg_n b))
+
+(* ---- Series ---- *)
+
+let mk_sample ~time ~n ~club ~pieces =
+  Probe.
+    {
+      time;
+      n;
+      seeds = 0;
+      one_club = club;
+      rarest_piece = 0;
+      rarest_count = pieces.(0);
+      piece_counts = pieces;
+    }
+
+let test_series_averages () =
+  Alcotest.check_raises "k < 1 rejected" (Invalid_argument "Series.create: k < 1") (fun () ->
+      ignore (Series.create ~k:0));
+  let s = Series.create ~k:2 in
+  Alcotest.(check bool) "avg before time elapses is nan" true (Float.is_nan (Series.avg_n s));
+  Series.record s (mk_sample ~time:0.0 ~n:2 ~club:0 ~pieces:[| 1; 1 |]);
+  Series.record s (mk_sample ~time:10.0 ~n:6 ~club:4 ~pieces:[| 1; 5 |]);
+  Series.close s ~time:20.0;
+  (* n: 2 for 10 time units then 6 for 10 -> 4.0; club: 0 then 4 -> 2.0 *)
+  Alcotest.(check (float 1e-12)) "time-weighted avg n" 4.0 (Series.avg_n s);
+  Alcotest.(check (float 1e-12)) "time-weighted avg one-club" 2.0 (Series.avg_one_club s);
+  Alcotest.(check (float 1e-12)) "per-piece avg" 3.0 (Series.avg_piece s 1);
+  Alcotest.(check int) "count" 2 (Series.count s);
+  Alcotest.(check bool)
+    "one-club series" true
+    (Series.one_club_series s = [| (0.0, 0); (10.0, 4) |]);
+  Alcotest.(check bool)
+    "population series" true
+    (Series.population_series s = [| (0.0, 2); (10.0, 6) |])
+
+let test_series_file_roundtrip () =
+  let s = collect_series ~seed:99 ~horizon:150.0 ~interval:5.0 in
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      Series.write s oc;
+      close_out oc;
+      match Series.read_file path with
+      | Error msg -> Alcotest.failf "read_file failed: %s" msg
+      | Ok s' ->
+          Alcotest.(check int) "k preserved" (Series.k s) (Series.k s');
+          Alcotest.(check int) "count preserved" (Series.count s) (Series.count s');
+          Alcotest.(check bool) "samples preserved" true (Series.samples s = Series.samples s');
+          (* the reader closes at the last sample time, not the writer's
+             horizon; re-close at the horizon and the averages agree *)
+          Series.close s' ~time:150.0;
+          Alcotest.(check bool)
+            "avg_n bit-identical after re-close" true
+            (Int64.bits_of_float (Series.avg_n s) = Int64.bits_of_float (Series.avg_n s')))
+
+let test_series_read_rejects_garbage () =
+  let rejects name content =
+    with_temp_file (fun path ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        match Series.read_file path with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s should not parse as a probe series" name)
+  in
+  rejects "empty file" "";
+  rejects "wrong schema" "{\"schema\": \"not-a-probe\", \"version\": 1, \"k\": 3}\n";
+  rejects "missing header" "{\"t\": 0, \"n\": 1}\n";
+  rejects "malformed sample line"
+    "{\"schema\": \"p2p-swarm-probe\", \"version\": 1, \"k\": 3}\nnot json\n"
+
+(* ---- jobs-independence of per-replication probe series (satellite b) ---- *)
+
+let probe_sweep ~jobs =
+  let module Runner = P2p_runner.Runner in
+  let results, _ =
+    Runner.run_map ~jobs ~chunk:2 ~master_seed:424242 ~replications:6 (fun ~rng ~index:_ ->
+        let series = Series.create ~k:3 in
+        let probe = Probe.make ~interval:4.0 ~on_sample:(Series.record series) () in
+        let stats, _ = Sim_markov.run ~probe ~rng (faulty_config_markov ()) ~horizon:100.0 in
+        Series.close series ~time:100.0;
+        (stats.Sim_markov.events, Series.samples series, Series.avg_n series))
+  in
+  Array.map Option.get results
+
+let test_probe_series_jobs_independent () =
+  let seq = probe_sweep ~jobs:1 in
+  let par = probe_sweep ~jobs:4 in
+  Alcotest.(check int) "same replication count" (Array.length seq) (Array.length par);
+  Array.iteri
+    (fun i (ev_s, samples_s, avg_s) ->
+      let ev_p, samples_p, avg_p = par.(i) in
+      Alcotest.(check int) (Printf.sprintf "rep %d events" i) ev_s ev_p;
+      Alcotest.(check bool) (Printf.sprintf "rep %d probe samples" i) true (samples_s = samples_p);
+      Alcotest.(check bool)
+        (Printf.sprintf "rep %d avg_n bit-identical" i)
+        true
+        (Int64.bits_of_float avg_s = Int64.bits_of_float avg_p))
+    seq
+
+(* ---- Progress ---- *)
+
+let test_progress_silent () =
+  Alcotest.(check bool) "silent disabled" false (Progress.enabled Progress.silent);
+  Progress.step Progress.silent;
+  Progress.add_events Progress.silent 1000;
+  Progress.finish Progress.silent;
+  Alcotest.(check int) "silent counts nothing" 0 (Progress.done_count Progress.silent);
+  Alcotest.(check int) "silent events zero" 0 (Progress.events_total Progress.silent)
+
+let test_progress_counters_and_final_line () =
+  Alcotest.(check bool) "negative total rejected" true
+    (try
+       ignore (Progress.create ~total:(-1) ());
+       false
+     with Invalid_argument _ -> true);
+  with_temp_file (fun path ->
+      let oc = open_out path in
+      let p = Progress.create ~out:oc ~min_interval_s:0.0 ~total:3 () in
+      Alcotest.(check bool) "enabled" true (Progress.enabled p);
+      for _ = 1 to 3 do
+        Progress.step p;
+        Progress.add_events p 500
+      done;
+      Progress.finish p;
+      Progress.finish p;
+      (* the final line prints once *)
+      close_out oc;
+      Alcotest.(check int) "done count" 3 (Progress.done_count p);
+      Alcotest.(check int) "events total" 1500 (Progress.events_total p);
+      let out = read_file path in
+      Alcotest.(check bool) "reports 3/3" true
+        (let rec contains i =
+           i + 3 <= String.length out && (String.sub out i 3 = "3/3" || contains (i + 1))
+         in
+         contains 0);
+      (* exactly one final 100% line *)
+      let finals =
+        List.length
+          (List.filter
+             (fun l ->
+               let rec contains i =
+                 i + 6 <= String.length l && (String.sub l i 6 = "(100%)" || contains (i + 1))
+               in
+               contains 0)
+             (lines_of out))
+      in
+      Alcotest.(check int) "single final line" 1 finals)
+
+(* ---- Profile ---- *)
+
+let test_profile_disabled () =
+  Alcotest.(check bool) "disabled" false (Profile.enabled Profile.disabled);
+  let span = Profile.start Profile.disabled "phase" in
+  Profile.stop span;
+  Profile.record_s Profile.disabled "phase" 1.0;
+  Alcotest.(check bool) "no phases recorded" true (Profile.phases Profile.disabled = []);
+  Alcotest.(check (float 0.0)) "total zero" 0.0 (Profile.total_s Profile.disabled)
+
+let test_profile_phases () =
+  let p = Profile.create () in
+  Profile.time p "setup" (fun () -> ());
+  Profile.time p "event-loop" (fun () -> ());
+  Profile.time p "event-loop" (fun () -> ());
+  Profile.record_s p "finalise" 0.25;
+  let phases = Profile.phases p in
+  Alcotest.(check (list string))
+    "phases sorted by name"
+    [ "event-loop"; "finalise"; "setup" ]
+    (List.map fst phases);
+  let _, (loop_s, loop_n) = List.nth phases 0 in
+  Alcotest.(check int) "event-loop entered twice" 2 loop_n;
+  Alcotest.(check bool) "durations nonnegative" true (loop_s >= 0.0);
+  let _, (fin_s, _) = List.nth phases 1 in
+  Alcotest.(check (float 1e-12)) "record_s credits directly" 0.25 fin_s;
+  Alcotest.(check bool) "total covers the direct credit" true (Profile.total_s p >= 0.25);
+  (* exception safety: the span still closes *)
+  (try Profile.time p "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check bool) "phase recorded despite raise" true
+    (List.mem_assoc "boom" (Profile.phases p));
+  match Profile.to_json p with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "to_json should be an object"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float bit-exact" `Quick test_json_float_bit_exact;
+          Alcotest.test_case "non-finite as null" `Quick test_json_nonfinite_as_null;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "disabled dead cells" `Quick test_metrics_disabled_dead;
+          Alcotest.test_case "enabled counting" `Quick test_metrics_enabled;
+          Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl format" `Quick test_trace_jsonl;
+          Alcotest.test_case "chrome format" `Quick test_trace_chrome;
+          Alcotest.test_case "null sink" `Quick test_trace_null_sink;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "none is inert" `Quick test_probe_none_is_inert;
+          Alcotest.test_case "make validation" `Quick test_probe_make_validation;
+          Alcotest.test_case "sample construction" `Quick test_probe_sample_construction;
+          Alcotest.test_case "event names serialise" `Quick test_probe_event_names;
+        ] );
+      ( "probe-sim",
+        [
+          Alcotest.test_case "markov bit-identity under probes" `Quick
+            test_markov_probe_bit_identity;
+          Alcotest.test_case "agent bit-identity under probes" `Quick test_agent_probe_bit_identity;
+          Alcotest.test_case "grid rides sim time" `Quick test_probe_grid_is_sim_time;
+          Alcotest.test_case "interval longer than run" `Quick test_probe_interval_longer_than_run;
+          Alcotest.test_case "samples deterministic" `Quick test_probe_samples_deterministic;
+        ] );
+      ( "series",
+        [
+          Alcotest.test_case "time-weighted averages" `Quick test_series_averages;
+          Alcotest.test_case "file roundtrip" `Quick test_series_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_series_read_rejects_garbage;
+        ] );
+      ( "jobs-independence",
+        [
+          Alcotest.test_case "probe series identical across jobs" `Quick
+            test_probe_series_jobs_independent;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "silent" `Quick test_progress_silent;
+          Alcotest.test_case "counters and final line" `Quick test_progress_counters_and_final_line;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "disabled" `Quick test_profile_disabled;
+          Alcotest.test_case "phases" `Quick test_profile_phases;
+        ] );
+    ]

@@ -142,6 +142,40 @@ let test_timeavg_reset () =
   Timeavg.close t ~time:20.0;
   closef "after reset only new segment" 1.0 (Timeavg.average t)
 
+let test_timeavg_single_sample () =
+  (* one observation and no elapsed time: the mean is undefined, not 0 *)
+  let t = Timeavg.create () in
+  Timeavg.observe t ~time:0.0 ~value:7.0;
+  Timeavg.close t ~time:0.0;
+  Alcotest.(check bool) "nan with zero elapsed" true (Float.is_nan (Timeavg.average t));
+  closef "elapsed zero" 0.0 (Timeavg.elapsed t);
+  (* once any time passes, a single sample's average is that value *)
+  Timeavg.close t ~time:5.0;
+  closef "single value held" 7.0 (Timeavg.average t);
+  closef "elapsed" 5.0 (Timeavg.elapsed t)
+
+let test_timeavg_close_before_observe () =
+  (* closing before the first observation must not count phantom time at
+     the (unset) initial value *)
+  let t = Timeavg.create () in
+  Timeavg.close t ~time:10.0;
+  Alcotest.(check bool) "still nan" true (Float.is_nan (Timeavg.average t));
+  closef "no time accrued" 0.0 (Timeavg.elapsed t);
+  (* a first observation after the idle gap starts the clock there *)
+  Timeavg.observe t ~time:10.0 ~value:3.0;
+  Timeavg.close t ~time:12.0;
+  closef "only post-observation time" 3.0 (Timeavg.average t);
+  closef "elapsed from first observation" 2.0 (Timeavg.elapsed t)
+
+let test_timeavg_zero_dwell () =
+  (* two observations at the same instant: the first held for 0 time and
+     must carry no weight *)
+  let t = Timeavg.create () in
+  Timeavg.observe t ~time:0.0 ~value:2.0;
+  Timeavg.observe t ~time:0.0 ~value:4.0;
+  Timeavg.close t ~time:1.0;
+  closef "zero-dwell value ignored" 4.0 (Timeavg.average t)
+
 let test_timeavg_backwards () =
   let t = Timeavg.create () in
   Timeavg.observe t ~time:5.0 ~value:1.0;
@@ -390,6 +424,30 @@ let test_batch_means_warmup_dropped () =
   let est = Batch_means.of_samples ~warmup_fraction:0.25 samples in
   Alcotest.(check (float 1e-9)) "transient ignored" 2.0 est.mean
 
+let test_batch_means_degenerate_series () =
+  (* the shapes a probe grid can produce at the edges: an empty series
+     (horizon 0) and a single sample (probe interval longer than the run)
+     must raise, not return a confident nonsense interval *)
+  let raises samples =
+    try
+      ignore (Batch_means.of_samples ~warmup_fraction:0.0 samples);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty series raises" true (raises [||]);
+  Alcotest.(check bool) "single sample raises" true (raises [| (0.0, 5.0) |]);
+  Alcotest.(check bool) "one sample per batch is still too few" true
+    (raises (Array.init 16 (fun i -> (float_of_int i, 1.0))))
+
+let test_batch_means_minimum_viable () =
+  (* exactly 2 samples per batch with no warm-up is the documented floor:
+     it must produce a finite interval, mean equal to the grand mean *)
+  let samples = Array.init 32 (fun i -> (float_of_int i, float_of_int (i mod 4))) in
+  let est = Batch_means.of_samples ~warmup_fraction:0.0 ~batches:16 samples in
+  closef "grand mean" 1.5 est.mean;
+  Alcotest.(check int) "batches" 16 est.batches;
+  Alcotest.(check bool) "finite width" true (Float.is_finite est.half_width)
+
 let () =
   Alcotest.run "stats"
     [
@@ -411,6 +469,9 @@ let () =
         [
           Alcotest.test_case "piecewise" `Quick test_timeavg_piecewise;
           Alcotest.test_case "empty" `Quick test_timeavg_empty;
+          Alcotest.test_case "single sample" `Quick test_timeavg_single_sample;
+          Alcotest.test_case "close before observe" `Quick test_timeavg_close_before_observe;
+          Alcotest.test_case "zero dwell" `Quick test_timeavg_zero_dwell;
           Alcotest.test_case "reset" `Quick test_timeavg_reset;
           Alcotest.test_case "time regression" `Quick test_timeavg_backwards;
         ] );
@@ -454,5 +515,7 @@ let () =
           Alcotest.test_case "correlated wider" `Quick test_batch_means_correlated_wider;
           Alcotest.test_case "validation" `Quick test_batch_means_validation;
           Alcotest.test_case "warmup" `Quick test_batch_means_warmup_dropped;
+          Alcotest.test_case "degenerate series" `Quick test_batch_means_degenerate_series;
+          Alcotest.test_case "minimum viable" `Quick test_batch_means_minimum_viable;
         ] );
     ]

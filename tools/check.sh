@@ -63,4 +63,29 @@ if [ -n "$fail" ]; then
   exit 1
 fi
 
+# Optional bench smoke: CHECK_BENCH=1 also runs the quick perf baseline
+# (bench-json-quick) and a traced single run, proving the telemetry
+# plumbing end to end.  Artifacts land in ${CHECK_BENCH_DIR:-/tmp}.
+if [ "${CHECK_BENCH:-0}" = "1" ]; then
+  out="${CHECK_BENCH_DIR:-/tmp}"
+  mkdir -p "$out"
+  left=$(remaining)
+  if [ "$left" -le 0 ]; then
+    echo "FAIL: budget exhausted before the bench smoke phase" >&2
+    exit 124
+  fi
+  echo "== bench smoke (into $out) =="
+  ( cd "$out" && timeout "$left" "$OLDPWD/_build/default/bench/main.exe" bench-json-quick ) || {
+    echo "FAIL: bench-json-quick exited non-zero" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" _build/default/bin/p2psim.exe simulate -k 3 --us 0.3 --gamma 1.5 -t 200 \
+    --probe-interval 2 --metrics-out "$out/sample_probe.jsonl" \
+    --trace "$out/sample_trace.json" >/dev/null || {
+    echo "FAIL: traced simulate exited non-zero" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" _build/default/bin/p2psim.exe report "$out/sample_probe.jsonl" >/dev/null || {
+    echo "FAIL: p2psim report exited non-zero" >&2; exit 1; }
+  echo "== bench smoke OK =="
+fi
+
 echo "== tier-1 check OK =="
