@@ -15,7 +15,11 @@
 let available = Experiments.all @ [ ("perf", Perf.run); ("scale", Perf.scaling) ]
 
 let extra =
-  [ ("bench-json", Perf.bench_json); ("bench-json-quick", Perf.bench_json_quick) ]
+  [
+    ("bench-json", Perf.bench_json);
+    ("bench-json-quick", Perf.bench_json_quick);
+    ("bench-gate", Perf.bench_gate);
+  ]
 
 let list_targets () =
   print_endline "available targets:";

@@ -187,20 +187,34 @@ let timed f =
 
 let sim_section ~quick =
   let params = Scenario.flash_crowd ~k:4 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
-  let horizon = if quick then 200.0 else 2000.0 in
+  (* The quick horizon still needs a few milliseconds of events per run:
+     the smoke figure feeds the bench-gate, and sub-millisecond walls
+     are all scheduler noise. *)
+  let horizon = if quick then 500.0 else 2000.0 in
   let sampling_probe () =
     let series = Series.create ~k:4 in
     Probe.make ~interval:(horizon /. 200.0) ~on_sample:(Series.record series) ()
   in
   let tracing_probe () = Probe.make ~on_event:(fun ~time:_ _ -> ()) () in
+  (* Best wall time of [rounds] runs per configuration: the least-
+     interference estimate.  Single runs of a ~10ms simulation on a
+     shared box swing by 2x; the minimum is stable. *)
+  let rounds = if quick then 3 else 5 in
   let measure name run =
+    (* [probe] is a thunk: sampling probes accumulate a time series, so
+       each round needs a fresh one. *)
     let events_of probe =
-      let stats, wall = timed (fun () -> run probe) in
-      (stats, wall)
+      let best = ref infinity and last = ref 0 in
+      for _ = 1 to rounds do
+        let stats, wall = timed (fun () -> run (probe ())) in
+        last := stats;
+        if wall < !best then best := wall
+      done;
+      (!last, !best)
     in
-    let events_off, wall_off = events_of Probe.none in
-    let _, wall_sampling = events_of (sampling_probe ()) in
-    let _, wall_tracing = events_of (tracing_probe ()) in
+    let events_off, wall_off = events_of (fun () -> Probe.none) in
+    let _, wall_sampling = events_of sampling_probe in
+    let _, wall_tracing = events_of tracing_probe in
     let eps wall = if wall > 0.0 then float_of_int events_off /. wall else nan in
     ( name,
       Json.Obj
@@ -236,7 +250,19 @@ let scaling_section ~quick =
         let stats, _ = Sim_markov.run ~rng (Sim_markov.default_config params) ~horizon in
         Runner.rep [| stats.Sim_markov.time_avg_n |])
   in
-  let reference = sweep 1 in
+  (* Same best-of discipline as the simulator section: keep the sweep
+     with the least interference per jobs count.  Every sweep returns
+     bit-identical aggregates, so this only selects a timing. *)
+  let rounds = if quick then 1 else 3 in
+  let best_sweep jobs =
+    let best = ref (sweep jobs) in
+    for _ = 2 to rounds do
+      let s = sweep jobs in
+      if s.Runner.timing.wall_s < !best.Runner.timing.wall_s then best := s
+    done;
+    !best
+  in
+  let reference = best_sweep 1 in
   let t1 = reference.Runner.timing.wall_s in
   let ref_mean = P2p_stats.Welford.mean (snd (List.hd reference.Runner.stats)) in
   let row (summary : Runner.summary) =
@@ -251,8 +277,47 @@ let scaling_section ~quick =
         ("bit_identical", Json.Bool (mean = ref_mean));
       ]
   in
-  ( Json.List (row reference :: List.map (fun jobs -> row (sweep jobs)) [ 2; 4 ]),
+  ( Json.List (row reference :: List.map (fun jobs -> row (best_sweep jobs)) [ 2; 4 ]),
     ("replications", Json.Int reps) )
+
+(* P4: before/after against the committed PR3 baseline, and the CI bench
+   gate.  Both read baselines back through the in-tree JSON parser. *)
+
+let read_json_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Json.of_string s with Ok j -> Some j | Error _ -> None)
+
+let events_per_sec ~sim j =
+  Option.bind (Json.member "simulators" j) (fun sims ->
+      Option.bind (Json.member sim sims) (fun s ->
+          Option.bind (Json.member "events_per_sec" s) Json.to_float_opt))
+
+(* Per-simulator before/after speedup vs the committed PR3 baseline;
+   [Null] when the baseline file is absent (e.g. a bare checkout). *)
+let vs_baseline_section sims =
+  match read_json_file "BENCH_PR3.json" with
+  | None -> ("vs_pr3_baseline", Json.Null)
+  | Some base ->
+      let cmp (name, fields) =
+        let after =
+          match Json.member "events_per_sec" fields with
+          | Some v -> Option.value (Json.to_float_opt v) ~default:nan
+          | None -> nan
+        in
+        let before = Option.value (events_per_sec ~sim:name base) ~default:nan in
+        ( name,
+          Json.Obj
+            [
+              ("events_per_sec_before", Json.Float before);
+              ("events_per_sec_after", Json.Float after);
+              ("speedup", Json.Float (after /. before));
+            ] )
+      in
+      ("vs_pr3_baseline", Json.Obj (List.map cmp sims))
 
 let bench_json_to ~quick path =
   let sims = sim_section ~quick in
@@ -261,9 +326,10 @@ let bench_json_to ~quick path =
     Json.Obj
       [
         ("bench", Json.String "p2p swarm simulator performance baseline");
-        ("pr", Json.Int 3);
+        ("pr", Json.Int 4);
         ("quick", Json.Bool quick);
         ("simulators", Json.Obj sims);
+        vs_baseline_section sims;
         ("runner_scaling", scaling_rows);
         reps_field;
         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
@@ -275,8 +341,49 @@ let bench_json_to ~quick path =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let bench_json () = bench_json_to ~quick:false "BENCH_PR3.json"
+let bench_json () = bench_json_to ~quick:false "BENCH_PR4.json"
 let bench_json_quick () = bench_json_to ~quick:true "BENCH_smoke.json"
+
+(* The CI regression gate: compare a fresh quick-bench events/s figure
+   against the committed baseline and fail below 70% (a −30% threshold —
+   loose enough for shared CI runners, tight enough to catch a hot-path
+   regression).  Paths are overridable so the gate can also diff two
+   fresh runs locally. *)
+let bench_gate () =
+  let getenv name default =
+    match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> default
+  in
+  let baseline_path = getenv "BENCH_GATE_BASELINE" "BENCH_PR4.json" in
+  let fresh_path = getenv "BENCH_GATE_NEW" "BENCH_smoke.json" in
+  let threshold = 0.70 in
+  match (read_json_file baseline_path, read_json_file fresh_path) with
+  | None, _ ->
+      (* No baseline is not a failure: the gate guards regressions against
+         a committed reference, it does not require one to exist. *)
+      Printf.printf "bench-gate: no baseline at %s, skipping\n" baseline_path
+  | _, None ->
+      Printf.eprintf "bench-gate: cannot read fresh results at %s\n" fresh_path;
+      exit 1
+  | Some base, Some fresh ->
+      let failed = ref false in
+      List.iter
+        (fun sim ->
+          match (events_per_sec ~sim base, events_per_sec ~sim fresh) with
+          | Some b, Some f when b > 0.0 ->
+              let ratio = f /. b in
+              Printf.printf "bench-gate: %s %.3g -> %.3g events/s (%.0f%% of baseline)\n" sim
+                b f (100.0 *. ratio);
+              if ratio < threshold then begin
+                Printf.eprintf "bench-gate: %s fell below %.0f%% of the %s baseline\n" sim
+                  (100.0 *. threshold) baseline_path;
+                failed := true
+              end
+          | _ ->
+              Printf.eprintf "bench-gate: missing events_per_sec for %s\n" sim;
+              failed := true)
+        [ "sim_markov"; "sim_agent" ];
+      if !failed then exit 1;
+      print_endline "bench-gate: OK"
 
 let run () =
   P2p_core.Report.banner "P1  microbenchmarks (bechamel, OLS ns/run)";

@@ -7,6 +7,7 @@
     stability region; experiment E7 verifies that empirically. *)
 
 module Pieceset = P2p_pieceset.Pieceset
+module Rng = P2p_prng.Rng
 
 type uploader = Fixed_seed | Peer of Pieceset.t
 
@@ -22,8 +23,31 @@ type t = {
     k:int -> state:State.t -> uploader:uploader -> downloader:Pieceset.t -> (int * float) list;
       (** The paper's [h_·(A, B, x)]: pairs [(piece, probability)] with
           positive probabilities summing to 1, supported on useful pieces.
-          Must be called only when a useful piece exists. *)
+          Must be called only when a useful piece exists.  This is the
+          {e specification}: readable, list-based, checked by
+          {!validate_distribution} — and what the chi-square tests hold
+          {!sample_fast} against. *)
+  sample_fast :
+    rng:Rng.t ->
+    k:int ->
+    state:State.t ->
+    uploader:uploader ->
+    downloader:Pieceset.t ->
+    int option;
+      (** Allocation-free sampler agreeing in distribution with
+          [distribution] (the draw sequence may differ).  Returns [None]
+          iff no useful piece exists.  This is what the simulators call on
+          every contact; the built-in policies sample the useful bitset
+          directly instead of materialising the list. *)
 }
+
+val of_distribution :
+  name:string ->
+  (k:int -> state:State.t -> uploader:uploader -> downloader:Pieceset.t -> (int * float) list) ->
+  t
+(** Build a policy from its spec distribution alone; [sample_fast] falls
+    back to materialising the list and drawing categorically.  For exotic
+    or experimental policies where the hot path does not matter. *)
 
 val random_useful : t
 (** Uniform over useful pieces — the baseline policy of Theorem 1. *)
@@ -49,7 +73,20 @@ val sample :
   uploader:uploader ->
   downloader:Pieceset.t ->
   int option
-(** Draw a piece, or [None] when the uploader cannot help. *)
+(** Draw a piece, or [None] when the uploader cannot help.  Delegates to
+    [sample_fast]. *)
+
+val sample_spec :
+  t ->
+  rng:P2p_prng.Rng.t ->
+  k:int ->
+  state:State.t ->
+  uploader:uploader ->
+  downloader:Pieceset.t ->
+  int option
+(** Reference sampler walking the [distribution] list — the behaviour
+    {!sample} had before the fast paths existed.  Kept for tests and for
+    cross-checking custom policies. *)
 
 val validate_distribution : (int * float) list -> useful:Pieceset.t -> bool
 (** Checks support and normalisation (for tests and custom policies). *)

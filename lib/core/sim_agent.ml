@@ -180,7 +180,8 @@ let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng con
   let club_avg = P2p_stats.Timeavg.create () in
   let seed_boosted = ref false in
   let lambda_total = Params.lambda_total p in
-  let arrival_weights = Array.map snd p.arrivals in
+  (* Walker alias table, as in Sim_markov: O(1) arrival-type draws. *)
+  let arrival_alias = Dist.Alias.make (Array.map snd p.arrivals) in
   let frun = Faults.start config.faults ~rng in
   if tracing then
     Faults.set_observer frun (fun ~now ~up -> Probe.event probe ~time:now (Seed_toggle { up }));
@@ -316,8 +317,8 @@ let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng con
   let sample_every =
     match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
   in
-  let samples = ref [] in
-  let group_samples = ref [] in
+  let samples = P2p_stats.Vec.create () in
+  let group_samples = P2p_stats.Vec.create () in
   let next_sample = ref 0.0 in
   (* Probe samples ride the sim-time grid (see Sim_markov for why). *)
   let probing = Probe.sampling probe in
@@ -329,8 +330,8 @@ let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng con
   in
   let record_samples_through time =
     while !next_sample <= time && !next_sample <= horizon do
-      samples := (!next_sample, Population.size pop) :: !samples;
-      group_samples := (!next_sample, classify_groups config pop) :: !group_samples;
+      P2p_stats.Vec.push samples (!next_sample, Population.size pop);
+      P2p_stats.Vec.push group_samples (!next_sample, classify_groups config pop);
       next_sample := !next_sample +. sample_every
     done;
     if probing then
@@ -401,7 +402,7 @@ let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng con
       incr events;
       let u = Rng.float rng *. total in
       if u < rate_arrival then begin
-        let idx = Dist.categorical rng ~weights:arrival_weights in
+        let idx = Dist.Alias.sample rng arrival_alias in
         let c = fst p.arrivals.(idx) in
         let peer = new_peer c ~time:!clock in
         incr arrivals;
@@ -445,8 +446,8 @@ let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng con
       outage_time = Faults.outage_time frun;
       aborted_peers = !aborted;
       lost_transfers = !lost;
-      samples = Array.of_list (List.rev !samples);
-      group_samples = Array.of_list (List.rev !group_samples);
+      samples = P2p_stats.Vec.to_array samples;
+      group_samples = P2p_stats.Vec.to_array group_samples;
       mean_sojourn = P2p_stats.Welford.mean sojourn;
       sojourn_count = P2p_stats.Welford.count sojourn;
       one_club_time_fraction = P2p_stats.Timeavg.average club_avg;

@@ -89,7 +89,9 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?(max_events = 200_000_000
   let full = Params.full_set p in
   let state = State.of_counts config.initial in
   let lambda_total = Params.lambda_total p in
-  let arrival_weights = Array.map snd p.arrivals in
+  (* Walker alias table: O(1) arrival-type draws instead of a linear CDF
+     scan, and no per-arrival allocation. *)
+  let arrival_alias = Dist.Alias.make (Array.map snd p.arrivals) in
   let counters =
     {
       events = 0;
@@ -112,7 +114,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?(max_events = 200_000_000
   let sample_every =
     match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
   in
-  let samples = ref [] in
+  let samples = P2p_stats.Vec.create () in
   let next_sample = ref 0.0 in
   (* Swarm probes walk their own sim-time grid, in lockstep with the
      sampling grid's "state before the event" semantics.  Sim time, never
@@ -126,7 +128,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?(max_events = 200_000_000
   in
   let record_samples_through time =
     while !next_sample <= time && !next_sample <= horizon do
-      samples := (!next_sample, State.n state) :: !samples;
+      P2p_stats.Vec.push samples (!next_sample, State.n state);
       next_sample := !next_sample +. sample_every
     done;
     if probing then
@@ -182,7 +184,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?(max_events = 200_000_000
       let u = Rng.float rng *. total in
       let changed =
         if u < rate_arrival then begin
-          let idx = Dist.categorical rng ~weights:arrival_weights in
+          let idx = Dist.Alias.sample rng arrival_alias in
           let pieces = fst p.arrivals.(idx) in
           State.add_peer state pieces;
           counters.arrivals <- counters.arrivals + 1;
@@ -246,7 +248,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?(max_events = 200_000_000
       outage_time = Faults.outage_time frun;
       aborted_peers = counters.aborted;
       lost_transfers = counters.lost;
-      samples = Array.of_list (List.rev !samples);
+      samples = P2p_stats.Vec.to_array samples;
     }
   in
   Profile.stop finish_span;

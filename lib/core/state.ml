@@ -1,47 +1,140 @@
 module Pieceset = P2p_pieceset.Pieceset
 
-type t = { counts : (Pieceset.t, int) Hashtbl.t; mutable total : int }
+(* Occupied types live in dense parallel arrays with O(1) swap-removal,
+   with a hash table mapping type -> slot.  The dense layout keeps the
+   per-event operations (count lookups, uniform peer sampling, piece-count
+   maintenance) allocation-free and cache-friendly: sampling scans a flat
+   int array instead of walking hash buckets, and the per-piece copy
+   counts are maintained incrementally so rarest-first style policies read
+   them in O(1) instead of recomputing O(occupied types * k) per contact. *)
+type t = {
+  mutable types : Pieceset.t array;  (* slots [0, len) occupied *)
+  mutable vals : int array;  (* vals.(s) > 0 for s < len *)
+  mutable len : int;
+  slot_of : (Pieceset.t, int) Hashtbl.t;
+  mutable total : int;
+  piece_counts : int array;  (* piece i -> copies held across all peers *)
+}
 
-let create () = { counts = Hashtbl.create 32; total = 0 }
+let create () =
+  {
+    types = [||];
+    vals = [||];
+    len = 0;
+    slot_of = Hashtbl.create 32;
+    total = 0;
+    piece_counts = Array.make Pieceset.max_pieces 0;
+  }
 
-let copy t = { counts = Hashtbl.copy t.counts; total = t.total }
+let copy t =
+  {
+    types = Array.copy t.types;
+    vals = Array.copy t.vals;
+    len = t.len;
+    slot_of = Hashtbl.copy t.slot_of;
+    total = t.total;
+    piece_counts = Array.copy t.piece_counts;
+  }
 
-let count t c = Option.value (Hashtbl.find_opt t.counts c) ~default:0
+(* [match ... with exception Not_found] avoids the [Some] allocation of
+   [find_opt] on this per-event path. *)
+let count t c = match Hashtbl.find t.slot_of c with v -> t.vals.(v) | exception Not_found -> 0
 
-let set t c v =
-  if v < 0 then invalid_arg "State: negative count";
-  if v = 0 then Hashtbl.remove t.counts c else Hashtbl.replace t.counts c v
+let n t = t.total
+let occupied t = t.len
+
+(* Add [dv] (possibly negative) to the copy count of every piece of [c];
+   tail-recursive over the bitset, no closure, no allocation. *)
+let rec bump_pieces pc c dv =
+  if not (Pieceset.is_empty c) then begin
+    let i = Pieceset.lowest c in
+    Array.unsafe_set pc i (Array.unsafe_get pc i + dv);
+    bump_pieces pc (Pieceset.remove i c) dv
+  end
+
+(* Slot-level add/remove: maintain the dense arrays and the slot table
+   only.  [total] and [piece_counts] are the callers' business, so that
+   [move_peer] can account for just the pieces that changed hands. *)
+let add_slot t c v =
+  match Hashtbl.find t.slot_of c with
+  | slot -> t.vals.(slot) <- t.vals.(slot) + v
+  | exception Not_found ->
+      if t.len = Array.length t.types then begin
+        let cap = Int.max 16 (2 * t.len) in
+        let types = Array.make cap Pieceset.empty and vals = Array.make cap 0 in
+        Array.blit t.types 0 types 0 t.len;
+        Array.blit t.vals 0 vals 0 t.len;
+        t.types <- types;
+        t.vals <- vals
+      end;
+      t.types.(t.len) <- c;
+      t.vals.(t.len) <- v;
+      Hashtbl.replace t.slot_of c t.len;
+      t.len <- t.len + 1
+
+let remove_slot t c =
+  match Hashtbl.find t.slot_of c with
+  | exception Not_found ->
+      invalid_arg (Printf.sprintf "State.remove_peer: no type %s peer" (Pieceset.to_string c))
+  | slot ->
+      let v = t.vals.(slot) in
+      if v = 1 then begin
+        (* Swap-remove the emptied slot to keep the prefix dense. *)
+        let last = t.len - 1 in
+        Hashtbl.remove t.slot_of c;
+        if slot <> last then begin
+          let moved = t.types.(last) in
+          t.types.(slot) <- moved;
+          t.vals.(slot) <- t.vals.(last);
+          Hashtbl.replace t.slot_of moved slot
+        end;
+        t.len <- last
+      end
+      else t.vals.(slot) <- v - 1
+
+let add_peers t c v =
+  add_slot t c v;
+  t.total <- t.total + v;
+  bump_pieces t.piece_counts c v
+
+let add_peer t c = add_peers t c 1
 
 let of_counts entries =
   let t = create () in
   List.iter
     (fun (c, v) ->
       if v < 0 then invalid_arg "State.of_counts: negative count";
-      set t c (count t c + v);
-      t.total <- t.total + v)
+      if v > 0 then add_peers t c v)
     entries;
   t
 
-let n t = t.total
-let occupied t = Hashtbl.length t.counts
-
-let add_peer t c =
-  set t c (count t c + 1);
-  t.total <- t.total + 1
-
 let remove_peer t c =
-  let current = count t c in
-  if current <= 0 then
-    invalid_arg (Printf.sprintf "State.remove_peer: no type %s peer" (Pieceset.to_string c));
-  set t c (current - 1);
-  t.total <- t.total - 1
+  remove_slot t c;
+  t.total <- t.total - 1;
+  bump_pieces t.piece_counts c (-1)
 
 let move_peer t ~from_ ~to_ =
-  remove_peer t from_;
-  add_peer t to_
+  if Pieceset.equal from_ to_ then ()
+  else begin
+    (* One peer changes type: move the slot count, then touch only the
+       pieces that actually changed hands (for a download, exactly one). *)
+    remove_slot t from_;
+    add_slot t to_ 1;
+    bump_pieces t.piece_counts (Pieceset.diff to_ from_) 1;
+    bump_pieces t.piece_counts (Pieceset.diff from_ to_) (-1)
+  end
 
-let iter t f = Hashtbl.iter f t.counts
-let fold t ~init ~f = Hashtbl.fold (fun c v acc -> f acc c v) t.counts init
+let iter t f =
+  for s = 0 to t.len - 1 do
+    f t.types.(s) t.vals.(s)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for s = 0 to t.len - 1 do
+    acc := f !acc t.types.(s) t.vals.(s)
+  done;
+  !acc
 
 let to_alist t =
   fold t ~init:[] ~f:(fun acc c v -> (c, v) :: acc)
@@ -49,31 +142,19 @@ let to_alist t =
 
 let piece_copies t ~k ~piece =
   if piece < 0 || piece >= k then invalid_arg "State.piece_copies: piece out of range";
-  fold t ~init:0 ~f:(fun acc c v -> if Pieceset.mem piece c then acc + v else acc)
+  t.piece_counts.(piece)
 
-let piece_count_vector t ~k =
-  let counts = Array.make k 0 in
-  iter t (fun c v -> Pieceset.iter (fun i -> if i < k then counts.(i) <- counts.(i) + v) c);
-  counts
+let piece_count_vector t ~k = Array.sub t.piece_counts 0 k
 
 let sample_uniform_peer t ~draw =
   if t.total = 0 then invalid_arg "State.sample_uniform_peer: empty state";
   let target = draw t.total in
-  let acc = ref 0 in
-  let found = ref None in
-  (try
-     Hashtbl.iter
-       (fun c v ->
-         acc := !acc + v;
-         if !acc > target then begin
-           found := Some c;
-           raise Exit
-         end)
-       t.counts
-   with Exit -> ());
-  match !found with
-  | Some c -> c
-  | None -> invalid_arg "State.sample_uniform_peer: internal inconsistency"
+  (* Guaranteed to land inside the dense prefix: sum of vals = total. *)
+  let rec go slot acc =
+    let acc = acc + Array.unsafe_get t.vals slot in
+    if acc > target then Array.unsafe_get t.types slot else go (slot + 1) acc
+  in
+  go 0 0
 
 let count_subset_peers t s =
   fold t ~init:0 ~f:(fun acc c v -> if Pieceset.subset c s then acc + v else acc)
@@ -82,9 +163,10 @@ let count_helpful_peers t s =
   fold t ~init:0 ~f:(fun acc c v -> if Pieceset.subset c s then acc else acc + v)
 
 let equal a b =
-  a.total = b.total
-  && Hashtbl.length a.counts = Hashtbl.length b.counts
-  && Hashtbl.fold (fun c v acc -> acc && count b c = v) a.counts true
+  a.total = b.total && a.len = b.len
+  && (let ok = ref true in
+      iter a (fun c v -> if count b c <> v then ok := false);
+      !ok)
 
 let pp fmt t =
   Format.fprintf fmt "@[<h>n=%d:" t.total;

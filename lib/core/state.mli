@@ -1,9 +1,14 @@
 (** The Markov chain state: the count of peers of each type.
 
     The state vector of Section III is [x = (x_C : C ∈ C)].  We store only
-    the occupied types in a hash table keyed by piece set and cache the
-    total population [n], so one-club-heavy states (the interesting ones)
-    cost O(occupied types), not O(2^K). *)
+    the occupied types — dense parallel arrays with O(1) swap-removal plus
+    a type → slot hash table — and cache the total population [n], so
+    one-club-heavy states (the interesting ones) cost O(occupied types),
+    not O(2^K).  A per-piece copy-count vector is maintained incrementally
+    on every add/remove/move, so {!piece_copies} is O(1) and
+    {!piece_count_vector} is an O(k) copy: the reads that rarest-first
+    style policies and swarm probes perform on every contact never rescan
+    the occupied types. *)
 
 module Pieceset = P2p_pieceset.Pieceset
 
@@ -39,14 +44,16 @@ val to_alist : t -> (Pieceset.t * int) list
 (** Sorted by type for deterministic printing. *)
 
 val piece_copies : t -> k:int -> piece:int -> int
-(** Number of peers holding the piece. *)
+(** Number of peers holding the piece.  O(1): read off the incrementally
+    maintained copy-count vector. *)
 
 val piece_count_vector : t -> k:int -> int array
-(** [piece_copies] for every piece at once. *)
+(** [piece_copies] for every piece at once — an O(k) fresh copy. *)
 
 val sample_uniform_peer : t -> draw:(int -> int) -> Pieceset.t
 (** Type of a peer chosen uniformly among all [n] peers; [draw m] must
-    return a uniform index in [0, m-1].
+    return a uniform index in [0, m-1].  A linear scan of the dense
+    occupied-type array; allocation-free.
     @raise Invalid_argument on the empty state. *)
 
 val count_subset_peers : t -> Pieceset.t -> int

@@ -10,9 +10,17 @@ let geometric rng ~p =
   if p <= 0.0 || p > 1.0 then invalid_arg "Dist.geometric: p must be in (0,1]";
   if p >= 1.0 then 0
   else
-    (* Inversion: floor(log U / log(1-p)). *)
+    (* Inversion: floor(log U / log(1-p)).  For tiny [p] the ratio can
+       exceed the integer range (log1p(-p) ~ -p, so the quotient grows
+       like |log U| / p); [int_of_float] on such a float is unspecified
+       and came back as a garbage negative.  Clamp to [max_int] instead:
+       the quantile is astronomically far in the tail either way.
+       log1p, not log (1 - p): below p ~ 1e-16 the subtraction rounds to
+       1.0 and the denominator collapses to 0, sending the ratio to -inf
+       underneath the clamp. *)
     let u = Rng.float_pos rng in
-    int_of_float (floor (log u /. log (1.0 -. p)))
+    let x = floor (log u /. Float.log1p (-.p)) in
+    if x >= float_of_int max_int then max_int else int_of_float x
 
 let negative_binomial rng ~failures ~p =
   if failures < 0 then invalid_arg "Dist.negative_binomial: failures < 0";
@@ -110,6 +118,64 @@ let categorical rng ~weights =
       if target < acc then i else scan (i + 1) acc
   in
   scan 0 0.0
+
+(* Walker's alias method: O(n) preprocessing, O(1) per sample.  Sampling
+   draws one uniform index and (only when the chosen column is split
+   between two outcomes) one uniform float — against the O(n) linear scan
+   of [categorical] per draw.  Used for the arrival-type distribution of
+   the simulators, which is fixed for a whole run. *)
+module Alias = struct
+  type t = { prob : float array; alias : int array }
+
+  let size t = Array.length t.prob
+
+  let make weights =
+    let n = Array.length weights in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    if n = 0 || total <= 0.0 || not (Float.is_finite total) then
+      invalid_arg "Dist.Alias.make: weights must be nonnegative with positive finite sum";
+    Array.iter
+      (fun w -> if w < 0.0 || not (Float.is_finite w) then
+          invalid_arg "Dist.Alias.make: weights must be nonnegative with positive finite sum")
+      weights;
+    (* Scale to mean 1, then repeatedly pair an under-full column with an
+       over-full one (Vose's stable formulation). *)
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 1.0 in
+    let alias = Array.init n (fun i -> i) in
+    let small = Array.make n 0 and large = Array.make n 0 in
+    let ns = ref 0 and nl = ref 0 in
+    Array.iteri
+      (fun i w ->
+        if w < 1.0 then begin small.(!ns) <- i; incr ns end
+        else begin large.(!nl) <- i; incr nl end)
+      scaled;
+    while !ns > 0 && !nl > 0 do
+      decr ns;
+      let s = small.(!ns) in
+      let l = large.(!nl - 1) in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) -. (1.0 -. scaled.(s));
+      if scaled.(l) < 1.0 then begin
+        decr nl;
+        small.(!ns) <- l;
+        incr ns
+      end
+    done;
+    (* Residual columns (rounding) keep prob = 1 and alias = self. *)
+    { prob; alias }
+
+  let sample rng t =
+    let n = Array.length t.prob in
+    let j = if n = 1 then 0 else Rng.int_below rng n in
+    let p = Array.unsafe_get t.prob j in
+    (* A whole column needs no tie-break draw; in particular a one-point
+       or uniform distribution consumes either zero or one draw total. *)
+    if p >= 1.0 then j
+    else if Rng.float rng < p then j
+    else Array.unsafe_get t.alias j
+end
 
 let discrete_cdf cumul ~total ~u =
   let target = u *. total in

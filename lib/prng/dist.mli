@@ -34,6 +34,28 @@ val categorical : Rng.t -> weights:float array -> int
     proportional to [weights.(i)].  Weights must be nonnegative with a
     positive sum. @raise Invalid_argument otherwise. *)
 
+(** Walker/Vose alias sampling for a fixed categorical distribution:
+    O(n) table construction, O(1) — at most two RNG draws — per sample.
+    Agrees in distribution with {!categorical} on the same weights (the
+    draw {e sequence} differs, so switching a sampler re-pins seeded
+    golden values).  Preferred whenever the same distribution is sampled
+    many times, e.g. the arrival-type mix of a simulation run. *)
+module Alias : sig
+  type t
+
+  val make : float array -> t
+  (** @raise Invalid_argument unless weights are nonnegative with a
+      positive finite sum. *)
+
+  val sample : Rng.t -> t -> int
+  (** Index [i] with probability [weights.(i) / total].  Draws one
+      uniform integer, plus one uniform float only when the chosen
+      column is split between two outcomes; a one-point distribution
+      consumes no randomness at all. *)
+
+  val size : t -> int
+end
+
 val discrete_cdf : float array -> total:float -> u:float -> int
 (** [discrete_cdf cumul ~total ~u] is the index of the first entry of the
     cumulative array [cumul] exceeding [u * total] (binary search); exposed

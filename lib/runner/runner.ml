@@ -68,9 +68,24 @@ let derive_retry_rng ~master_seed ~index ~attempt =
    the domains from claiming further chunks instead of killing the
    process: completed chunks are kept and [interrupted] is reported so the
    caller can flush partial results. *)
+(* Replication thunks allocate; OCaml 5 minor collections are
+   stop-the-world across every running domain, so domains with the
+   default (small) minor heap spend the sweep synchronising instead of
+   simulating.  Enlarging the minor heap per domain stretches the time
+   between barriers.  2^21 words (16 MB) won an empirical sweep over
+   2^18..2^23 on an allocation-bound two/four-domain workload: below it
+   the barriers dominate, above it the minor heap outgrows cache and
+   every allocation misses.  Applied only in multi-domain sweeps; the
+   caller's setting is restored once the domains join. *)
+let tune_gc () = Gc.set { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 21 }
+
 let drive ~jobs ~nchunks ~handle_sigint ~work =
   let next = Atomic.make 0 in
-  let busy = Array.make jobs 0.0 in
+  (* One 64-byte cache line (8 unboxed floats) per domain: the busy
+     counters are written on every chunk retirement, and packing them
+     adjacently would false-share those writes across domains. *)
+  let stride = 8 in
+  let busy = Array.make (jobs * stride) 0.0 in
   let failure = Atomic.make None in
   let interrupted = Atomic.make false in
   let stop () = Atomic.get failure <> None || Atomic.get interrupted in
@@ -87,7 +102,7 @@ let drive ~jobs ~nchunks ~handle_sigint ~work =
                 queue (each remaining chunk is cheap to skip because we
                 stop claiming once a failure is recorded). *)
              ignore (Atomic.compare_and_set failure None (Some (exn, bt))));
-          busy.(d) <- busy.(d) +. (Unix.gettimeofday () -. t0);
+          busy.(d * stride) <- busy.(d * stride) +. (Unix.gettimeofday () -. t0);
           loop ()
         end
       end
@@ -113,24 +128,35 @@ let drive ~jobs ~nchunks ~handle_sigint ~work =
         caller's setting so a failure on a spawned domain still carries
         its raise site. *)
      let record_bt = Printexc.backtrace_status () in
+     let saved_gc = Gc.get () in
+     tune_gc ();
      let domains =
        Array.init (jobs - 1) (fun i ->
            Domain.spawn (fun () ->
                Printexc.record_backtrace record_bt;
+               tune_gc ();
                worker (i + 1)))
      in
      worker 0;
-     Array.iter Domain.join domains
+     Array.iter Domain.join domains;
+     Gc.set saved_gc
    end);
   finish ();
   let wall_s = Unix.gettimeofday () -. t0 in
   (match Atomic.get failure with
   | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
   | None -> ());
-  (wall_s, busy, Atomic.get interrupted)
+  (wall_s, Array.init jobs (fun d -> busy.(d * stride)), Atomic.get interrupted)
 
-let validate ?jobs ?(chunk = 4) ?(on_error = Abort) ~replications () =
+(* Default chunk: grow with the sweep so each queue pop is a substantial
+   contiguous block of work, but depend only on [replications] — the
+   chunk layout fixes the merge grouping, so it must never vary with
+   [jobs] or the aggregates would stop being jobs-independent. *)
+let default_chunk ~replications = Int.max 4 (Int.min 64 (replications / 32))
+
+let validate ?jobs ?chunk ?(on_error = Abort) ~replications () =
   if replications < 0 then invalid_arg "Runner: replications < 0";
+  let chunk = match chunk with Some c -> c | None -> default_chunk ~replications in
   if chunk < 1 then invalid_arg "Runner: chunk < 1";
   (match on_error with
   | Retry n when n < 1 -> invalid_arg "Runner: Retry count < 1"
@@ -184,12 +210,18 @@ let log_of ~(log : chunk_log) ~wall_s ~jobs ~nchunks ~busy ~interrupted =
 (* Run replication [i] of chunk [c], enforcing policy and wall budget;
    [keep] consumes the value of a surviving replication. *)
 let step ~on_error ~budget_s ~progress ~(log : chunk_log) ~master_seed ~c ~keep f i =
-  let t0 = Unix.gettimeofday () in
-  let result = run_replication ~on_error ~master_seed ~index:i f in
-  (match budget_s with
-  | Some budget when Unix.gettimeofday () -. t0 > budget ->
-      log.over.(c) <- log.over.(c) + 1
-  | _ -> ());
+  let result =
+    match budget_s with
+    | None ->
+        (* No budget means no clock reads: short replications are cheap
+           enough for two gettimeofday calls apiece to show up. *)
+        run_replication ~on_error ~master_seed ~index:i f
+    | Some budget ->
+        let t0 = Unix.gettimeofday () in
+        let result = run_replication ~on_error ~master_seed ~index:i f in
+        if Unix.gettimeofday () -. t0 > budget then log.over.(c) <- log.over.(c) + 1;
+        result
+  in
   Progress.step progress;
   match result with
   | Ok v -> keep v

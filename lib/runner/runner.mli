@@ -89,9 +89,10 @@ val derive_retry_rng : master_seed:int -> index:int -> attempt:int -> Rng.t
 
     - [jobs] (default {!default_jobs}, clamped to the number of chunks)
       — domains to use; never affects results.
-    - [chunk] (default 4) — consecutive replications per queue pop; fixes
-      the (deterministic) float merge grouping for the folded paths, so
-      hold it at its default when comparing runs.
+    - [chunk] (default [max 4 (min 64 (replications / 32))] — a function
+      of [replications] only, never of [jobs]) — consecutive replications
+      per queue pop; fixes the (deterministic) float merge grouping for
+      the folded paths, so hold it constant when comparing runs.
     - [on_error] (default [Abort]) — the failure policy above.
     - [budget_s] — per-replication wall-clock budget: a replication
       running longer is still kept (OCaml cannot safely preempt it) but

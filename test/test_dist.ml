@@ -189,6 +189,105 @@ let test_sample_without_replacement () =
       out
   done
 
+let test_geometric_tiny_p_clamps () =
+  let rng = Rng.of_seed 33 in
+  (* Below p ~ 1e-16 the inversion quantile is astronomically deep in the
+     tail; the sampler must saturate, never return garbage. *)
+  Alcotest.(check int) "p=1e-300 saturates" max_int (Dist.geometric rng ~p:1e-300);
+  for _ = 1 to 1000 do
+    (* p small enough that the quantile can overflow the int range but
+       need not: whichever side of the clamp a draw lands on, the result
+       must stay a sane nonnegative count. *)
+    Alcotest.(check bool) "p=1e-18 stays nonnegative" true (Dist.geometric rng ~p:1e-18 >= 0);
+    Alcotest.(check bool) "p=1e-9 stays nonnegative" true (Dist.geometric rng ~p:1e-9 >= 0)
+  done
+
+(* ---- Walker alias tables ---- *)
+
+(* Pearson chi-square against the weight vector at the 99.9% level;
+   zero-weight cells must be exactly untouched. *)
+let chi_square_alias ~name ~weights ~samples =
+  let rng = Rng.of_seed (Hashtbl.hash name) in
+  let t = Dist.Alias.make weights in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let counts = Array.make (Array.length weights) 0 in
+  for _ = 1 to samples do
+    let i = Dist.Alias.sample rng t in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let stat = ref 0.0 and df = ref (-1) in
+  Array.iteri
+    (fun i w ->
+      if w > 0.0 then begin
+        incr df;
+        let e = w /. total *. float_of_int samples in
+        let d = float_of_int counts.(i) -. e in
+        stat := !stat +. (d *. d /. e)
+      end
+      else Alcotest.(check int) (name ^ ": zero-weight cell untouched") 0 counts.(i))
+    weights;
+  (* 99.9% critical values of chi-square for df = 1 .. 8 *)
+  let crit = [| nan; 10.83; 13.82; 16.27; 18.47; 20.52; 22.46; 24.32; 26.12 |] in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: chi2 %.2f with df %d" name !stat !df)
+    true
+    (!df >= 1 && !df <= 8 && !stat < crit.(!df))
+
+let test_alias_frequencies () =
+  chi_square_alias ~name:"alias 1:2:3:4" ~weights:[| 1.0; 2.0; 3.0; 4.0 |] ~samples:100_000;
+  chi_square_alias ~name:"alias skewed" ~weights:[| 0.01; 0.09; 0.9 |] ~samples:100_000;
+  chi_square_alias ~name:"alias uniform" ~weights:[| 1.0; 1.0; 1.0; 1.0; 1.0 |]
+    ~samples:100_000;
+  chi_square_alias ~name:"alias zero cell" ~weights:[| 2.0; 0.0; 1.0; 0.0 |] ~samples:100_000
+
+let test_alias_single_point () =
+  (* A one-point table must always answer 0 and consume no randomness:
+     an RNG that sampled through it stays in lockstep with a fresh one. *)
+  let t = Dist.Alias.make [| 5.0 |] in
+  let a = Rng.of_seed 99 and b = Rng.of_seed 99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "one-point" 0 (Dist.Alias.sample a t)
+  done;
+  Alcotest.(check bool) "no draws consumed" true
+    (Int64.equal (Rng.bits64 a) (Rng.bits64 b))
+
+let test_alias_invalid () =
+  let invalid name w =
+    Alcotest.check_raises name
+      (Invalid_argument "Dist.Alias.make: weights must be nonnegative with positive finite sum")
+      (fun () -> ignore (Dist.Alias.make w))
+  in
+  invalid "empty" [||];
+  invalid "all zero" [| 0.0; 0.0 |];
+  invalid "negative" [| 1.0; -0.5 |];
+  invalid "nan" [| 1.0; nan |];
+  invalid "infinite" [| 1.0; infinity |]
+
+let test_alias_matches_categorical () =
+  (* Same weight vector through both samplers: the empirical frequencies
+     must agree cell by cell (draw sequences differ, distributions not). *)
+  let weights = [| 3.0; 1.0; 4.0; 1.0; 5.0 |] in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let n = 200_000 in
+  let t = Dist.Alias.make weights in
+  let ra = Rng.of_seed 123 and rc = Rng.of_seed 321 in
+  let ca = Array.make (Array.length weights) 0 and cc = Array.make (Array.length weights) 0 in
+  for _ = 1 to n do
+    let i = Dist.Alias.sample ra t in
+    ca.(i) <- ca.(i) + 1;
+    let j = Dist.categorical rc ~weights in
+    cc.(j) <- cc.(j) + 1
+  done;
+  Array.iteri
+    (fun i w ->
+      let p = w /. total in
+      close ~tol:0.02 (Printf.sprintf "alias cell %d" i) p (float_of_int ca.(i) /. float_of_int n);
+      close ~tol:0.02
+        (Printf.sprintf "categorical cell %d" i)
+        p
+        (float_of_int cc.(i) /. float_of_int n))
+    weights
+
 let test_standard_normal_moments () =
   let rng = Rng.of_seed 22 in
   let mean, var = sample_mean_var 200_000 (fun () -> Dist.standard_normal rng) in
@@ -206,6 +305,7 @@ let () =
           Alcotest.test_case "uniform" `Quick test_uniform_moments;
           Alcotest.test_case "geometric" `Quick test_geometric_moments;
           Alcotest.test_case "geometric p=1" `Quick test_geometric_p_one;
+          Alcotest.test_case "geometric tiny p clamps" `Quick test_geometric_tiny_p_clamps;
           Alcotest.test_case "negative binomial" `Quick test_negative_binomial_moments;
           Alcotest.test_case "negative binomial r=0" `Quick test_negative_binomial_zero_failures;
           Alcotest.test_case "Z of Section VIII-D" `Quick test_negative_binomial_is_z;
@@ -226,5 +326,12 @@ let () =
           Alcotest.test_case "shuffle uniform" `Quick test_shuffle_uniform_first;
           Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
           Alcotest.test_case "standard normal" `Quick test_standard_normal_moments;
+        ] );
+      ( "alias",
+        [
+          Alcotest.test_case "frequencies" `Quick test_alias_frequencies;
+          Alcotest.test_case "single point" `Quick test_alias_single_point;
+          Alcotest.test_case "invalid weights" `Quick test_alias_invalid;
+          Alcotest.test_case "matches categorical" `Quick test_alias_matches_categorical;
         ] );
     ]

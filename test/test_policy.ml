@@ -130,6 +130,102 @@ let test_sample_respects_distribution () =
       Alcotest.(check bool) "uniform sampling" true (Float.abs (freq -. (1.0 /. 3.0)) < 0.02))
     counts
 
+(* ---- fast-path / spec agreement ----
+
+   The simulators draw through [sample_fast]; the paper-facing object is
+   [distribution].  For every built-in policy, over random states and
+   contacts, the fast path must (a) agree with the spec on when a piece
+   exists, (b) only ever return spec-supported pieces, and (c) match the
+   spec probabilities by Pearson chi-square at the 99.9% level. *)
+
+let chi_square_fast_vs_spec policy =
+  let rng = P2p_prng.Rng.of_seed (Hashtbl.hash policy.Policy.name) in
+  let k = 4 in
+  let contacts = 60 and draws = 4_000 in
+  (* 99.9% critical values of chi-square for df = 1 .. 8 *)
+  let crit = [| nan; 10.83; 13.82; 16.27; 18.47; 20.52; 22.46; 24.32; 26.12 |] in
+  let checked = ref 0 in
+  for _ = 1 to contacts do
+    (* Three contact shapes: sparse downloader vs the seed in a random
+       state (wide useful sets for random-useful), the same in a fully
+       symmetric state where every piece count ties (wide tie sets for
+       the rarity policies), and fully random (single-choice and
+       no-useful-piece paths). *)
+    let state, downloader, uploader =
+      match P2p_prng.Rng.int_below rng 3 with
+      | 0 ->
+          ( random_state rng k,
+            (if P2p_prng.Rng.bool rng then PS.empty
+             else PS.singleton (P2p_prng.Rng.int_below rng k)),
+            Policy.Fixed_seed )
+      | 1 ->
+          let copies = 1 + P2p_prng.Rng.int_below rng 3 in
+          ( State.of_counts (List.init k (fun i -> (PS.singleton i, copies))),
+            (if P2p_prng.Rng.bool rng then PS.empty
+             else PS.singleton (P2p_prng.Rng.int_below rng k)),
+            Policy.Fixed_seed )
+      | _ ->
+          ( random_state rng k,
+            PS.of_index (P2p_prng.Rng.int_below rng ((1 lsl k) - 1)),
+            if P2p_prng.Rng.bool rng then Policy.Fixed_seed
+            else Policy.Peer (PS.of_index (P2p_prng.Rng.int_below rng (1 lsl k))) )
+    in
+    let useful = Policy.useful_pieces ~k ~uploader ~downloader in
+    if PS.is_empty useful then
+      Alcotest.(check bool)
+        (policy.Policy.name ^ ": fast path returns None when useless")
+        true
+        (Policy.sample policy ~rng ~k ~state ~uploader ~downloader = None)
+    else begin
+      let dist = policy.Policy.distribution ~k ~state ~uploader ~downloader in
+      let expected = Array.make k 0.0 in
+      List.iter (fun (i, p) -> expected.(i) <- expected.(i) +. p) dist;
+      let counts = Array.make k 0 in
+      for _ = 1 to draws do
+        match Policy.sample policy ~rng ~k ~state ~uploader ~downloader with
+        | None -> Alcotest.fail (policy.Policy.name ^ ": fast path lost a useful piece")
+        | Some i -> counts.(i) <- counts.(i) + 1
+      done;
+      let stat = ref 0.0 and df = ref (-1) in
+      Array.iteri
+        (fun i p ->
+          if p > 0.0 then begin
+            incr df;
+            let e = p *. float_of_int draws in
+            let d = float_of_int counts.(i) -. e in
+            stat := !stat +. (d *. d /. e)
+          end
+          else
+            Alcotest.(check int)
+              (policy.Policy.name ^ ": fast path outside spec support")
+              0 counts.(i))
+        expected;
+      if !df >= 1 then begin
+        incr checked;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: chi2 %.2f with df %d" policy.Policy.name !stat !df)
+          true
+          (!stat < crit.(!df))
+      end
+    end
+  done;
+  (* Sequential is one-point by construction, so it never accrues degrees
+     of freedom; every other policy must have been genuinely exercised. *)
+  if policy.Policy.name <> "sequential" then
+    Alcotest.(check bool)
+      (policy.Policy.name ^ ": exercised multi-choice contacts")
+      true (!checked >= 5)
+
+let test_fast_path_matches_spec () = List.iter chi_square_fast_vs_spec all_policies
+
+let test_fallback_sampler_matches_spec () =
+  (* A policy built from its distribution alone (the of_distribution
+     fallback) must behave like the built-in it mirrors. *)
+  List.iter
+    (fun p ->
+      chi_square_fast_vs_spec (Policy.of_distribution ~name:p.Policy.name p.Policy.distribution))
+    all_policies
+
 let () =
   Alcotest.run "policy"
     [
@@ -145,5 +241,10 @@ let () =
           Alcotest.test_case "rarest constrained" `Quick test_rarest_constrained_by_uploader;
           Alcotest.test_case "sample none" `Quick test_sample_none_when_useless;
           Alcotest.test_case "sample distribution" `Quick test_sample_respects_distribution;
+        ] );
+      ( "fast path",
+        [
+          Alcotest.test_case "matches spec (chi-square)" `Quick test_fast_path_matches_spec;
+          Alcotest.test_case "fallback matches spec" `Quick test_fallback_sampler_matches_spec;
         ] );
     ]

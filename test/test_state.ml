@@ -98,6 +98,49 @@ let test_equal () =
   State.add_peer b PS.empty;
   Alcotest.(check bool) "not equal" false (State.equal a b)
 
+(* Regression for the incrementally maintained copy counts: after a long
+   random add/remove/move trace, the O(1) counters must agree exactly
+   with a from-scratch rescan of the occupied types.  An off-by-one in
+   the move-delta accounting (e.g. double-crediting pieces shared by the
+   source and target types) survives short unit tests but not this. *)
+let test_incremental_counts_match_rescan () =
+  let rng = P2p_prng.Rng.of_seed 4242 in
+  let k = 5 in
+  let s = State.create () in
+  let recount () =
+    let fresh = Array.make k 0 in
+    State.iter s (fun c v ->
+        PS.iter (fun i -> if i < k then fresh.(i) <- fresh.(i) + v) c);
+    fresh
+  in
+  let random_type () = PS.of_index (P2p_prng.Rng.int_below rng (1 lsl k)) in
+  let random_occupied () =
+    (* A uniformly chosen peer's type — only valid when n > 0. *)
+    State.sample_uniform_peer s ~draw:(P2p_prng.Rng.int_below rng)
+  in
+  for step = 1 to 5_000 do
+    (match P2p_prng.Rng.int_below rng 3 with
+    | 0 -> State.add_peer s (random_type ())
+    | 1 -> if State.n s > 0 then State.remove_peer s (random_occupied ())
+    | _ ->
+        if State.n s > 0 then
+          State.move_peer s ~from_:(random_occupied ()) ~to_:(random_type ()))
+    ;
+    if step mod 500 = 0 then
+      Alcotest.(check (array int))
+        (Printf.sprintf "counts at step %d" step)
+        (recount ())
+        (State.piece_count_vector s ~k)
+  done;
+  Alcotest.(check (array int)) "final counts" (recount ()) (State.piece_count_vector s ~k);
+  Array.iteri
+    (fun i expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "piece_copies %d" i)
+        expected
+        (State.piece_copies s ~k ~piece:i))
+    (recount ())
+
 let () =
   Alcotest.run "state"
     [
@@ -110,6 +153,8 @@ let () =
           Alcotest.test_case "copy" `Quick test_copy_isolated;
           Alcotest.test_case "alist sorted" `Quick test_alist_sorted;
           Alcotest.test_case "piece counts" `Quick test_piece_counts;
+          Alcotest.test_case "incremental counts vs rescan" `Quick
+            test_incremental_counts_match_rescan;
           Alcotest.test_case "subset/helpful counts" `Quick test_subset_helpful_counts;
           Alcotest.test_case "sample distribution" `Quick test_sample_uniform_distribution;
           Alcotest.test_case "sample empty" `Quick test_sample_empty_raises;

@@ -85,6 +85,13 @@ if [ "${CHECK_BENCH:-0}" = "1" ]; then
   left=$(remaining)
   timeout "$left" _build/default/bin/p2psim.exe report "$out/sample_probe.jsonl" >/dev/null || {
     echo "FAIL: p2psim report exited non-zero" >&2; exit 1; }
+  # Regression gate: the fresh quick-bench events/s must stay within 30%
+  # of the committed BENCH_PR4.json baseline (skips when absent).
+  left=$(remaining)
+  BENCH_GATE_BASELINE="${BENCH_GATE_BASELINE:-BENCH_PR4.json}" \
+  BENCH_GATE_NEW="${BENCH_GATE_NEW:-$out/BENCH_smoke.json}" \
+  timeout "$left" _build/default/bench/main.exe bench-gate || {
+    echo "FAIL: bench-gate reported a throughput regression" >&2; exit 1; }
   echo "== bench smoke OK =="
 fi
 
