@@ -303,25 +303,49 @@ let e8 () =
     (Printf.sprintf "reduced-scale simulation, q=%d K=%d (thresholds %.4f / %.4f)" q k
        (Stability.Coded.transient_f_threshold ~q ~k)
        (Stability.Coded.recurrent_f_threshold_exact ~q ~k));
+  (* Replicated: each f runs R independent replications through the
+     multicore runner (deterministic streams, so the table is
+     bit-reproducible for every jobs count); the sim verdict is the
+     replication majority and mean N carries a 95% CI. *)
+  let reps = 8 in
   let rows =
     List.map
       (fun f ->
         let g = { Stability.Coded.q; k; us = 0.0; mu = 1.0; gamma = infinity;
                   lambda0 = 1.0 -. f; lambda1 = f } in
-        let s = Sim_coded.run_seeded ~seed:81 (Sim_coded.of_gift g) ~horizon:900.0 in
-        let r = Classify.of_samples s.samples in
+        let config = Sim_coded.of_gift g in
+        let results, _ =
+          Runner.run_map ~master_seed:81 ~replications:reps (fun ~rng ~index:_ ->
+              let s = Sim_coded.run ~rng config ~horizon:900.0 in
+              let r = Classify.of_samples s.samples in
+              (s.time_avg_n, r.growth_rate, r.verdict))
+        in
+        let avg = P2p_stats.Welford.create () in
+        let growth = P2p_stats.Welford.create () in
+        let stable = ref 0 in
+        Array.iter
+          (function
+            | Some (n, g, v) ->
+                P2p_stats.Welford.add avg n;
+                P2p_stats.Welford.add growth g;
+                if v = Classify.Appears_stable then incr stable
+            | None -> ())
+          results;
+        let lo, hi = P2p_stats.Welford.confidence_interval avg ~z:1.96 in
         [
           fmt f;
           verdict_cell (Stability.Coded.classify g);
-          Classify.verdict_to_string r.verdict;
-          fmt s.time_avg_n;
-          fmt r.growth_rate;
+          Printf.sprintf "appears-stable %d/%d" !stable reps;
+          fmt (P2p_stats.Welford.mean avg);
+          Printf.sprintf "[%s, %s]" (fmt lo) (fmt hi);
+          fmt (P2p_stats.Welford.mean growth);
           (if Stability.Coded.uncoded_equivalent_is_transient ~k ~f then "transient" else "-");
         ])
       [ 0.02; 0.06; 0.10; 0.20; 0.35; 0.60 ]
   in
   Report.table
-    ~header:[ "f"; "coded theory"; "coded sim"; "mean N"; "dN/dt"; "uncoded theory" ]
+    ~header:
+      [ "f"; "coded theory"; "coded sim"; "mean N"; "95% CI"; "dN/dt"; "uncoded theory" ]
     rows;
   Report.subsection "uncoded contrast, simulated (f = 0.35: coded stable, uncoded transient)";
   let uncoded = Scenario.gift_uncoded ~k ~lambda_total:1.0 ~f:0.35 ~mu:1.0 in

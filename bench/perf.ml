@@ -227,6 +227,15 @@ let sim_section ~quick =
           ("events_per_sec_probe_tracing", Json.Float (eps wall_tracing));
         ] )
   in
+  (* The coded and network workloads mirror the flash-crowd one: K = 4,
+     stable side, same horizon, so the four events/s figures are
+     comparable and the k=4 sampling probe fits all of them. *)
+  let coded_config =
+    Sim_coded.of_gift
+      { Stability.Coded.q = 16; k = 4; us = 1.0; mu = 1.0; gamma = 2.0;
+        lambda0 = 0.65; lambda1 = 0.35 }
+  in
+  let network_config = Sim_network.default_config params in
   [
     measure "sim_markov" (fun probe ->
         let s, _ =
@@ -238,6 +247,12 @@ let sim_section ~quick =
           Sim_agent.run_seeded ~probe ~seed:1 (Sim_agent.default_config params) ~horizon
         in
         s.Sim_agent.events);
+    measure "sim_coded" (fun probe ->
+        let s = Sim_coded.run_seeded ~probe ~seed:1 coded_config ~horizon in
+        s.Sim_coded.events);
+    measure "sim_network" (fun probe ->
+        let s, _ = Sim_network.run_seeded ~probe ~seed:1 network_config ~horizon in
+        s.Sim_network.events);
   ]
 
 let scaling_section ~quick =
@@ -297,27 +312,32 @@ let events_per_sec ~sim j =
           Option.bind (Json.member "events_per_sec" s) Json.to_float_opt))
 
 (* Per-simulator before/after speedup vs the committed PR3 baseline;
-   [Null] when the baseline file is absent (e.g. a bare checkout). *)
+   [Null] when the baseline file is absent (e.g. a bare checkout).
+   Simulators the PR3 baseline never measured (coded, network) are
+   skipped rather than reported as null speedups. *)
 let vs_baseline_section sims =
   match read_json_file "BENCH_PR3.json" with
   | None -> ("vs_pr3_baseline", Json.Null)
   | Some base ->
       let cmp (name, fields) =
-        let after =
-          match Json.member "events_per_sec" fields with
-          | Some v -> Option.value (Json.to_float_opt v) ~default:nan
-          | None -> nan
-        in
-        let before = Option.value (events_per_sec ~sim:name base) ~default:nan in
-        ( name,
-          Json.Obj
-            [
-              ("events_per_sec_before", Json.Float before);
-              ("events_per_sec_after", Json.Float after);
-              ("speedup", Json.Float (after /. before));
-            ] )
+        match events_per_sec ~sim:name base with
+        | None -> None
+        | Some before ->
+            let after =
+              match Json.member "events_per_sec" fields with
+              | Some v -> Option.value (Json.to_float_opt v) ~default:nan
+              | None -> nan
+            in
+            Some
+              ( name,
+                Json.Obj
+                  [
+                    ("events_per_sec_before", Json.Float before);
+                    ("events_per_sec_after", Json.Float after);
+                    ("speedup", Json.Float (after /. before));
+                  ] )
       in
-      ("vs_pr3_baseline", Json.Obj (List.map cmp sims))
+      ("vs_pr3_baseline", Json.Obj (List.filter_map cmp sims))
 
 let bench_json_to ~quick path =
   let sims = sim_section ~quick in
@@ -326,7 +346,7 @@ let bench_json_to ~quick path =
     Json.Obj
       [
         ("bench", Json.String "p2p swarm simulator performance baseline");
-        ("pr", Json.Int 4);
+        ("pr", Json.Int 5);
         ("quick", Json.Bool quick);
         ("simulators", Json.Obj sims);
         vs_baseline_section sims;
@@ -341,7 +361,7 @@ let bench_json_to ~quick path =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let bench_json () = bench_json_to ~quick:false "BENCH_PR4.json"
+let bench_json () = bench_json_to ~quick:false "BENCH_PR5.json"
 let bench_json_quick () = bench_json_to ~quick:true "BENCH_smoke.json"
 
 (* The CI regression gate: compare a fresh quick-bench events/s figure
@@ -353,7 +373,7 @@ let bench_gate () =
   let getenv name default =
     match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> default
   in
-  let baseline_path = getenv "BENCH_GATE_BASELINE" "BENCH_PR4.json" in
+  let baseline_path = getenv "BENCH_GATE_BASELINE" "BENCH_PR5.json" in
   let fresh_path = getenv "BENCH_GATE_NEW" "BENCH_smoke.json" in
   let threshold = 0.70 in
   match (read_json_file baseline_path, read_json_file fresh_path) with
@@ -381,7 +401,7 @@ let bench_gate () =
           | _ ->
               Printf.eprintf "bench-gate: missing events_per_sec for %s\n" sim;
               failed := true)
-        [ "sim_markov"; "sim_agent" ];
+        [ "sim_markov"; "sim_agent"; "sim_coded"; "sim_network" ];
       if !failed then exit 1;
       print_endline "bench-gate: OK"
 

@@ -310,6 +310,67 @@ let report_failures (timing : Runner.timing) =
   if timing.interrupted then
     print_endline "interrupted by SIGINT: aggregates cover completed chunks only"
 
+(* Shared replication driver for the simulate/coded/overlay paths:
+   R independent replications, merged Welford per metric, printed as a
+   mean ± CI table.  Aggregates are bit-identical for every --jobs value
+   (and under skip/retry: surviving replications keep their streams).
+   [after_table] slots model-specific commentary between the table and
+   the partial/failure report. *)
+let replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics
+    ?(after_table = fun () -> ()) thunk =
+  let summary =
+    Runner.run_summary ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true ~progress
+      ~hist:{ Runner.lo = 0.0; hi = 400.0; bins = 20 }
+      ~metrics ~master_seed:seed ~replications:reps thunk
+  in
+  Printf.printf "%d replications (master seed %d)\n" reps seed;
+  Report.table
+    ~header:[ "metric"; "mean"; "std err"; "95% CI"; "min"; "max" ]
+    (List.map
+       (fun (name, w) ->
+         let lo, hi = Welford.confidence_interval w ~z:1.96 in
+         [
+           name;
+           Report.fmt_float (Welford.mean w);
+           Report.fmt_float (Welford.std_error w);
+           Printf.sprintf "[%s, %s]" (Report.fmt_float lo) (Report.fmt_float hi);
+           Report.fmt_float (Welford.min_value w);
+           Report.fmt_float (Welford.max_value w);
+         ])
+       summary.stats);
+  after_table ();
+  if summary.partial > 0 then
+    Printf.printf "%d replication%s partial (event budget or wall budget exhausted)\n"
+      summary.partial
+      (if summary.partial = 1 then "" else "s");
+  report_failures summary.timing;
+  Format.printf "%a@." Runner.pp_timing summary.timing
+
+(* Extra metric columns that only appear when faults are injected. *)
+let fault_metric_names faults =
+  if Faults.is_none faults then []
+  else [ "outage time"; "aborted peers"; "lost transfers" ]
+
+let fault_rows faults (outage_time, aborted, lost) =
+  if Faults.is_none faults then []
+  else
+    [
+      ("seed outage time", Report.fmt_float outage_time);
+      ("aborted peers", string_of_int aborted);
+      ("lost transfers", string_of_int lost);
+    ]
+
+let truncation_warning truncated =
+  if truncated then
+    print_endline "WARNING: max_events budget exhausted before the horizon; \
+                   time-based statistics are biased"
+
+let reject_single_run_telemetry tel =
+  if tel.trace <> None then
+    usage_error "--trace requires --reps 1 (per-replication traces would interleave)";
+  if tel.metrics_out <> None then
+    usage_error "--metrics-out requires --reps 1 (one probe series per run)"
+
 (* ---- classify ---- *)
 
 let classify_cmd =
@@ -360,14 +421,11 @@ let simulate_cmd =
   in
   let replicated params horizon seed agent policy reps jobs faults on_error max_events
       ~progress:want_progress =
-    (* R independent replications, merged Welford per metric, pooled N_t
-       histogram; bit-identical for every jobs value (including under
-       skip/retry: surviving replications keep their streams). *)
     let progress = if want_progress then Progress.create ~total:reps () else Progress.silent in
     let with_faults = not (Faults.is_none faults) in
     let metrics =
       [ "time-avg N"; "final N"; "transfers"; "departures"; "growth dN/dt" ]
-      @ (if with_faults then [ "outage time"; "aborted peers"; "lost transfers" ] else [])
+      @ fault_metric_names faults
     in
     let thunk ~rng ~index:_ =
       let time_avg_n, final_n, transfers, departures, samples, truncated, fault_counts =
@@ -395,33 +453,9 @@ let simulate_cmd =
       in
       Runner.rep ~flagged:truncated ~obs:[| time_avg_n |] values
     in
-    let summary =
-      Runner.run_summary ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true ~progress
-        ~hist:{ Runner.lo = 0.0; hi = 400.0; bins = 20 }
-        ~metrics ~master_seed:seed ~replications:reps thunk
-    in
-    Printf.printf "%d replications (master seed %d)\n" reps seed;
-    Report.table
-      ~header:[ "metric"; "mean"; "std err"; "95% CI"; "min"; "max" ]
-      (List.map
-         (fun (name, w) ->
-           let lo, hi = Welford.confidence_interval w ~z:1.96 in
-           [
-             name;
-             Report.fmt_float (Welford.mean w);
-             Report.fmt_float (Welford.std_error w);
-             Printf.sprintf "[%s, %s]" (Report.fmt_float lo) (Report.fmt_float hi);
-             Report.fmt_float (Welford.min_value w);
-             Report.fmt_float (Welford.max_value w);
-           ])
-         summary.stats);
-    report_effective_verdict params faults;
-    if summary.partial > 0 then
-      Printf.printf "%d replication%s partial (event budget or wall budget exhausted)\n"
-        summary.partial
-        (if summary.partial = 1 then "" else "s");
-    report_failures summary.timing;
-    Format.printf "%a@." Runner.pp_timing summary.timing
+    replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics
+      ~after_table:(fun () -> report_effective_verdict params faults)
+      thunk
   in
   let run params horizon seed agent policy csv reps jobs faults on_error max_events tel =
     let write_csv samples =
@@ -434,20 +468,9 @@ let simulate_cmd =
           close_out oc;
           Printf.printf "wrote %s\n" file
     in
-    let fault_rows (outage_time, aborted, lost) =
-      if Faults.is_none faults then []
-      else
-        [
-          ("seed outage time", Report.fmt_float outage_time);
-          ("aborted peers", string_of_int aborted);
-          ("lost transfers", string_of_int lost);
-        ]
-    in
+    let fault_rows = fault_rows faults in
     if reps > 1 then begin
-      if tel.trace <> None then
-        usage_error "--trace requires --reps 1 (per-replication traces would interleave)";
-      if tel.metrics_out <> None then
-        usage_error "--metrics-out requires --reps 1 (one probe series per run)";
+      reject_single_run_telemetry tel;
       replicated params horizon seed agent policy reps jobs faults on_error max_events
         ~progress:tel.progress
     end
@@ -457,9 +480,7 @@ let simulate_cmd =
         with_single_run_probe tel ~k:params.k ~horizon (fun probe ->
             Sim_agent.run_seeded ~probe ?max_events ~seed config ~horizon)
       in
-      if stats.truncated then
-        print_endline "WARNING: max_events budget exhausted before the horizon; \
-                       time-based statistics are biased";
+      truncation_warning stats.truncated;
       Report.kv
         ([
            ("events", string_of_int stats.events);
@@ -486,9 +507,7 @@ let simulate_cmd =
         with_single_run_probe tel ~k:params.k ~horizon (fun probe ->
             Sim_markov.run_seeded ~probe ?max_events ~seed config ~horizon)
       in
-      if stats.truncated then
-        print_endline "WARNING: max_events budget exhausted before the horizon; \
-                       time-based statistics are biased";
+      truncation_warning stats.truncated;
       Report.kv
         ([
            ("events", string_of_int stats.events);
@@ -616,7 +635,32 @@ let coded_cmd =
     Arg.(value & opt float 0.25 & info [ "f"; "gift-fraction" ] ~docv:"FRAC" ~doc:"Gifted fraction of arrivals.")
   in
   let sim_arg = Arg.(value & flag & info [ "sim" ] ~doc:"Also simulate the coded swarm.") in
-  let run k q f us mu gamma horizon seed sim =
+  let replicated config ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+      ~progress:want_progress =
+    let progress = if want_progress then Progress.create ~total:reps () else Progress.silent in
+    let with_faults = not (Faults.is_none faults) in
+    let metrics =
+      [ "time-avg N"; "final N"; "useful transfers"; "useless transfers"; "completions";
+        "growth dN/dt" ]
+      @ fault_metric_names faults
+    in
+    let thunk ~rng ~index:_ =
+      let s = Sim_coded.run ?max_events ~rng config ~horizon in
+      Progress.add_events progress s.Sim_coded.events;
+      let growth = (Classify.of_samples s.samples).growth_rate in
+      let values =
+        Array.append
+          [| s.time_avg_n; float_of_int s.final_n; float_of_int s.useful_transfers;
+             float_of_int s.useless_transfers; float_of_int s.completions; growth |]
+          (if with_faults then
+             [| s.outage_time; float_of_int s.aborted_peers; float_of_int s.lost_transfers |]
+           else [||])
+      in
+      Runner.rep ~flagged:s.truncated ~obs:[| s.time_avg_n |] values
+    in
+    replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics thunk
+  in
+  let run k q f us mu gamma horizon seed sim reps jobs faults on_error max_events tel =
     let g =
       { Stability.Coded.q; k; us; mu; gamma; lambda0 = 1.0 -. f; lambda1 = f }
     in
@@ -627,22 +671,40 @@ let coded_cmd =
           Report.fmt_float (Stability.Coded.recurrent_f_threshold_exact ~q ~k) );
         ("verdict at f", Stability.verdict_to_string (Stability.Coded.classify g));
       ];
-    if sim then begin
-      let s = Sim_coded.run_seeded ~seed (Sim_coded.of_gift g) ~horizon in
-      Report.kv
-        [
-          ("time-avg N", Report.fmt_float s.time_avg_n);
-          ("final N", string_of_int s.final_n);
-          ("useful transfers", string_of_int s.useful_transfers);
-          ("useless transfers", string_of_int s.useless_transfers);
-          ( "empirical verdict",
-            Classify.verdict_to_string (Classify.of_samples s.samples).verdict );
-        ]
+    if sim || reps > 1 then begin
+      let config = { (Sim_coded.of_gift g) with faults } in
+      if reps > 1 then begin
+        reject_single_run_telemetry tel;
+        replicated config ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+          ~progress:tel.progress
+      end
+      else begin
+        (* In coded traces and probes the subspace dimension plays the
+           role of the piece index, so the probe series has k slots. *)
+        let s =
+          with_single_run_probe tel ~k ~horizon (fun probe ->
+              Sim_coded.run_seeded ~probe ?max_events ~seed config ~horizon)
+        in
+        truncation_warning s.truncated;
+        Report.kv
+          ([
+             ("time-avg N", Report.fmt_float s.time_avg_n);
+             ("final N", string_of_int s.final_n);
+             ("useful transfers", string_of_int s.useful_transfers);
+             ("useless transfers", string_of_int s.useless_transfers);
+             ("completions", string_of_int s.completions);
+             ("near-complete fraction", Report.fmt_float s.near_complete_fraction);
+             ( "empirical verdict",
+               Classify.verdict_to_string (Classify.of_samples s.samples).verdict );
+           ]
+          @ fault_rows faults (s.outage_time, s.aborted_peers, s.lost_transfers))
+      end
     end
   in
   Cmd.v (Cmd.info "coded" ~doc:"Theorem 15: network coding thresholds and simulation")
     Term.(const run $ k_arg $ q_arg $ f_arg $ us_arg $ mu_arg $ gamma_arg $ horizon_arg
-          $ seed_arg $ sim_arg)
+          $ seed_arg $ sim_arg $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg
+          $ max_events_arg $ telemetry_term)
 
 (* ---- drift ---- *)
 
@@ -705,25 +767,69 @@ let overlay_cmd =
     Arg.(value & opt choice_conv Sim_network.Random_useful & info [ "choice" ] ~docv:"NAME"
          ~doc:"Piece choice: random|rarest-global|rarest-local.")
   in
-  let run params horizon seed degree choice =
-    let cfg = { (Sim_network.default_config params) with degree; choice } in
-    let s, _ = Sim_network.run_seeded ~seed cfg ~horizon in
-    let r = Classify.of_samples s.samples in
-    Report.kv
-      [
-        ("verdict", Classify.verdict_to_string r.verdict);
-        ("time-avg N", Report.fmt_float s.time_avg_n);
-        ("transfers", string_of_int s.transfers);
-        ("silent contacts", string_of_int s.silent_contacts);
-        ( "mean overlay degree",
-          if Float.is_nan s.mean_degree_time_avg then "-"
-          else Report.fmt_float s.mean_degree_time_avg );
-        ("components at end", string_of_int (List.length s.final_component_sizes));
-      ]
+  let replicated cfg ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+      ~progress:want_progress =
+    let progress = if want_progress then Progress.create ~total:reps () else Progress.silent in
+    let with_faults = not (Faults.is_none faults) in
+    let metrics =
+      [ "time-avg N"; "final N"; "transfers"; "silent contacts"; "mean overlay degree";
+        "growth dN/dt" ]
+      @ fault_metric_names faults
+    in
+    let thunk ~rng ~index:_ =
+      let s, _ = Sim_network.run ?max_events ~rng cfg ~horizon in
+      Progress.add_events progress s.Sim_network.events;
+      let growth = (Classify.of_samples s.samples).growth_rate in
+      let degree =
+        if Float.is_nan s.mean_degree_time_avg then 0.0 else s.mean_degree_time_avg
+      in
+      let values =
+        Array.append
+          [| s.time_avg_n; float_of_int s.final_n; float_of_int s.transfers;
+             float_of_int s.silent_contacts; degree; growth |]
+          (if with_faults then
+             [| s.outage_time; float_of_int s.aborted_peers; float_of_int s.lost_transfers |]
+           else [||])
+      in
+      Runner.rep ~flagged:s.truncated ~obs:[| s.time_avg_n |] values
+    in
+    replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics thunk
+  in
+  let run params horizon seed degree choice reps jobs faults on_error max_events tel =
+    let cfg = { (Sim_network.default_config params) with degree; choice; faults } in
+    if reps > 1 then begin
+      reject_single_run_telemetry tel;
+      replicated cfg ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+        ~progress:tel.progress;
+      report_effective_verdict params faults
+    end
+    else begin
+      let s, _ =
+        with_single_run_probe tel ~k:params.k ~horizon (fun probe ->
+            Sim_network.run_seeded ~probe ?max_events ~seed cfg ~horizon)
+      in
+      truncation_warning s.truncated;
+      let r = Classify.of_samples s.samples in
+      Report.kv
+        ([
+           ("verdict", Classify.verdict_to_string r.verdict);
+           ("time-avg N", Report.fmt_float s.time_avg_n);
+           ("transfers", string_of_int s.transfers);
+           ("silent contacts", string_of_int s.silent_contacts);
+           ( "mean overlay degree",
+             if Float.is_nan s.mean_degree_time_avg then "-"
+             else Report.fmt_float s.mean_degree_time_avg );
+           ("components at end", string_of_int (List.length s.final_component_sizes));
+         ]
+        @ fault_rows faults (s.outage_time, s.aborted_peers, s.lost_transfers));
+      report_effective_verdict params faults
+    end
   in
   Cmd.v
     (Cmd.info "overlay" ~doc:"Simulate the swarm on a sparse random overlay")
-    Term.(const run $ params_term $ horizon_arg $ seed_arg $ degree_arg $ choice_arg)
+    Term.(const run $ params_term $ horizon_arg $ seed_arg $ degree_arg $ choice_arg
+          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ max_events_arg
+          $ telemetry_term)
 
 (* ---- hetero ---- *)
 

@@ -1,0 +1,195 @@
+module Rng = P2p_prng.Rng
+module Dist = P2p_prng.Dist
+module Probe = P2p_obs.Probe
+module Profile = P2p_obs.Profile
+module Vec = P2p_stats.Vec
+module Timeavg = P2p_stats.Timeavg
+
+type counters = {
+  mutable events : int;
+  mutable arrivals : int;
+  mutable transfers : int;
+  mutable completions : int;
+  mutable departures : int;
+  mutable aborted : int;
+  mutable lost : int;
+  mutable max_n : int;
+}
+
+type t = {
+  probe : Probe.t;
+  frun : Faults.run;
+  horizon : float;
+  max_events : int;
+  counters : counters;
+  avg : Timeavg.t;
+  samples : (float * int) Vec.t;
+  mutable clock : float;
+  mutable truncated : bool;
+  sample_every : float;
+  mutable next_sample : float;
+  probing : bool;
+  mutable next_probe : float;
+}
+
+let counters t = t.counters
+let faults t = t.frun
+
+let observe t ~time ~n =
+  Timeavg.observe t.avg ~time ~value:(float_of_int n);
+  if n > t.counters.max_n then t.counters.max_n <- n
+
+type model = {
+  total_rate : unit -> float;
+  apply : time:float -> u:float -> unit;
+  next_scheduled : unit -> float;
+  scheduled : time:float -> unit;
+  population : unit -> int;
+  extra_sample : time:float -> unit;
+  probe_sample : time:float -> Probe.sample;
+  finish : time:float -> unit;
+}
+
+type stats = {
+  final_time : float;
+  events : int;
+  arrivals : int;
+  transfers : int;
+  completions : int;
+  departures : int;
+  time_avg_n : float;
+  max_n : int;
+  final_n : int;
+  truncated : bool;
+  outage_time : float;
+  aborted_peers : int;
+  lost_transfers : int;
+  samples : (float * int) array;
+}
+
+(* The sampling grid must capture the value *before* the event the clock
+   is advancing to.  Swarm probes walk their own sim-time grid in
+   lockstep — sim time, never wall clock, so probe series are
+   bit-identical across --jobs. *)
+let record_samples_through t model time =
+  while t.next_sample <= time && t.next_sample <= t.horizon do
+    Vec.push t.samples (t.next_sample, model.population ());
+    model.extra_sample ~time:t.next_sample;
+    t.next_sample <- t.next_sample +. t.sample_every
+  done;
+  if t.probing then
+    while t.next_probe <= time && t.next_probe <= t.horizon do
+      t.probe.Probe.on_sample (model.probe_sample ~time:t.next_probe);
+      t.next_probe <- t.next_probe +. t.probe.Probe.interval
+    done
+
+let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~name ~rng ~faults
+    ~horizon build =
+  let prof = probe.Probe.profile in
+  let setup_span = Profile.start prof (name ^ "/setup") in
+  let sample_every =
+    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
+  in
+  let t =
+    {
+      probe;
+      frun = Faults.start faults ~rng;
+      horizon;
+      max_events;
+      counters =
+        {
+          events = 0;
+          arrivals = 0;
+          transfers = 0;
+          completions = 0;
+          departures = 0;
+          aborted = 0;
+          lost = 0;
+          max_n = 0;
+        };
+      avg = Timeavg.create ();
+      samples = Vec.create ();
+      clock = 0.0;
+      truncated = false;
+      sample_every;
+      next_sample = 0.0;
+      probing = Probe.sampling probe;
+      next_probe = 0.0;
+    }
+  in
+  if probe.Probe.tracing then
+    Faults.set_observer t.frun (fun ~now ~up ->
+        Probe.event probe ~time:now (Seed_toggle { up }));
+  let model, extra = build t in
+  record_samples_through t model 0.0;
+  Profile.stop setup_span;
+  let loop_span = Profile.start prof (name ^ "/event-loop") in
+  let c = t.counters in
+  let running = ref true in
+  while !running do
+    let total = model.total_rate () in
+    let dt = Dist.exponential rng ~rate:total in
+    let t_next = t.clock +. dt in
+    let sched = model.next_scheduled () in
+    let toggle = Faults.next_toggle t.frun in
+    if toggle <= t_next && toggle <= horizon && toggle <= sched && c.events < max_events
+    then begin
+      (* The outage flips before the next event: advance to the toggle
+         and redraw — valid by memorylessness of the exponential race.
+         Budget-gated so an exhausted run truncates instead of walking
+         the rest of the outage schedule. *)
+      record_samples_through t model toggle;
+      t.clock <- toggle;
+      Faults.toggle t.frun ~now:toggle
+    end
+    else if sched <= t_next && sched <= horizon then begin
+      (* A scheduled event (dwell expiry) beats the race: a time
+         barrier, like the toggle, but it consumes event budget. *)
+      record_samples_through t model sched;
+      t.clock <- sched;
+      c.events <- c.events + 1;
+      model.scheduled ~time:sched
+    end
+    else if t_next > horizon || c.events >= max_events then begin
+      (* The event budget ran out before the horizon: the state is
+         frozen from the clock to the horizon, which biases every
+         time-based statistic.  Record that instead of truncating
+         silently. *)
+      if t_next <= horizon then t.truncated <- true;
+      record_samples_through t model horizon;
+      Timeavg.close t.avg ~time:horizon;
+      model.finish ~time:horizon;
+      t.clock <- horizon;
+      running := false
+    end
+    else begin
+      record_samples_through t model t_next;
+      t.clock <- t_next;
+      c.events <- c.events + 1;
+      let u = Rng.float rng *. total in
+      model.apply ~time:t_next ~u
+    end
+  done;
+  Profile.stop loop_span;
+  let finish_span = Profile.start prof (name ^ "/finalise") in
+  Faults.finish t.frun ~now:t.clock;
+  let stats =
+    {
+      final_time = t.clock;
+      events = c.events;
+      arrivals = c.arrivals;
+      transfers = c.transfers;
+      completions = c.completions;
+      departures = c.departures;
+      time_avg_n = Timeavg.average t.avg;
+      max_n = c.max_n;
+      final_n = model.population ();
+      truncated = t.truncated;
+      outage_time = Faults.outage_time t.frun;
+      aborted_peers = c.aborted;
+      lost_transfers = c.lost;
+      samples = Vec.to_array t.samples;
+    }
+  in
+  Profile.stop finish_span;
+  (stats, extra)

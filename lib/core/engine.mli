@@ -1,0 +1,153 @@
+(** The shared simulation-engine core behind all four simulators.
+
+    Every simulator in this library is the same machine wearing a
+    different model: an exponential race over a handful of aggregate
+    rates, punctured by {e time barriers} (scheduled departures popping
+    off a heap, seed-outage toggles), truncated by a horizon and an event
+    budget, and observed through a sampling grid, a time-averaged
+    population, and an optional {!P2p_obs.Probe.t}.  Before this module
+    existed that scaffolding lived as four hand-maintained near-copies,
+    and only two of them ({!Sim_markov}, {!Sim_agent}) ever received the
+    fault layer and the telemetry hooks.  [Engine] is the single home
+    for the shared part; each simulator supplies only its model-specific
+    state and transition logic as a {!model} record of closures.
+
+    {b What the engine owns}: the clock, the horizon / [max_events]
+    truncation (and the [truncated] flag), the shared {!counters}, the
+    time-average of the population, the [Vec]-backed sampling grid, the
+    probe grid and {!P2p_obs.Profile} spans, and the per-run
+    {!Faults.run} clockwork (including the toggle time barrier and the
+    [Seed_toggle] trace events).
+
+    {b What a model supplies}: its total event rate (stashing the
+    per-band components for {!model.apply} to dispatch on), the event
+    dispatch itself, the next scheduled (non-exponential) event time and
+    its handler, the current population, any extra per-grid-point
+    samples, the probe-sample builder, and a finaliser for model-owned
+    accumulators.
+
+    {b Determinism contracts} (all pinned by tests):
+    - a run with [faults = Faults.none] makes no fault draws and is
+      bit-identical to a fault-free simulator build;
+    - a run with a probe attached is bit-identical to one without
+      (probes only ever observe, on the {e simulation} clock);
+    - the per-replication draw sequence is a pure function of the
+      caller's [rng], so runner aggregates are bit-identical across any
+      [--jobs] count.
+
+    {b Loop semantics}, one iteration: draw [dt ~ Exp(total_rate)] and
+    let [t_next = clock + dt]; the earliest of (outage toggle, scheduled
+    event, [t_next]) wins, with ties broken in that order.  Toggles are
+    gated by the event budget (so an exhausted run truncates instead of
+    walking the remaining outage schedule); scheduled events are not
+    (they were committed when scheduled, and consume budget as ordinary
+    events).  When [t_next] overruns the horizon or the budget is spent,
+    the run truncates: the state is frozen to the horizon, which biases
+    every time-based statistic — the [truncated] flag records that the
+    numbers should not be trusted silently. *)
+
+(** Event counters shared by every simulator.  Models bump these from
+    their dispatch closures; the engine itself only touches [events] and
+    [max_n]. *)
+type counters = {
+  mutable events : int;  (** every clock tick: exponential race + scheduled *)
+  mutable arrivals : int;
+  mutable transfers : int;  (** successful (useful) piece/vector deliveries *)
+  mutable completions : int;
+  mutable departures : int;  (** all kinds: completed, dwelled, churned *)
+  mutable aborted : int;  (** churn departures (also counted in [departures]) *)
+  mutable lost : int;  (** uploads dropped by transfer loss *)
+  mutable max_n : int;
+}
+
+type t
+(** The engine handle passed to a model builder: access to the shared
+    counters, the fault clockwork, and the population observer. *)
+
+val counters : t -> counters
+
+val faults : t -> Faults.run
+(** The run's fault clockwork, for [Faults.seed_up] in rate computation
+    and [Faults.lost] on transfers.  Started from the caller's spec
+    before the model builder runs (so fault-stream splitting precedes
+    any model setup draws, as the pre-engine simulators did). *)
+
+val observe : t -> time:float -> n:int -> unit
+(** Feed one population observation: updates the time-average and
+    [max_n].  Each model decides {e when} to observe (e.g. {!Sim_markov}
+    only after a state-changing event, {!Sim_agent} after every event) —
+    the call sequence is part of the bit-identity contract, because
+    float summation order in the time-average depends on it. *)
+
+(** The model-specific half of a simulator, as closures over its own
+    state.  All of these are called by {!drive} only. *)
+type model = {
+  total_rate : unit -> float;
+      (** Total exponential race rate for the current state.  Models
+          stash the per-band components in their closure for [apply]. *)
+  apply : time:float -> u:float -> unit;
+      (** Dispatch one race event at [time], where [u] is uniform on
+          [0, total_rate ()) — compare against the stashed band
+          boundaries in the same order they were summed. *)
+  next_scheduled : unit -> float;
+      (** Earliest scheduled (non-exponential) event, [infinity] if
+          none — e.g. the departures heap minimum. *)
+  scheduled : time:float -> unit;
+      (** Handle the scheduled event at its time.  The engine has
+          already advanced the clock, recorded the grid, and counted the
+          event. *)
+  population : unit -> int;  (** current swarm size, for the sampling grid *)
+  extra_sample : time:float -> unit;
+      (** Model-specific additions to each grid point (group counts,
+          one-club fractions); called right after the engine pushes
+          [(time, population ())]. *)
+  probe_sample : time:float -> P2p_obs.Probe.sample;
+      (** Build one probe sample; only called when the probe samples. *)
+  finish : time:float -> unit;
+      (** Close model-owned accumulators at truncation time (the engine
+          closes its own population average first). *)
+}
+
+(** The common statistics prefix every simulator shares.  Model-specific
+    statistics (sojourns, dimension histograms, component sizes, …) are
+    carried by the ['a] the model builder returns through {!drive}. *)
+type stats = {
+  final_time : float;
+  events : int;
+  arrivals : int;
+  transfers : int;
+  completions : int;
+  departures : int;
+  time_avg_n : float;
+  max_n : int;
+  final_n : int;
+  truncated : bool;
+      (** the [max_events] budget ran out before [horizon]: the state is
+          frozen from the last event to the horizon, so [final_time]
+          still reads [horizon] but every time-based statistic is biased
+          toward the frozen state. *)
+  outage_time : float;
+  aborted_peers : int;
+  lost_transfers : int;
+  samples : (float * int) array;  (** (t, N_t) on the sampling grid *)
+}
+
+val drive :
+  ?probe:P2p_obs.Probe.t ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  name:string ->
+  rng:P2p_prng.Rng.t ->
+  faults:Faults.t ->
+  horizon:float ->
+  (t -> model * 'a) ->
+  stats * 'a
+(** [drive ~name ~rng ~faults ~horizon build] runs one simulation on
+    [0, horizon].  [build] receives the handle, constructs the model
+    state (including the initial population and the initial
+    {!observe} at time 0), and returns the {!model} plus whatever the
+    simulator needs to assemble its model-specific statistics
+    afterwards.  [name] prefixes the profile spans
+    ([name ^ "/setup"], ["/event-loop"], ["/finalise"]).
+    [sample_every] defaults to [horizon /. 200.] (floored at [1e-9]);
+    [max_events] defaults to 200 million. *)

@@ -2,7 +2,6 @@ module Pieceset = P2p_pieceset.Pieceset
 module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
 module Probe = P2p_obs.Probe
-module Profile = P2p_obs.Profile
 
 type dwell = Exp_dwell | Deterministic_dwell | Erlang_dwell of int
 
@@ -154,306 +153,253 @@ let sample_dwell config rng =
       done;
       !total
 
-let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
+let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
   let p = config.params in
   if config.eta < 1.0 then invalid_arg "Sim_agent.run: eta must be >= 1";
   if config.rare_piece < 0 || config.rare_piece >= p.k then
     invalid_arg "Sim_agent.run: rare piece out of range";
-  let prof = probe.Probe.profile in
-  let tracing = probe.Probe.tracing in
-  let setup_span = Profile.start prof "sim_agent/setup" in
-  let full = Params.full_set p in
-  let one_club_type = Pieceset.remove config.rare_piece full in
-  let pop = Population.create () in
-  let state = State.create () in
-  let departures_heap : peer P2p_des.Heap.t = P2p_des.Heap.create () in
-  let next_id = ref 0 in
-  let sojourn = P2p_stats.Welford.create () in
-  let clock = ref 0.0 in
-  let events = ref 0 in
-  let arrivals = ref 0 in
-  let transfers = ref 0 in
-  let completions = ref 0 in
-  let departures = ref 0 in
-  let max_n = ref 0 in
-  let avg = P2p_stats.Timeavg.create () in
-  let club_avg = P2p_stats.Timeavg.create () in
-  let seed_boosted = ref false in
-  let lambda_total = Params.lambda_total p in
-  (* Walker alias table, as in Sim_markov: O(1) arrival-type draws. *)
-  let arrival_alias = Dist.Alias.make (Array.map snd p.arrivals) in
-  let frun = Faults.start config.faults ~rng in
-  if tracing then
-    Faults.set_observer frun (fun ~now ~up -> Probe.event probe ~time:now (Seed_toggle { up }));
-  let abort_rate = config.faults.abort_rate in
-  let aborted = ref 0 in
-  let lost = ref 0 in
-  let truncated = ref false in
+  let common, (state, group_samples, sojourn, club_avg) =
+    Engine.drive ~probe ?sample_every ?max_events ~name:"sim_agent" ~rng
+      ~faults:config.faults ~horizon (fun h ->
+        let tracing = probe.Probe.tracing in
+        let full = Params.full_set p in
+        let one_club_type = Pieceset.remove config.rare_piece full in
+        let pop = Population.create () in
+        let state = State.create () in
+        let departures_heap : peer P2p_des.Heap.t = P2p_des.Heap.create () in
+        let next_id = ref 0 in
+        let sojourn = P2p_stats.Welford.create () in
+        let club_avg = P2p_stats.Timeavg.create () in
+        let seed_boosted = ref false in
+        let lambda_total = Params.lambda_total p in
+        (* Walker alias table, as in Sim_markov: O(1) arrival-type draws. *)
+        let arrival_alias = Dist.Alias.make (Array.map snd p.arrivals) in
+        let counters = Engine.counters h in
+        let frun = Engine.faults h in
+        let abort_rate = config.faults.abort_rate in
 
-  let new_peer c ~time =
-    let peer =
-      {
-        id = !next_id;
-        pieces = c;
-        arrival_time = time;
-        gifted = Pieceset.mem config.rare_piece c;
-        infected = false;
-        was_one_club = Pieceset.equal c one_club_type;
-        boosted = false;
-        slot = -1;
-        departed = false;
-      }
-    in
-    incr next_id;
-    Population.add pop peer;
-    State.add_peer state c;
-    peer
-  in
-  let depart peer ~time =
-    Population.remove pop peer;
-    State.remove_peer state peer.pieces;
-    incr departures;
-    P2p_stats.Welford.add sojourn (time -. peer.arrival_time)
-  in
-  let schedule_departure peer ~time =
-    let dwell = sample_dwell config rng in
-    ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
-  in
-  (* Give a piece to [peer]; updates flags and departures. *)
-  let deliver peer piece ~time =
-    incr transfers;
-    let was_one_club_now = Pieceset.equal peer.pieces one_club_type in
-    let target = Pieceset.add piece peer.pieces in
-    if tracing then
-      Probe.event probe ~time (Transfer { piece; completed = Pieceset.equal target full });
-    if piece = config.rare_piece && (not peer.gifted) && not was_one_club_now then
-      peer.infected <- true;
-    if Pieceset.equal target one_club_type then peer.was_one_club <- true;
-    if Pieceset.equal target full && Params.immediate_departure p then begin
-      incr completions;
-      State.remove_peer state peer.pieces;
-      peer.pieces <- target;
-      Population.remove pop peer;
-      incr departures;
-      P2p_stats.Welford.add sojourn (time -. peer.arrival_time);
-      if tracing then Probe.event probe ~time (Departure { kind = Completed })
-    end
-    else begin
-      State.move_peer state ~from_:peer.pieces ~to_:target;
-      peer.pieces <- target;
-      (* Receiving a piece changes what the peer can offer, so the
-         unsuccessful-contact speedup (Section VIII-C) no longer applies:
-         reset the clock to its normal rate. *)
-      Population.set_boosted pop peer false;
-      if Pieceset.equal target full then begin
-        incr completions;
-        schedule_departure peer ~time
-      end
-    end
-  in
-  (* Resolve one contact from [uploader] (None = fixed seed). *)
-  let contact uploader ~time =
-    if Population.size pop = 0 then ()
-    else begin
-      let downloader = Population.uniform pop rng in
-      let uploader_arg =
-        match uploader with None -> Policy.Fixed_seed | Some peer -> Policy.Peer peer.pieces
-      in
-      let choice =
-        match uploader with
-        | Some up when up == downloader -> None (* self-contact is never useful *)
-        | _ ->
-            Policy.sample config.policy ~rng ~k:p.k ~state ~uploader:uploader_arg
-              ~downloader:downloader.pieces
-      in
-      let success = Option.is_some choice in
-      if tracing then
-        Probe.event probe ~time (Contact { seed = Option.is_none uploader; useful = success });
-      (match uploader with
-      | None -> seed_boosted := not success
-      | Some up -> if not up.departed then Population.set_boosted pop up (not success));
-      match choice with
-      | Some _ when Faults.lost frun ->
-          (* Uploader found a useful piece but the transfer dropped: the
-             contact counts as successful for the retry speedup (something
-             useful was on offer), yet nothing is delivered. *)
-          incr lost;
-          if tracing then Probe.event probe ~time Transfer_lost
-      | Some piece -> deliver downloader piece ~time
-      | None -> ()
-    end
-  in
-
-  (* Initial population. *)
-  List.iter
-    (fun (c, count) ->
-      for _ = 1 to count do
-        let peer = new_peer c ~time:0.0 in
-        if Pieceset.equal c full then
-          if Params.immediate_departure p then
-            invalid_arg "Sim_agent.run: initial peer seeds need finite gamma"
-          else schedule_departure peer ~time:0.0
-      done)
-    config.initial;
-
-  let observe time =
-    let n = Population.size pop in
-    P2p_stats.Timeavg.observe avg ~time ~value:(float_of_int n);
-    let club =
-      if n = 0 then 0.0
-      else begin
-        let club_count =
-          State.count state one_club_type
-          + if Params.immediate_departure p then 0 else State.count state full
+        let new_peer c ~time =
+          let peer =
+            {
+              id = !next_id;
+              pieces = c;
+              arrival_time = time;
+              gifted = Pieceset.mem config.rare_piece c;
+              infected = false;
+              was_one_club = Pieceset.equal c one_club_type;
+              boosted = false;
+              slot = -1;
+              departed = false;
+            }
+          in
+          incr next_id;
+          Population.add pop peer;
+          State.add_peer state c;
+          peer
         in
-        float_of_int club_count /. float_of_int n
-      end
-    in
-    P2p_stats.Timeavg.observe club_avg ~time ~value:club;
-    if n > !max_n then max_n := n
-  in
-  observe 0.0;
+        let depart peer ~time =
+          Population.remove pop peer;
+          State.remove_peer state peer.pieces;
+          counters.departures <- counters.departures + 1;
+          P2p_stats.Welford.add sojourn (time -. peer.arrival_time)
+        in
+        let schedule_departure peer ~time =
+          let dwell = sample_dwell config rng in
+          ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
+        in
+        (* Give a piece to [peer]; updates flags and departures. *)
+        let deliver peer piece ~time =
+          counters.transfers <- counters.transfers + 1;
+          let was_one_club_now = Pieceset.equal peer.pieces one_club_type in
+          let target = Pieceset.add piece peer.pieces in
+          if tracing then
+            Probe.event probe ~time (Transfer { piece; completed = Pieceset.equal target full });
+          if piece = config.rare_piece && (not peer.gifted) && not was_one_club_now then
+            peer.infected <- true;
+          if Pieceset.equal target one_club_type then peer.was_one_club <- true;
+          if Pieceset.equal target full && Params.immediate_departure p then begin
+            counters.completions <- counters.completions + 1;
+            State.remove_peer state peer.pieces;
+            peer.pieces <- target;
+            Population.remove pop peer;
+            counters.departures <- counters.departures + 1;
+            P2p_stats.Welford.add sojourn (time -. peer.arrival_time);
+            if tracing then Probe.event probe ~time (Departure { kind = Completed })
+          end
+          else begin
+            State.move_peer state ~from_:peer.pieces ~to_:target;
+            peer.pieces <- target;
+            (* Receiving a piece changes what the peer can offer, so the
+               unsuccessful-contact speedup (Section VIII-C) no longer applies:
+               reset the clock to its normal rate. *)
+            Population.set_boosted pop peer false;
+            if Pieceset.equal target full then begin
+              counters.completions <- counters.completions + 1;
+              schedule_departure peer ~time
+            end
+          end
+        in
+        (* Resolve one contact from [uploader] (None = fixed seed). *)
+        let contact uploader ~time =
+          if Population.size pop = 0 then ()
+          else begin
+            let downloader = Population.uniform pop rng in
+            let uploader_arg =
+              match uploader with None -> Policy.Fixed_seed | Some peer -> Policy.Peer peer.pieces
+            in
+            let choice =
+              match uploader with
+              | Some up when up == downloader -> None (* self-contact is never useful *)
+              | _ ->
+                  Policy.sample config.policy ~rng ~k:p.k ~state ~uploader:uploader_arg
+                    ~downloader:downloader.pieces
+            in
+            let success = Option.is_some choice in
+            if tracing then
+              Probe.event probe ~time
+                (Contact { seed = Option.is_none uploader; useful = success });
+            (match uploader with
+            | None -> seed_boosted := not success
+            | Some up -> if not up.departed then Population.set_boosted pop up (not success));
+            match choice with
+            | Some _ when Faults.lost frun ->
+                (* Uploader found a useful piece but the transfer dropped: the
+                   contact counts as successful for the retry speedup (something
+                   useful was on offer), yet nothing is delivered. *)
+                counters.lost <- counters.lost + 1;
+                if tracing then Probe.event probe ~time Transfer_lost
+            | Some piece -> deliver downloader piece ~time
+            | None -> ()
+          end
+        in
 
-  let sample_every =
-    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
-  in
-  let samples = P2p_stats.Vec.create () in
-  let group_samples = P2p_stats.Vec.create () in
-  let next_sample = ref 0.0 in
-  (* Probe samples ride the sim-time grid (see Sim_markov for why). *)
-  let probing = Probe.sampling probe in
-  let next_probe = ref 0.0 in
-  let emit_probe_sample () =
-    probe.Probe.on_sample
-      (Probe.sample ~time:!next_probe ~k:p.k ~n:(State.n state) ~count_of:(State.count state)
-         ~piece_counts:(State.piece_count_vector state ~k:p.k))
-  in
-  let record_samples_through time =
-    while !next_sample <= time && !next_sample <= horizon do
-      P2p_stats.Vec.push samples (!next_sample, Population.size pop);
-      P2p_stats.Vec.push group_samples (!next_sample, classify_groups config pop);
-      next_sample := !next_sample +. sample_every
-    done;
-    if probing then
-      while !next_probe <= time && !next_probe <= horizon do
-        emit_probe_sample ();
-        next_probe := !next_probe +. probe.Probe.interval
-      done
-  in
-  record_samples_through 0.0;
+        (* Initial population. *)
+        List.iter
+          (fun (c, count) ->
+            for _ = 1 to count do
+              let peer = new_peer c ~time:0.0 in
+              if Pieceset.equal c full then
+                if Params.immediate_departure p then
+                  invalid_arg "Sim_agent.run: initial peer seeds need finite gamma"
+                else schedule_departure peer ~time:0.0
+            done)
+          config.initial;
 
-  let running = ref true in
-  Profile.stop setup_span;
-  let loop_span = Profile.start prof "sim_agent/event-loop" in
-  while !running do
-    let n = Population.size pop in
-    let rate_arrival = lambda_total in
-    let rate_seed =
-      if n = 0 || not (Faults.seed_up frun) then 0.0
-      else if !seed_boosted then config.eta *. p.us
-      else p.us
-    in
-    let rate_peers = Population.contact_rate pop ~mu:p.mu ~eta:config.eta in
-    let rate_abort = abort_rate *. float_of_int (n - State.count state full) in
-    let total = rate_arrival +. rate_seed +. rate_peers +. rate_abort in
-    let dt = Dist.exponential rng ~rate:total in
-    let t_candidate = !clock +. dt in
-    (* Scheduled departures and outage toggles act as time barriers for
-       the exponential race. *)
-    let next_departure = P2p_des.Heap.min_key departures_heap in
-    let toggle = Faults.next_toggle frun in
-    let toggle_first =
-      toggle <= t_candidate && toggle <= horizon
-      && (match next_departure with Some d -> toggle <= d | None -> true)
-    in
-    let departure_first =
-      (not toggle_first)
-      && match next_departure with Some d -> d <= t_candidate && d <= horizon | None -> false
-    in
-    if toggle_first then begin
-      record_samples_through toggle;
-      clock := toggle;
-      Faults.toggle frun ~now:toggle
-    end
-    else if departure_first then begin
-      match P2p_des.Heap.pop_min departures_heap with
-      | Some (time, peer) ->
-          record_samples_through time;
-          clock := time;
-          incr events;
-          if not peer.departed then begin
-            depart peer ~time;
-            if tracing then Probe.event probe ~time (Departure { kind = Seed_departed })
+        let observe time =
+          let n = Population.size pop in
+          Engine.observe h ~time ~n;
+          let club =
+            if n = 0 then 0.0
+            else begin
+              let club_count =
+                State.count state one_club_type
+                + if Params.immediate_departure p then 0 else State.count state full
+              in
+              float_of_int club_count /. float_of_int n
+            end
+          in
+          P2p_stats.Timeavg.observe club_avg ~time ~value:club
+        in
+        observe 0.0;
+
+        let group_samples = P2p_stats.Vec.create () in
+
+        (* Rate bands, stashed by [total_rate] for [apply]'s dispatch. *)
+        let rate_arrival = ref 0.0 in
+        let rate_seed = ref 0.0 in
+        let rate_peers = ref 0.0 in
+        let total_rate () =
+          let n = Population.size pop in
+          rate_arrival := lambda_total;
+          rate_seed :=
+            (if n = 0 || not (Faults.seed_up frun) then 0.0
+             else if !seed_boosted then config.eta *. p.us
+             else p.us);
+          rate_peers := Population.contact_rate pop ~mu:p.mu ~eta:config.eta;
+          let rate_abort = abort_rate *. float_of_int (n - State.count state full) in
+          !rate_arrival +. !rate_seed +. !rate_peers +. rate_abort
+        in
+        let apply ~time ~u =
+          if u < !rate_arrival then begin
+            let idx = Dist.Alias.sample rng arrival_alias in
+            let c = fst p.arrivals.(idx) in
+            let peer = new_peer c ~time in
+            counters.arrivals <- counters.arrivals + 1;
+            if tracing then Probe.event probe ~time (Arrival { pieces = c });
+            if Pieceset.equal c full then schedule_departure peer ~time
+          end
+          else if u < !rate_arrival +. !rate_seed then contact None ~time
+          else if u < !rate_arrival +. !rate_seed +. !rate_peers then begin
+            let uploader = Population.weighted pop rng ~eta:config.eta in
+            contact (Some uploader) ~time
+          end
+          else begin
+            (* Churn: a uniformly chosen in-progress peer abandons its
+               download.  rate_abort > 0 guarantees a non-seed peer exists. *)
+            let rec pick () =
+              let peer = Population.uniform pop rng in
+              if Pieceset.equal peer.pieces full then pick () else peer
+            in
+            depart (pick ()) ~time;
+            counters.aborted <- counters.aborted + 1;
+            if tracing then Probe.event probe ~time (Departure { kind = Aborted })
           end;
           observe time
-      | None -> assert false
-    end
-    else if t_candidate > horizon || !events >= max_events then begin
-      if t_candidate <= horizon then truncated := true;
-      record_samples_through horizon;
-      P2p_stats.Timeavg.close avg ~time:horizon;
-      P2p_stats.Timeavg.close club_avg ~time:horizon;
-      clock := horizon;
-      running := false
-    end
-    else begin
-      record_samples_through t_candidate;
-      clock := t_candidate;
-      incr events;
-      let u = Rng.float rng *. total in
-      if u < rate_arrival then begin
-        let idx = Dist.Alias.sample rng arrival_alias in
-        let c = fst p.arrivals.(idx) in
-        let peer = new_peer c ~time:!clock in
-        incr arrivals;
-        if tracing then Probe.event probe ~time:!clock (Arrival { pieces = c });
-        if Pieceset.equal c full then schedule_departure peer ~time:!clock
-      end
-      else if u < rate_arrival +. rate_seed then contact None ~time:!clock
-      else if u < rate_arrival +. rate_seed +. rate_peers then begin
-        let uploader = Population.weighted pop rng ~eta:config.eta in
-        contact (Some uploader) ~time:!clock
-      end
-      else begin
-        (* Churn: a uniformly chosen in-progress peer abandons its
-           download.  rate_abort > 0 guarantees a non-seed peer exists. *)
-        let rec pick () =
-          let peer = Population.uniform pop rng in
-          if Pieceset.equal peer.pieces full then pick () else peer
         in
-        depart (pick ()) ~time:!clock;
-        incr aborted;
-        if tracing then Probe.event probe ~time:!clock (Departure { kind = Aborted })
-      end;
-      observe !clock
-    end
-  done;
-  Profile.stop loop_span;
-  let finish_span = Profile.start prof "sim_agent/finalise" in
-  Faults.finish frun ~now:!clock;
+        let model =
+          {
+            Engine.total_rate;
+            apply;
+            next_scheduled =
+              (fun () ->
+                match P2p_des.Heap.min_key departures_heap with
+                | Some d -> d
+                | None -> infinity);
+            scheduled =
+              (fun ~time ->
+                match P2p_des.Heap.pop_min departures_heap with
+                | Some (_, peer) ->
+                    if not peer.departed then begin
+                      depart peer ~time;
+                      if tracing then
+                        Probe.event probe ~time (Departure { kind = Seed_departed })
+                    end;
+                    observe time
+                | None -> assert false);
+            population = (fun () -> Population.size pop);
+            extra_sample =
+              (fun ~time -> P2p_stats.Vec.push group_samples (time, classify_groups config pop));
+            probe_sample =
+              (fun ~time ->
+                Probe.sample ~time ~k:p.k ~n:(State.n state) ~count_of:(State.count state)
+                  ~piece_counts:(State.piece_count_vector state ~k:p.k));
+            finish = (fun ~time -> P2p_stats.Timeavg.close club_avg ~time);
+          }
+        in
+        (model, (state, group_samples, sojourn, club_avg)))
+  in
   let stats =
     {
-      final_time = !clock;
-      events = !events;
-      arrivals = !arrivals;
-      transfers = !transfers;
-      completions = !completions;
-      departures = !departures;
-      time_avg_n = P2p_stats.Timeavg.average avg;
-      max_n = !max_n;
-      final_n = Population.size pop;
-      truncated = !truncated;
-      outage_time = Faults.outage_time frun;
-      aborted_peers = !aborted;
-      lost_transfers = !lost;
-      samples = P2p_stats.Vec.to_array samples;
+      final_time = common.Engine.final_time;
+      events = common.Engine.events;
+      arrivals = common.Engine.arrivals;
+      transfers = common.Engine.transfers;
+      completions = common.Engine.completions;
+      departures = common.Engine.departures;
+      time_avg_n = common.Engine.time_avg_n;
+      max_n = common.Engine.max_n;
+      final_n = common.Engine.final_n;
+      truncated = common.Engine.truncated;
+      outage_time = common.Engine.outage_time;
+      aborted_peers = common.Engine.aborted_peers;
+      lost_transfers = common.Engine.lost_transfers;
+      samples = common.Engine.samples;
       group_samples = P2p_stats.Vec.to_array group_samples;
       mean_sojourn = P2p_stats.Welford.mean sojourn;
       sojourn_count = P2p_stats.Welford.count sojourn;
       one_club_time_fraction = P2p_stats.Timeavg.average club_avg;
     }
   in
-  Profile.stop finish_span;
   (stats, state)
 
 let run_seeded ?probe ?sample_every ?max_events ~seed config ~horizon =

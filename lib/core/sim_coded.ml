@@ -1,8 +1,10 @@
+module Pieceset = P2p_pieceset.Pieceset
 module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
 module Field = P2p_gf.Field
 module Mat = P2p_gf.Mat
 module Subspace = P2p_coding.Subspace
+module Probe = P2p_obs.Probe
 
 type config = {
   q : int;
@@ -12,6 +14,7 @@ type config = {
   gamma : float;
   arrivals : (int * float) list;
   smart_exchange : bool;
+  faults : Faults.t;
 }
 
 let of_gift (g : Stability.Coded.gift_params) =
@@ -25,6 +28,7 @@ let of_gift (g : Stability.Coded.gift_params) =
       (if g.lambda0 > 0.0 then [ (0, g.lambda0) ] else [])
       @ (if g.lambda1 > 0.0 then [ (1, g.lambda1) ] else []);
     smart_exchange = false;
+    faults = Faults.none;
   }
 
 type peer = { mutable space : Subspace.t; mutable slot : int; mutable departed : bool }
@@ -40,12 +44,16 @@ type stats = {
   time_avg_n : float;
   max_n : int;
   final_n : int;
+  truncated : bool;
+  outage_time : float;
+  aborted_peers : int;
+  lost_transfers : int;
   samples : (float * int) array;
   dim_histogram : int array;
   near_complete_fraction : float;
 }
 
-let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
+let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
   if config.k < 1 then invalid_arg "Sim_coded.run: k must be >= 1";
   List.iter
     (fun (j, rate) ->
@@ -53,222 +61,297 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
     config.arrivals;
   let lambda_total = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 config.arrivals in
   if lambda_total <= 0.0 then invalid_arg "Sim_coded.run: no arrivals";
-  let field = Field.gf config.q in
-  let immediate = not (Float.is_finite config.gamma) in
-  (* Peers at dimension < K, in a swap-remove array. *)
-  let peers = ref (Array.make 16 None) in
-  let len = ref 0 in
-  let near_complete = ref 0 in
-  (* count of peers at dim K-1 *)
-  let departures_heap : peer P2p_des.Heap.t = P2p_des.Heap.create () in
-  let seeds_count = ref 0 in
-  (* peer seeds (dim = K) present, counted only when gamma finite *)
-  let clock = ref 0.0 in
-  let events = ref 0 in
-  let arrivals = ref 0 in
-  let useful = ref 0 in
-  let useless = ref 0 in
-  let completions = ref 0 in
-  let departed = ref 0 in
-  let max_n = ref 0 in
-  let avg = P2p_stats.Timeavg.create () in
-  let club_avg = P2p_stats.Timeavg.create () in
-  let arrival_weights = Array.of_list (List.map snd config.arrivals) in
-  let arrival_kinds = Array.of_list (List.map fst config.arrivals) in
+  let common, (peers, len, seeds_count, useless, club_avg) =
+    Engine.drive ~probe ?sample_every ?max_events ~name:"sim_coded" ~rng
+      ~faults:config.faults ~horizon (fun h ->
+        let tracing = probe.Probe.tracing in
+        let field = Field.gf config.q in
+        let immediate = not (Float.is_finite config.gamma) in
+        (* Peers at dimension < K, in a swap-remove array. *)
+        let peers = ref (Array.make 16 None) in
+        let len = ref 0 in
+        let near_complete = ref 0 in
+        (* count of peers at dim K-1 *)
+        let departures_heap : peer P2p_des.Heap.t = P2p_des.Heap.create () in
+        let seeds_count = ref 0 in
+        (* peer seeds (dim = K) present, counted only when gamma finite *)
+        let useless = ref 0 in
+        let club_avg = P2p_stats.Timeavg.create () in
+        let arrival_weights = Array.of_list (List.map snd config.arrivals) in
+        let arrival_kinds = Array.of_list (List.map fst config.arrivals) in
+        let counters = Engine.counters h in
+        let frun = Engine.faults h in
+        let abort_rate = config.faults.abort_rate in
 
-  let population () = !len + !seeds_count in
-  let track_dim_change ~before ~after =
-    if before = config.k - 1 then decr near_complete;
-    if after = config.k - 1 then incr near_complete
-  in
-  let add_active peer =
-    if !len = Array.length !peers then begin
-      let bigger = Array.make (2 * !len) None in
-      Array.blit !peers 0 bigger 0 !len;
-      peers := bigger
-    end;
-    peer.slot <- !len;
-    !peers.(!len) <- Some peer;
-    incr len
-  in
-  let remove_active peer =
-    let i = peer.slot in
-    decr len;
-    if i <> !len then begin
-      !peers.(i) <- !peers.(!len);
-      (match !peers.(i) with Some q -> q.slot <- i | None -> assert false)
-    end;
-    !peers.(!len) <- None;
-    peer.slot <- -1
-  in
-  let observe time =
-    let n = population () in
-    P2p_stats.Timeavg.observe avg ~time ~value:(float_of_int n);
-    let frac = if n = 0 then 0.0 else float_of_int !near_complete /. float_of_int n in
-    P2p_stats.Timeavg.observe club_avg ~time ~value:frac;
-    if n > !max_n then max_n := n
-  in
-  let complete peer ~time =
-    incr completions;
-    track_dim_change ~before:(config.k - 1) ~after:config.k;
-    remove_active peer;
-    if immediate then incr departed
-    else begin
-      incr seeds_count;
-      let dwell = Dist.exponential rng ~rate:config.gamma in
-      ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
-    end
-  in
-  (* Insert a coding vector into a peer's subspace, handling completion. *)
-  let receive peer v ~time =
-    let before = Subspace.dim peer.space in
-    if Subspace.insert peer.space v then begin
-      incr useful;
-      let after = Subspace.dim peer.space in
-      if after = config.k then complete peer ~time
-      else track_dim_change ~before ~after
-    end
-    else incr useless
-  in
-  let random_full_vector () = Mat.random_vec field (Rng.int_below rng) config.k in
-  let new_peer ~coded ~time =
-    let peer = { space = Subspace.create field ~k:config.k; slot = -1; departed = false } in
-    let rec feed j =
-      if j > 0 && Subspace.dim peer.space < config.k then begin
-        ignore (Subspace.insert peer.space (random_full_vector ()));
-        feed (j - 1)
-      end
-    in
-    feed coded;
-    if Subspace.dim peer.space = config.k then begin
-      (* Arrived already able to decode (possible when coded >= K). *)
-      incr completions;
-      if immediate then incr departed
-      else begin
-        incr seeds_count;
-        let dwell = Dist.exponential rng ~rate:config.gamma in
-        ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
-      end
-    end
-    else begin
-      add_active peer;
-      if Subspace.dim peer.space = config.k - 1 then incr near_complete
-    end
-  in
-  (* A uniformly chosen member of the whole population (active or seed):
-     with probability seeds/(n) the contacted peer is a seed, which cannot
-     receive anything, and with the rest an active peer. *)
-  let sample_downloader () =
-    let n = population () in
-    if n = 0 then None
-    else begin
-      let idx = Rng.int_below rng n in
-      if idx < !len then !peers.(idx) else None (* a peer seed: nothing to send it *)
-    end
-  in
-  let transmit ~uploader_space ~time =
-    match sample_downloader () with
-    | None -> ()
-    | Some downloader ->
-        let v =
-          match uploader_space with
-          | None -> random_full_vector () (* the fixed seed *)
-          | Some space ->
-              if config.smart_exchange then begin
-                (* Remark 16: send a basis vector outside the downloader's
-                   subspace when one exists. *)
-                let basis = Subspace.basis space in
-                let outside =
-                  Array.fold_left
-                    (fun acc row ->
-                      match acc with
-                      | Some _ -> acc
-                      | None -> if Subspace.contains downloader.space row then None else Some row)
-                    None basis
-                in
-                match outside with Some row -> row | None -> Mat.zero_vec config.k
-              end
-              else Subspace.random_member space rng
+        let population () = !len + !seeds_count in
+        let track_dim_change ~before ~after =
+          if before = config.k - 1 then decr near_complete;
+          if after = config.k - 1 then incr near_complete
         in
-        receive downloader v ~time
-  in
+        let add_active peer =
+          if !len = Array.length !peers then begin
+            let bigger = Array.make (2 * !len) None in
+            Array.blit !peers 0 bigger 0 !len;
+            peers := bigger
+          end;
+          peer.slot <- !len;
+          !peers.(!len) <- Some peer;
+          incr len
+        in
+        let remove_active peer =
+          let i = peer.slot in
+          decr len;
+          if i <> !len then begin
+            !peers.(i) <- !peers.(!len);
+            (match !peers.(i) with Some q -> q.slot <- i | None -> assert false)
+          end;
+          !peers.(!len) <- None;
+          peer.slot <- -1
+        in
+        let observe time =
+          let n = population () in
+          Engine.observe h ~time ~n;
+          let frac = if n = 0 then 0.0 else float_of_int !near_complete /. float_of_int n in
+          P2p_stats.Timeavg.observe club_avg ~time ~value:frac
+        in
+        let complete peer ~time =
+          counters.completions <- counters.completions + 1;
+          track_dim_change ~before:(config.k - 1) ~after:config.k;
+          remove_active peer;
+          if immediate then begin
+            counters.departures <- counters.departures + 1;
+            if tracing then Probe.event probe ~time (Departure { kind = Completed })
+          end
+          else begin
+            incr seeds_count;
+            let dwell = Dist.exponential rng ~rate:config.gamma in
+            ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
+          end
+        in
+        (* Insert a coding vector into a peer's subspace, handling completion.
+           Trace events use the subspace dimension as the "piece" index: a
+           useful transfer raising dim from d to d+1 fills slot d. *)
+        let receive peer v ~seed_upload ~time =
+          let before = Subspace.dim peer.space in
+          if Subspace.insert peer.space v then begin
+            counters.transfers <- counters.transfers + 1;
+            let after = Subspace.dim peer.space in
+            if tracing then begin
+              Probe.event probe ~time (Contact { seed = seed_upload; useful = true });
+              Probe.event probe ~time
+                (Transfer { piece = before; completed = after = config.k })
+            end;
+            if after = config.k then complete peer ~time
+            else track_dim_change ~before ~after
+          end
+          else begin
+            incr useless;
+            if tracing then
+              Probe.event probe ~time (Contact { seed = seed_upload; useful = false })
+          end
+        in
+        let random_full_vector () = Mat.random_vec field (Rng.int_below rng) config.k in
+        let new_peer ~coded ~time =
+          let peer =
+            { space = Subspace.create field ~k:config.k; slot = -1; departed = false }
+          in
+          let rec feed j =
+            if j > 0 && Subspace.dim peer.space < config.k then begin
+              ignore (Subspace.insert peer.space (random_full_vector ()));
+              feed (j - 1)
+            end
+          in
+          feed coded;
+          if tracing then begin
+            (* Cardinality-only encoding: an arrival spanning dimension d is
+               traced as holding the first d piece indices. *)
+            let d = Subspace.dim peer.space in
+            let rec build i acc = if i >= d then acc else build (i + 1) (Pieceset.add i acc) in
+            Probe.event probe ~time (Arrival { pieces = build 0 Pieceset.empty })
+          end;
+          if Subspace.dim peer.space = config.k then begin
+            (* Arrived already able to decode (possible when coded >= K). *)
+            counters.completions <- counters.completions + 1;
+            if immediate then begin
+              counters.departures <- counters.departures + 1;
+              if tracing then Probe.event probe ~time (Departure { kind = Completed })
+            end
+            else begin
+              incr seeds_count;
+              let dwell = Dist.exponential rng ~rate:config.gamma in
+              ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
+            end
+          end
+          else begin
+            add_active peer;
+            if Subspace.dim peer.space = config.k - 1 then incr near_complete
+          end
+        in
+        (* A uniformly chosen member of the whole population (active or seed):
+           with probability seeds/(n) the contacted peer is a seed, which cannot
+           receive anything, and with the rest an active peer. *)
+        let sample_downloader () =
+          let n = population () in
+          if n = 0 then None
+          else begin
+            let idx = Rng.int_below rng n in
+            if idx < !len then !peers.(idx) else None (* a peer seed: nothing to send it *)
+          end
+        in
+        let transmit ~uploader_space ~seed_upload ~time =
+          match sample_downloader () with
+          | None ->
+              if tracing then
+                Probe.event probe ~time (Contact { seed = seed_upload; useful = false })
+          | Some downloader ->
+              let v =
+                match uploader_space with
+                | None -> random_full_vector () (* the fixed seed *)
+                | Some space ->
+                    if config.smart_exchange then begin
+                      (* Remark 16: send a basis vector outside the downloader's
+                         subspace when one exists. *)
+                      let basis = Subspace.basis space in
+                      let outside =
+                        Array.fold_left
+                          (fun acc row ->
+                            match acc with
+                            | Some _ -> acc
+                            | None ->
+                                if Subspace.contains downloader.space row then None
+                                else Some row)
+                          None basis
+                      in
+                      match outside with Some row -> row | None -> Mat.zero_vec config.k
+                    end
+                    else Subspace.random_member space rng
+              in
+              if Faults.lost frun then begin
+                (* The upload happened but the vector never arrived. *)
+                counters.lost <- counters.lost + 1;
+                if tracing then begin
+                  Probe.event probe ~time
+                    (Contact
+                       {
+                         seed = seed_upload;
+                         useful = not (Subspace.contains downloader.space v);
+                       });
+                  Probe.event probe ~time Transfer_lost
+                end
+              end
+              else receive downloader v ~seed_upload ~time
+        in
+        observe 0.0;
 
-  let sample_every =
-    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
-  in
-  let samples = ref [] in
-  let next_sample = ref 0.0 in
-  let record_samples_through time =
-    while !next_sample <= time && !next_sample <= horizon do
-      samples := (!next_sample, population ()) :: !samples;
-      next_sample := !next_sample +. sample_every
-    done
-  in
-  record_samples_through 0.0;
-  observe 0.0;
-
-  let running = ref true in
-  while !running do
-    let n = population () in
-    let rate_arrival = lambda_total in
-    let rate_seed = if n = 0 then 0.0 else config.us in
-    (* Every peer (active or dwelling seed) ticks at rate mu; seeds'
-       uploads matter, and active peers' contacts may be silent. *)
-    let rate_peers = config.mu *. float_of_int n in
-    let total = rate_arrival +. rate_seed +. rate_peers in
-    let dt = Dist.exponential rng ~rate:total in
-    let t_candidate = !clock +. dt in
-    let next_departure = P2p_des.Heap.min_key departures_heap in
-    let departure_first =
-      match next_departure with Some d -> d <= t_candidate && d <= horizon | None -> false
-    in
-    if departure_first then begin
-      match P2p_des.Heap.pop_min departures_heap with
-      | Some (time, peer) ->
-          record_samples_through time;
-          clock := time;
-          incr events;
-          peer.departed <- true;
-          decr seeds_count;
-          incr departed;
+        (* Rate bands, stashed by [total_rate] for [apply]'s dispatch.  The
+           abort band sits right after the seed band so a zero abort rate
+           leaves every dispatch boundary float-identical to the pre-fault
+           simulator. *)
+        let rate_arrival = ref 0.0 in
+        let rate_seed = ref 0.0 in
+        let rate_abort = ref 0.0 in
+        let total_rate () =
+          let n = population () in
+          rate_arrival := lambda_total;
+          rate_seed := (if n = 0 || not (Faults.seed_up frun) then 0.0 else config.us);
+          (* Every peer (active or dwelling seed) ticks at rate mu; seeds'
+             uploads matter, and active peers' contacts may be silent. *)
+          let rate_peers = config.mu *. float_of_int n in
+          rate_abort := abort_rate *. float_of_int !len;
+          !rate_arrival +. !rate_seed +. !rate_abort +. rate_peers
+        in
+        let apply ~time ~u =
+          if u < !rate_arrival then begin
+            let idx = Dist.categorical rng ~weights:arrival_weights in
+            counters.arrivals <- counters.arrivals + 1;
+            new_peer ~coded:arrival_kinds.(idx) ~time
+          end
+          else if u < !rate_arrival +. !rate_seed then
+            transmit ~uploader_space:None ~seed_upload:true ~time
+          else if u < !rate_arrival +. !rate_seed +. !rate_abort then begin
+            (* Churn: a uniformly chosen in-progress (active) peer abandons
+               its download.  rate_abort > 0 guarantees one exists. *)
+            match !peers.(Rng.int_below rng !len) with
+            | Some peer ->
+                if Subspace.dim peer.space = config.k - 1 then decr near_complete;
+                remove_active peer;
+                counters.aborted <- counters.aborted + 1;
+                counters.departures <- counters.departures + 1;
+                if tracing then Probe.event probe ~time (Departure { kind = Aborted })
+            | None -> assert false
+          end
+          else begin
+            (* Uniform uploader among the n peers: active or dwelling seed. *)
+            let n = population () in
+            let idx = Rng.int_below rng n in
+            if idx < !len then begin
+              match !peers.(idx) with
+              | Some peer ->
+                  if Subspace.dim peer.space > 0 then
+                    transmit ~uploader_space:(Some peer.space) ~seed_upload:false ~time
+              | None -> assert false
+            end
+            else
+              (* A dwelling peer seed: its subspace is everything. *)
+              transmit ~uploader_space:None ~seed_upload:false ~time
+          end;
           observe time
-      | None -> assert false
-    end
-    else if t_candidate > horizon || !events >= max_events then begin
-      record_samples_through horizon;
-      P2p_stats.Timeavg.close avg ~time:horizon;
-      P2p_stats.Timeavg.close club_avg ~time:horizon;
-      clock := horizon;
-      running := false
-    end
-    else begin
-      record_samples_through t_candidate;
-      clock := t_candidate;
-      incr events;
-      let u = Rng.float rng *. total in
-      if u < rate_arrival then begin
-        let idx = Dist.categorical rng ~weights:arrival_weights in
-        incr arrivals;
-        new_peer ~coded:arrival_kinds.(idx) ~time:!clock
-      end
-      else if u < rate_arrival +. rate_seed then transmit ~uploader_space:None ~time:!clock
-      else begin
-        (* Uniform uploader among the n peers: active or dwelling seed. *)
-        let idx = Rng.int_below rng n in
-        if idx < !len then begin
-          match !peers.(idx) with
-          | Some peer ->
-              if Subspace.dim peer.space > 0 then
-                transmit ~uploader_space:(Some peer.space) ~time:!clock
-          | None -> assert false
-        end
-        else
-          (* A dwelling peer seed: its subspace is everything. *)
-          transmit ~uploader_space:None ~time:!clock
-      end;
-      observe !clock
-    end
-  done;
+        in
+        let model =
+          {
+            Engine.total_rate;
+            apply;
+            next_scheduled =
+              (fun () ->
+                match P2p_des.Heap.min_key departures_heap with
+                | Some d -> d
+                | None -> infinity);
+            scheduled =
+              (fun ~time ->
+                match P2p_des.Heap.pop_min departures_heap with
+                | Some (_, peer) ->
+                    peer.departed <- true;
+                    decr seeds_count;
+                    counters.departures <- counters.departures + 1;
+                    if tracing then
+                      Probe.event probe ~time (Departure { kind = Seed_departed });
+                    observe time
+                | None -> assert false);
+            population;
+            extra_sample = (fun ~time:_ -> ());
+            probe_sample =
+              (fun ~time ->
+                (* Coded analogue of the piece-count probe: entry i counts the
+                   population members whose subspace dimension exceeds i, so
+                   the vector is nonincreasing, the rarest "piece" is K-1, and
+                   its count is the number of dwelling seeds. *)
+                let counts = Array.make config.k 0 in
+                for i = 0 to !len - 1 do
+                  match !peers.(i) with
+                  | Some peer ->
+                      let d = Subspace.dim peer.space in
+                      for j = 0 to d - 1 do
+                        counts.(j) <- counts.(j) + 1
+                      done
+                  | None -> assert false
+                done;
+                if !seeds_count > 0 then
+                  for j = 0 to config.k - 1 do
+                    counts.(j) <- counts.(j) + !seeds_count
+                  done;
+                let count_of s =
+                  let c = Pieceset.cardinal s in
+                  if c = config.k then !seeds_count
+                  else if c = config.k - 1 then !near_complete
+                  else 0
+                in
+                Probe.sample ~time ~k:config.k ~n:(population ()) ~count_of
+                  ~piece_counts:counts);
+            finish = (fun ~time -> P2p_stats.Timeavg.close club_avg ~time);
+          }
+        in
+        (model, (peers, len, seeds_count, useless, club_avg)))
+  in
   let dim_histogram = Array.make (config.k + 1) 0 in
   for i = 0 to !len - 1 do
     match !peers.(i) with
@@ -280,20 +363,24 @@ let run ?sample_every ?(max_events = 200_000_000) ~rng config ~horizon =
   done;
   dim_histogram.(config.k) <- !seeds_count;
   {
-    final_time = !clock;
-    events = !events;
-    arrivals = !arrivals;
-    useful_transfers = !useful;
+    final_time = common.Engine.final_time;
+    events = common.Engine.events;
+    arrivals = common.Engine.arrivals;
+    useful_transfers = common.Engine.transfers;
     useless_transfers = !useless;
-    completions = !completions;
-    departures = !departed;
-    time_avg_n = P2p_stats.Timeavg.average avg;
-    max_n = !max_n;
-    final_n = population ();
-    samples = Array.of_list (List.rev !samples);
+    completions = common.Engine.completions;
+    departures = common.Engine.departures;
+    time_avg_n = common.Engine.time_avg_n;
+    max_n = common.Engine.max_n;
+    final_n = common.Engine.final_n;
+    truncated = common.Engine.truncated;
+    outage_time = common.Engine.outage_time;
+    aborted_peers = common.Engine.aborted_peers;
+    lost_transfers = common.Engine.lost_transfers;
+    samples = common.Engine.samples;
     dim_histogram;
     near_complete_fraction = P2p_stats.Timeavg.average club_avg;
   }
 
-let run_seeded ?sample_every ?max_events ~seed config ~horizon =
-  run ?sample_every ?max_events ~rng:(Rng.of_seed seed) config ~horizon
+let run_seeded ?probe ?sample_every ?max_events ~seed config ~horizon =
+  run ?probe ?sample_every ?max_events ~rng:(Rng.of_seed seed) config ~horizon

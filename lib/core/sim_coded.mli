@@ -11,7 +11,18 @@
     The [smart_exchange] flag implements Remark 16: peers exchange
     subspace descriptions, so whenever the uploader can help it sends a
     basis vector outside the downloader's subspace — every eligible
-    contact is useful. *)
+    contact is useful.
+
+    Built on {!Engine}, so the full fault/telemetry families apply: seed
+    outages silence the fixed seed, churn aborts in-progress (partial
+    dimension) peers, transfer loss drops uploaded vectors, and an
+    attached {!P2p_obs.Probe.t} traces events and samples the swarm with
+    the usual probes-observe-never-perturb bit-identity guarantee.  In
+    trace events and probe samples, the subspace {e dimension} plays the
+    role of the piece index: a useful transfer raising dim d → d+1 is
+    [Transfer { piece = d; _ }], and probe [piece_counts.(i)] counts the
+    population at dimension > i (nonincreasing in [i], so the "rarest
+    piece" is [K−1] and its count is the number of dwelling seeds). *)
 
 type config = {
   q : int;  (** field size (prime power ≤ 65536) *)
@@ -25,22 +36,33 @@ type config = {
           uniformly from [F_q^K], so [j] pieces span a subspace of
           dimension ≤ j. *)
   smart_exchange : bool;
+  faults : Faults.t;  (** fault injection; {!Faults.none} = the paper's model *)
 }
 
 val of_gift : Stability.Coded.gift_params -> config
-(** The paper's gift workload ([λ0] empty, [λ1] one random coded piece). *)
+(** The paper's gift workload ([λ0] empty, [λ1] one random coded piece);
+    no faults. *)
 
 type stats = {
   final_time : float;
   events : int;
   arrivals : int;
-  useful_transfers : int;
+  useful_transfers : int;  (** innovative vectors delivered (dim increased) *)
   useless_transfers : int;  (** contacts that transmitted a non-innovative vector *)
   completions : int;
   departures : int;
   time_avg_n : float;
   max_n : int;
   final_n : int;
+  truncated : bool;
+      (** the [max_events] budget ran out before [horizon]; every
+          time-based statistic is biased toward the frozen state *)
+  outage_time : float;  (** total time the fixed seed spent down *)
+  aborted_peers : int;  (** churn departures (also counted in [departures]) *)
+  lost_transfers : int;
+      (** uploads dropped by transfer loss (counted per upload, innovative
+          or not — unlike the piece simulators, a coded uploader always
+          transmits something) *)
   samples : (float * int) array;
   dim_histogram : int array;  (** final population by subspace dimension, length K+1 *)
   near_complete_fraction : float;
@@ -49,6 +71,7 @@ type stats = {
 }
 
 val run :
+  ?probe:P2p_obs.Probe.t ->
   ?sample_every:float ->
   ?max_events:int ->
   rng:P2p_prng.Rng.t ->
@@ -57,4 +80,12 @@ val run :
   stats
 
 val run_seeded :
-  ?sample_every:float -> ?max_events:int -> seed:int -> config -> horizon:float -> stats
+  ?probe:P2p_obs.Probe.t ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  seed:int ->
+  config ->
+  horizon:float ->
+  stats
+(** Self-contained seeded run (constructs the RNG from [seed]), as the
+    replication runner's determinism contract requires. *)

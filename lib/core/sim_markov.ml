@@ -2,7 +2,6 @@ module Pieceset = P2p_pieceset.Pieceset
 module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
 module Probe = P2p_obs.Probe
-module Profile = P2p_obs.Profile
 
 type config = {
   params : Params.t;
@@ -32,23 +31,12 @@ type stats = {
   samples : (float * int) array;
 }
 
-type counters = {
-  mutable events : int;
-  mutable arrivals : int;
-  mutable transfers : int;
-  mutable completions : int;
-  mutable departures : int;
-  mutable max_n : int;
-  mutable visits_to_empty : int;
-  mutable aborted : int;
-  mutable lost : int;
-}
-
 (* One contact resolution: [uploader] tries to push a piece to a uniformly
    chosen peer.  Returns true iff the state changed.  [probe] only ever
    receives events here (never randomness or state), so a [Probe.none]
    run takes the exact same draws in the exact same order. *)
-let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader ~counters ~probe ~time =
+let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader
+    ~(counters : Engine.counters) ~probe ~time =
   let tracing = probe.Probe.tracing in
   let is_seed = match uploader with Policy.Fixed_seed -> true | Policy.Peer _ -> false in
   let downloader = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
@@ -80,178 +68,126 @@ let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader ~counter
       else State.move_peer state ~from_:downloader ~to_:target;
       true
 
-let run ?(probe = Probe.none) ?observer ?sample_every ?(max_events = 200_000_000) ~rng config
-    ~horizon =
+let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ~rng config ~horizon =
   let p = config.params in
-  let prof = probe.Probe.profile in
-  let tracing = probe.Probe.tracing in
-  let setup_span = Profile.start prof "sim_markov/setup" in
-  let full = Params.full_set p in
-  let state = State.of_counts config.initial in
-  let lambda_total = Params.lambda_total p in
-  (* Walker alias table: O(1) arrival-type draws instead of a linear CDF
-     scan, and no per-arrival allocation. *)
-  let arrival_alias = Dist.Alias.make (Array.map snd p.arrivals) in
-  let counters =
-    {
-      events = 0;
-      arrivals = 0;
-      transfers = 0;
-      completions = 0;
-      departures = 0;
-      max_n = State.n state;
-      visits_to_empty = 0;
-      aborted = 0;
-      lost = 0;
-    }
-  in
-  let frun = Faults.start config.faults ~rng in
-  if tracing then
-    Faults.set_observer frun (fun ~now ~up -> Probe.event probe ~time:now (Seed_toggle { up }));
-  let abort_rate = config.faults.abort_rate in
-  let avg = P2p_stats.Timeavg.create () in
-  P2p_stats.Timeavg.observe avg ~time:0.0 ~value:(float_of_int (State.n state));
-  let sample_every =
-    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
-  in
-  let samples = P2p_stats.Vec.create () in
-  let next_sample = ref 0.0 in
-  (* Swarm probes walk their own sim-time grid, in lockstep with the
-     sampling grid's "state before the event" semantics.  Sim time, never
-     wall clock: probe series must be bit-identical across --jobs. *)
-  let probing = Probe.sampling probe in
-  let next_probe = ref 0.0 in
-  let emit_probe_sample () =
-    probe.Probe.on_sample
-      (Probe.sample ~time:!next_probe ~k:p.k ~n:(State.n state) ~count_of:(State.count state)
-         ~piece_counts:(State.piece_count_vector state ~k:p.k))
-  in
-  let record_samples_through time =
-    while !next_sample <= time && !next_sample <= horizon do
-      P2p_stats.Vec.push samples (!next_sample, State.n state);
-      next_sample := !next_sample +. sample_every
-    done;
-    if probing then
-      while !next_probe <= time && !next_probe <= horizon do
-        emit_probe_sample ();
-        next_probe := !next_probe +. probe.Probe.interval
-      done
-  in
-  record_samples_through 0.0;
-  let clock = ref 0.0 in
-  let running = ref true in
-  let truncated = ref false in
-  Profile.stop setup_span;
-  let loop_span = Profile.start prof "sim_markov/event-loop" in
-  while !running do
-    let n = State.n state in
-    let seeds = State.count state full in
-    let rate_arrival = lambda_total in
-    let rate_seed_contact = if n > 0 && Faults.seed_up frun then p.us else 0.0 in
-    let rate_peer_contact = p.mu *. float_of_int n in
-    let rate_abort = abort_rate *. float_of_int (n - seeds) in
-    let rate_departure =
-      if Params.immediate_departure p then 0.0 else p.gamma *. float_of_int seeds
-    in
-    let total =
-      rate_arrival +. rate_seed_contact +. rate_peer_contact +. rate_abort +. rate_departure
-    in
-    let dt = Dist.exponential rng ~rate:total in
-    let t_next = !clock +. dt in
-    let toggle = Faults.next_toggle frun in
-    if toggle <= t_next && toggle <= horizon && counters.events < max_events then begin
-      (* The outage flips before the next event: advance to the toggle and
-         redraw — valid by memorylessness of the exponential race. *)
-      record_samples_through toggle;
-      clock := toggle;
-      Faults.toggle frun ~now:toggle
-    end
-    else if t_next > horizon || counters.events >= max_events then begin
-      (* The event budget ran out before the horizon: the state is frozen
-         from !clock to horizon, which biases every time-based statistic.
-         Record that instead of truncating silently. *)
-      if t_next <= horizon then truncated := true;
-      record_samples_through horizon;
-      P2p_stats.Timeavg.close avg ~time:horizon;
-      clock := horizon;
-      running := false
-    end
-    else begin
-      (* The sampling grid must capture the value *before* this event. *)
-      record_samples_through (Float.min t_next horizon);
-      clock := t_next;
-      counters.events <- counters.events + 1;
-      let u = Rng.float rng *. total in
-      let changed =
-        if u < rate_arrival then begin
-          let idx = Dist.Alias.sample rng arrival_alias in
-          let pieces = fst p.arrivals.(idx) in
-          State.add_peer state pieces;
-          counters.arrivals <- counters.arrivals + 1;
-          if tracing then Probe.event probe ~time:!clock (Arrival { pieces });
-          true
-        end
-        else if u < rate_arrival +. rate_seed_contact then
-          resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-            ~uploader:Policy.Fixed_seed ~counters ~probe ~time:!clock
-        else if u < rate_arrival +. rate_seed_contact +. rate_peer_contact then begin
-          let uploader_type = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
-          resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-            ~uploader:(Policy.Peer uploader_type) ~counters ~probe ~time:!clock
-        end
-        else if u < rate_arrival +. rate_seed_contact +. rate_peer_contact +. rate_abort
-        then begin
-          (* Churn: a uniformly chosen in-progress peer abandons its
-             download.  rate_abort > 0 guarantees a non-seed peer exists. *)
-          let rec pick () =
-            let c = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
-            if Pieceset.equal c full then pick () else c
+  let common, (state, visits_to_empty) =
+    Engine.drive ~probe ?sample_every ?max_events ~name:"sim_markov" ~rng
+      ~faults:config.faults ~horizon (fun h ->
+        let tracing = probe.Probe.tracing in
+        let full = Params.full_set p in
+        let state = State.of_counts config.initial in
+        let lambda_total = Params.lambda_total p in
+        (* Walker alias table: O(1) arrival-type draws instead of a linear
+           CDF scan, and no per-arrival allocation. *)
+        let arrival_alias = Dist.Alias.make (Array.map snd p.arrivals) in
+        let counters = Engine.counters h in
+        let frun = Engine.faults h in
+        let abort_rate = config.faults.abort_rate in
+        let visits_to_empty = ref 0 in
+        Engine.observe h ~time:0.0 ~n:(State.n state);
+        (* Rate bands, stashed by [total_rate] for [apply]'s dispatch. *)
+        let rate_arrival = ref 0.0 in
+        let rate_seed_contact = ref 0.0 in
+        let rate_peer_contact = ref 0.0 in
+        let rate_abort = ref 0.0 in
+        let total_rate () =
+          let n = State.n state in
+          let seeds = State.count state full in
+          rate_arrival := lambda_total;
+          rate_seed_contact := (if n > 0 && Faults.seed_up frun then p.us else 0.0);
+          rate_peer_contact := p.mu *. float_of_int n;
+          rate_abort := abort_rate *. float_of_int (n - seeds);
+          let rate_departure =
+            if Params.immediate_departure p then 0.0 else p.gamma *. float_of_int seeds
           in
-          State.remove_peer state (pick ());
-          counters.aborted <- counters.aborted + 1;
-          counters.departures <- counters.departures + 1;
-          if tracing then Probe.event probe ~time:!clock (Departure { kind = Aborted });
-          true
-        end
-        else begin
-          State.remove_peer state full;
-          counters.departures <- counters.departures + 1;
-          if tracing then Probe.event probe ~time:!clock (Departure { kind = Seed_departed });
-          true
-        end
-      in
-      if changed then begin
-        let n' = State.n state in
-        P2p_stats.Timeavg.observe avg ~time:!clock ~value:(float_of_int n');
-        if n' > counters.max_n then counters.max_n <- n';
-        if n' = 0 then counters.visits_to_empty <- counters.visits_to_empty + 1;
-        match observer with Some f -> f ~time:!clock ~state | None -> ()
-      end
-    end
-  done;
-  Profile.stop loop_span;
-  let finish_span = Profile.start prof "sim_markov/finalise" in
-  Faults.finish frun ~now:!clock;
+          !rate_arrival +. !rate_seed_contact +. !rate_peer_contact +. !rate_abort
+          +. rate_departure
+        in
+        let apply ~time ~u =
+          let changed =
+            if u < !rate_arrival then begin
+              let idx = Dist.Alias.sample rng arrival_alias in
+              let pieces = fst p.arrivals.(idx) in
+              State.add_peer state pieces;
+              counters.arrivals <- counters.arrivals + 1;
+              if tracing then Probe.event probe ~time (Arrival { pieces });
+              true
+            end
+            else if u < !rate_arrival +. !rate_seed_contact then
+              resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
+                ~uploader:Policy.Fixed_seed ~counters ~probe ~time
+            else if u < !rate_arrival +. !rate_seed_contact +. !rate_peer_contact then begin
+              let uploader_type =
+                State.sample_uniform_peer state ~draw:(Rng.int_below rng)
+              in
+              resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
+                ~uploader:(Policy.Peer uploader_type) ~counters ~probe ~time
+            end
+            else if
+              u < !rate_arrival +. !rate_seed_contact +. !rate_peer_contact +. !rate_abort
+            then begin
+              (* Churn: a uniformly chosen in-progress peer abandons its
+                 download.  rate_abort > 0 guarantees a non-seed peer exists. *)
+              let rec pick () =
+                let c = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
+                if Pieceset.equal c full then pick () else c
+              in
+              State.remove_peer state (pick ());
+              counters.aborted <- counters.aborted + 1;
+              counters.departures <- counters.departures + 1;
+              if tracing then Probe.event probe ~time (Departure { kind = Aborted });
+              true
+            end
+            else begin
+              State.remove_peer state full;
+              counters.departures <- counters.departures + 1;
+              if tracing then Probe.event probe ~time (Departure { kind = Seed_departed });
+              true
+            end
+          in
+          if changed then begin
+            let n' = State.n state in
+            Engine.observe h ~time ~n:n';
+            if n' = 0 then incr visits_to_empty;
+            match observer with Some f -> f ~time ~state | None -> ()
+          end
+        in
+        let model =
+          {
+            Engine.total_rate;
+            apply;
+            next_scheduled = (fun () -> infinity);
+            scheduled = (fun ~time:_ -> ());
+            population = (fun () -> State.n state);
+            extra_sample = (fun ~time:_ -> ());
+            probe_sample =
+              (fun ~time ->
+                Probe.sample ~time ~k:p.k ~n:(State.n state) ~count_of:(State.count state)
+                  ~piece_counts:(State.piece_count_vector state ~k:p.k));
+            finish = (fun ~time:_ -> ());
+          }
+        in
+        (model, (state, visits_to_empty)))
+  in
   let stats =
     {
-      final_time = !clock;
-      events = counters.events;
-      arrivals = counters.arrivals;
-      transfers = counters.transfers;
-      completions = counters.completions;
-      departures = counters.departures;
-      time_avg_n = P2p_stats.Timeavg.average avg;
-      max_n = counters.max_n;
-      final_n = State.n state;
-      visits_to_empty = counters.visits_to_empty;
-      truncated = !truncated;
-      outage_time = Faults.outage_time frun;
-      aborted_peers = counters.aborted;
-      lost_transfers = counters.lost;
-      samples = P2p_stats.Vec.to_array samples;
+      final_time = common.Engine.final_time;
+      events = common.Engine.events;
+      arrivals = common.Engine.arrivals;
+      transfers = common.Engine.transfers;
+      completions = common.Engine.completions;
+      departures = common.Engine.departures;
+      time_avg_n = common.Engine.time_avg_n;
+      max_n = common.Engine.max_n;
+      final_n = common.Engine.final_n;
+      visits_to_empty = !visits_to_empty;
+      truncated = common.Engine.truncated;
+      outage_time = common.Engine.outage_time;
+      aborted_peers = common.Engine.aborted_peers;
+      lost_transfers = common.Engine.lost_transfers;
+      samples = common.Engine.samples;
     }
   in
-  Profile.stop finish_span;
   (stats, state)
 
 let run_seeded ?probe ?observer ?sample_every ?max_events ~seed config ~horizon =

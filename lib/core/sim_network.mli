@@ -13,7 +13,13 @@
     with global knowledge, or rarest-first estimated from the uploader's
     {e neighborhood} only — the distributed estimate Section VIII-A
     gestures at.  [degree = None] recovers the paper's fully-connected
-    model exactly (a test checks the agreement with {!Sim_agent}). *)
+    model exactly (a test checks the agreement with {!Sim_agent}).
+
+    Built on {!Engine}, so the full fault/telemetry families apply: seed
+    outages, churn (aborting in-progress peers, their graph links
+    removed with them), transfer loss, and an attached
+    {!P2p_obs.Probe.t} with the probes-observe-never-perturb bit-identity
+    guarantee. *)
 
 module Pieceset = P2p_pieceset.Pieceset
 
@@ -28,10 +34,11 @@ type config = {
   choice : piece_choice;
   initial : (Pieceset.t * int) list;
       (** initial peers, attached to each other by the same random rule *)
+  faults : Faults.t;  (** fault injection; {!Faults.none} = the paper's model *)
 }
 
 val default_config : Params.t -> config
-(** Fully connected, random-useful. *)
+(** Fully connected, random-useful, no faults. *)
 
 type stats = {
   final_time : float;
@@ -43,6 +50,12 @@ type stats = {
   time_avg_n : float;
   max_n : int;
   final_n : int;
+  truncated : bool;
+      (** the [max_events] budget ran out before [horizon]; every
+          time-based statistic is biased toward the frozen state *)
+  outage_time : float;  (** total time the fixed seed spent down *)
+  aborted_peers : int;  (** churn departures (also counted in [departures]) *)
+  lost_transfers : int;  (** uploads dropped by transfer loss *)
   samples : (float * int) array;
   club_samples : (float * float) array;
       (** max over pieces of the fraction of peers missing exactly that
@@ -52,6 +65,7 @@ type stats = {
 }
 
 val run :
+  ?probe:P2p_obs.Probe.t ->
   ?sample_every:float ->
   ?max_events:int ->
   rng:P2p_prng.Rng.t ->
@@ -60,4 +74,12 @@ val run :
   stats * State.t
 
 val run_seeded :
-  ?sample_every:float -> ?max_events:int -> seed:int -> config -> horizon:float -> stats * State.t
+  ?probe:P2p_obs.Probe.t ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  seed:int ->
+  config ->
+  horizon:float ->
+  stats * State.t
+(** Self-contained seeded run (constructs the RNG from [seed]), as the
+    replication runner's determinism contract requires. *)

@@ -75,7 +75,7 @@ let test_gifted_with_many_pieces () =
   (* Arrivals holding K random coded pieces usually decode instantly. *)
   let cfg =
     { Sim_coded.q = 16; k = 4; us = 0.0; mu = 1.0; gamma = infinity;
-      arrivals = [ (6, 1.0) ]; smart_exchange = false }
+      arrivals = [ (6, 1.0) ]; smart_exchange = false; faults = Faults.none }
   in
   let s = Sim_coded.run_seeded ~seed:7 cfg ~horizon:200.0 in
   Alcotest.(check bool) "most arrivals complete immediately" true
@@ -93,7 +93,7 @@ let test_validation () =
        ignore
          (Sim_coded.run_seeded ~seed:9
             { Sim_coded.q = 4; k = 3; us = 0.0; mu = 1.0; gamma = infinity; arrivals = [];
-              smart_exchange = false }
+              smart_exchange = false; faults = Faults.none }
             ~horizon:10.0);
        false
      with Invalid_argument _ -> true)

@@ -85,10 +85,17 @@ if [ "${CHECK_BENCH:-0}" = "1" ]; then
   left=$(remaining)
   timeout "$left" _build/default/bin/p2psim.exe report "$out/sample_probe.jsonl" >/dev/null || {
     echo "FAIL: p2psim report exited non-zero" >&2; exit 1; }
-  # Regression gate: the fresh quick-bench events/s must stay within 30%
-  # of the committed BENCH_PR4.json baseline (skips when absent).
+  # The coded swarm shares the same engine and flag families: prove its
+  # telemetry plumbing end to end too.
   left=$(remaining)
-  BENCH_GATE_BASELINE="${BENCH_GATE_BASELINE:-BENCH_PR4.json}" \
+  timeout "$left" _build/default/bin/p2psim.exe coded --sim -k 6 -f 0.3 -t 150 \
+    --probe-interval 5 --trace "$out/coded_trace.jsonl" >/dev/null || {
+    echo "FAIL: traced coded simulate exited non-zero" >&2; exit 1; }
+  # Regression gate: the fresh quick-bench events/s (all four simulators)
+  # must stay within 30% of the committed BENCH_PR5.json baseline (skips
+  # when absent).
+  left=$(remaining)
+  BENCH_GATE_BASELINE="${BENCH_GATE_BASELINE:-BENCH_PR5.json}" \
   BENCH_GATE_NEW="${BENCH_GATE_NEW:-$out/BENCH_smoke.json}" \
   timeout "$left" _build/default/bench/main.exe bench-gate || {
     echo "FAIL: bench-gate reported a throughput regression" >&2; exit 1; }
