@@ -98,7 +98,7 @@ let mu_inf_test =
 let fluid_test =
   let params = Scenario.example3 ~lambda1:1.0 ~lambda2:1.0 ~lambda3:1.0 ~mu:1.0 ~gamma:1.5 in
   let init = Fluid.of_state ~k:3 (State.create ()) in
-  Test.make ~name:"fluid RK4: 10 time units (K=3)"
+  Test.make ~name:"fluid RK45 adaptive: 10 time units (K=3)"
     (Staged.stage (fun () ->
          ignore (Fluid.integrate params ~init ~dt:0.01 ~horizon:10.0 ~record_every:1000)))
 
@@ -295,6 +295,45 @@ let scaling_section ~quick =
   ( Json.List (row reference :: List.map (fun jobs -> row (best_sweep jobs)) [ 2; 4 ]),
     ("replications", Json.Int reps) )
 
+(* The fluid backend's headline benchmark: a million-peer flash crowd,
+   infeasible for any of the event-driven simulators, integrated to the
+   horizon by the adaptive stepper.  The figure of merit is accepted
+   steps/second — the stepper's throughput is population-independent, so
+   this is the number the bench-gate can hold steady — plus the absolute
+   wall clock, which the gate caps so the million-peer scenario stays
+   interactive. *)
+let fluid_section ~quick =
+  let k = 8 in
+  let params = Scenario.flash_crowd ~k ~lambda:100.0 ~us:1.0 ~mu:1.0 ~gamma:2.0 in
+  let peers = 1e6 in
+  let horizon = if quick then 50.0 else 100.0 in
+  let config = { (Sim_fluid.default_config params) with initial = [ (PS.empty, peers) ] } in
+  let rounds = if quick then 2 else 3 in
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to rounds do
+    let (stats, _), wall = timed (fun () -> Sim_fluid.run_seeded ~seed:1 config ~horizon) in
+    last := Some stats;
+    if wall < !best then best := wall
+  done;
+  let stats = Option.get !last in
+  let wall = !best in
+  let steps = stats.Sim_fluid.steps in
+  ( "fluid",
+    Json.Obj
+      [
+        ("peers", Json.Float peers);
+        ("k", Json.Int k);
+        ("horizon", Json.Float horizon);
+        ("steps", Json.Int steps);
+        ("rejected_steps", Json.Int stats.Sim_fluid.rejected_steps);
+        ("rhs_evals", Json.Int stats.Sim_fluid.rhs_evals);
+        ("wall_s", Json.Float wall);
+        ("steps_per_sec", Json.Float (if wall > 0.0 then float_of_int steps /. wall else nan));
+        ("time_avg_n", Json.Float stats.Sim_fluid.time_avg_n);
+        ("final_n", Json.Float stats.Sim_fluid.final_n);
+      ] )
+
 (* P4: before/after against the committed PR3 baseline, and the CI bench
    gate.  Both read baselines back through the in-tree JSON parser. *)
 
@@ -346,9 +385,10 @@ let bench_json_to ~quick path =
     Json.Obj
       [
         ("bench", Json.String "p2p swarm simulator performance baseline");
-        ("pr", Json.Int 5);
+        ("pr", Json.Int 6);
         ("quick", Json.Bool quick);
         ("simulators", Json.Obj sims);
+        fluid_section ~quick;
         vs_baseline_section sims;
         ("runner_scaling", scaling_rows);
         reps_field;
@@ -361,7 +401,7 @@ let bench_json_to ~quick path =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let bench_json () = bench_json_to ~quick:false "BENCH_PR5.json"
+let bench_json () = bench_json_to ~quick:false "BENCH_PR6.json"
 let bench_json_quick () = bench_json_to ~quick:true "BENCH_smoke.json"
 
 (* The CI regression gate: compare a fresh quick-bench events/s figure
@@ -373,9 +413,13 @@ let bench_gate () =
   let getenv name default =
     match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> default
   in
-  let baseline_path = getenv "BENCH_GATE_BASELINE" "BENCH_PR5.json" in
+  let baseline_path = getenv "BENCH_GATE_BASELINE" "BENCH_PR6.json" in
   let fresh_path = getenv "BENCH_GATE_NEW" "BENCH_smoke.json" in
   let threshold = 0.70 in
+  (* Absolute ceiling on the fluid million-peer scenario: the smoke
+     variant covers half the baseline horizon, so anything past this is
+     a step-control regression, not runner noise. *)
+  let fluid_wall_ceiling_s = 120.0 in
   match (read_json_file baseline_path, read_json_file fresh_path) with
   | None, _ ->
       (* No baseline is not a failure: the gate guards regressions against
@@ -402,6 +446,39 @@ let bench_gate () =
               Printf.eprintf "bench-gate: missing events_per_sec for %s\n" sim;
               failed := true)
         [ "sim_markov"; "sim_agent"; "sim_coded"; "sim_network" ];
+      let fluid_field name j =
+        Option.bind (Json.member "fluid" j) (fun f ->
+            Option.bind (Json.member name f) Json.to_float_opt)
+      in
+      (match (fluid_field "steps_per_sec" base, fluid_field "steps_per_sec" fresh) with
+      | Some b, Some f when b > 0.0 ->
+          let ratio = f /. b in
+          Printf.printf "bench-gate: fluid %.3g -> %.3g steps/s (%.0f%% of baseline)\n" b f
+            (100.0 *. ratio);
+          if ratio < threshold then begin
+            Printf.eprintf "bench-gate: fluid stepper fell below %.0f%% of the %s baseline\n"
+              (100.0 *. threshold) baseline_path;
+            failed := true
+          end
+      | None, _ ->
+          (* A pre-PR6 baseline has no fluid section; the steps/s gate
+             starts holding once BENCH_PR6.json is the reference. *)
+          Printf.printf "bench-gate: baseline has no fluid section, skipping steps/s ratio\n"
+      | _ ->
+          Printf.eprintf "bench-gate: missing fluid steps_per_sec in fresh results\n";
+          failed := true);
+      (match fluid_field "wall_s" fresh with
+      | Some w ->
+          Printf.printf "bench-gate: fluid million-peer wall %.3gs (ceiling %gs)\n" w
+            fluid_wall_ceiling_s;
+          if w > fluid_wall_ceiling_s then begin
+            Printf.eprintf "bench-gate: fluid million-peer scenario exceeded the %gs ceiling\n"
+              fluid_wall_ceiling_s;
+            failed := true
+          end
+      | None ->
+          Printf.eprintf "bench-gate: missing fluid wall_s in fresh results\n";
+          failed := true);
       if !failed then exit 1;
       print_endline "bench-gate: OK"
 

@@ -3,6 +3,7 @@
    Subcommands:
      classify  - Theorem 1 verdict for a parameter set
      simulate  - run the exact Markov (or agent-level) simulator
+     fluid     - integrate the mean-field limit (--hybrid for CTMC handoff)
      region    - sweep lambda x us and print the phase diagram
      overlay   - simulate on a sparse random overlay topology
      hetero    - heterogeneous peer classes (heuristic region + simulation)
@@ -532,6 +533,155 @@ let simulate_cmd =
     Term.(const run $ params_term $ horizon_arg $ seed_arg $ agent_arg $ policy_arg $ csv_arg
           $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ max_events_arg
           $ telemetry_term)
+
+(* ---- fluid ---- *)
+
+let fluid_cmd =
+  let init_arg =
+    Arg.(value & opt_all arrival_conv []
+         & info [ "init" ] ~docv:"SPEC"
+             ~doc:"Initial swarm density as PIECES=MASS (same shape as --arrive), repeatable; \
+                   e.g. --init none=1e6 starts a million empty-handed peers. Default: empty \
+                   swarm. Masses need not be integers in fluid mode; the hybrid rounds them.")
+  in
+  let rtol_arg =
+    Arg.(value & opt float 1e-6 & info [ "rtol" ] ~docv:"TOL"
+         ~doc:"Relative tolerance of the adaptive stepper.")
+  in
+  let atol_arg =
+    Arg.(value & opt float 1e-9 & info [ "atol" ] ~docv:"TOL"
+         ~doc:"Absolute tolerance floor of the adaptive stepper.")
+  in
+  let hybrid_arg =
+    Arg.(value & flag
+         & info [ "hybrid" ]
+             ~doc:"Hybrid mode: exact stochastic simulation below --switch-up peers, fluid ODE \
+                   above it, handing back at --switch-down. Deterministic switch points; same \
+                   seed gives bit-identical runs.")
+  in
+  let switch_up_arg =
+    Arg.(value & opt int 1000 & info [ "switch-up" ] ~docv:"N"
+         ~doc:"Hybrid: population at which the stochastic segment hands off to the fluid ODE.")
+  in
+  let switch_down_arg =
+    Arg.(value & opt int 100 & info [ "switch-down" ] ~docv:"N"
+         ~doc:"Hybrid: fluid total at which the run hands back to the stochastic simulator.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
+         ~doc:"Write the sampled (t, N_t) trajectory as CSV.")
+  in
+  let run params horizon seed init rtol atol hybrid switch_up switch_down csv faults
+      max_events tel =
+    let control =
+      try Ode.control ~rtol ~atol ()
+      with Invalid_argument m -> usage_error "%s" m
+    in
+    let write_csv samples =
+      match csv with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc "time,population\n";
+          Array.iter (fun (t, n) -> Printf.fprintf oc "%g,%d\n" t n) samples;
+          close_out oc;
+          Printf.printf "wrote %s\n" file
+    in
+    let empirical samples =
+      let r = Classify.of_samples samples in
+      Printf.printf "empirical verdict: %s (growth %s/t)\n"
+        (Classify.verdict_to_string r.Classify.verdict)
+        (Report.fmt_float r.Classify.growth_rate)
+    in
+    let fluid_fault_rows (outage_time, aborted_mass, lost_mass) =
+      if Faults.is_none faults then []
+      else
+        [
+          ("seed outage time", Report.fmt_float outage_time);
+          ("aborted mass", Report.fmt_float aborted_mass);
+          ("lost upload mass", Report.fmt_float lost_mass);
+        ]
+    in
+    if hybrid then begin
+      if switch_up <= switch_down || switch_down < 0 then
+        usage_error "--switch-up (%d) must exceed --switch-down (%d >= 0)" switch_up switch_down;
+      let initial =
+        List.map
+          (fun (set, mass) ->
+            let c = int_of_float (Float.round mass) in
+            if c < 0 then usage_error "--init mass %g is negative" mass;
+            (set, c))
+          init
+      in
+      let markov = { (Sim_markov.default_config params) with initial; faults } in
+      let config = { (Sim_hybrid.default_config ~up:switch_up ~down:switch_down markov)
+                     with control } in
+      let stats, _ =
+        with_single_run_probe tel ~k:params.k ~horizon (fun probe ->
+            Sim_hybrid.run_seeded ~probe ?max_events ~seed config ~horizon)
+      in
+      truncation_warning stats.truncated;
+      Report.kv
+        ([
+           ("events", string_of_int stats.events);
+           ("stochastic events", string_of_int stats.markov_events);
+           ("fluid steps", string_of_int stats.fluid_steps);
+           ("handoffs", string_of_int (List.length stats.switches));
+           ("arrivals", Report.fmt_float stats.arrivals);
+           ("transfers", Report.fmt_float stats.transfers);
+           ("departures", Report.fmt_float stats.departures);
+           ("time-avg N", Report.fmt_float stats.time_avg_n);
+           ("max N", string_of_int stats.max_n);
+           ("final N", Report.fmt_float stats.final_n);
+           ("visits to empty", string_of_int stats.visits_to_empty);
+         ]
+        @ fluid_fault_rows (stats.outage_time, stats.aborted, stats.lost));
+      if stats.switches <> [] then begin
+        Report.subsection "regime handoffs";
+        List.iter
+          (fun s ->
+            Printf.printf "  t=%-12s %s at N=%s\n"
+              (Report.fmt_float s.Sim_hybrid.at)
+              (if s.Sim_hybrid.to_fluid then "stochastic -> fluid" else "fluid -> stochastic")
+              (Report.fmt_float s.Sim_hybrid.n))
+          stats.switches
+      end;
+      empirical stats.samples;
+      report_effective_verdict params faults;
+      write_csv stats.samples
+    end
+    else begin
+      let config = { (Sim_fluid.default_config params) with initial = init; faults; control } in
+      let stats, _ =
+        with_single_run_probe tel ~k:params.k ~horizon (fun probe ->
+            Sim_fluid.run_seeded ~probe ~seed config ~horizon)
+      in
+      truncation_warning stats.truncated;
+      Report.kv
+        ([
+           ("accepted steps", string_of_int stats.steps);
+           ("rejected steps", string_of_int stats.rejected_steps);
+           ("rhs evaluations", string_of_int stats.rhs_evals);
+           ("arrival mass", Report.fmt_float stats.arrivals);
+           ("transfer mass", Report.fmt_float stats.transfers);
+           ("departure mass", Report.fmt_float stats.departures);
+           ("time-avg N", Report.fmt_float stats.time_avg_n);
+           ("max N", string_of_int stats.max_n);
+           ("final N", Report.fmt_float stats.final_n);
+         ]
+        @ fluid_fault_rows (stats.outage_time, stats.aborted_mass, stats.lost_mass));
+      empirical stats.samples;
+      report_effective_verdict params faults;
+      write_csv stats.samples
+    end
+  in
+  Cmd.v
+    (Cmd.info "fluid"
+       ~doc:"Integrate the mean-field (fluid) limit, optionally hybridised with the exact \
+             stochastic simulator — the million-peer backend")
+    Term.(const run $ params_term $ horizon_arg $ seed_arg $ init_arg $ rtol_arg $ atol_arg
+          $ hybrid_arg $ switch_up_arg $ switch_down_arg $ csv_arg $ faults_term
+          $ max_events_arg $ telemetry_term)
 
 (* ---- region ---- *)
 
@@ -1082,6 +1232,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            classify_cmd; simulate_cmd; region_cmd; overlay_cmd; hetero_cmd; coded_cmd; drift_cmd;
+            classify_cmd; simulate_cmd; fluid_cmd; region_cmd; overlay_cmd; hetero_cmd; coded_cmd; drift_cmd;
             exact_cmd; reachable_cmd; borderline_cmd; report_cmd;
           ]))

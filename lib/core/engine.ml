@@ -19,6 +19,7 @@ type counters = {
 type t = {
   probe : Probe.t;
   frun : Faults.run;
+  start_time : float;
   horizon : float;
   max_events : int;
   counters : counters;
@@ -26,6 +27,7 @@ type t = {
   samples : (float * int) Vec.t;
   mutable clock : float;
   mutable truncated : bool;
+  mutable stop_requested : bool;
   sample_every : float;
   mutable next_sample : float;
   probing : bool;
@@ -34,6 +36,26 @@ type t = {
 
 let counters t = t.counters
 let faults t = t.frun
+let start_time t = t.start_time
+let request_stop t = t.stop_requested <- true
+
+type resume = { t0 : float; grid_after : float; frun : Faults.run option }
+
+let fresh = { t0 = 0.0; grid_after = -1.0; frun = None }
+
+(* First grid point of a resumed segment: the smallest multiple of
+   [interval] strictly after [grid_after].  A fresh run ([grid_after < 0])
+   starts at exactly 0.0 — the same constant the pre-resume engine used,
+   preserving bit-identity of all existing sample grids. *)
+let grid_start ~interval ~grid_after =
+  if grid_after < 0.0 then 0.0
+  else begin
+    let g = ref (interval *. (Float.floor (grid_after /. interval) +. 1.0)) in
+    while !g <= grid_after do
+      g := !g +. interval
+    done;
+    !g
+  end
 
 let observe t ~time ~n =
   Timeavg.observe t.avg ~time ~value:(float_of_int n);
@@ -61,6 +83,7 @@ type stats = {
   max_n : int;
   final_n : int;
   truncated : bool;
+  stopped : bool;
   outage_time : float;
   aborted_peers : int;
   lost_transfers : int;
@@ -71,29 +94,29 @@ type stats = {
    is advancing to.  Swarm probes walk their own sim-time grid in
    lockstep — sim time, never wall clock, so probe series are
    bit-identical across --jobs. *)
-let record_samples_through t model time =
+let record_through t ~population ~extra_sample ~probe_sample time =
   while t.next_sample <= time && t.next_sample <= t.horizon do
-    Vec.push t.samples (t.next_sample, model.population ());
-    model.extra_sample ~time:t.next_sample;
+    Vec.push t.samples (t.next_sample, population ());
+    extra_sample ~time:t.next_sample;
     t.next_sample <- t.next_sample +. t.sample_every
   done;
   if t.probing then
     while t.next_probe <= time && t.next_probe <= t.horizon do
-      t.probe.Probe.on_sample (model.probe_sample ~time:t.next_probe);
+      t.probe.Probe.on_sample (probe_sample ~time:t.next_probe);
       t.next_probe <- t.next_probe +. t.probe.Probe.interval
     done
 
-let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~name ~rng ~faults
-    ~horizon build =
-  let prof = probe.Probe.profile in
-  let setup_span = Profile.start prof (name ^ "/setup") in
-  let sample_every =
-    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
-  in
+let record_samples_through t model time =
+  record_through t ~population:model.population ~extra_sample:model.extra_sample
+    ~probe_sample:model.probe_sample time
+
+let make_handle ~probe ~resume ~rng ~faults ~horizon ~max_events ~sample_every =
+  let probing = Probe.sampling probe in
   let t =
     {
       probe;
-      frun = Faults.start faults ~rng;
+      frun = (match resume.frun with Some f -> f | None -> Faults.start faults ~rng);
+      start_time = resume.t0;
       horizon;
       max_events;
       counters =
@@ -107,21 +130,35 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~name 
           lost = 0;
           max_n = 0;
         };
-      avg = Timeavg.create ();
+      avg = Timeavg.create ~t0:resume.t0 ();
       samples = Vec.create ();
-      clock = 0.0;
+      clock = resume.t0;
       truncated = false;
+      stop_requested = false;
       sample_every;
-      next_sample = 0.0;
-      probing = Probe.sampling probe;
-      next_probe = 0.0;
+      next_sample = grid_start ~interval:sample_every ~grid_after:resume.grid_after;
+      probing;
+      next_probe =
+        (if probing then
+           grid_start ~interval:probe.Probe.interval ~grid_after:resume.grid_after
+         else 0.0);
     }
   in
   if probe.Probe.tracing then
     Faults.set_observer t.frun (fun ~now ~up ->
         Probe.event probe ~time:now (Seed_toggle { up }));
+  t
+
+let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resume = fresh)
+    ~name ~rng ~faults ~horizon build =
+  let prof = probe.Probe.profile in
+  let setup_span = Profile.start prof (name ^ "/setup") in
+  let sample_every =
+    match sample_every with Some dt -> dt | None -> Float.max (horizon /. 200.0) 1e-9
+  in
+  let t = make_handle ~probe ~resume ~rng ~faults ~horizon ~max_events ~sample_every in
   let model, extra = build t in
-  record_samples_through t model 0.0;
+  record_samples_through t model t.start_time;
   Profile.stop setup_span;
   let loop_span = Profile.start prof (name ^ "/event-loop") in
   let c = t.counters in
@@ -148,7 +185,12 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~name 
       record_samples_through t model sched;
       t.clock <- sched;
       c.events <- c.events + 1;
-      model.scheduled ~time:sched
+      model.scheduled ~time:sched;
+      if t.stop_requested then begin
+        Timeavg.close t.avg ~time:t.clock;
+        model.finish ~time:t.clock;
+        running := false
+      end
     end
     else if t_next > horizon || c.events >= max_events then begin
       (* The event budget ran out before the horizon: the state is
@@ -167,7 +209,12 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~name 
       t.clock <- t_next;
       c.events <- c.events + 1;
       let u = Rng.float rng *. total in
-      model.apply ~time:t_next ~u
+      model.apply ~time:t_next ~u;
+      if t.stop_requested then begin
+        Timeavg.close t.avg ~time:t.clock;
+        model.finish ~time:t.clock;
+        running := false
+      end
     end
   done;
   Profile.stop loop_span;
@@ -185,6 +232,107 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~name 
       max_n = c.max_n;
       final_n = model.population ();
       truncated = t.truncated;
+      stopped = t.stop_requested;
+      outage_time = Faults.outage_time t.frun;
+      aborted_peers = c.aborted;
+      lost_transfers = c.lost;
+      samples = Vec.to_array t.samples;
+    }
+  in
+  Profile.stop finish_span;
+  (stats, extra)
+
+type continuous = {
+  c_advance : to_:float -> [ `Reached | `Stopped of float | `Step_limit ];
+  c_population : unit -> float;
+  c_extra_sample : time:float -> unit;
+  c_probe_sample : time:float -> Probe.sample;
+  c_toggled : unit -> unit;
+  c_time_average : until:float -> float;
+  c_finish : time:float -> unit;
+}
+
+(* The continuous-model counterpart of the event loop: instead of an
+   exponential race the model integrates an ODE, and every shared-grid
+   point (sample, probe), fault toggle, and the horizon becomes a time
+   barrier the integrator lands on exactly — so the recorded trajectory
+   shares the sampling-grid contract with the stochastic drivers and
+   [p2psim report] consumes either without knowing which produced it. *)
+let drive_continuous ?(probe = Probe.none) ?sample_every ?(resume = fresh) ~name ~rng ~faults
+    ~horizon build =
+  let prof = probe.Probe.profile in
+  let setup_span = Profile.start prof (name ^ "/setup") in
+  let sample_every =
+    match sample_every with
+    | Some dt -> dt
+    | None -> Float.max ((horizon -. resume.t0) /. 200.0) 1e-9
+  in
+  let t = make_handle ~probe ~resume ~rng ~faults ~horizon ~max_events:max_int ~sample_every in
+  let m, extra = build t in
+  let pop_int () = int_of_float (Float.round (m.c_population ())) in
+  let record time =
+    record_through t ~population:pop_int ~extra_sample:m.c_extra_sample
+      ~probe_sample:m.c_probe_sample time
+  in
+  observe t ~time:t.start_time ~n:(pop_int ());
+  record t.start_time;
+  Profile.stop setup_span;
+  let loop_span = Profile.start prof (name ^ "/event-loop") in
+  let running = ref true in
+  while !running do
+    let toggle = Faults.next_toggle t.frun in
+    let grid = Float.min t.next_sample (if t.probing then t.next_probe else infinity) in
+    let barrier = Float.max t.clock (Float.min horizon (Float.min grid toggle)) in
+    match m.c_advance ~to_:barrier with
+    | `Stopped ts ->
+        (* The model's own [until] predicate fired (hybrid handoff):
+           stop exactly at the located crossing. *)
+        t.clock <- ts;
+        observe t ~time:ts ~n:(pop_int ());
+        record ts;
+        Timeavg.close t.avg ~time:ts;
+        t.stop_requested <- true;
+        running := false
+    | `Step_limit ->
+        (* The step budget ran out mid-flight: like stochastic event
+           exhaustion, freeze the state through the horizon and flag. *)
+        t.truncated <- true;
+        observe t ~time:t.clock ~n:(pop_int ());
+        t.clock <- horizon;
+        record horizon;
+        Timeavg.close t.avg ~time:horizon;
+        running := false
+    | `Reached ->
+        t.clock <- barrier;
+        observe t ~time:barrier ~n:(pop_int ());
+        record barrier;
+        if toggle <= barrier then begin
+          Faults.toggle t.frun ~now:toggle;
+          m.c_toggled ()
+        end;
+        if barrier >= horizon then begin
+          Timeavg.close t.avg ~time:horizon;
+          running := false
+        end
+  done;
+  Profile.stop loop_span;
+  let finish_span = Profile.start prof (name ^ "/finalise") in
+  Faults.finish t.frun ~now:t.clock;
+  m.c_finish ~time:t.clock;
+  let c = t.counters in
+  let stats =
+    {
+      final_time = t.clock;
+      events = c.events;
+      arrivals = c.arrivals;
+      transfers = c.transfers;
+      completions = c.completions;
+      departures = c.departures;
+      time_avg_n = m.c_time_average ~until:t.clock;
+      max_n = c.max_n;
+      final_n = pop_int ();
+      truncated = t.truncated;
+      stopped = t.stop_requested;
       outage_time = Faults.outage_time t.frun;
       aborted_peers = c.aborted;
       lost_transfers = c.lost;

@@ -66,6 +66,19 @@ type t
 
 val counters : t -> counters
 
+val start_time : t -> float
+(** The global simulation time this run started at — [0.] for a fresh
+    run, the segment boundary for a {!resume}d one.  Models observe
+    their initial population at this time, not a hard-coded [0.]. *)
+
+val request_stop : t -> unit
+(** Ask the engine to end the run after the event being dispatched.
+    Called by a model from inside [apply] / [scheduled] when an [until]
+    predicate fires (the hybrid handoff trigger): the engine closes the
+    time-average and the model accumulators {e at the current clock}, so
+    [final_time] reads the stop time rather than the horizon, and
+    {!stats.stopped} is set. *)
+
 val faults : t -> Faults.run
 (** The run's fault clockwork, for [Faults.seed_up] in rate computation
     and [Faults.lost] on transfers.  Started from the caller's spec
@@ -126,16 +139,45 @@ type stats = {
           frozen from the last event to the horizon, so [final_time]
           still reads [horizon] but every time-based statistic is biased
           toward the frozen state. *)
+  stopped : bool;
+      (** the run ended early because the model called {!request_stop}
+          (or a continuous model's [until] fired); [final_time] is the
+          stop time, and nothing after it was simulated. *)
   outage_time : float;
   aborted_peers : int;
   lost_transfers : int;
   samples : (float * int) array;  (** (t, N_t) on the sampling grid *)
 }
 
+(** {1 Resumable segments}
+
+    The hybrid simulator chops one logical run into alternating
+    stochastic and fluid segments on a single global clock.  A [resume]
+    value carries the cross-segment engine state: the segment's start
+    time, where the shared sampling grid left off, and the already-
+    running fault clockwork (so outage schedules span segments and the
+    rng is only split once, at the top of the logical run). *)
+type resume = {
+  t0 : float;  (** segment start on the global simulation clock *)
+  grid_after : float;
+      (** last grid time already recorded by a previous segment; the
+          first sample of this segment lands on the next multiple of the
+          interval strictly after it.  Negative = fresh grid starting at
+          exactly [0.]. *)
+  frun : Faults.run option;
+      (** an already-started fault run to continue ([Faults.start] is
+          skipped, and no fault rng split happens); [None] = start one *)
+}
+
+val fresh : resume
+(** [t0 = 0.], fresh grid, fresh fault run — [drive]'s default, and
+    bit-identical to the pre-resume engine. *)
+
 val drive :
   ?probe:P2p_obs.Probe.t ->
   ?sample_every:float ->
   ?max_events:int ->
+  ?resume:resume ->
   name:string ->
   rng:P2p_prng.Rng.t ->
   faults:Faults.t ->
@@ -143,11 +185,60 @@ val drive :
   (t -> model * 'a) ->
   stats * 'a
 (** [drive ~name ~rng ~faults ~horizon build] runs one simulation on
-    [0, horizon].  [build] receives the handle, constructs the model
-    state (including the initial population and the initial
-    {!observe} at time 0), and returns the {!model} plus whatever the
-    simulator needs to assemble its model-specific statistics
-    afterwards.  [name] prefixes the profile spans
-    ([name ^ "/setup"], ["/event-loop"], ["/finalise"]).
+    [[resume.t0], horizon] (fresh runs start at 0).  [build] receives
+    the handle, constructs the model state (including the initial
+    population and the initial {!observe} at {!start_time}), and
+    returns the {!model} plus whatever the simulator needs to assemble
+    its model-specific statistics afterwards.  [name] prefixes the
+    profile spans ([name ^ "/setup"], ["/event-loop"], ["/finalise"]).
     [sample_every] defaults to [horizon /. 200.] (floored at [1e-9]);
     [max_events] defaults to 200 million. *)
+
+(** {1 The continuous (fluid) model interface}
+
+    The fifth backend integrates the mean-field ODE instead of racing
+    exponentials, but shares everything else: the sampling grid, the
+    probe grid, the fault clockwork, truncation semantics, and the
+    {!stats} record.  Every grid point, fault toggle, and the horizon is
+    a {e time barrier} the integrator is asked to land on exactly
+    ([c_advance ~to_:barrier]), so fluid trajectories are sampled on the
+    same sim-time grid as the stochastic simulators and
+    [p2psim report] works unchanged. *)
+type continuous = {
+  c_advance : to_:float -> [ `Reached | `Stopped of float | `Step_limit ];
+      (** Integrate the continuous state from its current time to [to_]
+          (global simulation time).  [`Stopped t] = the model's own
+          [until] predicate fired at [t <= to_] (hybrid handoff);
+          [`Step_limit] = the step budget ran out (maps to
+          {!stats.truncated}). *)
+  c_population : unit -> float;  (** total mass at the current state *)
+  c_extra_sample : time:float -> unit;
+  c_probe_sample : time:float -> P2p_obs.Probe.sample;
+  c_toggled : unit -> unit;
+      (** A seed-outage toggle just happened at the current time: the
+          drift changed discontinuously, so invalidate any cached
+          right-hand-side evaluations (FSAL stages). *)
+  c_time_average : until:float -> float;
+      (** Exact time-averaged population over [[start, until]] — fluid
+          models integrate an auxiliary [∫N dt] state, which is exact
+          where a piecewise-constant {!P2p_stats.Timeavg} would not be. *)
+  c_finish : time:float -> unit;
+      (** Close model accumulators and write the rounded cumulative
+          flows into {!counters} (arrivals, transfers, …). *)
+}
+
+val drive_continuous :
+  ?probe:P2p_obs.Probe.t ->
+  ?sample_every:float ->
+  ?resume:resume ->
+  name:string ->
+  rng:P2p_prng.Rng.t ->
+  faults:Faults.t ->
+  horizon:float ->
+  (t -> continuous * 'a) ->
+  stats * 'a
+(** Drive a continuous model over [[resume.t0], horizon].  [rng] is
+    used only to start the fault stream (no draws at all when
+    [faults = Faults.none] and [resume.frun = None] — determinism
+    contract identical to the stochastic drivers).  [sample_every]
+    defaults to [(horizon - t0) /. 200.] (floored at [1e-9]). *)

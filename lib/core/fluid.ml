@@ -8,6 +8,19 @@ type trajectory = {
 
 let dim (p : Params.t) = 1 lsl p.k
 
+(* Augmented tail appended after the [dim p] type densities when the
+   right-hand side is asked to track cumulative flows: the integral of
+   each event-rate band, so the fluid backend's counters are exact ODE
+   outputs instead of post-hoc sums. *)
+let aug_slots = 7
+let aug_arrivals = 0
+let aug_transfers = 1
+let aug_completions = 2
+let aug_departures = 3
+let aug_aborted = 4
+let aug_lost = 5
+let aug_pop_integral = 6
+
 let of_state ~k state =
   let x = Array.make (1 lsl k) 0.0 in
   State.iter state (fun c v -> x.(Pieceset.to_index c) <- float_of_int v);
@@ -15,16 +28,34 @@ let of_state ~k state =
 
 let total x = Array.fold_left ( +. ) 0.0 x
 
+let total_types x d =
+  let acc = ref 0.0 in
+  for i = 0 to d - 1 do
+    acc := !acc +. x.(i)
+  done;
+  !acc
+
+(* The raw mean-field RHS divides per-type flows by the population [n];
+   at the origin (empty swarm) that ratio is 0/0 and the exact dynamics
+   have a power-law boundary layer the error controller cannot step
+   through.  Flooring the divisor at [n_floor] makes the RHS Lipschitz
+   there: flows scale down linearly once the population drops below a
+   nano-peer, which no trajectory of interest ever resolves, and the
+   floor is exact identity for any [n >= n_floor] — the generator-drift
+   cross-check test pins bit-identity on integer-count states. *)
+let n_floor = 1e-9
+
 (* Γ_{C,C∪{i}} of Eq. (1) with real-valued occupancies; [c] is the dense
-   index (bitmask) of the type. *)
-let flow (p : Params.t) x ~n ~c ~piece =
+   index (bitmask) of the type.  [us_scale] modulates the fixed seed's
+   rate (0 while a seed outage holds, 1 nominally). *)
+let flow (p : Params.t) ~us_scale x ~n ~c ~piece =
   let xc = x.(c) in
   if xc <= 0.0 || n <= 0.0 then 0.0
   else begin
     let cset = Pieceset.of_index c in
-    let seed_part = p.us /. float_of_int (Pieceset.missing_count ~k:p.k cset) in
+    let seed_part = us_scale *. p.us /. float_of_int (Pieceset.missing_count ~k:p.k cset) in
     let peer_part = ref 0.0 in
-    for s = 0 to Array.length x - 1 do
+    for s = 0 to dim p - 1 do
       if x.(s) > 0.0 then begin
         let sset = Pieceset.of_index s in
         if Pieceset.mem piece sset then begin
@@ -36,71 +67,129 @@ let flow (p : Params.t) x ~n ~c ~piece =
     xc /. n *. (seed_part +. (p.mu *. !peer_part))
   end
 
-let derivative (p : Params.t) x =
-  if Array.length x <> dim p then invalid_arg "Fluid.derivative: wrong vector size";
-  let n = total x in
-  let dx = Array.make (dim p) 0.0 in
+(* The full right-hand side, shared by the plain [derivative] (nominal
+   parameters) and the fluid simulator (fault-modulated, augmented).
+   With [us_scale = 1, abort_rate = 0, loss_factor = 1] and a bare
+   [dim p] vector this computes bit-for-bit what the pre-adaptive
+   [derivative] did — the Lyapunov drift cross-check test pins that. *)
+let drift_into (p : Params.t) ~us_scale ~abort_rate ~loss_factor x dx =
+  let d = dim p in
+  if Array.length x < d then invalid_arg "Fluid.drift_into: state vector too short";
+  if Array.length dx < d then invalid_arg "Fluid.drift_into: output vector too short";
+  let augmented = Array.length dx >= d + aug_slots in
+  Array.fill dx 0 (Array.length dx) 0.0;
+  let pop = total_types x d in
+  let n = Float.max pop n_floor in
   (* Arrivals. *)
   Array.iter
     (fun (c, rate) ->
       let i = Pieceset.to_index c in
       dx.(i) <- dx.(i) +. rate)
     p.arrivals;
+  if augmented then dx.(d + aug_arrivals) <- Params.lambda_total p;
   let full = Pieceset.to_index (Params.full_set p) in
+  let immediate = Params.immediate_departure p in
   (* Transfers. *)
-  for c = 0 to dim p - 1 do
+  for c = 0 to d - 1 do
     if c <> full && x.(c) > 0.0 then begin
       let cset = Pieceset.of_index c in
       Pieceset.iter
         (fun piece ->
-          let rate = flow p x ~n ~c ~piece in
-          if rate > 0.0 then begin
-            dx.(c) <- dx.(c) -. rate;
+          let raw = flow p ~us_scale x ~n ~c ~piece in
+          if raw > 0.0 then begin
+            (* A lost upload consumes the contact but moves no mass. *)
+            let eff = raw *. loss_factor in
+            dx.(c) <- dx.(c) -. eff;
             let target = Pieceset.to_index (Pieceset.add piece cset) in
+            let completes = target = full in
             (* γ = ∞: completion is departure, mass vanishes. *)
-            if not (target = full && Params.immediate_departure p) then
-              dx.(target) <- dx.(target) +. rate
+            if not (completes && immediate) then dx.(target) <- dx.(target) +. eff;
+            if augmented then begin
+              dx.(d + aug_transfers) <- dx.(d + aug_transfers) +. eff;
+              dx.(d + aug_lost) <- dx.(d + aug_lost) +. (raw -. eff);
+              if completes then begin
+                dx.(d + aug_completions) <- dx.(d + aug_completions) +. eff;
+                if immediate then dx.(d + aug_departures) <- dx.(d + aug_departures) +. eff
+              end
+            end
           end)
         (Pieceset.complement ~k:p.k cset)
     end
   done;
+  (* Churn: every non-seed density drains at [abort_rate]. *)
+  if abort_rate > 0.0 then
+    for c = 0 to d - 1 do
+      if c <> full && x.(c) > 0.0 then begin
+        let r = abort_rate *. x.(c) in
+        dx.(c) <- dx.(c) -. r;
+        if augmented then begin
+          dx.(d + aug_departures) <- dx.(d + aug_departures) +. r;
+          dx.(d + aug_aborted) <- dx.(d + aug_aborted) +. r
+        end
+      end
+    done;
   (* Peer-seed departures. *)
-  if not (Params.immediate_departure p) then dx.(full) <- dx.(full) -. (p.gamma *. x.(full));
+  if not immediate then begin
+    let r = p.gamma *. x.(full) in
+    dx.(full) <- dx.(full) -. r;
+    if augmented then dx.(d + aug_departures) <- dx.(d + aug_departures) +. r
+  end;
+  if augmented then dx.(d + aug_pop_integral) <- pop
+
+let derivative (p : Params.t) x =
+  if Array.length x <> dim p then invalid_arg "Fluid.derivative: wrong vector size";
+  let dx = Array.make (dim p) 0.0 in
+  drift_into p ~us_scale:1.0 ~abort_rate:0.0 ~loss_factor:1.0 x dx;
   dx
 
-let clamp_nonnegative x =
-  Array.iteri (fun i v -> if v < 0.0 then x.(i) <- 0.0) x
+let clamp_nonnegative x = Array.iteri (fun i v -> if v < 0.0 then x.(i) <- 0.0) x
 
-let rk4_step p x dt =
-  let axpy a v w = Array.mapi (fun i wi -> wi +. (a *. v.(i))) w in
-  let k1 = derivative p x in
-  let k2 = derivative p (axpy (dt /. 2.0) k1 x) in
-  let k3 = derivative p (axpy (dt /. 2.0) k2 x) in
-  let k4 = derivative p (axpy dt k3 x) in
-  let next =
-    Array.mapi
-      (fun i xi -> xi +. (dt /. 6.0 *. (k1.(i) +. (2.0 *. k2.(i)) +. (2.0 *. k3.(i)) +. k4.(i))))
-      x
-  in
-  clamp_nonnegative next;
-  next
+(* Adaptive integration tolerances: tight enough that the discretisation
+   error is invisible next to the mean-field approximation error, loose
+   enough that million-peer densities integrate in milliseconds. *)
+let integrate_control ~dt =
+  Ode.control ~rtol:1e-8 ~atol:1e-10 ~init_step:dt ()
+
+let validate_integrate (p : Params.t) ~init ~dt ~horizon ~record_every =
+  if Array.length init <> dim p then invalid_arg "Fluid.integrate: wrong vector size";
+  if not (Float.is_finite dt) || dt <= 0.0 || record_every < 1 then
+    invalid_arg "Fluid.integrate: bad step parameters";
+  if Float.is_nan horizon || horizon < 0.0 || not (Float.is_finite horizon) then
+    invalid_arg "Fluid.integrate: bad horizon"
 
 let integrate (p : Params.t) ~init ~dt ~horizon ~record_every =
-  if Array.length init <> dim p then invalid_arg "Fluid.integrate: wrong vector size";
-  if dt <= 0.0 || record_every < 1 then invalid_arg "Fluid.integrate: bad step parameters";
-  let steps = int_of_float (ceil (horizon /. dt)) in
-  let times = ref [ 0.0 ] in
-  let totals = ref [ total init ] in
-  let states = ref [ Array.copy init ] in
-  let x = ref (Array.copy init) in
-  for step = 1 to steps do
-    x := rk4_step p !x dt;
-    if step mod record_every = 0 || step = steps then begin
-      times := (float_of_int step *. dt) :: !times;
-      totals := total !x :: !totals;
-      states := Array.copy !x :: !states
-    end
-  done;
+  validate_integrate p ~init ~dt ~horizon ~record_every;
+  let f _t y = derivative p y in
+  let times = ref [] and totals = ref [] and states = ref [] in
+  let record t x =
+    let x = Array.copy x in
+    clamp_nonnegative x;
+    times := t :: !times;
+    totals := total x :: !totals;
+    states := x :: !states
+  in
+  record 0.0 init;
+  if horizon > 0.0 then begin
+    let session = Ode.session ~control:(integrate_control ~dt) ~f ~t0:0.0 ~y0:init () in
+    (* Sample the dense output on the grid [i * dt * record_every]
+       without constraining the steps the controller takes. *)
+    let grid = dt *. float_of_int record_every in
+    let gi = ref 1 in
+    let on_step s =
+      let t = Ode.time s in
+      let next () = float_of_int !gi *. grid in
+      while next () <= t && next () < horizon do
+        record (next ()) (Ode.dense_eval s (next ()));
+        incr gi
+      done
+    in
+    (match Ode.advance ~on_step session ~to_:horizon with
+    | Ode.Reached -> ()
+    | Ode.Step_limit ->
+        failwith "Fluid.integrate: step budget exhausted (is the ODE stiff at these params?)"
+    | Ode.Stopped _ -> assert false);
+    record horizon (Ode.state session)
+  end;
   {
     times = Array.of_list (List.rev !times);
     totals = Array.of_list (List.rev !totals);
@@ -108,18 +197,21 @@ let integrate (p : Params.t) ~init ~dt ~horizon ~record_every =
   }
 
 let equilibrium ?(dt = 0.01) ?(horizon = 2000.0) ?(tol = 1e-7) (p : Params.t) ~init =
-  let x = ref (Array.copy init) in
-  let steps = int_of_float (ceil (horizon /. dt)) in
-  let found = ref None in
-  let step = ref 0 in
-  while Option.is_none !found && !step < steps do
-    incr step;
-    x := rk4_step p !x dt;
-    if !step mod 100 = 0 then begin
-      let dx = derivative p !x in
-      let scale = Float.max 1.0 (total !x) in
-      let norm = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 dx in
-      if norm < tol *. scale then found := Some (Array.copy !x)
-    end
-  done;
-  !found
+  if Array.length init <> dim p then invalid_arg "Fluid.equilibrium: wrong vector size";
+  if not (Float.is_finite dt) || dt <= 0.0 then invalid_arg "Fluid.equilibrium: bad dt";
+  if Float.is_nan horizon || horizon < 0.0 || not (Float.is_finite horizon) then
+    invalid_arg "Fluid.equilibrium: bad horizon";
+  let f _t y = derivative p y in
+  let converged ~t:_ ~y =
+    let x = derivative p y in
+    let scale = Float.max 1.0 (total_types y (dim p)) in
+    let norm = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x in
+    norm < tol *. scale
+  in
+  let session = Ode.session ~control:(integrate_control ~dt) ~f ~t0:0.0 ~y0:init () in
+  match Ode.advance ~until:converged session ~to_:horizon with
+  | Ode.Stopped _ ->
+      let x = Array.copy (Ode.state session) in
+      clamp_nonnegative x;
+      Some x
+  | Ode.Reached | Ode.Step_limit -> None

@@ -7,12 +7,15 @@
 
     {v ẋ_C = λ_C + Σ_{i∈C} Γ_{C−i,C}(x) − Σ_{i∉C} Γ_{C,C∪i}(x) − γ·x_F·[C=F] v}
 
-    with [Γ] evaluated at real-valued [x].  The integrator is classic
-    fixed-step RK4 on the dense vector indexed by piece-set bitmask.  Used
-    as a qualitative baseline: inside the stability region trajectories
-    approach a finite equilibrium; in the transient region the one-club
-    coordinate grows linearly — the fluid picture of the missing piece
-    syndrome. *)
+    with [Γ] evaluated at real-valued [x].  Integration is adaptive
+    Dormand–Prince 5(4) ({!Ode}) with dense-output sampling, so
+    trajectories are recorded on an exact sim-time grid regardless of
+    the steps the error controller takes.  Inside the stability region
+    trajectories approach a finite equilibrium; in the transient region
+    the one-club coordinate grows linearly — the fluid picture of the
+    missing piece syndrome.  {!Sim_fluid} wraps this RHS in the shared
+    {!Engine} (telemetry, faults, counters); this module is the bare
+    maths. *)
 
 module Pieceset = P2p_pieceset.Pieceset
 
@@ -22,21 +25,72 @@ type trajectory = {
   states : float array array;  (** row per recorded time; index = bitmask *)
 }
 
+val dim : Params.t -> int
+(** Number of type densities: [2^k] piece-set bitmasks. *)
+
 val of_state : k:int -> State.t -> float array
 (** Dense vector from a discrete state. *)
 
 val derivative : Params.t -> float array -> float array
-(** The right-hand side of the ODE.
+(** The right-hand side of the ODE at nominal parameters.
     @raise Invalid_argument on a wrong-size vector. *)
+
+(** {1 Generalised right-hand side (the fluid backend's RHS)} *)
+
+val aug_slots : int
+(** The fluid simulator appends this many cumulative-flow slots after
+    the [dim p] densities; {!drift_into} fills their rates so event
+    counters come out of the integrator exactly. *)
+
+val aug_arrivals : int
+val aug_transfers : int
+val aug_completions : int
+val aug_departures : int
+val aug_aborted : int
+val aug_lost : int
+
+val aug_pop_integral : int
+(** Index offsets (from [dim p]) of each augmented slot; the last one
+    accumulates [∫ n(t) dt] for exact time-averaged population. *)
+
+val drift_into :
+  Params.t ->
+  us_scale:float ->
+  abort_rate:float ->
+  loss_factor:float ->
+  float array ->
+  float array ->
+  unit
+(** [drift_into p ~us_scale ~abort_rate ~loss_factor x dx] writes the
+    fault-modulated drift of [x] into [dx] (overwriting it).  [us_scale]
+    multiplies the fixed seed's upload rate (0 during a seed outage),
+    [abort_rate] drains every non-seed density (churn), [loss_factor]
+    is the fraction of uploads that actually deliver (1 - loss
+    probability) — lost uploads consume contacts but move no mass.
+    Only the first [dim p] entries of [x] are read; if [dx] has at
+    least [dim p + aug_slots] entries the cumulative-flow rates are
+    written after the densities.  With nominal parameters this is
+    bit-identical to {!derivative}.
+    @raise Invalid_argument on short vectors. *)
+
+val clamp_nonnegative : float array -> unit
+(** Zero out tiny negative densities (integration round-off) in place —
+    applied to {e outputs}, never mid-integration. *)
+
+(** {1 Integration} *)
 
 val integrate :
   Params.t -> init:float array -> dt:float -> horizon:float -> record_every:int -> trajectory
-(** RK4 with step [dt]; records every [record_every]-th step. *)
+(** Adaptive integration over [[0, horizon]], recorded on the grid
+    [i * dt * record_every] (plus the horizon itself); [dt] seeds the
+    controller's first trial step.  @raise Invalid_argument if [dt] is
+    not finite positive, [record_every < 1], [horizon] is NaN, negative
+    or infinite, or [init] has the wrong size. *)
 
 val equilibrium :
   ?dt:float -> ?horizon:float -> ?tol:float -> Params.t -> init:float array -> float array option
 (** Integrate until the derivative's max-norm falls below [tol] (relative
     to the state scale); [None] if the horizon is hit first (e.g. in the
-    transient regime). *)
+    transient regime).  @raise Invalid_argument as {!integrate}. *)
 
 val total : float array -> float

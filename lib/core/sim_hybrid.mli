@@ -1,0 +1,93 @@
+(** Hybrid stochastic↔fluid simulation: exact CTMC dynamics while the
+    swarm is small, the mean-field ODE once it is large.
+
+    The mean-field limit is accurate exactly where the CTMC simulators
+    are expensive (large populations) and useless exactly where they are
+    cheap (near-extinction, where integer effects and the missing-piece
+    club are the whole story).  The hybrid runs {!Sim_markov} until the
+    population first reaches [up], hands the empirical type counts to
+    {!Sim_fluid} as densities, integrates until the fluid total drains
+    to [down], rounds the densities back to integer counts, and repeats
+    — one global clock, one shared sampling grid, one fault schedule
+    spanning all segments.
+
+    {b Deterministic switch points.}  Upward switches happen on CTMC
+    event times (a pure function of the caller's [rng]); downward
+    switches are located by deterministic bisection on the integrator's
+    dense output; and fluid→stochastic rounding is largest-remainder
+    (ties to the lower index) with no randomness.  Same seed and
+    thresholds ⇒ bit-identical switch times, samples, and statistics,
+    across processes and [--jobs] counts (a test pins this).
+
+    {b Approximation contract.}  Each handoff projects a distribution
+    onto its mean, so the hybrid is {e not} a sampler of the exact CTMC
+    path law above [up] — it is the standard fluid approximation with
+    stochastic boundary layers.  Choose [up] large enough that relative
+    fluctuations ([∼ 1/√up]) are negligible for your question. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+type config = {
+  markov : Sim_markov.config;  (** parameters, policy, faults, initial state *)
+  up : int;  (** hand stochastic → fluid when the population reaches this *)
+  down : int;  (** hand fluid → stochastic when total mass falls to this *)
+  control : Ode.control;  (** stepper tolerances for the fluid segments *)
+}
+
+val default_config : ?up:int -> ?down:int -> Sim_markov.config -> config
+(** Thresholds default to [up = 1000], [down = 100]. *)
+
+type switch = {
+  at : float;  (** global simulation time of the handoff *)
+  to_fluid : bool;
+  n : float;  (** population at the switch *)
+}
+
+type stats = {
+  final_time : float;
+  events : int;  (** stochastic events + accepted fluid steps *)
+  markov_events : int;
+  fluid_steps : int;
+  arrivals : float;  (** integer counts from stochastic segments plus
+                         exact flow integrals from fluid ones *)
+  transfers : float;
+  completions : float;
+  departures : float;
+  aborted : float;
+  lost : float;
+  time_avg_n : float;  (** duration-weighted across segments *)
+  max_n : int;
+  final_n : float;
+  visits_to_empty : int;  (** from stochastic segments only *)
+  truncated : bool;  (** an event or step budget ran out *)
+  outage_time : float;  (** cumulative across the whole run *)
+  switches : switch list;  (** chronological *)
+  samples : (float * int) array;
+      (** one continuous grid across all segments — the same contract
+          as every other backend, so [p2psim report] works unchanged *)
+}
+
+val run :
+  ?probe:P2p_obs.Probe.t ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  rng:P2p_prng.Rng.t ->
+  config ->
+  horizon:float ->
+  stats * float array
+(** Simulate on [0, horizon]; returns statistics and the final state as
+    a density vector (exact integers after a stochastic segment).
+    [max_events] budgets the stochastic segments globally (default 200
+    million); fluid segments are budgeted by [config.control.max_steps]
+    per segment.  [probe] sees each segment's events and samples plus a
+    [Handoff] event at every switch.
+    @raise Invalid_argument unless [up > down >= 0]. *)
+
+val run_seeded :
+  ?probe:P2p_obs.Probe.t ->
+  ?sample_every:float ->
+  ?max_events:int ->
+  seed:int ->
+  config ->
+  horizon:float ->
+  stats * float array

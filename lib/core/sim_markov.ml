@@ -25,6 +25,7 @@ type stats = {
   final_n : int;
   visits_to_empty : int;
   truncated : bool;
+  stopped : bool;
   outage_time : float;
   aborted_peers : int;
   lost_transfers : int;
@@ -68,10 +69,11 @@ let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader
       else State.move_peer state ~from_:downloader ~to_:target;
       true
 
-let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ~rng config ~horizon =
+let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until ~rng config
+    ~horizon =
   let p = config.params in
   let common, (state, visits_to_empty) =
-    Engine.drive ~probe ?sample_every ?max_events ~name:"sim_markov" ~rng
+    Engine.drive ~probe ?sample_every ?max_events ?resume ~name:"sim_markov" ~rng
       ~faults:config.faults ~horizon (fun h ->
         let tracing = probe.Probe.tracing in
         let full = Params.full_set p in
@@ -84,7 +86,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ~rng config ~h
         let frun = Engine.faults h in
         let abort_rate = config.faults.abort_rate in
         let visits_to_empty = ref 0 in
-        Engine.observe h ~time:0.0 ~n:(State.n state);
+        Engine.observe h ~time:(Engine.start_time h) ~n:(State.n state);
         (* Rate bands, stashed by [total_rate] for [apply]'s dispatch. *)
         let rate_arrival = ref 0.0 in
         let rate_seed_contact = ref 0.0 in
@@ -149,7 +151,10 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ~rng config ~h
             let n' = State.n state in
             Engine.observe h ~time ~n:n';
             if n' = 0 then incr visits_to_empty;
-            match observer with Some f -> f ~time ~state | None -> ()
+            (match observer with Some f -> f ~time ~state | None -> ());
+            match until with
+            | Some pred when pred ~time ~n:n' -> Engine.request_stop h
+            | _ -> ()
           end
         in
         let model =
@@ -182,6 +187,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ~rng config ~h
       final_n = common.Engine.final_n;
       visits_to_empty = !visits_to_empty;
       truncated = common.Engine.truncated;
+      stopped = common.Engine.stopped;
       outage_time = common.Engine.outage_time;
       aborted_peers = common.Engine.aborted_peers;
       lost_transfers = common.Engine.lost_transfers;
@@ -190,6 +196,6 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ~rng config ~h
   in
   (stats, state)
 
-let run_seeded ?probe ?observer ?sample_every ?max_events ~seed config ~horizon =
+let run_seeded ?probe ?observer ?sample_every ?max_events ?resume ?until ~seed config ~horizon =
   let rng = Rng.of_seed seed in
-  run ?probe ?observer ?sample_every ?max_events ~rng config ~horizon
+  run ?probe ?observer ?sample_every ?max_events ?resume ?until ~rng config ~horizon

@@ -38,6 +38,9 @@ type stats = {
           still reads [horizon] but [time_avg_n], [samples] and every
           other time-based statistic are biased toward the frozen
           state.  Check this flag before trusting long runs. *)
+  stopped : bool;
+      (** an [until] predicate ended the run early: [final_time] is the
+          stop time, nothing after it was simulated *)
   outage_time : float;  (** total time the fixed seed spent down *)
   aborted_peers : int;  (** churn departures (also counted in [departures]) *)
   lost_transfers : int;  (** uploads dropped by transfer loss *)
@@ -49,14 +52,19 @@ val run :
   ?observer:(time:float -> state:State.t -> unit) ->
   ?sample_every:float ->
   ?max_events:int ->
+  ?resume:Engine.resume ->
+  ?until:(time:float -> n:int -> bool) ->
   rng:P2p_prng.Rng.t ->
   config ->
   horizon:float ->
   stats * State.t
-(** Simulate on [0, horizon].  [observer] fires after every state change;
-    [sample_every] sets the grid for [samples] (default [horizon/200]);
-    [max_events] is a safety valve (default 200 million).  Returns the
-    statistics and the final state.
+(** Simulate on [0, horizon] (or [[resume.t0], horizon] for a resumed
+    hybrid segment).  [observer] fires after every state change;
+    [until], checked after every state-changing event, ends the run at
+    the first event where it holds (sets [stopped]; the hybrid
+    upward-handoff trigger); [sample_every] sets the grid for [samples]
+    (default [horizon/200]); [max_events] is a safety valve (default
+    200 million).  Returns the statistics and the final state.
 
     [probe] (default {!P2p_obs.Probe.none}) attaches telemetry: event
     tracing (arrivals, contacts, transfers, departures, seed toggles),
@@ -71,6 +79,8 @@ val run_seeded :
   ?observer:(time:float -> state:State.t -> unit) ->
   ?sample_every:float ->
   ?max_events:int ->
+  ?resume:Engine.resume ->
+  ?until:(time:float -> n:int -> bool) ->
   seed:int ->
   config ->
   horizon:float ->

@@ -9,6 +9,7 @@ type event =
   | Transfer_lost
   | Departure of { kind : departure_kind }
   | Seed_toggle of { up : bool }
+  | Handoff of { fluid : bool; n : float }
 
 let event_name = function
   | Arrival _ -> "arrival"
@@ -19,6 +20,8 @@ let event_name = function
   | Departure { kind = Aborted } -> "departure_aborted"
   | Departure { kind = Seed_departed } -> "departure_seed"
   | Seed_toggle _ -> "seed_toggle"
+  | Handoff { fluid = true; _ } -> "handoff_to_fluid"
+  | Handoff { fluid = false; _ } -> "handoff_to_stochastic"
 
 let event_args = function
   | Arrival { pieces } ->
@@ -33,6 +36,7 @@ let event_args = function
   | Transfer_lost -> []
   | Departure _ -> []
   | Seed_toggle { up } -> [ ("up", Json.Bool up) ]
+  | Handoff { fluid; n } -> [ ("fluid", Json.Bool fluid); ("n", Json.Float n) ]
 
 type sample = {
   time : float;

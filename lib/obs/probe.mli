@@ -33,6 +33,9 @@ type event =
   | Transfer_lost  (** fault injection dropped a would-be upload *)
   | Departure of { kind : departure_kind }
   | Seed_toggle of { up : bool }  (** fault injection flipped the fixed seed *)
+  | Handoff of { fluid : bool; n : float }
+      (** the hybrid backend switched regime: [fluid = true] = stochastic
+          → fluid at population [n]; [false] = fluid → stochastic *)
 
 val event_name : event -> string
 val event_args : event -> (string * Json.t) list

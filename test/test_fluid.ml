@@ -96,18 +96,70 @@ let test_nonnegativity_preserved () =
     (Array.iter (fun v -> Alcotest.(check bool) "nonnegative" true (v >= 0.0)))
     traj.states
 
+(* The adaptive stepper must land on the same equilibria the fixed-step
+   RK4 integrator found.  Values pinned from the pre-RK45 implementation
+   (dt = 0.01, tol = 1e-6); agreement within 1e-3 absolute per
+   component is well inside both integrators' error. *)
+let test_equilibrium_matches_rk4_pinned () =
+  let init = Fluid.of_state ~k:3 (State.create ()) in
+  match Fluid.equilibrium stable ~init with
+  | None -> Alcotest.fail "expected equilibrium"
+  | Some eq ->
+      let pinned =
+        [|
+          0.0; 1.12388078582; 1.12388078582; 1.60816963592;
+          1.12388078582; 1.60816963592; 1.60816963592; 1.99999972634;
+        |]
+      in
+      Alcotest.(check (float 1e-3)) "total" 10.1961509916 (Fluid.total eq);
+      Array.iteri
+        (fun i v -> Alcotest.(check (float 1e-3)) (Printf.sprintf "x[%d]" i) v eq.(i))
+        pinned
+
+let test_two_chunk_equilibrium_pinned () =
+  (* K = 2, lambda = us = mu = 1, gamma = inf: the Norros–Reittu–Eirola
+     closed form gives x_0 = 1, x_1 = x_2 = 1/sqrt 2, total 1 + sqrt 2.
+     Pinned against the old RK4 run of the same scenario. *)
+  let p = Scenario.flash_crowd ~k:2 ~lambda:1.0 ~us:1.0 ~mu:1.0 ~gamma:infinity in
+  let init = Fluid.of_state ~k:2 (State.create ()) in
+  match Fluid.equilibrium p ~init with
+  | None -> Alcotest.fail "expected equilibrium"
+  | Some eq ->
+      Alcotest.(check (float 1e-3)) "total 1 + sqrt 2" 2.41421277951 (Fluid.total eq);
+      Alcotest.(check (float 1e-3)) "x_empty" 1.0 eq.(0);
+      Alcotest.(check (float 1e-3)) "x_{1}" (1.0 /. Float.sqrt 2.0) eq.(1);
+      Alcotest.(check (float 1e-3)) "x_{2}" (1.0 /. Float.sqrt 2.0) eq.(2)
+
+let test_grid_times_exact () =
+  (* Recorded times are exact multiples of dt * record_every (computed as
+     float-of-int multiples, not accumulated sums), ending at the horizon. *)
+  let init = Fluid.of_state ~k:3 (State.create ()) in
+  let traj = Fluid.integrate stable ~init ~dt:0.1 ~horizon:10.0 ~record_every:10 in
+  let n = Array.length traj.times in
+  Alcotest.(check int) "11 grid points + horizon dedup" 11 n;
+  Array.iteri
+    (fun i t -> Alcotest.(check (float 0.0)) (Printf.sprintf "grid %d" i) (float_of_int i *. 1.0) t)
+    traj.times
+
 let test_bad_arguments () =
   let init = Fluid.of_state ~k:3 (State.create ()) in
-  Alcotest.(check bool) "wrong size" true
-    (try
-       ignore (Fluid.derivative stable (Array.make 3 0.0));
-       false
-     with Invalid_argument _ -> true);
-  Alcotest.(check bool) "bad dt" true
-    (try
-       ignore (Fluid.integrate stable ~init ~dt:0.0 ~horizon:1.0 ~record_every:1);
-       false
-     with Invalid_argument _ -> true)
+  let rejects name f =
+    Alcotest.(check bool) name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  rejects "wrong size" (fun () -> Fluid.derivative stable (Array.make 3 0.0));
+  rejects "dt = 0" (fun () -> Fluid.integrate stable ~init ~dt:0.0 ~horizon:1.0 ~record_every:1);
+  rejects "dt < 0" (fun () ->
+      Fluid.integrate stable ~init ~dt:(-0.1) ~horizon:1.0 ~record_every:1);
+  rejects "dt nan" (fun () ->
+      Fluid.integrate stable ~init ~dt:Float.nan ~horizon:1.0 ~record_every:1);
+  rejects "horizon nan" (fun () ->
+      Fluid.integrate stable ~init ~dt:0.1 ~horizon:Float.nan ~record_every:1);
+  rejects "horizon < 0" (fun () ->
+      Fluid.integrate stable ~init ~dt:0.1 ~horizon:(-1.0) ~record_every:1);
+  rejects "horizon infinite" (fun () ->
+      Fluid.integrate stable ~init ~dt:0.1 ~horizon:infinity ~record_every:1);
+  rejects "record_every = 0" (fun () ->
+      Fluid.integrate stable ~init ~dt:0.1 ~horizon:1.0 ~record_every:0)
 
 let () =
   Alcotest.run "fluid"
@@ -123,6 +175,11 @@ let () =
           Alcotest.test_case "no equilibrium transient" `Quick test_transient_no_equilibrium;
           Alcotest.test_case "linear growth" `Quick test_transient_linear_growth;
           Alcotest.test_case "nonnegativity" `Quick test_nonnegativity_preserved;
+          Alcotest.test_case "equilibrium matches RK4 pinned" `Quick
+            test_equilibrium_matches_rk4_pinned;
+          Alcotest.test_case "two-chunk equilibrium pinned" `Quick
+            test_two_chunk_equilibrium_pinned;
+          Alcotest.test_case "grid times exact" `Quick test_grid_times_exact;
           Alcotest.test_case "bad arguments" `Quick test_bad_arguments;
         ] );
     ]

@@ -91,11 +91,28 @@ if [ "${CHECK_BENCH:-0}" = "1" ]; then
   timeout "$left" _build/default/bin/p2psim.exe coded --sim -k 6 -f 0.3 -t 150 \
     --probe-interval 5 --trace "$out/coded_trace.jsonl" >/dev/null || {
     echo "FAIL: traced coded simulate exited non-zero" >&2; exit 1; }
-  # Regression gate: the fresh quick-bench events/s (all four simulators)
-  # must stay within 30% of the committed BENCH_PR5.json baseline (skips
-  # when absent).
+  # The fluid backend at headline scale: a million-peer flash crowd
+  # through the CLI with probes on, round-tripped through `report`, and
+  # a hybrid run that actually crosses its thresholds.
   left=$(remaining)
-  BENCH_GATE_BASELINE="${BENCH_GATE_BASELINE:-BENCH_PR5.json}" \
+  timeout "$left" _build/default/bin/p2psim.exe fluid -k 8 --us 1 --gamma 2 \
+    --arrive none=100 --init none=1e6 -t 100 \
+    --metrics-out "$out/fluid_probe.jsonl" >/dev/null || {
+    echo "FAIL: million-peer fluid run exited non-zero" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" _build/default/bin/p2psim.exe report "$out/fluid_probe.jsonl" >/dev/null || {
+    echo "FAIL: p2psim report on fluid probes exited non-zero" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" _build/default/bin/p2psim.exe fluid -k 2 --us 50 --gamma inf \
+    --arrive none=40 -t 50 --hybrid --switch-up 95 --switch-down 80 --seed 7 \
+    >/dev/null || {
+    echo "FAIL: hybrid fluid run exited non-zero" >&2; exit 1; }
+  # Regression gate: the fresh quick-bench events/s (all four simulators)
+  # plus the fluid stepper's steps/s and million-peer wall clock must
+  # stay within bounds of the committed BENCH_PR6.json baseline (skips
+  # the ratio checks when the baseline is absent).
+  left=$(remaining)
+  BENCH_GATE_BASELINE="${BENCH_GATE_BASELINE:-BENCH_PR6.json}" \
   BENCH_GATE_NEW="${BENCH_GATE_NEW:-$out/BENCH_smoke.json}" \
   timeout "$left" _build/default/bench/main.exe bench-gate || {
     echo "FAIL: bench-gate reported a throughput regression" >&2; exit 1; }
