@@ -395,10 +395,9 @@ let bench_json_to ~quick path =
         ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
       ]
   in
-  let oc = open_out path in
-  Json.to_channel oc j;
-  output_char oc '\n';
-  close_out oc;
+  Json.write_file_atomic path (fun oc ->
+      Json.to_channel oc j;
+      output_char oc '\n');
   Printf.printf "wrote %s\n" path
 
 let bench_json () = bench_json_to ~quick:false "BENCH_PR6.json"

@@ -11,7 +11,8 @@
      drift     - Lyapunov drift scan (the Foster-Lyapunov certificate)
      exact     - exact stationary distribution on a truncated state space
      reachable - minimal closed set of states under a selection policy
-     borderline- the mu = infinity watched process of Section VIII-D *)
+     borderline- the mu = infinity watched process of Section VIII-D
+     campaign  - checkpointed sweeps over a crash-safe result store *)
 
 open Cmdliner
 module Pieceset = P2p_pieceset.Pieceset
@@ -22,6 +23,10 @@ module Trace = P2p_obs.Trace
 module Series = P2p_obs.Series
 module Profile = P2p_obs.Profile
 module Progress = P2p_obs.Progress
+module Json = P2p_obs.Json
+module Campaign = P2p_campaign.Campaign
+module Campaign_spec = P2p_campaign.Spec
+module Store = P2p_campaign.Store
 open P2p_core
 
 (* ---- shared argument parsing ---- *)
@@ -182,6 +187,23 @@ let max_events_arg =
            ~doc:"Per-replication event budget; a run that exhausts it is frozen at its current \
                  state and counted as partial.")
 
+let timeout_conv what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0.0 -> Ok v
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "%s must be a finite positive number of seconds, got %S" what s))
+  in
+  Arg.conv (parse, fun fmt v -> Format.fprintf fmt "%g" v)
+
+let rep_timeout_arg =
+  Arg.(value & opt (some (timeout_conv "replication timeout")) None
+       & info [ "rep-timeout" ] ~docv:"SECS"
+           ~doc:"Per-replication wall-clock watchdog: an attempt running longer than $(docv) \
+                 seconds is recorded as a failure and handled by --on-error (a retried attempt \
+                 gets a fresh deterministic stream and a fresh watchdog). Wall-clock limits are \
+                 scheduling-dependent; pick a wide margin if results must be reproducible.")
+
 (* ---- telemetry flags (simulate / region) ---- *)
 
 type telemetry = {
@@ -277,9 +299,7 @@ let with_single_run_probe tel ~k ~horizon f =
       match tel.metrics_out with
       | None -> ()
       | Some file ->
-          let oc = open_out file in
-          Series.write s oc;
-          close_out oc;
+          Json.write_file_atomic file (fun oc -> Series.write s oc);
           Printf.printf "wrote %d probe samples to %s\n" (Series.count s) file)
     series;
   Option.iter
@@ -317,10 +337,11 @@ let report_failures (timing : Runner.timing) =
    (and under skip/retry: surviving replications keep their streams).
    [after_table] slots model-specific commentary between the table and
    the partial/failure report. *)
-let replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics
+let replication_table ~reps ~seed ~jobs ~on_error ?rep_timeout_s ~progress ~metrics
     ?(after_table = fun () -> ()) thunk =
   let summary =
-    Runner.run_summary ~jobs:(resolve_jobs jobs) ~on_error ~handle_sigint:true ~progress
+    Runner.run_summary ~jobs:(resolve_jobs jobs) ~on_error ?rep_timeout_s ~handle_sigint:true
+      ~progress
       ~hist:{ Runner.lo = 0.0; hi = 400.0; bins = 20 }
       ~metrics ~master_seed:seed ~replications:reps thunk
   in
@@ -365,6 +386,15 @@ let truncation_warning truncated =
   if truncated then
     print_endline "WARNING: max_events budget exhausted before the horizon; \
                    time-based statistics are biased"
+
+(* Trajectory CSVs go through write-tmp-then-rename like every other
+   emitter: a crash mid-write leaves the previous file (or nothing),
+   never a torn one. *)
+let write_samples_csv file samples =
+  Json.write_file_atomic file (fun oc ->
+      output_string oc "time,population\n";
+      Array.iter (fun (t, n) -> Printf.fprintf oc "%g,%d\n" t n) samples);
+  Printf.printf "wrote %s\n" file
 
 let reject_single_run_telemetry tel =
   if tel.trace <> None then
@@ -420,8 +450,8 @@ let simulate_cmd =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE"
          ~doc:"Write the sampled (t, N_t) trajectory as CSV.")
   in
-  let replicated params horizon seed agent policy reps jobs faults on_error max_events
-      ~progress:want_progress =
+  let replicated params horizon seed agent policy reps jobs faults on_error rep_timeout
+      max_events ~progress:want_progress =
     let progress = if want_progress then Progress.create ~total:reps () else Progress.silent in
     let with_faults = not (Faults.is_none faults) in
     let metrics =
@@ -439,7 +469,12 @@ let simulate_cmd =
         end
         else begin
           let config = { (Sim_markov.default_config params) with policy; faults } in
-          let s, _ = Sim_markov.run ?max_events ~rng config ~horizon in
+          let s, _ =
+            Sim_markov.run ?max_events ~rng
+              ~until:(fun ~time:_ ~n:_ -> Runner.deadline_exceeded ())
+              config ~horizon
+          in
+          if s.stopped then raise Runner.Rep_timeout;
           Progress.add_events progress s.events;
           ( s.time_avg_n, s.final_n, s.transfers, s.departures, s.samples, s.truncated,
             [| s.outage_time; float_of_int s.aborted_peers; float_of_int s.lost_transfers |] )
@@ -454,26 +489,22 @@ let simulate_cmd =
       in
       Runner.rep ~flagged:truncated ~obs:[| time_avg_n |] values
     in
-    replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics
+    replication_table ~reps ~seed ~jobs ~on_error ?rep_timeout_s:rep_timeout ~progress ~metrics
       ~after_table:(fun () -> report_effective_verdict params faults)
       thunk
   in
-  let run params horizon seed agent policy csv reps jobs faults on_error max_events tel =
+  let run params horizon seed agent policy csv reps jobs faults on_error rep_timeout
+      max_events tel =
     let write_csv samples =
       match csv with
       | None -> ()
-      | Some file ->
-          let oc = open_out file in
-          output_string oc "time,population\n";
-          Array.iter (fun (t, n) -> Printf.fprintf oc "%g,%d\n" t n) samples;
-          close_out oc;
-          Printf.printf "wrote %s\n" file
+      | Some file -> write_samples_csv file samples
     in
     let fault_rows = fault_rows faults in
     if reps > 1 then begin
       reject_single_run_telemetry tel;
-      replicated params horizon seed agent policy reps jobs faults on_error max_events
-        ~progress:tel.progress
+      replicated params horizon seed agent policy reps jobs faults on_error rep_timeout
+        max_events ~progress:tel.progress
     end
     else if agent then begin
       let config = { (Sim_agent.default_config params) with policy; faults } in
@@ -531,8 +562,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Run the exact stochastic simulation")
     Term.(const run $ params_term $ horizon_arg $ seed_arg $ agent_arg $ policy_arg $ csv_arg
-          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ max_events_arg
-          $ telemetry_term)
+          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ rep_timeout_arg
+          $ max_events_arg $ telemetry_term)
 
 (* ---- fluid ---- *)
 
@@ -580,12 +611,7 @@ let fluid_cmd =
     let write_csv samples =
       match csv with
       | None -> ()
-      | Some file ->
-          let oc = open_out file in
-          output_string oc "time,population\n";
-          Array.iter (fun (t, n) -> Printf.fprintf oc "%g,%d\n" t n) samples;
-          close_out oc;
-          Printf.printf "wrote %s\n" file
+      | Some file -> write_samples_csv file samples
     in
     let empirical samples =
       let r = Classify.of_samples samples in
@@ -785,7 +811,7 @@ let coded_cmd =
     Arg.(value & opt float 0.25 & info [ "f"; "gift-fraction" ] ~docv:"FRAC" ~doc:"Gifted fraction of arrivals.")
   in
   let sim_arg = Arg.(value & flag & info [ "sim" ] ~doc:"Also simulate the coded swarm.") in
-  let replicated config ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+  let replicated config ~horizon ~seed ~reps ~jobs ~faults ~on_error ~rep_timeout ~max_events
       ~progress:want_progress =
     let progress = if want_progress then Progress.create ~total:reps () else Progress.silent in
     let with_faults = not (Faults.is_none faults) in
@@ -808,9 +834,11 @@ let coded_cmd =
       in
       Runner.rep ~flagged:s.truncated ~obs:[| s.time_avg_n |] values
     in
-    replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics thunk
+    replication_table ~reps ~seed ~jobs ~on_error ?rep_timeout_s:rep_timeout ~progress ~metrics
+      thunk
   in
-  let run k q f us mu gamma horizon seed sim reps jobs faults on_error max_events tel =
+  let run k q f us mu gamma horizon seed sim reps jobs faults on_error rep_timeout max_events
+      tel =
     let g =
       { Stability.Coded.q; k; us; mu; gamma; lambda0 = 1.0 -. f; lambda1 = f }
     in
@@ -825,7 +853,7 @@ let coded_cmd =
       let config = { (Sim_coded.of_gift g) with faults } in
       if reps > 1 then begin
         reject_single_run_telemetry tel;
-        replicated config ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+        replicated config ~horizon ~seed ~reps ~jobs ~faults ~on_error ~rep_timeout ~max_events
           ~progress:tel.progress
       end
       else begin
@@ -854,7 +882,7 @@ let coded_cmd =
   Cmd.v (Cmd.info "coded" ~doc:"Theorem 15: network coding thresholds and simulation")
     Term.(const run $ k_arg $ q_arg $ f_arg $ us_arg $ mu_arg $ gamma_arg $ horizon_arg
           $ seed_arg $ sim_arg $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg
-          $ max_events_arg $ telemetry_term)
+          $ rep_timeout_arg $ max_events_arg $ telemetry_term)
 
 (* ---- drift ---- *)
 
@@ -917,7 +945,7 @@ let overlay_cmd =
     Arg.(value & opt choice_conv Sim_network.Random_useful & info [ "choice" ] ~docv:"NAME"
          ~doc:"Piece choice: random|rarest-global|rarest-local.")
   in
-  let replicated cfg ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+  let replicated cfg ~horizon ~seed ~reps ~jobs ~faults ~on_error ~rep_timeout ~max_events
       ~progress:want_progress =
     let progress = if want_progress then Progress.create ~total:reps () else Progress.silent in
     let with_faults = not (Faults.is_none faults) in
@@ -943,13 +971,15 @@ let overlay_cmd =
       in
       Runner.rep ~flagged:s.truncated ~obs:[| s.time_avg_n |] values
     in
-    replication_table ~reps ~seed ~jobs ~on_error ~progress ~metrics thunk
+    replication_table ~reps ~seed ~jobs ~on_error ?rep_timeout_s:rep_timeout ~progress ~metrics
+      thunk
   in
-  let run params horizon seed degree choice reps jobs faults on_error max_events tel =
+  let run params horizon seed degree choice reps jobs faults on_error rep_timeout max_events
+      tel =
     let cfg = { (Sim_network.default_config params) with degree; choice; faults } in
     if reps > 1 then begin
       reject_single_run_telemetry tel;
-      replicated cfg ~horizon ~seed ~reps ~jobs ~faults ~on_error ~max_events
+      replicated cfg ~horizon ~seed ~reps ~jobs ~faults ~on_error ~rep_timeout ~max_events
         ~progress:tel.progress;
       report_effective_verdict params faults
     end
@@ -978,8 +1008,8 @@ let overlay_cmd =
   Cmd.v
     (Cmd.info "overlay" ~doc:"Simulate the swarm on a sparse random overlay")
     Term.(const run $ params_term $ horizon_arg $ seed_arg $ degree_arg $ choice_arg
-          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ max_events_arg
-          $ telemetry_term)
+          $ reps_arg ~default:1 $ jobs_arg $ faults_term $ on_error_arg $ rep_timeout_arg
+          $ max_events_arg $ telemetry_term)
 
 (* ---- hetero ---- *)
 
@@ -1164,6 +1194,125 @@ let borderline_cmd =
   Cmd.v (Cmd.info "borderline" ~doc:"The mu=infinity borderline process (Section VIII-D)")
     Term.(const run $ k_arg $ seed_arg $ start_arg $ count_arg $ cap_arg)
 
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let dir_arg =
+    Arg.(required & opt (some string) None
+         & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Campaign directory (the crash-safe store).")
+  in
+  let cell_timeout_arg =
+    Arg.(value & opt (some (timeout_conv "cell timeout")) None
+         & info [ "cell-timeout" ] ~docv:"SECS"
+             ~doc:"Wall-clock watchdog per replication of a cell; an overrunning cell is a \
+                   failure handled by --on-error (retried attempts use fresh deterministic \
+                   streams and fresh watchdogs).")
+  in
+  let backoff_arg =
+    Arg.(value & opt float 1.0
+         & info [ "retry-backoff" ] ~docv:"SECS"
+             ~doc:"Base exponential backoff before retry attempt A of a failing cell: \
+                   $(docv) x 2^(A-1) seconds. 0 = retry immediately.")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt int 25
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Seal the active store segment and write a checkpoint every $(docv) cells.")
+  in
+  let registry_arg =
+    Arg.(value & opt (some string) None
+         & info [ "registry" ] ~docv:"FILE"
+             ~doc:"Experiment-log JSONL: append an entry (name, hypothesis, spec hash, exact \
+                   command, cell counts, verdict) when the campaign ends, however it ends.")
+  in
+  let crash_after_arg =
+    Arg.(value & opt (some int) None
+         & info [ "crash-after" ] ~docv:"N"
+             ~doc:"Testing hook: exit(99) immediately after persisting the $(docv)-th new cell \
+                   record of this process — simulates a kill at a cell boundary.")
+  in
+  let opts_term =
+    let make jobs on_error cell_timeout backoff every progress registry crash_after =
+      if not (Float.is_finite backoff) || backoff < 0.0 then
+        usage_error "--retry-backoff must be a finite non-negative number of seconds";
+      if every < 1 then usage_error "--checkpoint-every must be at least 1";
+      {
+        Campaign.default_options with
+        jobs = (if jobs <= 0 then None else Some jobs);
+        on_error;
+        cell_timeout_s = cell_timeout;
+        retry_backoff_s = backoff;
+        checkpoint_every = every;
+        progress;
+        registry;
+        command = String.concat " " (Array.to_list Sys.argv);
+        crash_after_cells = crash_after;
+        handle_signals = true;
+      }
+    in
+    Term.(const make $ jobs_arg $ on_error_arg $ cell_timeout_arg $ backoff_arg
+          $ checkpoint_every_arg $ progress_arg $ registry_arg $ crash_after_arg)
+  in
+  let finish dir = function
+    | Error msg ->
+        prerr_endline ("p2psim campaign: " ^ msg);
+        exit 1
+    | Ok (o : Campaign.outcome) ->
+        Report.kv
+          [
+            ("cells done", string_of_int o.cells_done);
+            ("run by this process", string_of_int o.cells_run);
+            ("failed cells", string_of_int o.failed);
+            ( "status",
+              if o.complete then "complete"
+              else if o.interrupted then "interrupted"
+              else "partial" );
+          ];
+        if o.complete then Printf.printf "results: %s\n" (Store.results_path ~dir)
+        else begin
+          Printf.printf "resume with: p2psim campaign resume --dir %s\n" dir;
+          exit 3
+        end
+  in
+  let run_cmd =
+    let spec_arg =
+      Arg.(required & pos 0 (some file) None
+           & info [] ~docv:"SPEC.json" ~doc:"Campaign spec file.")
+    in
+    let run spec_file dir opts =
+      match Campaign_spec.of_file spec_file with
+      | Error msg -> usage_error "%s: %s" spec_file msg
+      | Ok spec ->
+          Printf.printf "campaign %S (spec hash %s)\n" spec.Campaign_spec.name
+            (Campaign_spec.hash spec);
+          finish dir (Campaign.run ~dir opts spec)
+    in
+    Cmd.v
+      (Cmd.info "run" ~doc:"Start a campaign from a spec file")
+      Term.(const run $ spec_arg $ dir_arg $ opts_term)
+  in
+  let resume_cmd =
+    let run dir opts = finish dir (Campaign.resume ~dir opts) in
+    Cmd.v
+      (Cmd.info "resume"
+         ~doc:"Continue a campaign from its store, quarantining any torn trailing record")
+      Term.(const run $ dir_arg $ opts_term)
+  in
+  let status_cmd =
+    let run dir =
+      match Campaign.status ~dir with
+      | Error msg -> usage_error "%s" msg
+      | Ok json -> print_endline (Json.to_string json)
+    in
+    Cmd.v
+      (Cmd.info "status" ~doc:"Summarise a campaign directory without modifying it")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:"Checkpointed parameter sweeps: crash-safe store, retry/backoff, resume")
+    [ run_cmd; resume_cmd; status_cmd ]
+
 (* ---- report ---- *)
 
 let report_cmd =
@@ -1233,5 +1382,5 @@ let () =
        (Cmd.group info
           [
             classify_cmd; simulate_cmd; fluid_cmd; region_cmd; overlay_cmd; hetero_cmd; coded_cmd; drift_cmd;
-            exact_cmd; reachable_cmd; borderline_cmd; report_cmd;
+            exact_cmd; reachable_cmd; borderline_cmd; report_cmd; campaign_cmd;
           ]))

@@ -1,0 +1,97 @@
+(** The campaign engine: executes a {!Spec.t} cell by cell through the
+    replication runner, persisting every result in a crash-safe
+    {!Store}.
+
+    {b Determinism.}  Cell [i] draws all of its randomness from a seed
+    derived from [(spec.master_seed, i, attempt)] — never from wall
+    clock, scheduling, or which cells crashed around it — and the store
+    records no timestamps.  Two consequences the tests pin:
+
+    - running the same spec twice yields byte-identical [results.jsonl];
+    - a campaign killed at any cell and resumed yields the {e same}
+      bytes as one that never died: recovered records stand in for the
+      prefix, and the remaining cells re-derive their seeds from their
+      indices alone.  (Wall-clock {e timeouts} are the one escape hatch:
+      a cell recorded as failed because the machine was slow is real
+      nondeterminism, which is why timeouts are off by default.)
+
+    {b Failure policy.}  A cell whose replications raise — including the
+    cooperative {!P2p_runner.Runner.Rep_timeout} watchdog — is handled
+    by {!on_error}: abort the campaign (store stays valid and
+    resumable), skip the cell (recorded as failed with its error
+    history), or retry with exponential backoff, each attempt on a fresh
+    deterministic stream.
+
+    {b Interruption.}  With [handle_signals], SIGINT/SIGTERM set a flag
+    polled between cells: the active segment is flushed (it always is),
+    a valid checkpoint is written, and {!run} returns with
+    [interrupted = true] — ready for {!resume}. *)
+
+module Json = P2p_obs.Json
+module Runner = P2p_runner.Runner
+
+exception Simulated_crash
+(** Raised by the test fault hook to die mid-campaign without unwinding
+    cleanup — the in-process stand-in for SIGKILL. *)
+
+type options = {
+  jobs : int option;  (** domains per cell sweep; [None] = runner default *)
+  on_error : Runner.on_error;  (** cell-level failure policy *)
+  cell_timeout_s : float option;
+      (** wall-clock watchdog per replication of a cell; an overrunning
+          cell fails with [Rep_timeout] and follows [on_error] *)
+  retry_backoff_s : float;
+      (** base backoff before retry attempt [a]: [retry_backoff_s * 2^(a-1)]
+          seconds (0 = immediate; tests use 0) *)
+  checkpoint_every : int;  (** seal + checkpoint every N cells *)
+  progress : bool;
+      (** live per-round cell counter/ETA on stderr ({!P2p_obs.Progress}
+          with label ["cells"]); purely observational *)
+  registry : string option;  (** experiment-log JSONL to append a registry entry to *)
+  command : string;  (** exact invocation recorded in the registry entry *)
+  crash_after_cells : int option;
+      (** testing: [exit 99] immediately after persisting the Nth new
+          record of this process — simulates a kill at a cell boundary *)
+  fault_hook : (int -> unit) option;
+      (** testing: called with the store's record count after each
+          append; raise {!Simulated_crash} to die in-process *)
+  handle_signals : bool;  (** trap SIGINT/SIGTERM into a clean interrupt *)
+}
+
+val default_options : options
+(** Abort on error, no timeout, backoff 1s, checkpoint every 25 cells,
+    silent, no registry, no crash hooks, no signal handling. *)
+
+type outcome = {
+  dir : string;
+  cells_done : int;  (** records in the store (all processes so far) *)
+  cells_run : int;  (** cells executed by {e this} process *)
+  failed : int;  (** cells recorded with status "failed" *)
+  interrupted : bool;
+  complete : bool;  (** every planned cell done; [results.jsonl] written *)
+}
+
+val run : dir:string -> options -> Spec.t -> (outcome, string) result
+(** Start a fresh campaign in [dir] (must not already hold one). *)
+
+val resume : dir:string -> options -> (outcome, string) result
+(** Continue a campaign from its store: recovered records (including a
+    quarantined torn tail's intact prefix) stand in for completed cells,
+    and execution picks up at the first missing one.  Rejects a
+    directory whose recorded spec no longer parses or whose checkpoint
+    hash disagrees with the spec. *)
+
+val status : dir:string -> (Json.t, string) result
+(** Summarise a campaign directory (spec name/hash, cells done, verdict
+    counts, segments, quarantine, completeness) without modifying it. *)
+
+(** {1 Cell execution} — exposed for tests *)
+
+val cell_seed : Spec.t -> index:int -> attempt:int -> int
+(** The master seed of attempt [attempt] of cell [index]; pure in
+    [(spec.master_seed, index, attempt)]. *)
+
+val run_cell : ?jobs:int -> ?timeout_s:float -> Spec.t -> Spec.cell -> attempt:int -> Json.t
+(** Execute one cell (all [spec.reps] replications) and render its
+    record.  Raises whatever the replications raise (first failure wins,
+    runner [Abort] semantics). *)

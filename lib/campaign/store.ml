@@ -1,0 +1,245 @@
+module Json = P2p_obs.Json
+
+let ( / ) = Filename.concat
+
+let spec_path ~dir = dir / "spec.json"
+let checkpoint_path ~dir = dir / "checkpoint.json"
+let results_path ~dir = dir / "results.jsonl"
+let active_path ~dir = dir / "active.jsonl"
+let segments_dir ~dir = dir / "segments"
+let quarantine_dir ~dir = dir / "quarantine"
+
+let mkdir_p path =
+  let rec aux path =
+    if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+    then begin
+      aux (Filename.dirname path);
+      (try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  aux path
+
+type t = {
+  dir : string;
+  spec_hash : string;
+  mutable active : out_channel;
+  mutable active_records : int;  (* records in the open segment *)
+  mutable sealed : int;  (* sealed segment count *)
+  mutable total : int;  (* records persisted overall *)
+  mutable closed : bool;
+}
+
+let segment_name n = Printf.sprintf "seg-%06d.jsonl" n
+
+let sealed_segments ~dir =
+  let d = segments_dir ~dir in
+  if not (Sys.file_exists d) then []
+  else
+    Sys.readdir d |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+    |> List.map (fun f -> d / f)
+
+let open_active ~dir =
+  open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 (active_path ~dir)
+
+let create ~dir ~spec_json ~spec_hash =
+  mkdir_p dir;
+  if Sys.file_exists (spec_path ~dir) then
+    Error (Printf.sprintf "%s already holds a campaign (use resume)" dir)
+  else begin
+    mkdir_p (segments_dir ~dir);
+    Json.write_file_atomic (spec_path ~dir) (fun oc ->
+        Json.to_channel oc spec_json;
+        output_char oc '\n');
+    let t =
+      { dir; spec_hash; active = open_active ~dir; active_records = 0;
+        sealed = 0; total = 0; closed = false }
+    in
+    Ok t
+  end
+
+type recovery = { records : Json.t list; quarantined_bytes : int }
+
+let read_spec ~dir =
+  match Json.read_jsonl_file (spec_path ~dir) with
+  | Error msg -> Error (Printf.sprintf "spec.json: %s" msg)
+  | Ok { records = [ spec ]; remnant = None } -> Ok spec
+  | Ok _ -> Error "spec.json: malformed (expected exactly one record)"
+
+let read_sealed ~dir =
+  let rec aux acc = function
+    | [] -> Ok (List.rev acc)
+    | path :: rest -> (
+        match Json.read_jsonl_file path with
+        | Error msg -> Error (Printf.sprintf "%s: %s" (Filename.basename path) msg)
+        | Ok { remnant = Some _; _ } ->
+            Error
+              (Printf.sprintf "%s: sealed segment has a torn tail"
+                 (Filename.basename path))
+        | Ok { records; _ } -> aux (List.rev_append records acc) rest)
+  in
+  aux [] (sealed_segments ~dir)
+
+(* Read the active segment tolerantly.  A torn tail is moved to
+   quarantine/ and the segment is rewritten (atomically) with only its
+   intact lines, so subsequent appends extend a clean file. *)
+let recover_active ~dir =
+  let path = active_path ~dir in
+  if not (Sys.file_exists path) then Ok ([], 0)
+  else
+    match Json.read_jsonl_file path with
+    | Error msg -> Error (Printf.sprintf "active.jsonl: %s" msg)
+    | Ok { records; remnant = None } -> Ok (records, 0)
+    | Ok { records; remnant = Some tail } ->
+        mkdir_p (quarantine_dir ~dir);
+        let qname =
+          Printf.sprintf "tear-%d-%dB.bin" (int_of_float (Unix.time ()))
+            (String.length tail)
+        in
+        Json.write_file_atomic (quarantine_dir ~dir / qname) (fun oc ->
+            output_string oc tail);
+        Json.write_file_atomic path (fun oc ->
+            List.iter
+              (fun r ->
+                Json.to_channel oc r;
+                output_char oc '\n')
+              records);
+        Ok (records, String.length tail)
+
+let resume ~dir =
+  match read_spec ~dir with
+  | Error _ as e -> e
+  | Ok spec -> (
+      (* spec.json holds the canonical rendering, and the parser
+         round-trips field order and float bits, so re-rendering gives
+         back the bytes Spec.hash digested. *)
+      let spec_hash = Digest.to_hex (Digest.string (Json.to_string spec)) in
+      match read_sealed ~dir with
+      | Error _ as e -> e
+      | Ok sealed_records -> (
+          match recover_active ~dir with
+          | Error _ as e -> e
+          | Ok (active_records, quarantined_bytes) ->
+              let sealed = List.length (sealed_segments ~dir) in
+              let t =
+                {
+                  dir;
+                  spec_hash;
+                  active = open_active ~dir;
+                  active_records = List.length active_records;
+                  sealed;
+                  total = List.length sealed_records + List.length active_records;
+                  closed = false;
+                }
+              in
+              let recovery =
+                { records = sealed_records @ active_records; quarantined_bytes }
+              in
+              Ok (t, spec, recovery)))
+
+let append t line =
+  output_string t.active line;
+  output_char t.active '\n';
+  flush t.active;
+  t.active_records <- t.active_records + 1;
+  t.total <- t.total + 1
+
+let records t = t.total
+
+let seal t =
+  if t.active_records > 0 then begin
+    close_out t.active;
+    let n = t.sealed + 1 in
+    mkdir_p (segments_dir ~dir:t.dir);
+    Sys.rename (active_path ~dir:t.dir) (segments_dir ~dir:t.dir / segment_name n);
+    t.sealed <- n;
+    t.active_records <- 0;
+    t.active <- open_active ~dir:t.dir
+  end
+
+let checkpoint t ~complete ~interrupted =
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.String "p2p-campaign-checkpoint");
+        ("version", Json.Int 1);
+        ("spec_hash", Json.String t.spec_hash);
+        ("cells_done", Json.Int t.total);
+        ("segments", Json.Int t.sealed);
+        ("complete", Json.Bool complete);
+        ("interrupted", Json.Bool interrupted);
+      ]
+  in
+  Json.write_file_atomic (checkpoint_path ~dir:t.dir) (fun oc ->
+      Json.to_channel oc json;
+      output_char oc '\n')
+
+let finalise t =
+  seal t;
+  let segments = sealed_segments ~dir:t.dir in
+  Json.write_file_atomic (results_path ~dir:t.dir) (fun oc ->
+      List.iter
+        (fun path ->
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () ->
+              let len = in_channel_length ic in
+              output_string oc (really_input_string ic len)))
+        segments);
+  checkpoint t ~complete:true ~interrupted:false
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.active
+  end
+
+type status = {
+  spec : Json.t option;
+  checkpoint : Json.t option;
+  store_records : Json.t list;
+  segments : int;
+  quarantined : int;
+  complete : bool;
+}
+
+let read_one path =
+  if not (Sys.file_exists path) then None
+  else
+    match Json.read_jsonl_file path with
+    | Ok { records = r :: _; _ } -> Some r
+    | _ -> None
+
+let read_status ~dir =
+  if not (Sys.file_exists (spec_path ~dir)) then
+    Error (Printf.sprintf "%s: no campaign here (no spec.json)" dir)
+  else
+    let spec = read_one (spec_path ~dir) in
+    let checkpoint = read_one (checkpoint_path ~dir) in
+    let sealed =
+      match read_sealed ~dir with Ok r -> r | Error _ -> []
+    in
+    let active =
+      match
+        if Sys.file_exists (active_path ~dir) then
+          Json.read_jsonl_file (active_path ~dir)
+        else Ok { Json.records = []; remnant = None }
+      with
+      | Ok { Json.records; _ } -> records
+      | Error _ -> []
+    in
+    let quarantined =
+      let d = quarantine_dir ~dir in
+      if Sys.file_exists d then Array.length (Sys.readdir d) else 0
+    in
+    Ok
+      {
+        spec;
+        checkpoint;
+        store_records = sealed @ active;
+        segments = List.length (sealed_segments ~dir);
+        quarantined;
+        complete = Sys.file_exists (results_path ~dir);
+      }

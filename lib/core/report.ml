@@ -38,11 +38,12 @@ let write_csv ~header rows =
       let file =
         Filename.concat dir (Printf.sprintf "table_%03d_%s.csv" !csv_counter !current_slug)
       in
-      let oc = open_out file in
-      let emit row = output_string oc (String.concat "," (List.map csv_escape row) ^ "\n") in
-      emit header;
-      List.iter emit rows;
-      close_out oc
+      P2p_obs.Json.write_file_atomic file (fun oc ->
+          let emit row =
+            output_string oc (String.concat "," (List.map csv_escape row) ^ "\n")
+          in
+          emit header;
+          List.iter emit rows)
 
 let table ~header rows =
   write_csv ~header rows;

@@ -232,6 +232,70 @@ let of_string s =
 let of_string_exn s =
   match of_string s with Ok v -> v | Error msg -> failwith ("Json.of_string_exn: " ^ msg)
 
+(* ---- JSONL: newline-delimited records ---- *)
+
+type jsonl = { records : t list; remnant : string option }
+
+(* A record is one newline-terminated line.  Anything after the final
+   newline is by definition not a complete record — a process that died
+   mid-append leaves exactly such a tail — so it is returned as the
+   [remnant] for the caller to quarantine, never parsed, even when the
+   bytes happen to form valid JSON (the tear may have truncated a longer
+   record to a shorter valid one).  A complete line that fails to parse
+   is real corruption and stays an error. *)
+let jsonl_of_string s =
+  let n = String.length s in
+  let rec lines acc lineno start =
+    match String.index_from_opt s start '\n' with
+    | None ->
+        let tail = String.sub s start (n - start) in
+        Ok { records = List.rev acc; remnant = (if tail = "" then None else Some tail) }
+    | Some nl ->
+        let line = String.sub s start (nl - start) in
+        if String.trim line = "" then lines acc (lineno + 1) (nl + 1)
+        else begin
+          match of_string line with
+          | Ok v -> lines (v :: acc) (lineno + 1) (nl + 1)
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+        end
+  in
+  lines [] 1 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let read_jsonl_file path =
+  match read_file path with
+  | content -> jsonl_of_string content
+  | exception Sys_error msg -> Error msg
+
+(* ---- atomic file replacement ---- *)
+
+(* Write-tmp-then-rename: the destination either keeps its old content or
+   holds the complete new content — a crash mid-write can never leave a
+   torn file at [path].  The fsync before the rename keeps the ordering
+   honest on real filesystems (rename must not be durable before the
+   data).  fsync failure (e.g. on tmpfs-like filesystems that reject it)
+   is not fatal: the rename itself is still atomic. *)
+let write_file_atomic path writer =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  match writer oc with
+  | result ->
+      flush oc;
+      (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+      close_out oc;
+      Sys.rename tmp path;
+      result
+  | exception exn ->
+      let bt = Printexc.get_raw_backtrace () in
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Printexc.raise_with_backtrace exn bt
+
 (* ---- accessors ---- *)
 
 let member key = function Obj fields -> List.assoc_opt key fields | _ -> None

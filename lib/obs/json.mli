@@ -27,6 +27,40 @@ val of_string : string -> (t, string) result
 val of_string_exn : string -> t
 (** @raise Failure on malformed input. *)
 
+(** {1 JSONL}
+
+    Newline-delimited records: the format of the probe series, trace
+    sinks, and the campaign result store. *)
+
+type jsonl = {
+  records : t list;  (** every complete (newline-terminated) record, in order *)
+  remnant : string option;
+      (** bytes after the final newline — the torn tail a crash
+          mid-append leaves behind.  Never parsed, even when the bytes
+          happen to form valid JSON (a tear can truncate a record to a
+          shorter valid one); callers quarantine it and re-produce the
+          record it belonged to. *)
+}
+
+val jsonl_of_string : string -> (jsonl, string) result
+(** Tolerant JSONL reader: truncation at {e any} byte offset of a valid
+    stream yields [Ok] — the complete lines parse, the torn tail comes
+    back as [remnant] (a test pins this at every offset of a sample
+    record).  Only a complete line that fails to parse — real interior
+    corruption — is an [Error] (message names the line). *)
+
+val read_jsonl_file : string -> (jsonl, string) result
+(** {!jsonl_of_string} of the file's bytes; [Error] on I/O failure. *)
+
+(** {1 Atomic file replacement} *)
+
+val write_file_atomic : string -> (out_channel -> 'a) -> 'a
+(** [write_file_atomic path writer] runs [writer] against a temporary
+    file in the same directory, fsyncs, and renames it over [path]: the
+    destination either keeps its previous content or holds the complete
+    new content, never a torn prefix.  If [writer] raises, the temporary
+    file is removed and [path] is untouched. *)
+
 (** {1 Accessors} — shallow, total lookups used by the readers. *)
 
 val member : string -> t -> t option

@@ -1,6 +1,7 @@
 type t = {
   live : bool;
   total : int;
+  label : string;
   t0 : float;
   done_ : int Atomic.t;
   events : int Atomic.t;
@@ -11,10 +12,11 @@ type t = {
   print_lock : Mutex.t;
 }
 
-let make ~live ~out ~min_interval_s ~total =
+let make ~live ~out ~min_interval_s ~label ~total =
   {
     live;
     total;
+    label;
     t0 = Unix.gettimeofday ();
     done_ = Atomic.make 0;
     events = Atomic.make 0;
@@ -25,12 +27,12 @@ let make ~live ~out ~min_interval_s ~total =
     print_lock = Mutex.create ();
   }
 
-let silent = make ~live:false ~out:None ~min_interval_s:infinity ~total:0
+let silent = make ~live:false ~out:None ~min_interval_s:infinity ~label:"replications" ~total:0
 
-let create ?(out = stderr) ?(min_interval_s = 0.25) ~total () =
+let create ?(out = stderr) ?(min_interval_s = 0.25) ?(label = "replications") ~total () =
   if total < 0 then invalid_arg "Progress.create: total < 0";
   if min_interval_s < 0.0 then invalid_arg "Progress.create: min_interval_s < 0";
-  make ~live:true ~out:(Some out) ~min_interval_s ~total
+  make ~live:true ~out:(Some out) ~min_interval_s ~label ~total
 
 let enabled t = t.live
 let done_count t = Atomic.get t.done_
@@ -57,7 +59,7 @@ let render t ~final oc =
     if d = 0 || d >= t.total then (if final then 0.0 else infinity)
     else float_of_int (t.total - d) /. rep_rate
   in
-  Printf.fprintf oc "\r%d/%d replications (%3.0f%%)  %s events/s  ETA %s%s%!" d t.total
+  Printf.fprintf oc "\r%d/%d %s (%3.0f%%)  %s events/s  ETA %s%s%!" d t.total t.label
     (if t.total = 0 then 100.0 else 100.0 *. float_of_int d /. float_of_int t.total)
     (fmt_rate (float_of_int ev /. elapsed))
     (fmt_eta eta)

@@ -15,8 +15,10 @@ type t
 val silent : t
 (** Counts nothing, prints nothing; the no-op default. *)
 
-val create : ?out:out_channel -> ?min_interval_s:float -> total:int -> unit -> t
-(** A meter expecting [total] replications.
+val create : ?out:out_channel -> ?min_interval_s:float -> ?label:string -> total:int -> unit -> t
+(** A meter expecting [total] work items, described in the printed line
+    by [label] (default ["replications"]; the campaign layer passes
+    ["cells"]).
     @raise Invalid_argument if [total < 0] or [min_interval_s < 0]. *)
 
 val enabled : t -> bool

@@ -26,9 +26,10 @@ val create : format:format -> out_channel -> t
     the format (Chrome's closing bracket) and flushes. *)
 
 val to_file : string -> t
-(** Opens [path] for writing and owns it: {!close} also closes the
-    channel.  The format is {!Chrome} when the path ends in [.json],
-    {!Jsonl} otherwise. *)
+(** Streams to a temporary file next to [path] and atomically renames it
+    to [path] at {!close} — a crash mid-run never leaves a torn trace at
+    [path].  Owns the channel: {!close} also closes it.  The format is
+    {!Chrome} when the path ends in [.json], {!Jsonl} otherwise. *)
 
 val emit : t -> time:float -> name:string -> args:(string * Json.t) list -> unit
 (** Record an instant event at simulation time [time]. *)

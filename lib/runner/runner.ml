@@ -7,6 +7,20 @@ type failure = { index : int; error : exn; backtrace : Printexc.raw_backtrace }
 
 type on_error = Abort | Skip | Retry of int
 
+exception Rep_timeout
+
+(* The watchdog deadline of the replication attempt currently running on
+   this domain ([infinity] outside one).  Cooperative: thunks poll
+   [deadline_exceeded] (the simulators wire it into their [until]
+   predicate) to stop early; the runner additionally enforces it post
+   hoc, discarding the value of an attempt that finished late.  OCaml
+   cannot safely preempt a domain, so a thunk that neither polls nor
+   returns runs to completion — but its result is still recorded as a
+   {!Rep_timeout} failure and handed to the [on_error] policy. *)
+let deadline_key : float Domain.DLS.key = Domain.DLS.new_key (fun () -> infinity)
+
+let deadline_exceeded () = Unix.gettimeofday () > Domain.DLS.get deadline_key
+
 type timing = {
   wall_s : float;
   jobs : int;
@@ -154,8 +168,12 @@ let drive ~jobs ~nchunks ~handle_sigint ~work =
    [jobs] or the aggregates would stop being jobs-independent. *)
 let default_chunk ~replications = Int.max 4 (Int.min 64 (replications / 32))
 
-let validate ?jobs ?chunk ?(on_error = Abort) ~replications () =
+let validate ?jobs ?chunk ?(on_error = Abort) ?rep_timeout_s ~replications () =
   if replications < 0 then invalid_arg "Runner: replications < 0";
+  (match rep_timeout_s with
+  | Some s when not (Float.is_finite s) || s <= 0.0 ->
+      invalid_arg "Runner: rep_timeout_s must be finite positive"
+  | _ -> ());
   let chunk = match chunk with Some c -> c | None -> default_chunk ~replications in
   if chunk < 1 then invalid_arg "Runner: chunk < 1";
   (match on_error with
@@ -177,15 +195,35 @@ let chunk_bounds ~chunk ~replications c =
    last failure.  Everything here depends only on (master_seed, index,
    on_error), so skipping and retrying preserve the bit-identical
    aggregation of the surviving replications across any [jobs] count. *)
-let run_replication ~on_error ~master_seed ~index f =
+let run_replication ~on_error ~rep_timeout_s ~master_seed ~index f =
   let retries = match on_error with Retry n -> n | Abort | Skip -> 0 in
   let rec go attempt =
     let rng = derive_retry_rng ~master_seed ~index ~attempt in
-    match f ~rng ~index with
-    | v -> Ok v
-    | exception exn ->
-        let backtrace = Printexc.get_raw_backtrace () in
-        if attempt < retries then go (attempt + 1) else Error { index; error = exn; backtrace }
+    let t0 =
+      match rep_timeout_s with
+      | None -> 0.0
+      | Some s ->
+          let now = Unix.gettimeofday () in
+          Domain.DLS.set deadline_key (now +. s);
+          now
+    in
+    let outcome =
+      match f ~rng ~index with
+      | v -> (
+          match rep_timeout_s with
+          | Some s when Unix.gettimeofday () -. t0 > s ->
+              (* The attempt outran its watchdog even though it finished:
+                 a late value is a failed value — trusting it would make
+                 the sweep's duration bound a lie. *)
+              Error (Rep_timeout, Printexc.get_callstack 0)
+          | _ -> Ok v)
+      | exception exn -> Error (exn, Printexc.get_raw_backtrace ())
+    in
+    if rep_timeout_s <> None then Domain.DLS.set deadline_key infinity;
+    match outcome with
+    | Ok v -> Ok v
+    | Error (error, backtrace) ->
+        if attempt < retries then go (attempt + 1) else Error { index; error; backtrace }
   in
   go 0
 
@@ -209,16 +247,17 @@ let log_of ~(log : chunk_log) ~wall_s ~jobs ~nchunks ~busy ~interrupted =
 
 (* Run replication [i] of chunk [c], enforcing policy and wall budget;
    [keep] consumes the value of a surviving replication. *)
-let step ~on_error ~budget_s ~progress ~(log : chunk_log) ~master_seed ~c ~keep f i =
+let step ~on_error ~budget_s ~rep_timeout_s ~progress ~(log : chunk_log) ~master_seed ~c ~keep
+    f i =
   let result =
     match budget_s with
     | None ->
         (* No budget means no clock reads: short replications are cheap
            enough for two gettimeofday calls apiece to show up. *)
-        run_replication ~on_error ~master_seed ~index:i f
+        run_replication ~on_error ~rep_timeout_s ~master_seed ~index:i f
     | Some budget ->
         let t0 = Unix.gettimeofday () in
-        let result = run_replication ~on_error ~master_seed ~index:i f in
+        let result = run_replication ~on_error ~rep_timeout_s ~master_seed ~index:i f in
         if Unix.gettimeofday () -. t0 > budget then log.over.(c) <- log.over.(c) + 1;
         result
   in
@@ -230,16 +269,16 @@ let step ~on_error ~budget_s ~progress ~(log : chunk_log) ~master_seed ~c ~keep 
       | Abort -> Printexc.raise_with_backtrace fail.error fail.backtrace
       | Skip | Retry _ -> log.failures.(c) <- fail :: log.failures.(c))
 
-let run_map ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false)
+let run_map ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?(handle_sigint = false)
     ?(progress = Progress.silent) ~master_seed ~replications f =
-  let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ~replications () in
+  let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ?rep_timeout_s ~replications () in
   let on_error = Option.value on_error ~default:Abort in
   let log = chunk_log nchunks in
   let results = Array.make replications None in
   let work c =
     let lo, hi = chunk_bounds ~chunk ~replications c in
     for i = lo to hi - 1 do
-      step ~on_error ~budget_s ~progress ~log ~master_seed ~c
+      step ~on_error ~budget_s ~rep_timeout_s ~progress ~log ~master_seed ~c
         ~keep:(fun v -> results.(i) <- Some v)
         f i
     done
@@ -248,9 +287,9 @@ let run_map ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false)
   Progress.finish progress;
   (results, log_of ~log ~wall_s ~jobs ~nchunks ~busy ~interrupted)
 
-let run_fold ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false)
+let run_fold ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?(handle_sigint = false)
     ?(progress = Progress.silent) ~master_seed ~replications ~init ~add ~merge f =
-  let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ~replications () in
+  let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ?rep_timeout_s ~replications () in
   let on_error = Option.value on_error ~default:Abort in
   let log = chunk_log nchunks in
   let accs = Array.make nchunks None in
@@ -258,7 +297,8 @@ let run_fold ?jobs ?chunk ?on_error ?budget_s ?(handle_sigint = false)
     let lo, hi = chunk_bounds ~chunk ~replications c in
     let acc = init () in
     for i = lo to hi - 1 do
-      step ~on_error ~budget_s ~progress ~log ~master_seed ~c ~keep:(add acc) f i
+      step ~on_error ~budget_s ~rep_timeout_s ~progress ~log ~master_seed ~c ~keep:(add acc)
+        f i
     done;
     accs.(c) <- Some acc
   in
@@ -297,8 +337,8 @@ type sacc = {
   mutable flagged : int;
 }
 
-let run_summary ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?progress ?hist ~metrics
-    ~master_seed ~replications f =
+let run_summary ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?handle_sigint ?progress
+    ?hist ~metrics ~master_seed ~replications f =
   let nmetrics = List.length metrics in
   let init () =
     {
@@ -330,8 +370,8 @@ let run_summary ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?progress ?hist 
     }
   in
   let acc, timing =
-    run_fold ?jobs ?chunk ?on_error ?budget_s ?handle_sigint ?progress ~master_seed
-      ~replications ~init ~add ~merge f
+    run_fold ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?handle_sigint ?progress
+      ~master_seed ~replications ~init ~add ~merge f
   in
   {
     stats = List.mapi (fun m name -> (name, acc.welford.(m))) metrics;

@@ -54,6 +54,21 @@ type on_error =
           deterministic stream ({!derive_retry_rng}); a replication still
           failing after [n] retries is skipped and recorded *)
 
+exception Rep_timeout
+(** A replication attempt outran its [rep_timeout_s] watchdog.  Raised
+    cooperatively by thunks that poll {!deadline_exceeded}, and recorded
+    by the runner itself when an attempt returns after its deadline (the
+    late value is discarded).  Handled like any other failure by the
+    {!on_error} policy: a retried attempt starts a fresh watchdog. *)
+
+val deadline_exceeded : unit -> bool
+(** Whether the watchdog of the replication attempt currently running on
+    this domain has expired ([false] when no [rep_timeout_s] is active).
+    OCaml cannot preempt a domain, so enforcement is cooperative: long
+    thunks poll this (the simulators accept it as an [until] predicate)
+    and bail out, typically by raising {!Rep_timeout}.  A thunk that
+    never polls still gets its late result discarded post hoc. *)
+
 type timing = {
   wall_s : float;  (** wall-clock seconds for the whole sweep *)
   jobs : int;  (** domains actually used (including the caller's) *)
@@ -98,6 +113,18 @@ val derive_retry_rng : master_seed:int -> index:int -> attempt:int -> Rng.t
       running longer is still kept (OCaml cannot safely preempt it) but
       is counted in [timing.over_budget] so the caller knows the sweep
       outran its budget instead of silently trusting it.
+    - [rep_timeout_s] — per-replication wall-clock watchdog: an attempt
+      running longer than this is a {e failure} ({!Rep_timeout}), not a
+      kept-but-counted result.  Thunks that poll {!deadline_exceeded}
+      stop early; ones that do not still have their late value discarded
+      once they return.  The failure then follows [on_error] — retried
+      attempts run on fresh deterministic streams with a fresh watchdog.
+      Wall-clock timeouts are inherently scheduling-dependent; for
+      results that must stay bit-identical across [jobs], pick a timeout
+      with a wide margin against the slowest replication (the
+      deterministic-seeding contract itself is unaffected: surviving
+      replications keep their streams).
+      @raise Invalid_argument unless finite positive.
     - [handle_sigint] (default [false]) — install a SIGINT handler for
       the duration of the sweep that stops domains from claiming further
       chunks, joins them, restores the previous handler, and returns the
@@ -115,6 +142,7 @@ val run_map :
   ?chunk:int ->
   ?on_error:on_error ->
   ?budget_s:float ->
+  ?rep_timeout_s:float ->
   ?handle_sigint:bool ->
   ?progress:P2p_obs.Progress.t ->
   master_seed:int ->
@@ -138,6 +166,7 @@ val run_fold :
   ?chunk:int ->
   ?on_error:on_error ->
   ?budget_s:float ->
+  ?rep_timeout_s:float ->
   ?handle_sigint:bool ->
   ?progress:P2p_obs.Progress.t ->
   master_seed:int ->
@@ -189,6 +218,7 @@ val run_summary :
   ?chunk:int ->
   ?on_error:on_error ->
   ?budget_s:float ->
+  ?rep_timeout_s:float ->
   ?handle_sigint:bool ->
   ?progress:P2p_obs.Progress.t ->
   ?hist:hist_spec ->

@@ -534,6 +534,102 @@ let test_progress_counters_and_final_line () =
       in
       Alcotest.(check int) "single final line" 1 finals)
 
+(* ---- tolerant JSONL + atomic writes (the crash-safety primitives) ---- *)
+
+let sample_jsonl = "{\"cell\":0,\"v\":1.5}\n{\"cell\":1,\"v\":-2.0}\n{\"cell\":2,\"v\":0.25}\n"
+
+(* Truncation at EVERY byte offset of a valid stream must parse: the
+   complete lines come back as records and the torn tail as a remnant —
+   never an error, never a parsed partial record. *)
+let test_jsonl_truncation_at_every_offset () =
+  let full = sample_jsonl in
+  let newline_positions =
+    List.filter (fun i -> full.[i] = '\n') (List.init (String.length full) Fun.id)
+  in
+  for cut = 0 to String.length full do
+    let prefix = String.sub full 0 cut in
+    match Json.jsonl_of_string prefix with
+    | Error msg -> Alcotest.failf "cut at %d rejected: %s" cut msg
+    | Ok { records; remnant } ->
+        let complete = List.length (List.filter (fun nl -> nl < cut) newline_positions) in
+        Alcotest.(check int)
+          (Printf.sprintf "records at cut %d" cut)
+          complete (List.length records);
+        let last_nl =
+          List.fold_left (fun acc nl -> if nl < cut then nl + 1 else acc) 0 newline_positions
+        in
+        let expected_remnant =
+          if cut = last_nl then None else Some (String.sub full last_nl (cut - last_nl))
+        in
+        Alcotest.(check (option string))
+          (Printf.sprintf "remnant at cut %d" cut)
+          expected_remnant remnant
+  done
+
+(* A torn tail that happens to be valid JSON is still a remnant: a tear
+   can truncate a record to a shorter valid one, so trailing bytes
+   without a newline are never trusted. *)
+let test_jsonl_valid_looking_tail_is_remnant () =
+  match Json.jsonl_of_string "{\"cell\":0}\n{\"cell\":1}" with
+  | Error msg -> Alcotest.fail msg
+  | Ok { records; remnant } ->
+      Alcotest.(check int) "one complete record" 1 (List.length records);
+      Alcotest.(check (option string)) "tail quarantined" (Some "{\"cell\":1}") remnant
+
+let test_jsonl_interior_corruption_is_error () =
+  match Json.jsonl_of_string "{\"cell\":0}\nnot json at all\n{\"cell\":2}\n" with
+  | Ok _ -> Alcotest.fail "interior corruption accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length msg >= 7 && String.sub msg 0 7 = "line 2:")
+
+let test_jsonl_blank_lines_skipped () =
+  match Json.jsonl_of_string "{\"a\":1}\n\n  \n{\"a\":2}\n" with
+  | Error msg -> Alcotest.fail msg
+  | Ok { records; remnant } ->
+      Alcotest.(check int) "two records" 2 (List.length records);
+      Alcotest.(check (option string)) "no remnant" None remnant
+
+let test_write_file_atomic_basic () =
+  with_temp_file (fun path ->
+      let r = Json.write_file_atomic path (fun oc -> output_string oc "first"; 42) in
+      Alcotest.(check int) "writer result returned" 42 r;
+      Alcotest.(check string) "content written" "first" (read_file path);
+      ignore (Json.write_file_atomic path (fun oc -> output_string oc "second"));
+      Alcotest.(check string) "content replaced" "second" (read_file path))
+
+let test_write_file_atomic_writer_raise_leaves_target () =
+  with_temp_file (fun path ->
+      ignore (Json.write_file_atomic path (fun oc -> output_string oc "keep me"));
+      (try
+         Json.write_file_atomic path (fun oc ->
+             output_string oc "torn prefix that must never land";
+             failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check string) "target untouched after writer raise" "keep me" (read_file path);
+      (* and the temporary is cleaned up *)
+      let dir = Filename.dirname path and base = Filename.basename path in
+      let leftovers =
+        Array.to_list (Sys.readdir dir)
+        |> List.filter (fun f ->
+               String.length f > String.length base
+               && String.sub f 0 (String.length base) = base)
+      in
+      Alcotest.(check (list string)) "no tmp leftovers" [] leftovers)
+
+let test_read_jsonl_file_roundtrip () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc sample_jsonl;
+      (* plus a torn tail *)
+      output_string oc "{\"cell\":3,\"v\":0.";
+      close_out oc;
+      match Json.read_jsonl_file path with
+      | Error msg -> Alcotest.fail msg
+      | Ok { records; remnant } ->
+          Alcotest.(check int) "three records" 3 (List.length records);
+          Alcotest.(check (option string)) "torn tail" (Some "{\"cell\":3,\"v\":0.") remnant)
+
 (* ---- Profile ---- *)
 
 let test_profile_disabled () =
@@ -628,5 +724,20 @@ let () =
         [
           Alcotest.test_case "disabled" `Quick test_profile_disabled;
           Alcotest.test_case "phases" `Quick test_profile_phases;
+        ] );
+      ( "crash-safety",
+        [
+          Alcotest.test_case "jsonl truncation at every offset" `Quick
+            test_jsonl_truncation_at_every_offset;
+          Alcotest.test_case "valid-looking tail is remnant" `Quick
+            test_jsonl_valid_looking_tail_is_remnant;
+          Alcotest.test_case "interior corruption is error" `Quick
+            test_jsonl_interior_corruption_is_error;
+          Alcotest.test_case "blank lines skipped" `Quick test_jsonl_blank_lines_skipped;
+          Alcotest.test_case "write_file_atomic" `Quick test_write_file_atomic_basic;
+          Alcotest.test_case "writer raise leaves target" `Quick
+            test_write_file_atomic_writer_raise_leaves_target;
+          Alcotest.test_case "read_jsonl_file with torn tail" `Quick
+            test_read_jsonl_file_roundtrip;
         ] );
     ]

@@ -353,6 +353,95 @@ let test_sigint_flushes_partial_results () =
   let completed = Array.fold_left (fun n s -> if s = None then n else n + 1) 0 res in
   Alcotest.(check bool) "stopped early" true (completed < 64)
 
+(* ---- wall-clock watchdog (--rep-timeout) ---- *)
+
+(* Replications on [slow] indices sleep well past the watchdog; the rest
+   return instantly.  The margin (300ms vs a 50ms timeout vs ~0ms fast
+   reps) is wide enough that the verdict is scheduling-independent. *)
+let watchdog_thunk slow ~rng:_ ~index =
+  if List.mem index slow then Unix.sleepf 0.3;
+  float_of_int (index * index)
+
+let test_rep_timeout_discards_late_value () =
+  let res, timing =
+    Runner.run_map ~jobs:1 ~on_error:Runner.Skip ~rep_timeout_s:0.05 ~master_seed:1
+      ~replications:6 (watchdog_thunk [ 2 ])
+  in
+  Alcotest.(check bool) "late value discarded" true (res.(2) = None);
+  Alcotest.(check int) "one failure" 1 (List.length timing.failures);
+  (match timing.failures with
+  | [ f ] ->
+      Alcotest.(check int) "failure names the slow rep" 2 f.index;
+      Alcotest.(check bool) "failure is Rep_timeout" true (f.error = Runner.Rep_timeout)
+  | _ -> Alcotest.fail "expected exactly one failure");
+  Alcotest.(check (float 0.0)) "fast reps kept" 25.0 (Option.get res.(5))
+
+let test_rep_timeout_survivors_identical_across_jobs () =
+  let run jobs =
+    Runner.run_summary ~jobs ~chunk:2 ~on_error:Runner.Skip ~rep_timeout_s:0.05
+      ~metrics:[ "v" ] ~master_seed:9 ~replications:8
+      (fun ~rng ~index ->
+        if index = 3 then Unix.sleepf 0.3;
+        (* survivors must keep their deterministic streams *)
+        Runner.rep [| Rng.float rng |])
+  in
+  let a = run 1 and b = run 2 and c = run 4 in
+  let w s = snd (List.hd s.Runner.stats) in
+  check_welford_identical "jobs 1 vs 2" (w a) (w b);
+  check_welford_identical "jobs 1 vs 4" (w a) (w c);
+  Alcotest.(check int) "survivor count" 7 (Welford.count (w a));
+  List.iter
+    (fun (s : Runner.summary) ->
+      Alcotest.(check int) "timed-out rep recorded" 1 (List.length s.timing.failures))
+    [ a; b; c ]
+
+let test_rep_timeout_retry_gets_fresh_watchdog () =
+  (* A rep that only sleeps on its first attempt: the retry runs under a
+     fresh watchdog and succeeds, so nothing is recorded as failed. *)
+  let attempts = Atomic.make 0 in
+  let res, timing =
+    Runner.run_map ~jobs:1 ~on_error:(Runner.Retry 2) ~rep_timeout_s:0.05 ~master_seed:4
+      ~replications:3
+      (fun ~rng:_ ~index ->
+        if index = 1 && Atomic.fetch_and_add attempts 1 = 0 then Unix.sleepf 0.3;
+        index * 10)
+  in
+  Alcotest.(check int) "no failures after retry" 0 (List.length timing.failures);
+  Alcotest.(check (float 0.0)) "retried rep kept" 10.0 (float_of_int (Option.get res.(1)));
+  Alcotest.(check bool) "first attempt really timed out" true (Atomic.get attempts >= 2)
+
+let test_rep_timeout_cooperative_poll () =
+  (* A thunk that polls [deadline_exceeded] bails out early instead of
+     wasting the full sleep. *)
+  let res, timing =
+    Runner.run_map ~jobs:1 ~on_error:Runner.Skip ~rep_timeout_s:0.05 ~master_seed:1
+      ~replications:2
+      (fun ~rng:_ ~index ->
+        if index = 0 then
+          while true do
+            if Runner.deadline_exceeded () then raise Runner.Rep_timeout;
+            ignore (Sys.opaque_identity index)
+          done;
+        index)
+  in
+  Alcotest.(check bool) "poller recorded as timeout" true (res.(0) = None);
+  (match timing.failures with
+  | [ f ] -> Alcotest.(check bool) "Rep_timeout" true (f.error = Runner.Rep_timeout)
+  | _ -> Alcotest.fail "expected one failure");
+  Alcotest.(check bool) "no watchdog -> deadline never fires" true
+    (not (Runner.deadline_exceeded ()))
+
+let test_rep_timeout_validation () =
+  List.iter
+    (fun bad ->
+      try
+        ignore
+          (Runner.run_map ~rep_timeout_s:bad ~master_seed:1 ~replications:1
+             (fun ~rng:_ ~index -> index));
+        Alcotest.failf "rep_timeout_s %g accepted" bad
+      with Invalid_argument _ -> ())
+    [ 0.0; -1.0; Float.nan; Float.infinity ]
+
 let () =
   Alcotest.run "runner"
     [
@@ -392,6 +481,16 @@ let () =
             test_simulator_truncation_flag_propagates;
           Alcotest.test_case "SIGINT flushes partial results" `Quick
             test_sigint_flushes_partial_results;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "late value discarded" `Quick test_rep_timeout_discards_late_value;
+          Alcotest.test_case "survivors identical across jobs" `Quick
+            test_rep_timeout_survivors_identical_across_jobs;
+          Alcotest.test_case "retry gets fresh watchdog" `Quick
+            test_rep_timeout_retry_gets_fresh_watchdog;
+          Alcotest.test_case "cooperative poll" `Quick test_rep_timeout_cooperative_poll;
+          Alcotest.test_case "validation" `Quick test_rep_timeout_validation;
         ] );
       ( "cross-implementation",
         [
