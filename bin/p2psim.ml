@@ -22,6 +22,9 @@ module Probe = P2p_obs.Probe
 module Trace = P2p_obs.Trace
 module Series = P2p_obs.Series
 module Profile = P2p_obs.Profile
+module Hist = P2p_obs.Hist
+module Recorder = P2p_obs.Recorder
+module Monitor = P2p_obs.Monitor
 module Progress = P2p_obs.Progress
 module Json = P2p_obs.Json
 module Campaign = P2p_campaign.Campaign
@@ -212,6 +215,10 @@ type telemetry = {
   metrics_out : string option;
   progress : bool;
   profile : bool;
+  flight_recorder : string option;
+  monitor : bool;
+  alerts_out : string option;
+  hist_out : string option;
 }
 
 let trace_arg =
@@ -254,38 +261,171 @@ let profile_arg =
            ~doc:"Wall-clock phase profile of the simulator (setup / event loop / finalisation), \
                  printed after the run.")
 
+let flight_recorder_arg =
+  Arg.(value & opt (some string) None
+       & info [ "flight-recorder" ] ~docv:"FILE"
+           ~doc:"Keep the last few thousand engine events in a preallocated ring buffer and dump \
+                 them to $(docv) when the run ends, crashes, or is signalled (SIGINT/SIGTERM); \
+                 the ring is also republished atomically every few thousand events, so even a \
+                 SIGKILL leaves the last complete snapshot behind. Chrome trace JSON when the \
+                 name ends in .json, JSONL otherwise. Requires --reps 1.")
+
+let monitor_arg =
+  Arg.(value & flag
+       & info [ "monitor" ]
+           ~doc:"Watch the probe samples for the missing piece syndrome as the run executes: a \
+                 structured alert fires on stderr when the rarest-piece replica count pins near \
+                 one while the one-club drifts linearly upward (the Theorem 1 instability \
+                 signature). Implies probing (default interval horizon/200). Detection runs on \
+                 simulation time only, so monitored runs are bit-identical to bare runs. \
+                 Requires --reps 1.")
+
+let alerts_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "alerts-out" ] ~docv:"FILE"
+           ~doc:"Write the monitor's detector timeline (alerts and syndrome episodes) as JSON \
+                 to $(docv). Implies --monitor.")
+
+let hist_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "hist-out" ] ~docv:"FILE"
+           ~doc:"Record per-event-type counts and sampled per-phase wall-clock cost into \
+                 log2-bucket histograms and write them to $(docv) (render with 'p2psim \
+                 report'). Requires --reps 1.")
+
 let telemetry_term =
-  let make trace probe_interval metrics_out progress profile =
-    { trace; probe_interval; metrics_out; progress; profile }
+  let make trace probe_interval metrics_out progress profile flight_recorder monitor alerts_out
+      hist_out =
+    { trace; probe_interval; metrics_out; progress; profile; flight_recorder; monitor;
+      alerts_out; hist_out }
   in
   Term.(const make $ trace_arg $ probe_interval_arg $ metrics_out_arg $ progress_arg
-        $ profile_arg)
+        $ profile_arg $ flight_recorder_arg $ monitor_arg $ alerts_out_arg $ hist_out_arg)
 
 let usage_error fmt = Printf.ksprintf (fun m -> prerr_endline ("p2psim: " ^ m); exit 2) fmt
 
 (* Build the probe for a single run, hand it to [f], then flush the
-   attached sinks (metrics file, trace file, profile report). *)
+   attached sinks (metrics file, trace file, flight dump, histogram
+   file, monitor timeline, profile report).  The flight recorder is the
+   crash-path sink: it dumps from the SIGINT/SIGTERM handlers and from
+   the exception path, not just on clean exit, and keeps a rate-limited
+   auto-snapshot on disk so even SIGKILL leaves the last complete ring
+   behind. *)
 let with_single_run_probe tel ~k ~horizon f =
   let tracer = Option.map Trace.to_file tel.trace in
+  let monitoring = tel.monitor || tel.alerts_out <> None in
   let series =
     if tel.probe_interval <> None || tel.metrics_out <> None then Some (Series.create ~k)
     else None
   in
+  let monitor =
+    if monitoring then
+      Some
+        (Monitor.create
+           ~on_alert:(fun a -> Format.eprintf "p2psim: %a@." Monitor.pp_alert a)
+           ())
+    else None
+  in
+  let recorder =
+    match tel.flight_recorder with
+    | None -> Recorder.disabled
+    | Some file ->
+        let r = Recorder.create () in
+        Recorder.auto_snapshot r ~every:(Recorder.capacity r) ~min_gap_s:1.0
+          ~code_name:Probe.code_name file;
+        r
+  in
+  let hists = match tel.hist_out with None -> Hist.disabled_group | Some _ -> Hist.group () in
   let prof = if tel.profile then Profile.create () else Profile.disabled in
+  let bare =
+    tracer = None && series = None && monitor = None && not tel.profile
+    && not (Recorder.live recorder)
+    && not (Hist.enabled hists)
+  in
   let probe =
-    if tracer = None && series = None && not tel.profile then Probe.none
+    if bare then Probe.none
     else
+      let on_sample =
+        if series = None && monitor = None then None
+        else
+          Some
+            (fun (s : Probe.sample) ->
+              Option.iter (fun sr -> Series.record sr s) series;
+              Option.iter
+                (fun m ->
+                  Monitor.observe m ~time:s.Probe.time ~one_club:s.Probe.one_club
+                    ~rarest_piece:s.Probe.rarest_piece ~rarest_count:s.Probe.rarest_count)
+                monitor)
+      in
       Probe.make
         ?interval:
-          (match (tel.probe_interval, series) with
-          | Some dt, _ -> Some dt
-          | None, Some _ -> Some (horizon /. 200.0)
-          | None, None -> None)
+          (match tel.probe_interval with
+          | Some dt -> Some dt
+          | None ->
+              if series <> None || monitor <> None then Some (horizon /. 200.0) else None)
         ?on_event:(Option.map Probe.trace_hook tracer)
-        ?on_sample:(Option.map (fun s sample -> Series.record s sample) series)
-        ~profile:prof ()
+        ?on_sample ~profile:prof ~recorder ~hists ()
   in
-  let result = f probe in
+  let dump_recorder ~out =
+    match tel.flight_recorder with
+    | Some file when Recorder.live recorder ->
+        Recorder.dump recorder ~code_name:Probe.code_name file;
+        Printf.fprintf out "flight recorder: %d events kept (%d overwritten) -> %s\n%!"
+          (min (Recorder.recorded recorder) (Recorder.capacity recorder))
+          (Recorder.dropped recorder) file
+    | _ -> ()
+  in
+  let result =
+    match tel.flight_recorder with
+    | None -> f probe
+    | Some _ ->
+        (* Dump the ring on the way out of every abnormal exit the
+           process can still observe; SIGKILL is covered by the
+           auto-snapshot above. *)
+        let on_signal code _ =
+          dump_recorder ~out:stderr;
+          exit code
+        in
+        let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle (on_signal 130)) in
+        let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle (on_signal 143)) in
+        let restore () =
+          Sys.set_signal Sys.sigint prev_int;
+          Sys.set_signal Sys.sigterm prev_term
+        in
+        (try f probe
+         with e ->
+           dump_recorder ~out:stderr;
+           restore ();
+           raise e)
+        |> fun r ->
+        restore ();
+        r
+  in
+  dump_recorder ~out:stdout;
+  Option.iter
+    (fun m ->
+      let n_alerts = List.length (Monitor.alerts m) in
+      Report.kv
+        [
+          ("monitor samples", string_of_int (Monitor.samples_seen m));
+          ("missing-piece alerts", string_of_int n_alerts);
+          ("syndrome episodes", string_of_int (List.length (Monitor.episodes m)));
+          ( "currently alerting",
+            if Monitor.alerting m then "yes (syndrome open at horizon)" else "no" );
+        ];
+      match tel.alerts_out with
+      | None -> ()
+      | Some file ->
+          Json.write_file_atomic file (fun oc ->
+              Json.to_channel oc (Monitor.to_json m);
+              output_char oc '\n');
+          Printf.printf "wrote detector timeline (%d alerts) to %s\n" n_alerts file)
+    monitor;
+  (match tel.hist_out with
+  | None -> ()
+  | Some file ->
+      Hist.write_group_file hists file;
+      Printf.printf "wrote %d histograms to %s\n" (List.length (Hist.hists hists)) file);
   Option.iter
     (fun s ->
       Series.close s ~time:horizon;
@@ -400,7 +540,13 @@ let reject_single_run_telemetry tel =
   if tel.trace <> None then
     usage_error "--trace requires --reps 1 (per-replication traces would interleave)";
   if tel.metrics_out <> None then
-    usage_error "--metrics-out requires --reps 1 (one probe series per run)"
+    usage_error "--metrics-out requires --reps 1 (one probe series per run)";
+  if tel.flight_recorder <> None then
+    usage_error "--flight-recorder requires --reps 1 (one ring per run; campaigns have their own)";
+  if tel.monitor || tel.alerts_out <> None then
+    usage_error "--monitor requires --reps 1 (one detector per run)";
+  if tel.hist_out <> None then
+    usage_error "--hist-out requires --reps 1 (per-replication histograms would interleave)"
 
 (* ---- classify ---- *)
 
@@ -1231,8 +1377,17 @@ let campaign_cmd =
              ~doc:"Testing hook: exit(99) immediately after persisting the $(docv)-th new cell \
                    record of this process — simulates a kill at a cell boundary.")
   in
+  let campaign_flight_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flight-recorder" ] ~docv:"DIR"
+             ~doc:"Keep a per-replication flight recorder and snapshot it atomically to \
+                   $(docv)/cell-<index>-d<domain>.jsonl while each cell runs: a cell that \
+                   crashes, outruns --cell-timeout, or is SIGKILLed leaves a complete, \
+                   parseable dump of its last few thousand engine events behind (render with \
+                   'p2psim report').")
+  in
   let opts_term =
-    let make jobs on_error cell_timeout backoff every progress registry crash_after =
+    let make jobs on_error cell_timeout backoff every progress registry crash_after flight =
       if not (Float.is_finite backoff) || backoff < 0.0 then
         usage_error "--retry-backoff must be a finite non-negative number of seconds";
       if every < 1 then usage_error "--checkpoint-every must be at least 1";
@@ -1248,10 +1403,12 @@ let campaign_cmd =
         command = String.concat " " (Array.to_list Sys.argv);
         crash_after_cells = crash_after;
         handle_signals = true;
+        flight_recorder = flight;
       }
     in
     Term.(const make $ jobs_arg $ on_error_arg $ cell_timeout_arg $ backoff_arg
-          $ checkpoint_every_arg $ progress_arg $ registry_arg $ crash_after_arg)
+          $ checkpoint_every_arg $ progress_arg $ registry_arg $ crash_after_arg
+          $ campaign_flight_arg)
   in
   let finish dir = function
     | Error msg ->
@@ -1318,13 +1475,111 @@ let campaign_cmd =
 let report_cmd =
   let file_arg =
     Arg.(required & pos 0 (some file) None
-         & info [] ~docv:"PROBE_FILE"
-             ~doc:"Probe series file written by 'p2psim simulate --metrics-out'.")
+         & info [] ~docv:"FILE"
+             ~doc:"Observability file, dispatched on its schema header: a probe series \
+                   (--metrics-out), a histogram file (--hist-out), a JSONL flight recorder dump \
+                   (--flight-recorder; the .json Chrome form is for chrome://tracing, not this \
+                   command), or a detector timeline (--alerts-out).")
+  in
+  let render_monitor_replay (samples : Probe.sample array) =
+    Report.subsection "online detector replay (missing piece syndrome)";
+    if Array.length samples = 0 then print_endline "no samples to replay"
+    else begin
+      let m = Monitor.create () in
+      Array.iter
+        (fun (s : Probe.sample) ->
+          Monitor.observe m ~time:s.Probe.time ~one_club:s.Probe.one_club
+            ~rarest_piece:s.Probe.rarest_piece ~rarest_count:s.Probe.rarest_count)
+        samples;
+      match Monitor.alerts m with
+      | [] -> print_endline "detector quiet over the whole series"
+      | alerts ->
+          List.iter (fun a -> Format.printf "  %a@." Monitor.pp_alert a) alerts;
+          Report.table
+            ~header:[ "episode entered"; "exited" ]
+            (List.map
+               (fun (entered, exited) ->
+                 [
+                   Report.fmt_float entered;
+                   (match exited with
+                   | Some x -> Report.fmt_float x
+                   | None -> "open at end of series");
+                 ])
+               (Monitor.episodes m))
+    end
+  in
+  let render_hists file =
+    match Hist.read_group_file file with
+    | Error msg -> usage_error "cannot read %s: %s" file msg
+    | Ok hists ->
+        Printf.printf "%d histograms\n" (List.length hists);
+        List.iter (fun nh -> Format.printf "%a@." Hist.pp_named nh) hists
+  in
+  let render_flight file =
+    match Recorder.read_summary file with
+    | Error msg -> usage_error "cannot read %s: %s" file msg
+    | Ok ((capacity, recorded, dropped), events) ->
+        Report.kv
+          [
+            ("ring capacity", string_of_int capacity);
+            ("events recorded", string_of_int recorded);
+            ("events overwritten", string_of_int dropped);
+            ("events in dump", string_of_int (Array.length events));
+          ];
+        if Array.length events > 0 then begin
+          let t0, _, _, _ = events.(0) in
+          let t1, _, _, _ = events.(Array.length events - 1) in
+          Report.kv [ ("sim-time span", Printf.sprintf "[%g, %g]" t0 t1) ];
+          let counts = Hashtbl.create 16 in
+          Array.iter
+            (fun (_, code, _, _) ->
+              Hashtbl.replace counts code (1 + Option.value ~default:0 (Hashtbl.find_opt counts code)))
+            events;
+          Report.subsection "event mix in the dump window";
+          Report.table ~header:[ "event"; "count" ]
+            (List.map
+               (fun (code, n) -> [ Probe.code_name code; string_of_int n ])
+               (List.sort compare (Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [])))
+        end
+  in
+  let render_monitor_file file json =
+    let ints path = Option.bind (Json.member path json) Json.to_int_opt in
+    let lists path = Option.value ~default:[] (Option.bind (Json.member path json) Json.to_list_opt) in
+    let alerts = lists "alerts" and episodes = lists "episodes" in
+    Report.kv
+      [
+        ("samples", string_of_int (Option.value ~default:0 (ints "samples")));
+        ("alerts", string_of_int (List.length alerts));
+        ("episodes", string_of_int (List.length episodes));
+      ];
+    List.iter
+      (fun a ->
+        let f k = Option.bind (Json.member k a) Json.to_float_opt in
+        let i k = Option.bind (Json.member k a) Json.to_int_opt in
+        match (f "t", i "one_club", i "rarest_piece", i "rarest_count", f "slope", f "t_stat") with
+        | Some t, Some club, Some piece, Some copies, Some slope, Some t_stat ->
+            Printf.printf
+              "  missing_piece_syndrome at t=%g: piece %d down to %d copies, one-club %d drifting %+g/t (t-stat %.2f)\n"
+              t piece copies club slope t_stat
+        | _ -> usage_error "malformed alert record in %s" file)
+      alerts
   in
   let run file =
-    match Series.read_file file with
-    | Error msg -> usage_error "cannot read %s: %s" file msg
-    | Ok s ->
+    let schema_of j = Option.bind (Json.member "schema" j) Json.to_string_opt in
+    let first_record =
+      match Json.read_jsonl_file file with
+      | Error msg -> usage_error "cannot read %s: %s" file msg
+      | Ok { Json.records = []; _ } -> usage_error "%s: no complete records" file
+      | Ok { Json.records = r :: _; _ } -> r
+    in
+    match schema_of first_record with
+    | Some "p2p-hist" -> render_hists file
+    | Some s when s = Recorder.schema -> render_flight file
+    | Some "p2p-monitor" -> render_monitor_file file first_record
+    | Some "p2p-swarm-probe" -> begin
+        match Series.read_file file with
+        | Error msg -> usage_error "cannot read %s: %s" file msg
+        | Ok s ->
         let k = Series.k s in
         let nsamples = Series.count s in
         Report.kv
@@ -1368,11 +1623,19 @@ let report_cmd =
             print_endline
               "one-club grows linearly: the missing piece syndrome transient signature \
                (Theorem 1, growth rate ~ Delta)"
-        end
+        end;
+        render_monitor_replay (Series.samples s)
+      end
+    | Some other -> usage_error "%s: unknown schema %S" file other
+    | None ->
+        usage_error
+          "%s: no schema header (Chrome-trace .json dumps are for chrome://tracing, not report)"
+          file
   in
   Cmd.v
     (Cmd.info "report"
-       ~doc:"Render a probe series file: per-piece scarcity and one-club growth")
+       ~doc:"Render an observability file: probe series (scarcity, one-club growth, detector \
+             replay), histograms, flight recorder dumps, or detector timelines")
     Term.(const run $ file_arg)
 
 let () =

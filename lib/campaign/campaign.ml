@@ -1,5 +1,7 @@
 module Json = P2p_obs.Json
 module Progress = P2p_obs.Progress
+module Probe = P2p_obs.Probe
+module Recorder = P2p_obs.Recorder
 module Runner = P2p_runner.Runner
 module Rng = P2p_prng.Rng
 open P2p_core
@@ -18,6 +20,7 @@ type options = {
   crash_after_cells : int option;
   fault_hook : (int -> unit) option;
   handle_signals : bool;
+  flight_recorder : string option;
 }
 
 let default_options =
@@ -33,6 +36,7 @@ let default_options =
     crash_after_cells = None;
     fault_hook = None;
     handle_signals = false;
+    flight_recorder = None;
   }
 
 type outcome = {
@@ -102,24 +106,58 @@ let render_record spec (cell : Spec.cell) ~agg ~attempts ~errors =
       ("errors", Json.List (List.map (fun e -> Json.String e) errors));
     ]
 
-let cell_aggregate ?jobs ?timeout_s (spec : Spec.t) (cell : Spec.cell) ~attempt =
+let cell_aggregate ?jobs ?timeout_s ?flight_dir (spec : Spec.t) (cell : Spec.cell) ~attempt =
   let master_seed = cell_seed spec ~index:cell.index ~attempt in
   let params = Spec.cell_params spec ~lambda:cell.lambda ~us:cell.us in
   let config =
     { Sim_markov.params; policy = Spec.policy_fun spec; initial = []; faults = spec.faults }
   in
+  (match flight_dir with
+  | Some dir when not (Sys.file_exists dir) -> (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
+  | _ -> ());
   let results, _timing =
     Runner.run_map ?jobs ?rep_timeout_s:timeout_s ~on_error:Runner.Abort ~master_seed
       ~replications:spec.reps (fun ~rng ~index:_ ->
-        let stats, _ =
-          Sim_markov.run ~rng
+        (* Per-replication flight recorder.  The dump path is keyed by
+           the executing domain, never shared across live domains, so
+           concurrent atomic snapshots cannot collide on their
+           temporaries (domains share a PID).  The recorder both
+           auto-snapshots while the replication runs — the SIGKILL
+           survival story — and dumps explicitly on any failure,
+           including the [Rep_timeout] the watchdog raises. *)
+        let probe, dump =
+          match flight_dir with
+          | None -> (Probe.none, fun () -> ())
+          | Some dir ->
+              let r = Recorder.create () in
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "cell-%d-d%d.jsonl" cell.index (Domain.self () :> int))
+              in
+              (* check the wall-clock gap every 256 events: dense enough
+                 that even a short-lived cell republishes promptly, while
+                 [min_gap_s] keeps the disk traffic bounded *)
+              Recorder.auto_snapshot r ~every:256 ~min_gap_s:0.5 ~code_name:Probe.code_name
+                path;
+              (Probe.make ~recorder:r (), fun () -> Recorder.dump r ~code_name:Probe.code_name path)
+        in
+        match
+          Sim_markov.run ~rng ~probe
             ~until:(fun ~time:_ ~n:_ -> Runner.deadline_exceeded ())
             config ~horizon:spec.horizon
-        in
-        (* [until] only fires when a watchdog is armed; a stopped run is
-           a timed-out run. *)
-        if stats.stopped then raise Runner.Rep_timeout;
-        Classify.of_samples stats.samples)
+        with
+        | exception e ->
+            dump ();
+            raise e
+        | stats, _ ->
+            (* [until] only fires when a watchdog is armed; a stopped run
+               is a timed-out run. *)
+            if stats.stopped then begin
+              dump ();
+              raise Runner.Rep_timeout
+            end;
+            dump ();
+            Classify.of_samples stats.samples)
   in
   let results = Array.to_list results |> List.filter_map Fun.id in
   let n = List.length results in
@@ -145,7 +183,10 @@ let run_cell ?jobs ?timeout_s spec cell ~attempt =
 let execute_cell opts spec cell =
   let max_attempts = match opts.on_error with Runner.Retry n -> n + 1 | _ -> 1 in
   let rec go attempt errors =
-    match cell_aggregate ?jobs:opts.jobs ?timeout_s:opts.cell_timeout_s spec cell ~attempt with
+    match
+      cell_aggregate ?jobs:opts.jobs ?timeout_s:opts.cell_timeout_s
+        ?flight_dir:opts.flight_recorder spec cell ~attempt
+    with
     | agg ->
         Ok (render_record spec cell ~agg:(Some agg) ~attempts:(attempt + 1) ~errors:(List.rev errors))
     | exception exn ->

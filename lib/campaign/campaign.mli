@@ -56,11 +56,22 @@ type options = {
       (** testing: called with the store's record count after each
           append; raise {!Simulated_crash} to die in-process *)
   handle_signals : bool;  (** trap SIGINT/SIGTERM into a clean interrupt *)
+  flight_recorder : string option;
+      (** directory for per-cell flight dumps: every replication records
+          the last few thousand engine events into a preallocated ring,
+          auto-snapshotted atomically to [cell-<index>-d<domain>.jsonl]
+          while it runs (so even a SIGKILLed cell leaves a complete,
+          parseable dump behind) and dumped explicitly when the
+          replication fails or its [cell_timeout_s] watchdog fires.
+          Paths are keyed by the executing domain, so concurrent domains
+          never share a snapshot destination.  Purely observational:
+          recorded cells produce byte-identical store records. *)
 }
 
 val default_options : options
 (** Abort on error, no timeout, backoff 1s, checkpoint every 25 cells,
-    silent, no registry, no crash hooks, no signal handling. *)
+    silent, no registry, no crash hooks, no signal handling, no flight
+    recorder. *)
 
 type outcome = {
   dir : string;

@@ -2,6 +2,7 @@ module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
 module Probe = P2p_obs.Probe
 module Profile = P2p_obs.Profile
+module Hist = P2p_obs.Hist
 module Vec = P2p_stats.Vec
 module Timeavg = P2p_stats.Timeavg
 
@@ -146,7 +147,7 @@ let make_handle ~probe ~resume ~rng ~faults ~horizon ~max_events ~sample_every =
   in
   if probe.Probe.tracing then
     Faults.set_observer t.frun (fun ~now ~up ->
-        Probe.event probe ~time:now (Seed_toggle { up }));
+        Probe.seed_toggle probe ~time:now ~up);
   t
 
 let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resume = fresh)
@@ -161,10 +162,20 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resu
   record_samples_through t model t.start_time;
   Profile.stop setup_span;
   let loop_span = Profile.start prof (name ^ "/event-loop") in
+  (* Per-phase monotonic-clock attribution (ROADMAP items 1-2 need the
+     split between rate recomputation and event application).  The
+     timers sample 1-in-32 so two clock reads never ride every event;
+     with hists off each tick/tock is a dead branch. *)
+  let hists = probe.Probe.hists in
+  let rate_tm = Hist.timer (Hist.get hists (name ^ "/total_rate")) in
+  let apply_tm = Hist.timer (Hist.get hists (name ^ "/apply")) in
+  let sched_tm = Hist.timer (Hist.get hists (name ^ "/scheduled")) in
   let c = t.counters in
   let running = ref true in
   while !running do
+    let rate_t0 = Hist.tick rate_tm in
     let total = model.total_rate () in
+    Hist.tock rate_tm rate_t0;
     let dt = Dist.exponential rng ~rate:total in
     let t_next = t.clock +. dt in
     let sched = model.next_scheduled () in
@@ -185,7 +196,9 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resu
       record_samples_through t model sched;
       t.clock <- sched;
       c.events <- c.events + 1;
+      let s_t0 = Hist.tick sched_tm in
       model.scheduled ~time:sched;
+      Hist.tock sched_tm s_t0;
       if t.stop_requested then begin
         Timeavg.close t.avg ~time:t.clock;
         model.finish ~time:t.clock;
@@ -209,7 +222,9 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resu
       t.clock <- t_next;
       c.events <- c.events + 1;
       let u = Rng.float rng *. total in
+      let a_t0 = Hist.tick apply_tm in
       model.apply ~time:t_next ~u;
+      Hist.tock apply_tm a_t0;
       if t.stop_requested then begin
         Timeavg.close t.avg ~time:t.clock;
         model.finish ~time:t.clock;
@@ -278,12 +293,18 @@ let drive_continuous ?(probe = Probe.none) ?sample_every ?(resume = fresh) ~name
   record t.start_time;
   Profile.stop setup_span;
   let loop_span = Profile.start prof (name ^ "/event-loop") in
+  (* Barrier-to-barrier integrations are few (hundreds per run), so the
+     advance timer is unsampled: every span is measured. *)
+  let advance_tm = Hist.timer ~period:1 (Hist.get probe.Probe.hists (name ^ "/advance")) in
   let running = ref true in
   while !running do
     let toggle = Faults.next_toggle t.frun in
     let grid = Float.min t.next_sample (if t.probing then t.next_probe else infinity) in
     let barrier = Float.max t.clock (Float.min horizon (Float.min grid toggle)) in
-    match m.c_advance ~to_:barrier with
+    let adv_t0 = Hist.tick advance_tm in
+    let outcome = m.c_advance ~to_:barrier in
+    Hist.tock advance_tm adv_t0;
+    match outcome with
     | `Stopped ts ->
         (* The model's own [until] predicate fired (hybrid handoff):
            stop exactly at the located crossing. *)

@@ -2,6 +2,7 @@ module Pieceset = P2p_pieceset.Pieceset
 module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
 module Probe = P2p_obs.Probe
+module Hist = P2p_obs.Hist
 
 type dwell = Exp_dwell | Deterministic_dwell | Erlang_dwell of int
 
@@ -213,7 +214,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           let was_one_club_now = Pieceset.equal peer.pieces one_club_type in
           let target = Pieceset.add piece peer.pieces in
           if tracing then
-            Probe.event probe ~time (Transfer { piece; completed = Pieceset.equal target full });
+            Probe.transfer probe ~time ~piece ~completed:(Pieceset.equal target full);
           if piece = config.rare_piece && (not peer.gifted) && not was_one_club_now then
             peer.infected <- true;
           if Pieceset.equal target one_club_type then peer.was_one_club <- true;
@@ -224,7 +225,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             Population.remove pop peer;
             counters.departures <- counters.departures + 1;
             P2p_stats.Welford.add sojourn (time -. peer.arrival_time);
-            if tracing then Probe.event probe ~time (Departure { kind = Completed })
+            if tracing then Probe.departure probe ~time Completed
           end
           else begin
             State.move_peer state ~from_:peer.pieces ~to_:target;
@@ -240,8 +241,10 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           end
         in
         (* Resolve one contact from [uploader] (None = fixed seed). *)
+        let contact_tm = Hist.timer (Hist.get probe.Probe.hists "sim_agent/contact") in
         let contact uploader ~time =
-          if Population.size pop = 0 then ()
+          let c_t0 = Hist.tick contact_tm in
+          (if Population.size pop = 0 then ()
           else begin
             let downloader = Population.uniform pop rng in
             let uploader_arg =
@@ -256,8 +259,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             in
             let success = Option.is_some choice in
             if tracing then
-              Probe.event probe ~time
-                (Contact { seed = Option.is_none uploader; useful = success });
+              Probe.contact probe ~time ~seed:(Option.is_none uploader) ~useful:success;
             (match uploader with
             | None -> seed_boosted := not success
             | Some up -> if not up.departed then Population.set_boosted pop up (not success));
@@ -267,10 +269,11 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                    contact counts as successful for the retry speedup (something
                    useful was on offer), yet nothing is delivered. *)
                 counters.lost <- counters.lost + 1;
-                if tracing then Probe.event probe ~time Transfer_lost
+                if tracing then Probe.transfer_lost probe ~time
             | Some piece -> deliver downloader piece ~time
             | None -> ()
-          end
+          end);
+          Hist.tock contact_tm c_t0
         in
 
         (* Initial population. *)
@@ -325,7 +328,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             let c = fst p.arrivals.(idx) in
             let peer = new_peer c ~time in
             counters.arrivals <- counters.arrivals + 1;
-            if tracing then Probe.event probe ~time (Arrival { pieces = c });
+            if tracing then Probe.arrival probe ~time ~pieces:c;
             if Pieceset.equal c full then schedule_departure peer ~time
           end
           else if u < !rate_arrival +. !rate_seed then contact None ~time
@@ -342,7 +345,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             in
             depart (pick ()) ~time;
             counters.aborted <- counters.aborted + 1;
-            if tracing then Probe.event probe ~time (Departure { kind = Aborted })
+            if tracing then Probe.departure probe ~time Aborted
           end;
           observe time
         in
@@ -362,7 +365,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                     if not peer.departed then begin
                       depart peer ~time;
                       if tracing then
-                        Probe.event probe ~time (Departure { kind = Seed_departed })
+                        Probe.departure probe ~time Seed_departed
                     end;
                     observe time
                 | None -> assert false);

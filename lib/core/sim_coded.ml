@@ -5,6 +5,7 @@ module Field = P2p_gf.Field
 module Mat = P2p_gf.Mat
 module Subspace = P2p_coding.Subspace
 module Probe = P2p_obs.Probe
+module Hist = P2p_obs.Hist
 
 type config = {
   q : int;
@@ -83,6 +84,12 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
         let frun = Engine.faults h in
         let abort_rate = config.faults.abort_rate in
 
+        (* Sampled phase timers for the GF(q) tax ROADMAP item 1 chases:
+           rank updates (Gaussian elimination on receive) vs vector
+           selection (basis scan / random member on transmit). *)
+        let rank_tm = Hist.timer (Hist.get probe.Probe.hists "sim_coded/rank_update") in
+        let select_tm = Hist.timer (Hist.get probe.Probe.hists "sim_coded/vector_select") in
+
         let population () = !len + !seeds_count in
         let track_dim_change ~before ~after =
           if before = config.k - 1 then decr near_complete;
@@ -120,7 +127,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           remove_active peer;
           if immediate then begin
             counters.departures <- counters.departures + 1;
-            if tracing then Probe.event probe ~time (Departure { kind = Completed })
+            if tracing then Probe.departure probe ~time Completed
           end
           else begin
             incr seeds_count;
@@ -133,13 +140,15 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
            useful transfer raising dim from d to d+1 fills slot d. *)
         let receive peer v ~seed_upload ~time =
           let before = Subspace.dim peer.space in
-          if Subspace.insert peer.space v then begin
+          let r_t0 = Hist.tick rank_tm in
+          let inserted = Subspace.insert peer.space v in
+          Hist.tock rank_tm r_t0;
+          if inserted then begin
             counters.transfers <- counters.transfers + 1;
             let after = Subspace.dim peer.space in
             if tracing then begin
-              Probe.event probe ~time (Contact { seed = seed_upload; useful = true });
-              Probe.event probe ~time
-                (Transfer { piece = before; completed = after = config.k })
+              Probe.contact probe ~time ~seed:seed_upload ~useful:true;
+              Probe.transfer probe ~time ~piece:before ~completed:(after = config.k)
             end;
             if after = config.k then complete peer ~time
             else track_dim_change ~before ~after
@@ -147,7 +156,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           else begin
             incr useless;
             if tracing then
-              Probe.event probe ~time (Contact { seed = seed_upload; useful = false })
+              Probe.contact probe ~time ~seed:seed_upload ~useful:false
           end
         in
         let random_full_vector () = Mat.random_vec field (Rng.int_below rng) config.k in
@@ -167,14 +176,14 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                traced as holding the first d piece indices. *)
             let d = Subspace.dim peer.space in
             let rec build i acc = if i >= d then acc else build (i + 1) (Pieceset.add i acc) in
-            Probe.event probe ~time (Arrival { pieces = build 0 Pieceset.empty })
+            Probe.arrival probe ~time ~pieces:(build 0 Pieceset.empty)
           end;
           if Subspace.dim peer.space = config.k then begin
             (* Arrived already able to decode (possible when coded >= K). *)
             counters.completions <- counters.completions + 1;
             if immediate then begin
               counters.departures <- counters.departures + 1;
-              if tracing then Probe.event probe ~time (Departure { kind = Completed })
+              if tracing then Probe.departure probe ~time Completed
             end
             else begin
               incr seeds_count;
@@ -202,8 +211,9 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           match sample_downloader () with
           | None ->
               if tracing then
-                Probe.event probe ~time (Contact { seed = seed_upload; useful = false })
+                Probe.contact probe ~time ~seed:seed_upload ~useful:false
           | Some downloader ->
+              let v_t0 = Hist.tick select_tm in
               let v =
                 match uploader_space with
                 | None -> random_full_vector () (* the fixed seed *)
@@ -226,17 +236,14 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                     end
                     else Subspace.random_member space rng
               in
+              Hist.tock select_tm v_t0;
               if Faults.lost frun then begin
                 (* The upload happened but the vector never arrived. *)
                 counters.lost <- counters.lost + 1;
                 if tracing then begin
-                  Probe.event probe ~time
-                    (Contact
-                       {
-                         seed = seed_upload;
-                         useful = not (Subspace.contains downloader.space v);
-                       });
-                  Probe.event probe ~time Transfer_lost
+                  Probe.contact probe ~time ~seed:seed_upload
+                    ~useful:(not (Subspace.contains downloader.space v));
+                  Probe.transfer_lost probe ~time
                 end
               end
               else receive downloader v ~seed_upload ~time
@@ -277,7 +284,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                 remove_active peer;
                 counters.aborted <- counters.aborted + 1;
                 counters.departures <- counters.departures + 1;
-                if tracing then Probe.event probe ~time (Departure { kind = Aborted })
+                if tracing then Probe.departure probe ~time Aborted
             | None -> assert false
           end
           else begin
@@ -314,7 +321,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                     decr seeds_count;
                     counters.departures <- counters.departures + 1;
                     if tracing then
-                      Probe.event probe ~time (Departure { kind = Seed_departed });
+                      Probe.departure probe ~time Seed_departed;
                     observe time
                 | None -> assert false);
             population;

@@ -166,7 +166,7 @@ let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng con
           let n = Fluid.total !final_densities in
           switches := { at = !t; to_fluid = true; n } :: !switches;
           if probe.Probe.tracing then
-            Probe.event probe ~time:!t (Handoff { fluid = true; n });
+            Probe.handoff probe ~time:!t ~fluid:true ~n;
           state := `Fluid (Array.copy !final_densities)
         end
         else running := false
@@ -197,7 +197,7 @@ let run ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ~rng con
           let n = stats.Sim_fluid.final_n in
           switches := { at = !t; to_fluid = false; n } :: !switches;
           if probe.Probe.tracing then
-            Probe.event probe ~time:!t (Handoff { fluid = false; n });
+            Probe.handoff probe ~time:!t ~fluid:false ~n;
           state := `Stoch (counts_to_initial (discretize final))
         end
         else running := false

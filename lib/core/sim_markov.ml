@@ -2,6 +2,7 @@ module Pieceset = P2p_pieceset.Pieceset
 module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
 module Probe = P2p_obs.Probe
+module Hist = P2p_obs.Hist
 
 type config = {
   params : Params.t;
@@ -43,26 +44,26 @@ let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader
   let downloader = State.sample_uniform_peer state ~draw:(Rng.int_below rng) in
   let choice = Policy.sample policy ~rng ~k:p.k ~state ~uploader ~downloader in
   if tracing then
-    Probe.event probe ~time (Contact { seed = is_seed; useful = Option.is_some choice });
+    Probe.contact probe ~time ~seed:is_seed ~useful:(Option.is_some choice);
   match choice with
   | None -> false
   | Some _ when Faults.lost frun ->
       (* The upload happened but the piece never arrived. *)
       counters.lost <- counters.lost + 1;
-      if tracing then Probe.event probe ~time Transfer_lost;
+      if tracing then Probe.transfer_lost probe ~time;
       false
   | Some piece ->
       counters.transfers <- counters.transfers + 1;
       let target = Pieceset.add piece downloader in
       let full = Params.full_set p in
       let completed = Pieceset.equal target full in
-      if tracing then Probe.event probe ~time (Transfer { piece; completed });
+      if tracing then Probe.transfer probe ~time ~piece ~completed;
       if completed then begin
         counters.completions <- counters.completions + 1;
         if Params.immediate_departure p then begin
           State.remove_peer state downloader;
           counters.departures <- counters.departures + 1;
-          if tracing then Probe.event probe ~time (Departure { kind = Completed })
+          if tracing then Probe.departure probe ~time Completed
         end
         else State.move_peer state ~from_:downloader ~to_:target
       end
@@ -86,6 +87,9 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
         let frun = Engine.faults h in
         let abort_rate = config.faults.abort_rate in
         let visits_to_empty = ref 0 in
+        (* sampled phase cost of contact resolution (policy sampling +
+           piece bookkeeping) — the markov hot path's dominant term *)
+        let contact_tm = Hist.timer (Hist.get probe.Probe.hists "sim_markov/contact") in
         Engine.observe h ~time:(Engine.start_time h) ~n:(State.n state);
         (* Rate bands, stashed by [total_rate] for [apply]'s dispatch. *)
         let rate_arrival = ref 0.0 in
@@ -112,18 +116,29 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
               let pieces = fst p.arrivals.(idx) in
               State.add_peer state pieces;
               counters.arrivals <- counters.arrivals + 1;
-              if tracing then Probe.event probe ~time (Arrival { pieces });
+              if tracing then Probe.arrival probe ~time ~pieces;
               true
             end
-            else if u < !rate_arrival +. !rate_seed_contact then
-              resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-                ~uploader:Policy.Fixed_seed ~counters ~probe ~time
+            else if u < !rate_arrival +. !rate_seed_contact then begin
+              let c_t0 = Hist.tick contact_tm in
+              let changed =
+                resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
+                  ~uploader:Policy.Fixed_seed ~counters ~probe ~time
+              in
+              Hist.tock contact_tm c_t0;
+              changed
+            end
             else if u < !rate_arrival +. !rate_seed_contact +. !rate_peer_contact then begin
               let uploader_type =
                 State.sample_uniform_peer state ~draw:(Rng.int_below rng)
               in
-              resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-                ~uploader:(Policy.Peer uploader_type) ~counters ~probe ~time
+              let c_t0 = Hist.tick contact_tm in
+              let changed =
+                resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
+                  ~uploader:(Policy.Peer uploader_type) ~counters ~probe ~time
+              in
+              Hist.tock contact_tm c_t0;
+              changed
             end
             else if
               u < !rate_arrival +. !rate_seed_contact +. !rate_peer_contact +. !rate_abort
@@ -137,13 +152,13 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
               State.remove_peer state (pick ());
               counters.aborted <- counters.aborted + 1;
               counters.departures <- counters.departures + 1;
-              if tracing then Probe.event probe ~time (Departure { kind = Aborted });
+              if tracing then Probe.departure probe ~time Aborted;
               true
             end
             else begin
               State.remove_peer state full;
               counters.departures <- counters.departures + 1;
-              if tracing then Probe.event probe ~time (Departure { kind = Seed_departed });
+              if tracing then Probe.departure probe ~time Seed_departed;
               true
             end
           in

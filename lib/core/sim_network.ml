@@ -3,6 +3,7 @@ module Rng = P2p_prng.Rng
 module Dist = P2p_prng.Dist
 module Adjacency = P2p_graph.Adjacency
 module Probe = P2p_obs.Probe
+module Hist = P2p_obs.Hist
 
 type piece_choice = Random_useful | Rarest_global | Rarest_local
 
@@ -175,7 +176,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           counters.transfers <- counters.transfers + 1;
           let target = Pieceset.add piece peer.pieces in
           let completed = Pieceset.equal target full in
-          if tracing then Probe.event probe ~time (Transfer { piece; completed });
+          if tracing then Probe.transfer probe ~time ~piece ~completed;
           if completed && Params.immediate_departure p then begin
             counters.completions <- counters.completions + 1;
             State.remove_peer state peer.pieces;
@@ -183,7 +184,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             pop_remove pop peer;
             if sparse then Adjacency.remove_node graph peer.id;
             counters.departures <- counters.departures + 1;
-            if tracing then Probe.event probe ~time (Departure { kind = Completed })
+            if tracing then Probe.departure probe ~time Completed
           end
           else begin
             if completed then counters.completions <- counters.completions + 1;
@@ -192,7 +193,9 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           end
         in
         (* [uploader = None] is the fixed seed, globally connected. *)
+        let contact_tm = Hist.timer (Hist.get probe.Probe.hists "sim_network/contact") in
         let contact uploader ~time =
+          let c_t0 = Hist.tick contact_tm in
           let is_seed = Option.is_none uploader in
           let target_peer =
             match uploader with
@@ -208,11 +211,11 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                   | Some id -> Hashtbl.find_opt pop.by_id id
                 end
           in
-          match target_peer with
+          (match target_peer with
           | None ->
               incr silent;
               if tracing then
-                Probe.event probe ~time (Contact { seed = is_seed; useful = false })
+                Probe.contact probe ~time ~seed:is_seed ~useful:false
           | Some downloader -> begin
               let uploader_pieces =
                 match uploader with None -> full | Some up -> up.pieces
@@ -221,16 +224,16 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                 choose_piece ~uploader_pieces ~uploader ~downloader_pieces:downloader.pieces
               in
               if tracing then
-                Probe.event probe ~time
-                  (Contact { seed = is_seed; useful = Option.is_some choice });
+                Probe.contact probe ~time ~seed:is_seed ~useful:(Option.is_some choice);
               match choice with
               | Some _ when Faults.lost frun ->
                   (* The upload happened but the piece never arrived. *)
                   counters.lost <- counters.lost + 1;
-                  if tracing then Probe.event probe ~time Transfer_lost
+                  if tracing then Probe.transfer_lost probe ~time
               | Some piece -> deliver downloader piece ~time
               | None -> incr silent
-            end
+            end);
+          Hist.tock contact_tm c_t0
         in
 
         (* initial population *)
@@ -277,7 +280,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             let pieces = fst p.arrivals.(idx) in
             ignore (new_peer pieces);
             counters.arrivals <- counters.arrivals + 1;
-            if tracing then Probe.event probe ~time (Arrival { pieces })
+            if tracing then Probe.arrival probe ~time ~pieces
           end
           else if u < !rate_arrival +. !rate_seed then contact None ~time
           else if u < !rate_arrival +. !rate_seed +. !rate_abort then begin
@@ -289,7 +292,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             in
             depart (pick ());
             counters.aborted <- counters.aborted + 1;
-            if tracing then Probe.event probe ~time (Departure { kind = Aborted })
+            if tracing then Probe.departure probe ~time Aborted
           end
           else if u < !rate_arrival +. !rate_seed +. !rate_abort +. !rate_peers then
             contact (Some (pop_uniform pop rng)) ~time
@@ -300,7 +303,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
               if Pieceset.equal peer.pieces full then peer else find_seed ()
             in
             depart (find_seed ());
-            if tracing then Probe.event probe ~time (Departure { kind = Seed_departed })
+            if tracing then Probe.departure probe ~time Seed_departed
           end;
           observe time
         in

@@ -1,0 +1,8 @@
+(* OCaml 5.1's [Unix] does not expose [clock_gettime]; the bechamel
+   benchmarking suite (already a repo dependency) ships a tiny C stub
+   for CLOCK_MONOTONIC as [bechamel.monotonic_clock].  We funnel every
+   instrument through this one indirection so a future stdlib clock is
+   a one-line swap. *)
+
+let now_ns () = Monotonic_clock.now ()
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9

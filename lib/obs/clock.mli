@@ -1,0 +1,22 @@
+(** The one monotonic clock every instrument reads.
+
+    [Unix.gettimeofday] is wall time: NTP slews and steps move it
+    backwards and forwards under a running process, which corrupts any
+    duration computed as a difference of two reads.  Everything in
+    [lib/obs] that measures {e elapsed} time (profiler spans, metric
+    timers, histogram phase costs, flight-recorder snapshot cadence)
+    goes through this module instead, which reads the OS monotonic
+    clock ([CLOCK_MONOTONIC]) and therefore never runs backwards.
+
+    The epoch is unspecified (typically boot time): values are only
+    meaningful as differences.  Simulation code never reads this clock
+    — probes and detectors ride simulation time, a separate axis. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an unspecified epoch.  Alloc-free on
+    native builds (the underlying primitive is [@@noalloc] with an
+    unboxed result). *)
+
+val now_s : unit -> float
+(** {!now_ns} scaled to seconds.  Differences of [now_s] reads keep
+    sub-microsecond precision over any realistic process lifetime. *)

@@ -59,16 +59,37 @@ let timer t name =
 let time tm f =
   if not tm.t_live then f ()
   else begin
-    let t0 = Unix.gettimeofday () in
+    (* monotonic, not wall: timer totals must survive NTP steps *)
+    let t0 = Clock.now_s () in
     Fun.protect
       ~finally:(fun () ->
-        tm.total_s <- tm.total_s +. (Unix.gettimeofday () -. t0);
+        tm.total_s <- tm.total_s +. (Clock.now_s () -. t0);
         tm.spans <- tm.spans + 1)
       f
   end
 
 let timer_total_s tm = tm.total_s
 let timer_count tm = tm.spans
+
+(* The domain-safety contract: registries are single-domain; parallel
+   work gives each domain its own registry and the owner folds them
+   here after join.  Counters and timers are extensive (they add);
+   gauges are last-observation instruments with no cross-domain order,
+   so the merge keeps the maximum — deterministic in any join order. *)
+let merge ~into src =
+  if into.live && src.live then
+    Hashtbl.iter
+      (fun name entry ->
+        match entry with
+        | C c -> add (counter into name) c.count
+        | G g ->
+            let dst = gauge into name in
+            if g.value > dst.value then dst.value <- g.value
+        | T tm ->
+            let dst = timer into name in
+            dst.total_s <- dst.total_s +. tm.total_s;
+            dst.spans <- dst.spans + tm.spans)
+      src.entries
 
 let to_json t =
   let fields =

@@ -8,10 +8,13 @@
     simulation RNG or any float statistic) the simulated trajectory is
     bit-identical either way.  A golden test pins that guarantee.
 
-    Registries are not thread-safe for {e registration}; register all
-    instruments before handing them to worker domains.  Updates from a
-    single domain at a time are the intended pattern (one registry per
-    replication). *)
+    {b Domain contract (pinned by a multi-domain test).}  A registry is
+    a {e single-domain} object: registration and updates are unlocked,
+    so sharing one live registry across domains races.  Parallel work
+    gives each domain its own registry and the owner combines them
+    after join with {!merge} — counters and timer totals add, gauges
+    keep the maximum, so the merged registry is identical in any join
+    order.  Timers read the monotonic clock, never wall time. *)
 
 type t
 (** A registry of named instruments. *)
@@ -48,6 +51,13 @@ val time : timer -> (unit -> 'a) -> 'a
 
 val timer_total_s : timer -> float
 val timer_count : timer -> int
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters and timers add, gauges keep the
+    larger value, unknown names register on demand.  A dead registry on
+    either side makes this a no-op.
+    @raise Invalid_argument if a name is registered as different kinds
+    in the two registries. *)
 
 val to_json : t -> Json.t
 (** [Obj] keyed by instrument name (sorted): counters as [Int], gauges as

@@ -1,0 +1,156 @@
+module Regression = P2p_stats.Regression
+
+type config = {
+  window : int;
+  pin_threshold : int;
+  pin_fraction : float;
+  min_one_club : int;
+  min_slope : float;
+  min_t_stat : float;
+}
+
+let default =
+  {
+    window = 24;
+    pin_threshold = 2;
+    pin_fraction = 0.8;
+    min_one_club = 8;
+    min_slope = 0.0;
+    min_t_stat = 4.0;
+  }
+
+type alert = {
+  at : float;
+  one_club : int;
+  rarest_piece : int;
+  rarest_count : int;
+  slope : float;
+  t_stat : float;
+}
+
+type t = {
+  config : config;
+  on_alert : alert -> unit;
+  times : float array;
+  clubs : float array;
+  rares : int array;
+  mutable seen : int;
+  mutable alerts_rev : alert list;
+  mutable episodes_rev : (float * float option) list;
+  mutable in_episode : bool;
+}
+
+let create ?(config = default) ?(on_alert = fun _ -> ()) () =
+  if config.window < 4 then invalid_arg "Monitor.create: window < 4";
+  if not (config.pin_fraction >= 0.0 && config.pin_fraction <= 1.0) then
+    invalid_arg "Monitor.create: pin_fraction outside [0, 1]";
+  if config.pin_threshold < 0 then invalid_arg "Monitor.create: pin_threshold < 0";
+  if config.min_one_club < 0 then invalid_arg "Monitor.create: min_one_club < 0";
+  {
+    config;
+    on_alert;
+    times = Array.make config.window 0.0;
+    clubs = Array.make config.window 0.0;
+    rares = Array.make config.window 0;
+    seen = 0;
+    alerts_rev = [];
+    episodes_rev = [];
+    in_episode = false;
+  }
+
+let samples_seen t = t.seen
+let alerts t = List.rev t.alerts_rev
+let episodes t = List.rev t.episodes_rev
+let alerting t = t.in_episode
+
+(* The syndrome test over the current window: scarcity pinned for most
+   of it AND the one-club drifting up with statistical significance.
+   O(window) arithmetic, once per probe sample. *)
+let condition t =
+  let c = t.config in
+  let w = c.window in
+  let pinned = ref 0 in
+  for i = 0 to w - 1 do
+    if t.rares.(i) <= c.pin_threshold then incr pinned
+  done;
+  if float_of_int !pinned < c.pin_fraction *. float_of_int w then None
+  else begin
+    let points = Array.init w (fun i -> (t.times.(i), t.clubs.(i))) in
+    (* sort by time so the window reads oldest-first regardless of the
+       ring phase; OLS itself is order-independent but degenerate-x
+       detection and readers are simpler on sorted points *)
+    Array.sort (fun (a, _) (b, _) -> Float.compare a b) points;
+    match Regression.fit points with
+    | exception Invalid_argument _ -> None (* degenerate window (repeated times) *)
+    | fit ->
+        let t_stat = Regression.slope_t_statistic fit in
+        if fit.Regression.slope > c.min_slope && t_stat >= c.min_t_stat then
+          Some (fit.Regression.slope, t_stat)
+        else None
+  end
+
+let observe t ~time ~one_club ~rarest_piece ~rarest_count =
+  let c = t.config in
+  let slot = t.seen mod c.window in
+  t.times.(slot) <- time;
+  t.clubs.(slot) <- float_of_int one_club;
+  t.rares.(slot) <- rarest_count;
+  t.seen <- t.seen + 1;
+  if t.seen >= c.window && one_club >= c.min_one_club then (
+    match condition t with
+    | Some (slope, t_stat) ->
+        if not t.in_episode then begin
+          t.in_episode <- true;
+          t.episodes_rev <- (time, None) :: t.episodes_rev;
+          let alert = { at = time; one_club; rarest_piece; rarest_count; slope; t_stat } in
+          t.alerts_rev <- alert :: t.alerts_rev;
+          t.on_alert alert
+        end
+    | None ->
+        if t.in_episode then begin
+          t.in_episode <- false;
+          match t.episodes_rev with
+          | (entered, None) :: rest -> t.episodes_rev <- (entered, Some time) :: rest
+          | _ -> ()
+        end)
+  else if t.in_episode && one_club < c.min_one_club then begin
+    t.in_episode <- false;
+    match t.episodes_rev with
+    | (entered, None) :: rest -> t.episodes_rev <- (entered, Some time) :: rest
+    | _ -> ()
+  end
+
+let alert_json a =
+  Json.Obj
+    [
+      ("alert", Json.String "missing_piece_syndrome");
+      ("t", Json.Float a.at);
+      ("one_club", Json.Int a.one_club);
+      (* 1-based piece numbers on the wire, matching the tracer and CLI *)
+      ("rarest_piece", Json.Int (a.rarest_piece + 1));
+      ("rarest_count", Json.Int a.rarest_count);
+      ("slope", Json.Float a.slope);
+      ("t_stat", Json.Float a.t_stat);
+    ]
+
+let episode_json (entered, exited) =
+  Json.Obj
+    [
+      ("entered", Json.Float entered);
+      ("exited", match exited with Some x -> Json.Float x | None -> Json.Null);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "p2p-monitor");
+      ("version", Json.Int 1);
+      ("samples", Json.Int t.seen);
+      ("alerts", Json.List (List.map alert_json (alerts t)));
+      ("episodes", Json.List (List.map episode_json (episodes t)));
+    ]
+
+let pp_alert fmt a =
+  Format.fprintf fmt
+    "missing_piece_syndrome at t=%.6g: piece %d down to %d copies, one-club %d drifting %+.4g/t (t-stat %.2f)"
+    a.at (a.rarest_piece + 1) a.rarest_count a.one_club a.slope a.t_stat

@@ -1,0 +1,68 @@
+(** Online stability detectors over the sim-time probe grid.
+
+    The paper's instability mechanism (Zhu & Hajek, PODC 2011) is the
+    {e missing-piece syndrome}: one piece stays scarce — held by at
+    most a couple of peers — while the "one-club" of peers holding
+    everything {e but} that piece grows linearly.  The monitor watches
+    for exactly that signature as the run executes, instead of leaving
+    it to post-hoc [p2psim report]: a sliding window of probe samples
+    in which (a) the rarest-piece replica count pins at or below a
+    threshold for most of the window, and (b) an OLS fit of one-club
+    size against time shows significant positive drift (slope t-statistic
+    over a floor, the Section VI linear-growth witness).
+
+    {b Determinism.}  The monitor consumes only probe samples, which
+    ride the simulation clock; it never reads wall time and never
+    touches the simulation RNG, so a monitored run is bit-identical to
+    a bare run.  Feed it from a probe's [on_sample] hook. *)
+
+type config = {
+  window : int;  (** samples per sliding window *)
+  pin_threshold : int;  (** rarest count ≤ this ⇒ "pinned scarce" *)
+  pin_fraction : float;  (** fraction of window that must be pinned *)
+  min_one_club : int;  (** ignore syndromes in tiny swarms *)
+  min_slope : float;  (** one-club drift floor, peers per time unit *)
+  min_t_stat : float;  (** slope significance floor *)
+}
+
+val default : config
+
+type alert = {
+  at : float;  (** sim time the detector fired *)
+  one_club : int;
+  rarest_piece : int;
+  rarest_count : int;
+  slope : float;  (** fitted one-club drift over the window *)
+  t_stat : float;
+}
+
+type t
+
+val create : ?config:config -> ?on_alert:(alert -> unit) -> unit -> t
+(** [on_alert] fires once per episode, at entry.
+    @raise Invalid_argument on a non-sensical config (window < 4,
+    fraction outside [0, 1], negative thresholds). *)
+
+val observe : t -> time:float -> one_club:int -> rarest_piece:int -> rarest_count:int -> unit
+(** Feed one probe sample.  Cheap: O(window) only once per sample. *)
+
+val samples_seen : t -> int
+
+val alerts : t -> alert list
+(** Alerts raised so far, oldest first. *)
+
+val episodes : t -> (float * float option) list
+(** Syndrome episodes as [(entered, exited)]; [None] = still open at
+    the last sample.  Oldest first. *)
+
+val alerting : t -> bool
+(** Whether the detector is currently inside an episode. *)
+
+val alert_json : alert -> Json.t
+(** One structured JSONL line:
+    [{"alert": "missing_piece_syndrome", "t": ..., ...}]. *)
+
+val to_json : t -> Json.t
+(** The full detector timeline: alerts plus episodes. *)
+
+val pp_alert : Format.formatter -> alert -> unit

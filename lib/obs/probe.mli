@@ -40,6 +40,20 @@ type event =
 val event_name : event -> string
 val event_args : event -> (string * Json.t) list
 
+(** {2 Dense codes}
+
+    The flight recorder stores events as [(code, a, b)] integer rows so
+    recording never allocates.  Payload packing: [Arrival] carries the
+    piece bitset and its cardinal; [Contact] the seed/useful flags;
+    [Transfer] the 1-based piece and the completion flag; [Seed_toggle]
+    the new state; [Handoff] the direction and rounded population. *)
+
+val n_event_codes : int
+val event_code : event -> int
+val code_name : int -> string
+val payload_a : event -> int
+val payload_b : event -> int
+
 (** {1 Swarm samples} *)
 
 type sample = {
@@ -63,10 +77,15 @@ val sample :
 
 type t = private {
   interval : float;  (** sim-time sampling period; [infinity] = never *)
-  tracing : bool;  (** false ⇒ skip event construction *)
+  tracing : bool;  (** false ⇒ skip event reporting entirely *)
   on_event : time:float -> event -> unit;
   on_sample : sample -> unit;
   profile : Profile.t;
+  recorder : Recorder.t;  (** flight recorder fed by the emitters *)
+  hists : Hist.group;  (** phase-cost and event-count histograms *)
+  structured : bool;  (** recorder or hists live *)
+  subscribed : bool;  (** an [on_event] hook was supplied *)
+  event_counts : Hist.t array;  (** per-code occurrence hists, by {!event_code} *)
 }
 
 val none : t
@@ -76,9 +95,15 @@ val make :
   ?on_event:(time:float -> event -> unit) ->
   ?on_sample:(sample -> unit) ->
   ?profile:Profile.t ->
+  ?recorder:Recorder.t ->
+  ?hists:Hist.group ->
   unit ->
   t
-(** [tracing] is true iff [on_event] is supplied.
+(** [tracing] is true iff [on_event] is supplied, the recorder is live,
+    or the hist group is enabled — all three consume events.  A live
+    hist group additionally makes the engine attribute per-phase
+    monotonic-clock cost into [hists] (sampled timers, see
+    {!Hist.timer}).
     @raise Invalid_argument if [interval <= 0]. *)
 
 val trace_hook : Trace.t -> time:float -> event -> unit
@@ -87,5 +112,23 @@ val trace_hook : Trace.t -> time:float -> event -> unit
 val sampling : t -> bool
 (** Whether the probe wants grid samples ([interval < infinity]). *)
 
+(** {1 Emitters}
+
+    Call these under [if probe.tracing then ...] in hot loops.  Each
+    takes the event payload as scalars: the recorder and count hists
+    consume the dense [(code, a, b)] form directly, and the [event]
+    variant is only constructed when an [on_event] subscriber is
+    attached — so a recorder-only run never allocates or dispatches
+    per event. *)
+
+val arrival : t -> time:float -> pieces:Pieceset.t -> unit
+val contact : t -> time:float -> seed:bool -> useful:bool -> unit
+val transfer : t -> time:float -> piece:int -> completed:bool -> unit
+val transfer_lost : t -> time:float -> unit
+val departure : t -> time:float -> departure_kind -> unit
+val seed_toggle : t -> time:float -> up:bool -> unit
+val handoff : t -> time:float -> fluid:bool -> n:float -> unit
+
 val event : t -> time:float -> event -> unit
-(** Call under [if probe.tracing then ...] in hot loops. *)
+(** Dynamic form of the emitters above, for callers that already hold
+    an [event] value (replays, tests). *)

@@ -19,11 +19,13 @@ let record_locked t label seconds =
   | None -> Hashtbl.add t.cells label { total_s = seconds; entries = 1 });
   Mutex.unlock t.lock
 
-let start t label = if not t.live then dead_span else { owner = t; label; t0 = Unix.gettimeofday (); dead = false }
+(* Spans ride the monotonic clock: an NTP step under a run must not be
+   able to produce negative or wildly inflated phase totals. *)
+let start t label = if not t.live then dead_span else { owner = t; label; t0 = Clock.now_s (); dead = false }
 
 let stop span =
   if not span.dead then
-    record_locked span.owner span.label (Unix.gettimeofday () -. span.t0)
+    record_locked span.owner span.label (Clock.now_s () -. span.t0)
 
 let time t label f =
   if not t.live then f ()

@@ -1,0 +1,166 @@
+type t = {
+  r_live : bool;
+  times : float array;
+  (* (code, a, b) interleaved at stride 3: one sequential write stream
+     instead of three parallel ones, so a recording run keeps two open
+     cache-line streams (times + data) rather than four. *)
+  data : int array;
+  mask : int;
+  mutable next : int; (* total ever recorded; write slot = next land mask *)
+  (* auto-snapshot state; snap_left = 0 means off, leaving one dead
+     branch on the record path *)
+  mutable snap_every : int;
+  mutable snap_left : int;
+  mutable snap_gap_ns : int64;
+  mutable last_snap_ns : int64;
+  mutable snap_path : string;
+  mutable snap_name : int -> string;
+}
+
+let no_name code = string_of_int code
+
+let make ~live capacity =
+  {
+    r_live = live;
+    times = Array.make capacity 0.0;
+    data = Array.make (3 * capacity) 0;
+    mask = capacity - 1;
+    next = 0;
+    snap_every = 0;
+    snap_left = 0;
+    snap_gap_ns = 0L;
+    last_snap_ns = 0L;
+    snap_path = "";
+    snap_name = no_name;
+  }
+
+let disabled = make ~live:false 1
+
+let rec round_pow2 n c = if c >= n then c else round_pow2 n (c * 2)
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Recorder.create: capacity < 1";
+  make ~live:true (round_pow2 capacity 1)
+
+let live t = t.r_live
+let capacity t = if t.r_live then t.mask + 1 else 0
+let recorded t = t.next
+let dropped t = Int.max 0 (t.next - (t.mask + 1))
+
+let dump t ~code_name path =
+  if t.r_live then begin
+    let cap = t.mask + 1 in
+    let first = Int.max 0 (t.next - cap) in
+    if Filename.check_suffix path ".json" then begin
+      let tr = Trace.to_file path in
+      for i = first to t.next - 1 do
+        let s = i land t.mask in
+        Trace.emit tr ~time:t.times.(s)
+          ~name:(code_name t.data.(3 * s))
+          ~args:[ ("a", Json.Int t.data.((3 * s) + 1)); ("b", Json.Int t.data.((3 * s) + 2)) ]
+      done;
+      Trace.close tr
+    end
+    else
+      Json.write_file_atomic path (fun oc ->
+          Json.to_channel oc
+            (Json.Obj
+               [
+                 ("schema", Json.String "p2p-flight-recorder");
+                 ("version", Json.Int 1);
+                 ("capacity", Json.Int cap);
+                 ("recorded", Json.Int t.next);
+                 ("dropped", Json.Int (dropped t));
+               ]);
+          output_char oc '\n';
+          for i = first to t.next - 1 do
+            let s = i land t.mask in
+            let code = t.data.(3 * s) in
+            Json.to_channel oc
+              (Json.Obj
+                 [
+                   ("t", Json.Float t.times.(s));
+                   ("ev", Json.String (code_name code));
+                   ("c", Json.Int code);
+                   ("a", Json.Int t.data.((3 * s) + 1));
+                   ("b", Json.Int t.data.((3 * s) + 2));
+                 ]);
+            output_char oc '\n'
+          done)
+  end
+
+let auto_snapshot t ~every ~min_gap_s ~code_name path =
+  if every < 1 then invalid_arg "Recorder.auto_snapshot: every < 1";
+  if not (min_gap_s >= 0.0) then invalid_arg "Recorder.auto_snapshot: min_gap_s < 0";
+  if t.r_live then begin
+    t.snap_every <- every;
+    t.snap_left <- every;
+    t.snap_gap_ns <- Int64.of_float (min_gap_s *. 1e9);
+    t.last_snap_ns <- 0L;
+    t.snap_path <- path;
+    t.snap_name <- code_name
+  end
+
+(* The wall clock gates only how often the artifact is republished; it
+   never feeds a value back into the simulation. *)
+let snapshot_now t =
+  t.snap_left <- t.snap_every;
+  let now = Clock.now_ns () in
+  if Int64.sub now t.last_snap_ns >= t.snap_gap_ns then begin
+    t.last_snap_ns <- now;
+    dump t ~code_name:t.snap_name t.snap_path
+  end
+
+let[@inline] record t ~time ~code ~a ~b =
+  if t.r_live then begin
+    (* [land mask] keeps the slot inside the power-of-two ring, so the
+       four stores skip their bounds checks — this runs on every engine
+       event of a recorded run. *)
+    let s = t.next land t.mask in
+    let d = 3 * s in
+    Array.unsafe_set t.times s time;
+    Array.unsafe_set t.data d code;
+    Array.unsafe_set t.data (d + 1) a;
+    Array.unsafe_set t.data (d + 2) b;
+    t.next <- t.next + 1;
+    if t.snap_left > 0 then begin
+      t.snap_left <- t.snap_left - 1;
+      if t.snap_left = 0 then snapshot_now t
+    end
+  end
+
+let schema = "p2p-flight-recorder"
+
+let read_summary path =
+  let ( let* ) = Result.bind in
+  let* { Json.records; remnant = _ } = Json.read_jsonl_file path in
+  match records with
+  | [] -> Error "flight dump: empty file"
+  | header :: rows ->
+      let* () =
+        match Option.bind (Json.member "schema" header) Json.to_string_opt with
+        | Some s when s = schema -> Ok ()
+        | Some s -> Error (Printf.sprintf "flight dump: schema %S, wanted %S" s schema)
+        | None -> Error "flight dump: no schema header line"
+      in
+      let int_field name j =
+        match Option.bind (Json.member name j) Json.to_int_opt with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "flight dump: missing int field %S" name)
+      in
+      let* cap = int_field "capacity" header in
+      let* rec_total = int_field "recorded" header in
+      let* drop = int_field "dropped" header in
+      let* rows =
+        List.fold_left
+          (fun acc row ->
+            let* acc = acc in
+            let* code = int_field "c" row in
+            let* a = int_field "a" row in
+            let* b = int_field "b" row in
+            match Option.bind (Json.member "t" row) Json.to_float_opt with
+            | Some time -> Ok ((time, code, a, b) :: acc)
+            | None -> Error "flight dump: event row without a time")
+          (Ok []) rows
+      in
+      Ok ((cap, rec_total, drop), Array.of_list (List.rev rows))

@@ -2,6 +2,8 @@ module Rng = P2p_prng.Rng
 module Welford = P2p_stats.Welford
 module Histogram = P2p_stats.Histogram
 module Progress = P2p_obs.Progress
+module Hist = P2p_obs.Hist
+module Clock = P2p_obs.Clock
 
 type failure = { index : int; error : exn; backtrace : Printexc.raw_backtrace }
 
@@ -19,7 +21,7 @@ exception Rep_timeout
    {!Rep_timeout} failure and handed to the [on_error] policy. *)
 let deadline_key : float Domain.DLS.key = Domain.DLS.new_key (fun () -> infinity)
 
-let deadline_exceeded () = Unix.gettimeofday () > Domain.DLS.get deadline_key
+let deadline_exceeded () = Clock.now_s () > Domain.DLS.get deadline_key
 
 type timing = {
   wall_s : float;
@@ -108,15 +110,15 @@ let drive ~jobs ~nchunks ~handle_sigint ~work =
       if not (stop ()) then begin
         let c = Atomic.fetch_and_add next 1 in
         if c < nchunks then begin
-          let t0 = Unix.gettimeofday () in
-          (try work c
+          let t0 = Clock.now_s () in
+          (try work ~domain:d c
            with exn ->
              let bt = Printexc.get_raw_backtrace () in
              (* Remember the first failure; let other domains drain the
                 queue (each remaining chunk is cheap to skip because we
                 stop claiming once a failure is recorded). *)
              ignore (Atomic.compare_and_set failure None (Some (exn, bt))));
-          busy.(d * stride) <- busy.(d * stride) +. (Unix.gettimeofday () -. t0);
+          busy.(d * stride) <- busy.(d * stride) +. (Clock.now_s () -. t0);
           loop ()
         end
       end
@@ -130,7 +132,7 @@ let drive ~jobs ~nchunks ~handle_sigint ~work =
         (Sys.signal Sys.sigint
            (Sys.Signal_handle (fun _ -> Atomic.set interrupted true)))
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let finish () =
     match previous_handler with
     | Some h -> Sys.set_signal Sys.sigint h
@@ -156,7 +158,7 @@ let drive ~jobs ~nchunks ~handle_sigint ~work =
      Gc.set saved_gc
    end);
   finish ();
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Clock.now_s () -. t0 in
   (match Atomic.get failure with
   | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
   | None -> ());
@@ -203,7 +205,7 @@ let run_replication ~on_error ~rep_timeout_s ~master_seed ~index f =
       match rep_timeout_s with
       | None -> 0.0
       | Some s ->
-          let now = Unix.gettimeofday () in
+          let now = Clock.now_s () in
           Domain.DLS.set deadline_key (now +. s);
           now
     in
@@ -211,7 +213,7 @@ let run_replication ~on_error ~rep_timeout_s ~master_seed ~index f =
       match f ~rng ~index with
       | v -> (
           match rep_timeout_s with
-          | Some s when Unix.gettimeofday () -. t0 > s ->
+          | Some s when Clock.now_s () -. t0 > s ->
               (* The attempt outran its watchdog even though it finished:
                  a late value is a failed value — trusting it would make
                  the sweep's duration bound a lie. *)
@@ -256,9 +258,9 @@ let step ~on_error ~budget_s ~rep_timeout_s ~progress ~(log : chunk_log) ~master
            enough for two gettimeofday calls apiece to show up. *)
         run_replication ~on_error ~rep_timeout_s ~master_seed ~index:i f
     | Some budget ->
-        let t0 = Unix.gettimeofday () in
+        let t0 = Clock.now_s () in
         let result = run_replication ~on_error ~rep_timeout_s ~master_seed ~index:i f in
-        if Unix.gettimeofday () -. t0 > budget then log.over.(c) <- log.over.(c) + 1;
+        if Clock.now_s () -. t0 > budget then log.over.(c) <- log.over.(c) + 1;
         result
   in
   Progress.step progress;
@@ -269,18 +271,42 @@ let step ~on_error ~budget_s ~rep_timeout_s ~progress ~(log : chunk_log) ~master
       | Abort -> Printexc.raise_with_backtrace fail.error fail.backtrace
       | Skip | Retry _ -> log.failures.(c) <- fail :: log.failures.(c))
 
+(* Per-domain replication-duration histograms: the observable behind
+   the runner's utilisation-imbalance question (ROADMAP item 2).  They
+   are diagnostics of {e this} execution — chunk-to-domain assignment
+   is racy by design — so, unlike every aggregate, their per-domain
+   split is deliberately scheduling-dependent.  Each domain writes only
+   its own histogram, honouring the single-domain instrument contract;
+   merge them afterwards with [Hist.merge] if a pooled view is wanted. *)
+let rep_hists ~hists ~jobs =
+  match hists with
+  | None -> [||]
+  | Some g ->
+      Array.init jobs (fun d -> Hist.get g (Printf.sprintf "runner/replication_s/domain%d" d))
+
+let timed_step rep_h do_step =
+  if Hist.live rep_h then begin
+    let t0 = Clock.now_s () in
+    do_step ();
+    Hist.record rep_h (Clock.now_s () -. t0)
+  end
+  else do_step ()
+
 let run_map ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?(handle_sigint = false)
-    ?(progress = Progress.silent) ~master_seed ~replications f =
+    ?(progress = Progress.silent) ?hists ~master_seed ~replications f =
   let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ?rep_timeout_s ~replications () in
   let on_error = Option.value on_error ~default:Abort in
   let log = chunk_log nchunks in
   let results = Array.make replications None in
-  let work c =
+  let rep_hists = rep_hists ~hists ~jobs in
+  let work ~domain c =
+    let rep_h = if Array.length rep_hists = 0 then Hist.disabled else rep_hists.(domain) in
     let lo, hi = chunk_bounds ~chunk ~replications c in
     for i = lo to hi - 1 do
-      step ~on_error ~budget_s ~rep_timeout_s ~progress ~log ~master_seed ~c
-        ~keep:(fun v -> results.(i) <- Some v)
-        f i
+      timed_step rep_h (fun () ->
+          step ~on_error ~budget_s ~rep_timeout_s ~progress ~log ~master_seed ~c
+            ~keep:(fun v -> results.(i) <- Some v)
+            f i)
     done
   in
   let wall_s, busy, interrupted = drive ~jobs ~nchunks ~handle_sigint ~work in
@@ -288,17 +314,20 @@ let run_map ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?(handle_sigint = fa
   (results, log_of ~log ~wall_s ~jobs ~nchunks ~busy ~interrupted)
 
 let run_fold ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?(handle_sigint = false)
-    ?(progress = Progress.silent) ~master_seed ~replications ~init ~add ~merge f =
+    ?(progress = Progress.silent) ?hists ~master_seed ~replications ~init ~add ~merge f =
   let jobs, chunk, nchunks = validate ?jobs ?chunk ?on_error ?rep_timeout_s ~replications () in
   let on_error = Option.value on_error ~default:Abort in
   let log = chunk_log nchunks in
   let accs = Array.make nchunks None in
-  let work c =
+  let rep_hists = rep_hists ~hists ~jobs in
+  let work ~domain c =
+    let rep_h = if Array.length rep_hists = 0 then Hist.disabled else rep_hists.(domain) in
     let lo, hi = chunk_bounds ~chunk ~replications c in
     let acc = init () in
     for i = lo to hi - 1 do
-      step ~on_error ~budget_s ~rep_timeout_s ~progress ~log ~master_seed ~c ~keep:(add acc)
-        f i
+      timed_step rep_h (fun () ->
+          step ~on_error ~budget_s ~rep_timeout_s ~progress ~log ~master_seed ~c
+            ~keep:(add acc) f i)
     done;
     accs.(c) <- Some acc
   in
@@ -338,7 +367,7 @@ type sacc = {
 }
 
 let run_summary ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?handle_sigint ?progress
-    ?hist ~metrics ~master_seed ~replications f =
+    ?hists ?hist ~metrics ~master_seed ~replications f =
   let nmetrics = List.length metrics in
   let init () =
     {
@@ -370,7 +399,7 @@ let run_summary ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?handle_sigint ?
     }
   in
   let acc, timing =
-    run_fold ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?handle_sigint ?progress
+    run_fold ?jobs ?chunk ?on_error ?budget_s ?rep_timeout_s ?handle_sigint ?progress ?hists
       ~master_seed ~replications ~init ~add ~merge f
   in
   {

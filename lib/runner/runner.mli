@@ -135,7 +135,15 @@ val derive_retry_rng : master_seed:int -> index:int -> attempt:int -> Rng.t
       meter ticked once per finished replication, from whichever domain
       finished it (the meter is thread-safe).  Thunks that want the
       events/s figure call [Progress.add_events] themselves.  Purely
-      observational: it never affects scheduling, seeding, or results. *)
+      observational: it never affects scheduling, seeding, or results.
+    - [hists] (default absent) — a {!P2p_obs.Hist.group} into which the
+      runner records one wall-clock replication-duration histogram per
+      domain, named [runner/replication_s/domain<d>].  This is the
+      utilisation-imbalance observable: a domain whose histogram mass
+      sits far above the others' is the straggler.  Each domain writes
+      only its own histogram (no cross-domain mutation); because chunk
+      claiming is racy, the per-domain split describes {e this}
+      execution, not the seeding contract.  Purely observational. *)
 
 val run_map :
   ?jobs:int ->
@@ -145,6 +153,7 @@ val run_map :
   ?rep_timeout_s:float ->
   ?handle_sigint:bool ->
   ?progress:P2p_obs.Progress.t ->
+  ?hists:P2p_obs.Hist.group ->
   master_seed:int ->
   replications:int ->
   (rng:Rng.t -> index:int -> 'a) ->
@@ -169,6 +178,7 @@ val run_fold :
   ?rep_timeout_s:float ->
   ?handle_sigint:bool ->
   ?progress:P2p_obs.Progress.t ->
+  ?hists:P2p_obs.Hist.group ->
   master_seed:int ->
   replications:int ->
   init:(unit -> 'acc) ->
@@ -221,6 +231,7 @@ val run_summary :
   ?rep_timeout_s:float ->
   ?handle_sigint:bool ->
   ?progress:P2p_obs.Progress.t ->
+  ?hists:P2p_obs.Hist.group ->
   ?hist:hist_spec ->
   metrics:string list ->
   master_seed:int ->

@@ -11,6 +11,10 @@ open P2p_core
 module Rng = P2p_prng.Rng
 module Json = P2p_obs.Json
 module Metrics = P2p_obs.Metrics
+module Clock = P2p_obs.Clock
+module Hist = P2p_obs.Hist
+module Recorder = P2p_obs.Recorder
+module Monitor = P2p_obs.Monitor
 module Trace = P2p_obs.Trace
 module Profile = P2p_obs.Profile
 module Probe = P2p_obs.Probe
@@ -665,6 +669,380 @@ let test_profile_phases () =
   | Json.Obj _ -> ()
   | _ -> Alcotest.fail "to_json should be an object"
 
+(* ---- monotonic clock ---- *)
+
+let test_clock_nondecreasing () =
+  let violations = ref 0 in
+  let prev = ref (Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.now_ns () in
+    if Int64.compare t !prev < 0 then incr violations;
+    prev := t
+  done;
+  Alcotest.(check int) "now_ns never runs backwards" 0 !violations;
+  let s0 = Clock.now_s () in
+  let s1 = Clock.now_s () in
+  Alcotest.(check bool) "now_s differences nonnegative" true (s1 -. s0 >= 0.0)
+
+(* ---- log2 histograms ---- *)
+
+let test_hist_bucket_bounds () =
+  let h = Hist.create () in
+  Hist.record h 1.0 (* the grid anchor: 1 s = bucket 32 *);
+  Hist.record h 1e-9 (* 1 ns: [2^-30, 2^-29) = bucket 2 *);
+  Hist.record h (Float.ldexp 1.0 (-31)) (* exact lower edge of bucket 1 *);
+  Hist.record h 0.0;
+  Hist.record h (-3.0);
+  Hist.record h 1e-300 (* below 2^-31: tail bucket 0 *);
+  Hist.record h 1e12 (* above 2^31: tail bucket 63 *);
+  Hist.record h infinity;
+  let b = Hist.buckets h in
+  Alcotest.(check int) "1.0 in bucket 32" 1 b.(32);
+  Alcotest.(check int) "1 ns in bucket 2" 1 b.(2);
+  Alcotest.(check int) "2^-31 in bucket 1" 1 b.(1);
+  Alcotest.(check int) "bucket 0 absorbs nonpositive and tiny" 3 b.(0);
+  Alcotest.(check int) "bucket 63 absorbs huge" 2 b.(63);
+  Alcotest.(check int) "count covers every record" 8 (Hist.count h);
+  Alcotest.(check bool) "min tracked through the junk" true (Hist.min_value h = -3.0);
+  Alcotest.(check (float 0.0)) "bucket 32 lower edge is 1.0" 1.0 (Hist.bucket_lower_bound 32);
+  Alcotest.(check bool)
+    "quantiles ride the bucket edges monotonically" true
+    (Hist.quantile h 0.0 <= Hist.quantile h 0.5 && Hist.quantile h 0.5 <= Hist.quantile h 1.0)
+
+let random_hist seed n =
+  let rng = Rng.of_seed seed in
+  let h = Hist.create () in
+  for _ = 1 to n do
+    Hist.record h (Float.ldexp (Rng.float rng) (Rng.int_below rng 40 - 20))
+  done;
+  h
+
+(* Integral-part equality: buckets, count, min/max.  The running [sum]
+   is a float accumulator, associative only up to rounding, so it gets
+   a tolerance instead. *)
+let check_hist_equal name a b =
+  Alcotest.(check (array int)) (name ^ " buckets") (Hist.buckets a) (Hist.buckets b);
+  Alcotest.(check int) (name ^ " count") (Hist.count a) (Hist.count b);
+  Alcotest.(check bool)
+    (name ^ " min") true
+    (Int64.bits_of_float (Hist.min_value a) = Int64.bits_of_float (Hist.min_value b));
+  Alcotest.(check bool)
+    (name ^ " max") true
+    (Int64.bits_of_float (Hist.max_value a) = Int64.bits_of_float (Hist.max_value b));
+  Alcotest.(check bool)
+    (name ^ " sum within rounding") true
+    (let sa = Hist.sum a and sb = Hist.sum b in
+     Float.abs (sa -. sb) <= 1e-9 *. Float.max 1.0 (Float.abs sa))
+
+let test_hist_merge_laws () =
+  let a = random_hist 1 500 and b = random_hist 2 300 and c = random_hist 3 800 in
+  check_hist_equal "associative" (Hist.merge (Hist.merge a b) c) (Hist.merge a (Hist.merge b c));
+  check_hist_equal "commutative" (Hist.merge a b) (Hist.merge b a);
+  check_hist_equal "disabled is a right zero" (Hist.merge a Hist.disabled) a;
+  check_hist_equal "disabled is a left zero" (Hist.merge Hist.disabled a) a;
+  check_hist_equal "empty live hist is a zero" (Hist.merge a (Hist.create ())) a;
+  let into = Hist.create () in
+  Hist.merge_into ~into a;
+  Hist.merge_into ~into b;
+  check_hist_equal "merge_into agrees with merge" into (Hist.merge a b)
+
+(* The argument is hoisted and pre-boxed ([Sys.opaque_identity]) so the
+   test pins what the contract promises — [record] itself allocates
+   nothing.  A per-iteration fresh float would measure the {e caller's}
+   argument boxing instead, which the dev profile's [-opaque] build
+   can't inline away. *)
+let test_hist_record_alloc_free () =
+  let h = Hist.create () in
+  let v = Sys.opaque_identity 1.5 in
+  Hist.record h v;
+  Hist.record_unit h;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Hist.record h v;
+    Hist.record_unit h
+  done;
+  let grown = Gc.minor_words () -. before in
+  (* slack covers the boxed float returned by [Gc.minor_words] itself;
+     any per-record allocation would show as >= 20k words *)
+  Alcotest.(check bool) "10k records allocate nothing" true (grown <= 16.0)
+
+let test_hist_record_unit_equiv () =
+  let a = Hist.create () and b = Hist.create () in
+  for _ = 1 to 1000 do
+    Hist.record_unit a;
+    Hist.record b 1.0
+  done;
+  check_hist_equal "record_unit is record 1.0" a b
+
+let test_hist_group_file_roundtrip () =
+  let g = Hist.group () in
+  let h1 = Hist.get g "engine/apply" and h2 = Hist.get g "events/arrival" in
+  Hist.record h1 3.5e-6;
+  Hist.record h1 0.012;
+  Hist.record h1 0.0;
+  for _ = 1 to 42 do
+    Hist.record_unit h2
+  done;
+  ignore (Hist.timer ~period:64 h1);
+  with_temp_file (fun path ->
+      Hist.write_group_file g path;
+      match Hist.read_group_file path with
+      | Error e -> Alcotest.failf "read_group_file: %s" e
+      | Ok entries ->
+          Alcotest.(check (list string))
+            "names sorted" [ "engine/apply"; "events/arrival" ] (List.map fst entries);
+          check_hist_equal "engine/apply survives" h1 (List.assoc "engine/apply" entries);
+          check_hist_equal "events/arrival survives" h2 (List.assoc "events/arrival" entries);
+          Alcotest.(check int)
+            "sample_period survives" 64
+            (Hist.sample_period (List.assoc "engine/apply" entries)));
+  match Hist.read_group_file "/nonexistent/p2p_hist.json" with
+  | Ok _ -> Alcotest.fail "reading a missing file should fail"
+  | Error _ -> ()
+
+(* ---- flight recorder ---- *)
+
+let test_recorder_pow2_capacity () =
+  Alcotest.(check int) "5 rounds up to 8" 8 (Recorder.capacity (Recorder.create ~capacity:5 ()));
+  Alcotest.(check int) "8 stays 8" 8 (Recorder.capacity (Recorder.create ~capacity:8 ()));
+  Alcotest.(check int) "1 stays 1" 1 (Recorder.capacity (Recorder.create ~capacity:1 ()));
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Recorder.create: capacity < 1") (fun () ->
+      ignore (Recorder.create ~capacity:0 ()))
+
+(* The wraparound pin: a capacity-8 ring dumped at every fill level from
+   empty through double wrap must always publish exactly the last
+   [min n 8] events, oldest first, with an accurate header. *)
+let test_recorder_dump_every_fill_level () =
+  for n = 0 to 20 do
+    let r = Recorder.create ~capacity:8 () in
+    for i = 0 to n - 1 do
+      Recorder.record r ~time:(float_of_int i) ~code:(i mod Probe.n_event_codes) ~a:i ~b:(2 * i)
+    done;
+    Alcotest.(check int) (Printf.sprintf "recorded after %d" n) n (Recorder.recorded r);
+    Alcotest.(check int) (Printf.sprintf "dropped after %d" n) (max 0 (n - 8)) (Recorder.dropped r);
+    with_temp_file (fun path ->
+        Recorder.dump r ~code_name:Probe.code_name path;
+        match Recorder.read_summary path with
+        | Error e -> Alcotest.failf "read_summary at fill %d: %s" n e
+        | Ok ((cap, recorded, dropped), rows) ->
+            Alcotest.(check int) "header capacity" 8 cap;
+            Alcotest.(check int) "header recorded" n recorded;
+            Alcotest.(check int) "header dropped" (max 0 (n - 8)) dropped;
+            Alcotest.(check int) "rows kept" (min n 8) (Array.length rows);
+            Array.iteri
+              (fun j (t, c, a, b) ->
+                let i = max 0 (n - 8) + j in
+                Alcotest.(check bool)
+                  (Printf.sprintf "fill %d row %d" n j)
+                  true
+                  (t = float_of_int i && c = i mod Probe.n_event_codes && a = i && b = 2 * i))
+              rows)
+  done
+
+let test_recorder_record_alloc_free () =
+  let r = Recorder.create ~capacity:16 () in
+  let time = Sys.opaque_identity 2.5 (* pre-boxed, as in the hist test *) in
+  Recorder.record r ~time ~code:0 ~a:0 ~b:0;
+  let before = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Recorder.record r ~time ~code:1 ~a:i ~b:i
+  done;
+  let grown = Gc.minor_words () -. before in
+  Alcotest.(check bool) "10k records allocate nothing" true (grown <= 16.0)
+
+let test_recorder_disabled_inert () =
+  Recorder.record Recorder.disabled ~time:1.0 ~code:0 ~a:0 ~b:0;
+  Alcotest.(check int) "disabled records nothing" 0 (Recorder.recorded Recorder.disabled);
+  with_temp_file (fun path ->
+      Recorder.dump Recorder.disabled ~code_name:Probe.code_name path;
+      Alcotest.(check string) "disabled dumps nothing" "" (read_file path))
+
+let test_recorder_auto_snapshot () =
+  with_temp_file (fun path ->
+      let r = Recorder.create ~capacity:8 () in
+      Recorder.auto_snapshot r ~every:4 ~min_gap_s:0.0 ~code_name:Probe.code_name path;
+      for i = 0 to 8 do
+        Recorder.record r ~time:(float_of_int i) ~code:0 ~a:i ~b:i
+      done;
+      (* snapshots fired at records 4 and 8: whatever a SIGKILL leaves
+         behind is a complete, parseable dump of some earlier ring state *)
+      match Recorder.read_summary path with
+      | Error e -> Alcotest.failf "snapshot unparseable: %s" e
+      | Ok ((cap, recorded, _), rows) ->
+          Alcotest.(check int) "snapshot capacity" 8 cap;
+          Alcotest.(check bool) "snapshot at a multiple of every" true
+            (recorded = 4 || recorded = 8);
+          Alcotest.(check int) "snapshot rows" recorded (Array.length rows))
+
+(* ---- typed emitters vs the dynamic entry point ---- *)
+
+let test_probe_emitters_match_dynamic () =
+  let fixture =
+    [
+      (1.0, Probe.Arrival { pieces = Pieceset.add 2 (Pieceset.singleton 0) });
+      (2.0, Probe.Contact { seed = true; useful = false });
+      (2.5, Probe.Contact { seed = false; useful = true });
+      (3.0, Probe.Transfer { piece = 1; completed = true });
+      (4.0, Probe.Transfer_lost);
+      (5.0, Probe.Departure { kind = Probe.Completed });
+      (6.0, Probe.Departure { kind = Probe.Aborted });
+      (7.0, Probe.Departure { kind = Probe.Seed_departed });
+      (8.0, Probe.Seed_toggle { up = false });
+      (9.0, Probe.Handoff { fluid = true; n = 12.4 });
+      (10.0, Probe.Handoff { fluid = false; n = 3.6 });
+    ]
+  in
+  let mk () =
+    let r = Recorder.create ~capacity:64 () in
+    let g = Hist.group () in
+    (Probe.make ~recorder:r ~hists:g (), r, g)
+  in
+  let typed, rt, gt = mk () and dynamic, rd, gd = mk () in
+  List.iter
+    (fun (time, ev) ->
+      Probe.event dynamic ~time ev;
+      match ev with
+      | Probe.Arrival { pieces } -> Probe.arrival typed ~time ~pieces
+      | Probe.Contact { seed; useful } -> Probe.contact typed ~time ~seed ~useful
+      | Probe.Transfer { piece; completed } -> Probe.transfer typed ~time ~piece ~completed
+      | Probe.Transfer_lost -> Probe.transfer_lost typed ~time
+      | Probe.Departure { kind } -> Probe.departure typed ~time kind
+      | Probe.Seed_toggle { up } -> Probe.seed_toggle typed ~time ~up
+      | Probe.Handoff { fluid; n } -> Probe.handoff typed ~time ~fluid ~n)
+    fixture;
+  let rows_of r =
+    with_temp_file (fun path ->
+        Recorder.dump r ~code_name:Probe.code_name path;
+        match Recorder.read_summary path with
+        | Ok (_, rows) -> rows
+        | Error e -> Alcotest.failf "dump unreadable: %s" e)
+  in
+  let expected =
+    fixture
+    |> List.map (fun (t, ev) -> (t, Probe.event_code ev, Probe.payload_a ev, Probe.payload_b ev))
+    |> Array.of_list
+  in
+  Alcotest.(check bool) "typed rows match the packing spec" true (rows_of rt = expected);
+  Alcotest.(check bool) "dynamic rows identical" true (rows_of rd = expected);
+  for c = 0 to Probe.n_event_codes - 1 do
+    let name = "events/" ^ Probe.code_name c in
+    Alcotest.(check int)
+      (name ^ " count agrees")
+      (Hist.count (Hist.get gd name))
+      (Hist.count (Hist.get gt name))
+  done
+
+(* ---- the missing-piece-syndrome monitor ---- *)
+
+let run_monitored ~params ~horizon ~seed =
+  let m = Monitor.create () in
+  let probe =
+    (* the CLI's default grid: 200 samples per run *)
+    Probe.make ~interval:(horizon /. 200.0)
+      ~on_sample:(fun (s : Probe.sample) ->
+        Monitor.observe m ~time:s.Probe.time ~one_club:s.Probe.one_club
+          ~rarest_piece:s.Probe.rarest_piece ~rarest_count:s.Probe.rarest_count)
+      ()
+  in
+  let stats, _ = Sim_markov.run_seeded ~probe ~seed (Sim_markov.default_config params) ~horizon in
+  (m, stats)
+
+(* The Theorem 1 boundary (Zhu & Hajek): with instant departures the
+   swarm is unstable iff λ > U_s.  The detector must fire on the
+   unstable side — one piece pinned scarce while the one-club grows
+   linearly — and stay silent on a comfortably stable swarm. *)
+let test_monitor_verdict_flips_across_boundary () =
+  let unstable = Scenario.flash_crowd ~k:3 ~lambda:2.0 ~us:0.3 ~mu:2.0 ~gamma:infinity in
+  let m_bad, stats = run_monitored ~params:unstable ~horizon:60.0 ~seed:5 in
+  Alcotest.(check bool) "samples flowed" true (Monitor.samples_seen m_bad > 100);
+  Alcotest.(check bool) "unstable side alerts" true (List.length (Monitor.alerts m_bad) >= 1);
+  Alcotest.(check bool) "an episode opened" true (List.length (Monitor.episodes m_bad) >= 1);
+  Alcotest.(check bool) "the swarm really blew up" true (stats.Sim_markov.final_n > 30);
+  let a = List.hd (Monitor.alerts m_bad) in
+  Alcotest.(check bool) "alert carries the syndrome shape" true
+    (a.Monitor.one_club >= 8 && a.Monitor.rarest_count <= 2 && a.Monitor.slope > 0.0
+   && a.Monitor.t_stat >= 4.0
+    && a.Monitor.rarest_piece >= 0
+    && a.Monitor.rarest_piece < 3);
+  (* same contact and departure dynamics, λ on the stable side of U_s *)
+  let stable = Scenario.flash_crowd ~k:3 ~lambda:0.5 ~us:2.0 ~mu:2.0 ~gamma:infinity in
+  let m_ok, _ = run_monitored ~params:stable ~horizon:60.0 ~seed:5 in
+  Alcotest.(check bool) "samples flowed" true (Monitor.samples_seen m_ok > 100);
+  Alcotest.(check int) "stable side stays silent" 0 (List.length (Monitor.alerts m_ok))
+
+let test_monitor_on_alert_once_per_episode () =
+  let fired = ref 0 in
+  let m = Monitor.create ~on_alert:(fun _ -> incr fired) () in
+  let probe =
+    Probe.make ~interval:0.3
+      ~on_sample:(fun (s : Probe.sample) ->
+        Monitor.observe m ~time:s.Probe.time ~one_club:s.Probe.one_club
+          ~rarest_piece:s.Probe.rarest_piece ~rarest_count:s.Probe.rarest_count)
+      ()
+  in
+  let params = Scenario.flash_crowd ~k:3 ~lambda:2.0 ~us:0.3 ~mu:2.0 ~gamma:infinity in
+  let _ = Sim_markov.run_seeded ~probe ~seed:5 (Sim_markov.default_config params) ~horizon:60.0 in
+  Alcotest.(check int) "hook fires once per episode" (List.length (Monitor.episodes m)) !fired
+
+let test_monitor_config_validation () =
+  let bad config name =
+    match Monitor.create ~config () with
+    | _ -> Alcotest.failf "%s should be rejected" name
+    | exception Invalid_argument _ -> ()
+  in
+  bad { Monitor.default with Monitor.window = 3 } "window < 4";
+  bad { Monitor.default with Monitor.pin_fraction = 1.5 } "pin_fraction > 1"
+
+(* Full instrumentation — recorder, hists, and monitor all attached —
+   must leave the trajectory bit-identical to a bare run: probes never
+   touch the sim RNG and detectors ride the sample grid. *)
+let test_full_instrumentation_bit_identity () =
+  let config = faulty_config_markov () in
+  let bare, _ = Sim_markov.run_seeded ~seed:99 config ~horizon:250.0 in
+  let m = Monitor.create () in
+  let probe =
+    Probe.make ~interval:5.0
+      ~on_sample:(fun (s : Probe.sample) ->
+        Monitor.observe m ~time:s.Probe.time ~one_club:s.Probe.one_club
+          ~rarest_piece:s.Probe.rarest_piece ~rarest_count:s.Probe.rarest_count)
+      ~recorder:(Recorder.create ()) ~hists:(Hist.group ()) ()
+  in
+  let probed, _ = Sim_markov.run_seeded ~probe ~seed:99 config ~horizon:250.0 in
+  check_markov_stats_equal "fully instrumented" bare probed;
+  Alcotest.(check bool) "the monitor saw the run" true (Monitor.samples_seen m > 0)
+
+(* ---- per-domain metrics merged at join ---- *)
+
+let test_metrics_multi_domain_merge () =
+  let work dom_id () =
+    let r = Metrics.create () in
+    let c = Metrics.counter r "events" in
+    let g = Metrics.gauge r "peak_n" in
+    let t = Metrics.timer r "phase" in
+    for _ = 1 to 1000 * (dom_id + 1) do
+      Metrics.incr c
+    done;
+    Metrics.set g (float_of_int dom_id);
+    Metrics.time t (fun () -> ());
+    r
+  in
+  let rs = Array.init 4 (fun i -> Domain.spawn (work i)) |> Array.map Domain.join in
+  let fwd = Metrics.create () and rev = Metrics.create () in
+  Array.iter (fun r -> Metrics.merge ~into:fwd r) rs;
+  for i = Array.length rs - 1 downto 0 do
+    Metrics.merge ~into:rev rs.(i)
+  done;
+  let counter m = Metrics.counter_value (Metrics.counter m "events") in
+  let gauge m = Metrics.gauge_value (Metrics.gauge m "peak_n") in
+  let timer_n m = Metrics.timer_count (Metrics.timer m "phase") in
+  Alcotest.(check int) "counters add across domains" 10_000 (counter fwd);
+  Alcotest.(check (float 0.0)) "gauges keep the max" 3.0 (gauge fwd);
+  Alcotest.(check int) "timer entries add" 4 (timer_n fwd);
+  Alcotest.(check int) "join order irrelevant: counters" (counter fwd) (counter rev);
+  Alcotest.(check bool) "join order irrelevant: gauges" true (gauge fwd = gauge rev);
+  Alcotest.(check int) "join order irrelevant: timers" (timer_n fwd) (timer_n rev)
+
 let () =
   Alcotest.run "obs"
     [
@@ -724,6 +1102,46 @@ let () =
         [
           Alcotest.test_case "disabled" `Quick test_profile_disabled;
           Alcotest.test_case "phases" `Quick test_profile_phases;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic nondecreasing" `Quick test_clock_nondecreasing ] );
+      ( "hist",
+        [
+          Alcotest.test_case "bucket bounds and tails" `Quick test_hist_bucket_bounds;
+          Alcotest.test_case "merge laws" `Quick test_hist_merge_laws;
+          Alcotest.test_case "record allocates nothing" `Quick test_hist_record_alloc_free;
+          Alcotest.test_case "record_unit is record 1.0" `Quick test_hist_record_unit_equiv;
+          Alcotest.test_case "group file roundtrip" `Quick test_hist_group_file_roundtrip;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "capacity rounds to a power of two" `Quick
+            test_recorder_pow2_capacity;
+          Alcotest.test_case "dump at every fill level" `Quick test_recorder_dump_every_fill_level;
+          Alcotest.test_case "record allocates nothing" `Quick test_recorder_record_alloc_free;
+          Alcotest.test_case "disabled is inert" `Quick test_recorder_disabled_inert;
+          Alcotest.test_case "auto-snapshot leaves a parseable ring" `Quick
+            test_recorder_auto_snapshot;
+        ] );
+      ( "emitters",
+        [
+          Alcotest.test_case "typed emitters match dynamic event" `Quick
+            test_probe_emitters_match_dynamic;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "verdict flips across the Theorem 1 boundary" `Quick
+            test_monitor_verdict_flips_across_boundary;
+          Alcotest.test_case "on_alert fires once per episode" `Quick
+            test_monitor_on_alert_once_per_episode;
+          Alcotest.test_case "config validation" `Quick test_monitor_config_validation;
+          Alcotest.test_case "full instrumentation bit-identity" `Quick
+            test_full_instrumentation_bit_identity;
+        ] );
+      ( "metrics-domains",
+        [
+          Alcotest.test_case "per-domain registries merge at join" `Quick
+            test_metrics_multi_domain_merge;
         ] );
       ( "crash-safety",
         [

@@ -169,4 +169,52 @@ EOF
   echo "== campaign smoke OK =="
 fi
 
+# Optional observability smoke: CHECK_OBS=1 proves the live-telemetry
+# layer end to end — a Theorem-1-unstable run must raise a
+# missing-piece-syndrome alert and leave a flight dump, a histogram
+# file, and an alert timeline that `p2psim report` all render; then a
+# SIGKILL mid-run must still leave a parseable auto-snapshot behind.
+if [ "${CHECK_OBS:-0}" = "1" ]; then
+  out="${CHECK_OBS_DIR:-/tmp/p2p_obs_smoke}"
+  rm -rf "$out"
+  mkdir -p "$out"
+  echo "== observability smoke (into $out) =="
+  P2PSIM=_build/default/bin/p2psim.exe
+  # λ = 2.0 > U_s = 0.3 with instant departures: the missing-piece
+  # syndrome must develop and the online monitor must catch it live.
+  left=$(remaining)
+  timeout "$left" "$P2PSIM" simulate -k 3 --us 0.3 --mu 2.0 --gamma inf \
+    -a none=2.0 --horizon 60 --seed 5 \
+    --flight-recorder "$out/flight.jsonl" --hist-out "$out/hists.json" \
+    --alerts-out "$out/alerts.jsonl" >/dev/null || {
+    echo "FAIL: monitored unstable simulate exited non-zero" >&2; exit 1; }
+  for f in flight.jsonl hists.json alerts.jsonl; do
+    [ -s "$out/$f" ] || { echo "FAIL: $f missing or empty" >&2; exit 1; }
+  done
+  grep -q missing_piece_syndrome "$out/alerts.jsonl" || {
+    echo "FAIL: no missing-piece-syndrome alert on the unstable side" >&2; exit 1; }
+  for f in flight.jsonl hists.json alerts.jsonl; do
+    left=$(remaining)
+    timeout "$left" "$P2PSIM" report "$out/$f" >/dev/null || {
+      echo "FAIL: p2psim report could not render $f" >&2; exit 1; }
+  done
+  # SIGKILL survival: the flight recorder republishes the ring as a
+  # rate-limited auto-snapshot, so even an uncatchable kill leaves the
+  # last complete dump behind.  The unstable swarm keeps the event loop
+  # busy for far longer than the 2 s we let it live.
+  "$P2PSIM" simulate -k 3 --us 0.3 --mu 2.0 --gamma inf \
+    -a none=2.0 --horizon 100000 --seed 5 \
+    --flight-recorder "$out/killed.jsonl" >/dev/null 2>&1 &
+  victim=$!
+  sleep 2
+  kill -9 "$victim" 2>/dev/null || true
+  wait "$victim" 2>/dev/null || true
+  [ -s "$out/killed.jsonl" ] || {
+    echo "FAIL: SIGKILL left no flight-recorder snapshot" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" "$P2PSIM" report "$out/killed.jsonl" >/dev/null || {
+    echo "FAIL: post-SIGKILL snapshot is not parseable" >&2; exit 1; }
+  echo "== observability smoke OK =="
+fi
+
 echo "== tier-1 check OK =="
