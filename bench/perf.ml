@@ -424,7 +424,7 @@ let bench_json_to ~quick path =
     Json.Obj
       [
         ("bench", Json.String "p2p swarm simulator performance baseline");
-        ("pr", Json.Int 6);
+        ("pr", Json.Int 9);
         ("quick", Json.Bool quick);
         ("simulators", Json.Obj sims);
         fluid_section ~quick;
@@ -439,7 +439,7 @@ let bench_json_to ~quick path =
       output_char oc '\n');
   Printf.printf "wrote %s\n" path
 
-let bench_json () = bench_json_to ~quick:false "BENCH_PR6.json"
+let bench_json () = bench_json_to ~quick:false "BENCH_PR9.json"
 let bench_json_quick () = bench_json_to ~quick:true "BENCH_smoke.json"
 
 (* The CI regression gate: compare a fresh quick-bench events/s figure
@@ -451,7 +451,7 @@ let bench_gate () =
   let getenv name default =
     match Sys.getenv_opt name with Some v when v <> "" -> v | _ -> default
   in
-  let baseline_path = getenv "BENCH_GATE_BASELINE" "BENCH_PR6.json" in
+  let baseline_path = getenv "BENCH_GATE_BASELINE" "BENCH_PR9.json" in
   let fresh_path = getenv "BENCH_GATE_NEW" "BENCH_smoke.json" in
   let threshold = 0.70 in
   (* Absolute ceiling on the fluid million-peer scenario: the smoke
@@ -484,6 +484,41 @@ let bench_gate () =
               Printf.eprintf "bench-gate: missing events_per_sec for %s\n" sim;
               failed := true)
         [ "sim_markov"; "sim_agent"; "sim_coded"; "sim_network" ];
+      (* Ratcheted absolute floors, held against the COMMITTED baseline
+         (full-bench figures — the fresh quick run measures lower on
+         shorter walls and is policed by the relative threshold above).
+         sim_markov must stay above its PR4 peak and sim_coded — its own
+         gate row, so a GF kernel regression cannot hide in the
+         aggregate — above the PR9 target. *)
+      List.iter
+        (fun (sim, floor_eps) ->
+          match events_per_sec ~sim base with
+          | Some b ->
+              Printf.printf "bench-gate: %s baseline %.3g events/s (ratchet floor %.3g)\n" sim
+                b floor_eps;
+              if b < floor_eps then begin
+                Printf.eprintf
+                  "bench-gate: %s committed baseline fell below the %.3g events/s ratchet\n"
+                  sim floor_eps;
+                failed := true
+              end
+          | None ->
+              Printf.eprintf "bench-gate: missing baseline events_per_sec for %s\n" sim;
+              failed := true)
+        [ ("sim_markov", 3.68e6); ("sim_coded", 2.0e6) ];
+      (* The fresh quick figure still has to clear the same floors at the
+         cross-run threshold, so a live regression fails even when the
+         committed baseline is healthy. *)
+      List.iter
+        (fun (sim, floor_eps) ->
+          match events_per_sec ~sim fresh with
+          | Some f when f < threshold *. floor_eps ->
+              Printf.eprintf
+                "bench-gate: %s fresh run %.3g below %.0f%% of the %.3g events/s ratchet\n" sim
+                f (100.0 *. threshold) floor_eps;
+              failed := true
+          | _ -> ())
+        [ ("sim_markov", 3.68e6); ("sim_coded", 2.0e6) ];
       (* Live-observability overhead contract: flight recorder +
          histograms attached must keep ≥ 95% of bare events/s.  This is
          a within-run ratio (the walls are interleaved round-robin by
@@ -527,7 +562,7 @@ let bench_gate () =
           end
       | None, _ ->
           (* A pre-PR6 baseline has no fluid section; the steps/s gate
-             starts holding once BENCH_PR6.json is the reference. *)
+             holds whenever a PR6+ baseline is the reference. *)
           Printf.printf "bench-gate: baseline has no fluid section, skipping steps/s ratio\n"
       | _ ->
           Printf.eprintf "bench-gate: missing fluid steps_per_sec in fresh results\n";

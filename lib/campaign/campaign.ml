@@ -72,9 +72,24 @@ let sim_verdict a =
   else if a.n_stable = 0 && a.n_unstable = 0 then "inconclusive"
   else "mixed"
 
-let theory_verdict spec (cell : Spec.cell) =
+(* The coded cell workload mirrors the markov one: empty-handed arrivals
+   at rate λ (gift fraction 0), the spec's U_s, μ, γ, over GF(q). *)
+let coded_gift (spec : Spec.t) (cell : Spec.cell) =
+  {
+    Stability.Coded.q = spec.q;
+    k = spec.k;
+    us = cell.us;
+    mu = spec.mu;
+    gamma = spec.gamma;
+    lambda0 = cell.lambda;
+    lambda1 = 0.0;
+  }
+
+let theory_verdict (spec : Spec.t) (cell : Spec.cell) =
   Stability.verdict_to_string
-    (Stability.classify (Spec.cell_params spec ~lambda:cell.lambda ~us:cell.us))
+    (match spec.backend with
+    | "coded" -> Stability.Coded.classify (coded_gift spec cell)
+    | _ -> Stability.classify (Spec.cell_params spec ~lambda:cell.lambda ~us:cell.us))
 
 (* Fixed field order: the record is part of the byte-identity contract.
    No wall-clock data — timestamps live only in the registry. *)
@@ -108,9 +123,50 @@ let render_record spec (cell : Spec.cell) ~agg ~attempts ~errors =
 
 let cell_aggregate ?jobs ?timeout_s ?flight_dir (spec : Spec.t) (cell : Spec.cell) ~attempt =
   let master_seed = cell_seed spec ~index:cell.index ~attempt in
-  let params = Spec.cell_params spec ~lambda:cell.lambda ~us:cell.us in
-  let config =
-    { Sim_markov.params; policy = Spec.policy_fun spec; initial = []; faults = spec.faults }
+  (* One replication, dispatched on the spec's backend.  Both simulators
+     share the watchdog contract ([until] + [stopped]) and the samples
+     array the classifier consumes. *)
+  let replicate : rng:Rng.t -> probe:Probe.t -> (float * int) array =
+    match spec.backend with
+    | "coded" ->
+        let config =
+          {
+            Sim_coded.q = spec.q;
+            k = spec.k;
+            us = cell.us;
+            mu = spec.mu;
+            gamma = spec.gamma;
+            arrivals = [ (0, cell.lambda) ];
+            smart_exchange = false;
+            faults = spec.faults;
+          }
+        in
+        fun ~rng ~probe ->
+          let stats =
+            Sim_coded.run ~rng ~probe
+              ~until:(fun ~time:_ ~n:_ -> Runner.deadline_exceeded ())
+              config ~horizon:spec.horizon
+          in
+          if stats.Sim_coded.stopped then raise Runner.Rep_timeout;
+          stats.Sim_coded.samples
+    | _ ->
+        let params = Spec.cell_params spec ~lambda:cell.lambda ~us:cell.us in
+        let config =
+          {
+            Sim_markov.params;
+            policy = Spec.policy_fun spec;
+            initial = [];
+            faults = spec.faults;
+          }
+        in
+        fun ~rng ~probe ->
+          let stats, _ =
+            Sim_markov.run ~rng ~probe
+              ~until:(fun ~time:_ ~n:_ -> Runner.deadline_exceeded ())
+              config ~horizon:spec.horizon
+          in
+          if stats.Sim_markov.stopped then raise Runner.Rep_timeout;
+          stats.Sim_markov.samples
   in
   (match flight_dir with
   | Some dir when not (Sys.file_exists dir) -> (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ())
@@ -141,23 +197,15 @@ let cell_aggregate ?jobs ?timeout_s ?flight_dir (spec : Spec.t) (cell : Spec.cel
                 path;
               (Probe.make ~recorder:r (), fun () -> Recorder.dump r ~code_name:Probe.code_name path)
         in
-        match
-          Sim_markov.run ~rng ~probe
-            ~until:(fun ~time:_ ~n:_ -> Runner.deadline_exceeded ())
-            config ~horizon:spec.horizon
-        with
+        (* [until] only fires when a watchdog is armed; a stopped run is
+           a timed-out run and [replicate] raises [Rep_timeout]. *)
+        match replicate ~rng ~probe with
         | exception e ->
             dump ();
             raise e
-        | stats, _ ->
-            (* [until] only fires when a watchdog is armed; a stopped run
-               is a timed-out run. *)
-            if stats.stopped then begin
-              dump ();
-              raise Runner.Rep_timeout
-            end;
+        | samples ->
             dump ();
-            Classify.of_samples stats.samples)
+            Classify.of_samples samples)
   in
   let results = Array.to_list results |> List.filter_map Fun.id in
   let n = List.length results in

@@ -18,6 +18,8 @@ type t = {
   reps : int;
   master_seed : int;
   policy : string;
+  backend : string;
+  q : int;
   faults : Faults.t;
   mode : mode;
 }
@@ -80,6 +82,11 @@ let to_json t =
        ("master_seed", Json.Int t.master_seed);
        ("policy", Json.String t.policy);
      ]
+    (* The backend fields are emitted only off the default so every
+       pre-existing markov spec keeps its canonical encoding — and
+       therefore its hash, store and resume directory. *)
+    @ (if t.backend = "markov" then []
+       else [ ("backend", Json.String t.backend); ("q", Json.Int t.q) ])
     @ faults_json t.faults
     @ [ ("mode", mode_json t.mode) ])
 
@@ -202,6 +209,8 @@ let of_json json =
       let* reps = int_field ~default:1 "reps" json in
       let* master_seed = int_field ~default:1 "master_seed" json in
       let* policy = string_field ~default:"random" "policy" json in
+      let* backend = string_field ~default:"markov" "backend" json in
+      let* q = int_field ~default:16 "q" json in
       let* faults = faults_field json in
       let* mode = mode_field json in
       if name = "" then Error "empty campaign name"
@@ -210,14 +219,23 @@ let of_json json =
       else if
         not (List.mem policy [ "random"; "rarest"; "common"; "sequential" ])
       then Error (Printf.sprintf "unknown policy %S" policy)
+      else if not (List.mem backend [ "markov"; "coded" ]) then
+        Error (Printf.sprintf "unknown backend %S (expected markov or coded)" backend)
       else begin
         (* Probe the parameter constructor at a representative cell so a
            bad spec fails at load time, not at cell 4000. *)
         let t =
-          { name; hypothesis; k; mu; gamma; horizon; reps; master_seed; policy; faults; mode }
+          {
+            name; hypothesis; k; mu; gamma; horizon; reps; master_seed; policy; backend; q;
+            faults; mode;
+          }
         in
-        match Params.make ~k ~us:1.0 ~mu ~gamma ~arrivals:[ (Pieceset.empty, 1.0) ] with
-        | _ -> Ok t
+        match
+          if backend = "coded" then ignore (P2p_gf.Field.gf q)
+          else
+            ignore (Params.make ~k ~us:1.0 ~mu ~gamma ~arrivals:[ (Pieceset.empty, 1.0) ])
+        with
+        | () -> Ok t
         | exception Invalid_argument m -> Error m
       end
 

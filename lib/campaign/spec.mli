@@ -45,6 +45,11 @@ type t = {
   reps : int;  (** replications per cell *)
   master_seed : int;
   policy : string;  (** "random" | "rarest" | "common" | "sequential" *)
+  backend : string;
+      (** "markov" (default) or "coded" — which simulator evaluates each
+          cell.  Encoded in the spec JSON only when not the default, so
+          existing markov specs keep their hashes (and result stores). *)
+  q : int;  (** coded backend only: field size (default 16) *)
   faults : P2p_core.Faults.t;
   mode : mode;
 }

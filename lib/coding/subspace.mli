@@ -2,9 +2,18 @@
 
     With network coding the type of a peer [A] is the subspace
     [V_A ⊆ F_q^K] spanned by the coding vectors of the coded pieces it has
-    received; [A] can decode once [dim V_A = K].  This module maintains the
-    subspace as an incrementally row-reduced basis, so inserting a vector
-    and testing usefulness are O(K·dim) field operations. *)
+    received; [A] can decode once [dim V_A = K].  The tracker maintains
+    the {e canonical} row-reduced echelon basis (unique per subspace)
+    incrementally: an insert reduces the incoming vector against the
+    basis, normalises, back-eliminates and splices it in at its pivot
+    position — O(dim·K) in-place field operations, no allocation, and a
+    basis bit-identical to batch [Mat.row_reduce] of the receive history.
+    Over GF(2) rows are bitsliced into native-int words, so an insert is
+    O(dim·K/63) word XORs and the pivot scan a count-trailing-zeros.
+
+    The [Mat.vec] API below is the reference surface; the [xvec] API is
+    the allocation-free internal-format fast path the coded simulator
+    drives. *)
 
 type t
 
@@ -48,3 +57,42 @@ val basis : t -> P2p_gf.Mat.vec array
 (** The current row-reduced basis (copies). *)
 
 val of_vectors : P2p_gf.Field.t -> k:int -> P2p_gf.Mat.vec list -> t
+
+(** {1 Allocation-free fast path}
+
+    An [xvec] is a coding vector in the subspace's internal row format:
+    packed bit words over GF(2), an element vector otherwise.  Scratch
+    buffers are caller-owned and reused across events; any subspace with
+    the same field and [k] shares the format. *)
+
+type xvec = int array
+
+val alloc_xvec : t -> xvec
+(** A zeroed scratch row of the right width for this subspace's format. *)
+
+val generation : t -> int
+(** Monotone counter bumped on every dimension-increasing insert — lets
+    callers cache containment facts ([V_up ⊆ V_down] stays true while the
+    uploader's generation is unchanged; growth of the downloader never
+    invalidates it). *)
+
+val random_member_into : t -> P2p_prng.Rng.t -> xvec -> unit
+(** {!random_member} into a caller scratch: one coefficient draw per
+    basis row in pivot order (identical draw sequence), rows applied
+    in place. *)
+
+val random_full_into : t -> P2p_prng.Rng.t -> xvec -> unit
+(** Uniform vector of [F_q^K] (what the fixed seed transmits): [K] draws
+    in ascending index order, matching [Mat.random_vec]. *)
+
+val insert_xvec : t -> xvec -> bool
+(** {!insert} on the internal format.  Clobbers the scratch. *)
+
+val contains_xvec : t -> xvec -> bool
+(** {!contains} on the internal format.  Clobbers the scratch. *)
+
+val first_uncovered_into : uploader:t -> downloader:t -> scratch:xvec -> xvec -> bool
+(** Smart exchange (Remark 16): copy the first uploader basis row outside
+    the downloader's subspace into the destination and return [true]; if
+    the uploader is contained, zero the destination and return [false].
+    [scratch] is clobbered.  Both subspaces must share field and [k]. *)

@@ -171,15 +171,24 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resu
   let apply_tm = Hist.timer (Hist.get hists (name ^ "/apply")) in
   let sched_tm = Hist.timer (Hist.get hists (name ^ "/scheduled")) in
   let c = t.counters in
+  (* Stage the model's closures into locals once: the loop below calls
+     them hundreds of millions of times, and a staged closure call is one
+     indirect jump where [model.total_rate ()] is a field load plus an
+     indirect jump per event. *)
+  let total_rate = model.total_rate in
+  let apply = model.apply in
+  let next_scheduled = model.next_scheduled in
+  let do_scheduled = model.scheduled in
+  let frun = t.frun in
   let running = ref true in
   while !running do
     let rate_t0 = Hist.tick rate_tm in
-    let total = model.total_rate () in
+    let total = total_rate () in
     Hist.tock rate_tm rate_t0;
     let dt = Dist.exponential rng ~rate:total in
     let t_next = t.clock +. dt in
-    let sched = model.next_scheduled () in
-    let toggle = Faults.next_toggle t.frun in
+    let sched = next_scheduled () in
+    let toggle = Faults.next_toggle frun in
     if toggle <= t_next && toggle <= horizon && toggle <= sched && c.events < max_events
     then begin
       (* The outage flips before the next event: advance to the toggle
@@ -197,7 +206,7 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resu
       t.clock <- sched;
       c.events <- c.events + 1;
       let s_t0 = Hist.tick sched_tm in
-      model.scheduled ~time:sched;
+      do_scheduled ~time:sched;
       Hist.tock sched_tm s_t0;
       if t.stop_requested then begin
         Timeavg.close t.avg ~time:t.clock;
@@ -218,12 +227,17 @@ let drive ?(probe = Probe.none) ?sample_every ?(max_events = 200_000_000) ?(resu
       running := false
     end
     else begin
-      record_samples_through t model t_next;
+      (* Inline grid guard: [record_samples_through] is a no-op unless a
+         sample or probe point falls before this event, so the common
+         event skips the call (and its two grid-walk loops) entirely.
+         Equivalent because both inner loops test the same bounds. *)
+      if t.next_sample <= t_next || (t.probing && t.next_probe <= t_next) then
+        record_samples_through t model t_next;
       t.clock <- t_next;
       c.events <- c.events + 1;
       let u = Rng.float rng *. total in
       let a_t0 = Hist.tick apply_tm in
-      model.apply ~time:t_next ~u;
+      apply ~time:t_next ~u;
       Hist.tock apply_tm a_t0;
       if t.stop_requested then begin
         Timeavg.close t.avg ~time:t.clock;

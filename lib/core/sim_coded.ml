@@ -32,7 +32,19 @@ let of_gift (g : Stability.Coded.gift_params) =
     faults = Faults.none;
   }
 
-type peer = { mutable space : Subspace.t; mutable slot : int; mutable departed : bool }
+(* [memo_space]/[memo_gen] cache a proven containment fact: the
+   referenced subspace was ⊆ this peer's subspace when its generation was
+   [memo_gen].  Containment is monotone in the downloader (our space only
+   grows), so the memo stays valid until the {e uploader}'s generation
+   moves — while it holds, anything that uploader transmits is
+   non-innovative and the receive-side reduction can be skipped. *)
+type peer = {
+  mutable space : Subspace.t;
+  mutable slot : int;
+  mutable departed : bool;
+  mutable memo_space : Subspace.t option;
+  mutable memo_gen : int;
+}
 
 type stats = {
   final_time : float;
@@ -46,6 +58,7 @@ type stats = {
   max_n : int;
   final_n : int;
   truncated : bool;
+  stopped : bool;
   outage_time : float;
   aborted_peers : int;
   lost_transfers : int;
@@ -54,7 +67,7 @@ type stats = {
   near_complete_fraction : float;
 }
 
-let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
+let run ?(probe = Probe.none) ?sample_every ?max_events ?until ~rng config ~horizon =
   if config.k < 1 then invalid_arg "Sim_coded.run: k must be >= 1";
   List.iter
     (fun (j, rate) ->
@@ -135,13 +148,22 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             ignore (P2p_des.Heap.insert departures_heap ~key:(time +. dwell) peer)
           end
         in
-        (* Insert a coding vector into a peer's subspace, handling completion.
-           Trace events use the subspace dimension as the "piece" index: a
-           useful transfer raising dim from d to d+1 fills slot d. *)
-        let receive peer v ~seed_upload ~time =
+        (* One subspace per format carrier plus two caller-owned scratch
+           rows: the whole contact hot path reuses these, so a transfer
+           event allocates nothing. *)
+        let proto = Subspace.create field ~k:config.k in
+        let scratch = Subspace.alloc_xvec proto in
+        let scratch2 = Subspace.alloc_xvec proto in
+        (* Insert the coding vector held in [scratch] into a peer's
+           subspace, handling completion.  [from] is the uploading peer
+           (if any) — a useless transfer is the cue to try to prove
+           [V_up ⊆ V_down] and arm the containment memo.  Trace events
+           use the subspace dimension as the "piece" index: a useful
+           transfer raising dim from d to d+1 fills slot d. *)
+        let receive peer ~from ~seed_upload ~time =
           let before = Subspace.dim peer.space in
           let r_t0 = Hist.tick rank_tm in
-          let inserted = Subspace.insert peer.space v in
+          let inserted = Subspace.insert_xvec peer.space scratch in
           Hist.tock rank_tm r_t0;
           if inserted then begin
             counters.transfers <- counters.transfers + 1;
@@ -156,17 +178,43 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
           else begin
             incr useless;
             if tracing then
-              Probe.contact probe ~time ~seed:seed_upload ~useful:false
+              Probe.contact probe ~time ~seed:seed_upload ~useful:false;
+            (* A non-innovative vector from a low-dimension uploader hints
+               at containment; prove it once and skip reductions until the
+               uploader grows.  [subspace_leq] prefilters on pivot-set
+               inclusion, so failed attempts are cheap. *)
+            match from with
+            | Some (up : peer) ->
+                let sp = up.space in
+                if
+                  Subspace.dim sp <= Subspace.dim peer.space
+                  && Subspace.subspace_leq sp peer.space
+                then begin
+                  peer.memo_space <- Some sp;
+                  peer.memo_gen <- Subspace.generation sp
+                end
+            | None -> ()
           end
         in
-        let random_full_vector () = Mat.random_vec field (Rng.int_below rng) config.k in
+        let memo_valid (down : peer) up_space =
+          match down.memo_space with
+          | Some sp -> sp == up_space && Subspace.generation sp = down.memo_gen
+          | None -> false
+        in
         let new_peer ~coded ~time =
           let peer =
-            { space = Subspace.create field ~k:config.k; slot = -1; departed = false }
+            {
+              space = Subspace.create field ~k:config.k;
+              slot = -1;
+              departed = false;
+              memo_space = None;
+              memo_gen = -1;
+            }
           in
           let rec feed j =
             if j > 0 && Subspace.dim peer.space < config.k then begin
-              ignore (Subspace.insert peer.space (random_full_vector ()));
+              Subspace.random_full_into proto rng scratch;
+              ignore (Subspace.insert_xvec peer.space scratch);
               feed (j - 1)
             end
           in
@@ -207,46 +255,77 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             if idx < !len then !peers.(idx) else None (* a peer seed: nothing to send it *)
           end
         in
-        let transmit ~uploader_space ~seed_upload ~time =
+        (* Deliver the vector held in [scratch]: transfer loss first (the
+           upload happened but the vector never arrived), else receive. *)
+        let deliver downloader ~from ~seed_upload ~time =
+          if Faults.lost frun then begin
+            counters.lost <- counters.lost + 1;
+            if tracing then begin
+              Probe.contact probe ~time ~seed:seed_upload
+                ~useful:(not (Subspace.contains_xvec downloader.space scratch));
+              Probe.transfer_lost probe ~time
+            end
+          end
+          else receive downloader ~from ~seed_upload ~time
+        in
+        let transmit ~uploader ~seed_upload ~time =
           match sample_downloader () with
           | None ->
               if tracing then
                 Probe.contact probe ~time ~seed:seed_upload ~useful:false
-          | Some downloader ->
-              let v_t0 = Hist.tick select_tm in
-              let v =
-                match uploader_space with
-                | None -> random_full_vector () (* the fixed seed *)
-                | Some space ->
-                    if config.smart_exchange then begin
-                      (* Remark 16: send a basis vector outside the downloader's
-                         subspace when one exists. *)
-                      let basis = Subspace.basis space in
-                      let outside =
-                        Array.fold_left
-                          (fun acc row ->
-                            match acc with
-                            | Some _ -> acc
-                            | None ->
-                                if Subspace.contains downloader.space row then None
-                                else Some row)
-                          None basis
-                      in
-                      match outside with Some row -> row | None -> Mat.zero_vec config.k
+          | Some downloader -> (
+              match uploader with
+              | None ->
+                  (* The fixed seed (or a dwelling peer seed): a uniform
+                     vector of the full space. *)
+                  let v_t0 = Hist.tick select_tm in
+                  Subspace.random_full_into proto rng scratch;
+                  Hist.tock select_tm v_t0;
+                  deliver downloader ~from:None ~seed_upload ~time
+              | Some (up : peer) ->
+                  let sp = up.space in
+                  if memo_valid downloader sp then begin
+                    (* Fast path: everything this uploader can transmit is
+                       already contained.  Burn the same coefficient draws
+                       as [random_member_into] (draw-stream parity), skip
+                       vector construction and reduction entirely. *)
+                    if not config.smart_exchange then
+                      for _ = 1 to Subspace.dim sp do
+                        ignore (Rng.int_below rng config.q)
+                      done;
+                    if Faults.lost frun then begin
+                      counters.lost <- counters.lost + 1;
+                      if tracing then begin
+                        Probe.contact probe ~time ~seed:seed_upload ~useful:false;
+                        Probe.transfer_lost probe ~time
+                      end
                     end
-                    else Subspace.random_member space rng
-              in
-              Hist.tock select_tm v_t0;
-              if Faults.lost frun then begin
-                (* The upload happened but the vector never arrived. *)
-                counters.lost <- counters.lost + 1;
-                if tracing then begin
-                  Probe.contact probe ~time ~seed:seed_upload
-                    ~useful:(not (Subspace.contains downloader.space v));
-                  Probe.transfer_lost probe ~time
-                end
-              end
-              else receive downloader v ~seed_upload ~time
+                    else begin
+                      incr useless;
+                      if tracing then
+                        Probe.contact probe ~time ~seed:seed_upload ~useful:false
+                    end
+                  end
+                  else begin
+                    let v_t0 = Hist.tick select_tm in
+                    if config.smart_exchange then begin
+                      (* Remark 16: send a basis vector outside the
+                         downloader's subspace when one exists.  A failed
+                         scan is itself a containment proof — arm the memo
+                         for free. *)
+                      if
+                        not
+                          (Subspace.first_uncovered_into ~uploader:sp
+                             ~downloader:downloader.space ~scratch:scratch2 scratch)
+                      then begin
+                        downloader.memo_space <- Some sp;
+                        downloader.memo_gen <- Subspace.generation sp
+                      end
+                    end
+                    else Subspace.random_member_into sp rng scratch;
+                    Hist.tock select_tm v_t0;
+                    deliver downloader ~from:(Some up) ~seed_upload ~time
+                  end)
         in
         observe 0.0;
 
@@ -274,7 +353,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
             new_peer ~coded:arrival_kinds.(idx) ~time
           end
           else if u < !rate_arrival +. !rate_seed then
-            transmit ~uploader_space:None ~seed_upload:true ~time
+            transmit ~uploader:None ~seed_upload:true ~time
           else if u < !rate_arrival +. !rate_seed +. !rate_abort then begin
             (* Churn: a uniformly chosen in-progress (active) peer abandons
                its download.  rate_abort > 0 guarantees one exists. *)
@@ -295,14 +374,17 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
               match !peers.(idx) with
               | Some peer ->
                   if Subspace.dim peer.space > 0 then
-                    transmit ~uploader_space:(Some peer.space) ~seed_upload:false ~time
+                    transmit ~uploader:(Some peer) ~seed_upload:false ~time
               | None -> assert false
             end
             else
               (* A dwelling peer seed: its subspace is everything. *)
-              transmit ~uploader_space:None ~seed_upload:false ~time
+              transmit ~uploader:None ~seed_upload:false ~time
           end;
-          observe time
+          observe time;
+          match until with
+          | Some pred when pred ~time ~n:(population ()) -> Engine.request_stop h
+          | _ -> ()
         in
         let model =
           {
@@ -322,7 +404,11 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
                     counters.departures <- counters.departures + 1;
                     if tracing then
                       Probe.departure probe ~time Seed_departed;
-                    observe time
+                    observe time;
+                    (match until with
+                    | Some pred when pred ~time ~n:(population ()) ->
+                        Engine.request_stop h
+                    | _ -> ())
                 | None -> assert false);
             population;
             extra_sample = (fun ~time:_ -> ());
@@ -381,6 +467,7 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
     max_n = common.Engine.max_n;
     final_n = common.Engine.final_n;
     truncated = common.Engine.truncated;
+    stopped = common.Engine.stopped;
     outage_time = common.Engine.outage_time;
     aborted_peers = common.Engine.aborted_peers;
     lost_transfers = common.Engine.lost_transfers;
@@ -389,5 +476,5 @@ let run ?(probe = Probe.none) ?sample_every ?max_events ~rng config ~horizon =
     near_complete_fraction = P2p_stats.Timeavg.average club_avg;
   }
 
-let run_seeded ?probe ?sample_every ?max_events ~seed config ~horizon =
-  run ?probe ?sample_every ?max_events ~rng:(Rng.of_seed seed) config ~horizon
+let run_seeded ?probe ?sample_every ?max_events ?until ~seed config ~horizon =
+  run ?probe ?sample_every ?max_events ?until ~rng:(Rng.of_seed seed) config ~horizon

@@ -57,6 +57,7 @@ type stats = {
   truncated : bool;
       (** the [max_events] budget ran out before [horizon]; every
           time-based statistic is biased toward the frozen state *)
+  stopped : bool;  (** an [until] predicate requested an early stop *)
   outage_time : float;  (** total time the fixed seed spent down *)
   aborted_peers : int;  (** churn departures (also counted in [departures]) *)
   lost_transfers : int;
@@ -74,15 +75,21 @@ val run :
   ?probe:P2p_obs.Probe.t ->
   ?sample_every:float ->
   ?max_events:int ->
+  ?until:(time:float -> n:int -> bool) ->
   rng:P2p_prng.Rng.t ->
   config ->
   horizon:float ->
   stats
+(** [until] is evaluated after every state-changing event with the new
+    population; returning [true] requests a stop at the current clock
+    ([stopped] is set in the stats).  Used by the campaign layer's
+    cooperative per-replication watchdog. *)
 
 val run_seeded :
   ?probe:P2p_obs.Probe.t ->
   ?sample_every:float ->
   ?max_events:int ->
+  ?until:(time:float -> n:int -> bool) ->
   seed:int ->
   config ->
   horizon:float ->

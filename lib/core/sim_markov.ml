@@ -36,8 +36,10 @@ type stats = {
 (* One contact resolution: [uploader] tries to push a piece to a uniformly
    chosen peer.  Returns true iff the state changed.  [probe] only ever
    receives events here (never randomness or state), so a [Probe.none]
-   run takes the exact same draws in the exact same order. *)
-let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader
+   run takes the exact same draws in the exact same order.  [seeds]
+   mirrors [State.count state full] incrementally so [total_rate] never
+   pays a hash lookup per event. *)
+let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader ~seeds
     ~(counters : Engine.counters) ~probe ~time =
   let tracing = probe.Probe.tracing in
   let is_seed = match uploader with Policy.Fixed_seed -> true | Policy.Peer _ -> false in
@@ -65,7 +67,10 @@ let resolve_contact ~rng ~frun ~(p : Params.t) ~policy ~state ~uploader
           counters.departures <- counters.departures + 1;
           if tracing then Probe.departure probe ~time Completed
         end
-        else State.move_peer state ~from_:downloader ~to_:target
+        else begin
+          State.move_peer state ~from_:downloader ~to_:target;
+          incr seeds
+        end
       end
       else State.move_peer state ~from_:downloader ~to_:target;
       true
@@ -91,21 +96,25 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
            piece bookkeeping) — the markov hot path's dominant term *)
         let contact_tm = Hist.timer (Hist.get probe.Probe.hists "sim_markov/contact") in
         Engine.observe h ~time:(Engine.start_time h) ~n:(State.n state);
+        (* The seed count is maintained incrementally (arrival of a full
+           set, completion into the dwell stage, seed departure) so the
+           per-event rate recomputation is pure arithmetic — no hash
+           lookup on the hot path. *)
+        let seeds = ref (State.count state full) in
+        let us = p.us and mu = p.mu and gamma = p.gamma in
+        let immediate = Params.immediate_departure p in
         (* Rate bands, stashed by [total_rate] for [apply]'s dispatch. *)
-        let rate_arrival = ref 0.0 in
+        let rate_arrival = ref lambda_total in
         let rate_seed_contact = ref 0.0 in
         let rate_peer_contact = ref 0.0 in
         let rate_abort = ref 0.0 in
         let total_rate () =
           let n = State.n state in
-          let seeds = State.count state full in
-          rate_arrival := lambda_total;
-          rate_seed_contact := (if n > 0 && Faults.seed_up frun then p.us else 0.0);
-          rate_peer_contact := p.mu *. float_of_int n;
-          rate_abort := abort_rate *. float_of_int (n - seeds);
-          let rate_departure =
-            if Params.immediate_departure p then 0.0 else p.gamma *. float_of_int seeds
-          in
+          let s = !seeds in
+          rate_seed_contact := (if n > 0 && Faults.seed_up frun then us else 0.0);
+          rate_peer_contact := mu *. float_of_int n;
+          rate_abort := abort_rate *. float_of_int (n - s);
+          let rate_departure = if immediate then 0.0 else gamma *. float_of_int s in
           !rate_arrival +. !rate_seed_contact +. !rate_peer_contact +. !rate_abort
           +. rate_departure
         in
@@ -115,6 +124,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
               let idx = Dist.Alias.sample rng arrival_alias in
               let pieces = fst p.arrivals.(idx) in
               State.add_peer state pieces;
+              if Pieceset.equal pieces full then incr seeds;
               counters.arrivals <- counters.arrivals + 1;
               if tracing then Probe.arrival probe ~time ~pieces;
               true
@@ -123,7 +133,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
               let c_t0 = Hist.tick contact_tm in
               let changed =
                 resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-                  ~uploader:Policy.Fixed_seed ~counters ~probe ~time
+                  ~uploader:Policy.Fixed_seed ~seeds ~counters ~probe ~time
               in
               Hist.tock contact_tm c_t0;
               changed
@@ -135,7 +145,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
               let c_t0 = Hist.tick contact_tm in
               let changed =
                 resolve_contact ~rng ~frun ~p ~policy:config.policy ~state
-                  ~uploader:(Policy.Peer uploader_type) ~counters ~probe ~time
+                  ~uploader:(Policy.Peer uploader_type) ~seeds ~counters ~probe ~time
               in
               Hist.tock contact_tm c_t0;
               changed
@@ -157,6 +167,7 @@ let run ?(probe = Probe.none) ?observer ?sample_every ?max_events ?resume ?until
             end
             else begin
               State.remove_peer state full;
+              decr seeds;
               counters.departures <- counters.departures + 1;
               if tracing then Probe.departure probe ~time Seed_departed;
               true

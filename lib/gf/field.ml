@@ -8,6 +8,7 @@ type t = {
   mul : int -> int -> int;
   inv : int -> int;
   div : int -> int -> int;
+  tables : (int array * int array) option;
 }
 
 let is_prime n =
@@ -37,7 +38,7 @@ let prime p =
   let mul a b = a * b mod p in
   let inv a = mod_inverse a p in
   let div a b = mul a (inv b) in
-  { q = p; p; m = 1; add; sub; neg; mul; inv; div }
+  { q = p; p; m = 1; add; sub; neg; mul; inv; div; tables = None }
 
 (* ---- extension fields GF(p^m) ----
 
@@ -188,10 +189,18 @@ let extension ~p ~m =
       else exp_tbl.(q - 1 - log_tbl.(a))
     in
     let div a b = mul a (inv b) in
-    { q; p; m; add; sub; neg; mul; inv; div }
+    { q; p; m; add; sub; neg; mul; inv; div; tables = Some (exp_tbl, log_tbl) }
   end
 
-let gf q =
+(* Table construction (irreducible search, generator search, log/antilog
+   fill) is pure in [q], so fields are memoised per size: replicated runs
+   and per-peer subspace creation share one table set per field instead of
+   rebuilding it.  The lock makes the cache safe under the Domain-parallel
+   replication runner. *)
+let gf_cache : (int, t) Hashtbl.t = Hashtbl.create 8
+let gf_lock = Mutex.create ()
+
+let gf_uncached q =
   if q < 2 then invalid_arg "Field.gf: q must be >= 2";
   (* Factor q as p^m. *)
   let rec smallest_factor d = if d * d > q then q else if q mod d = 0 then d else smallest_factor (d + 1) in
@@ -200,6 +209,25 @@ let gf q =
   let m = degree q 0 in
   if m < 1 then invalid_arg (Printf.sprintf "Field.gf: %d is not a prime power" q);
   if m = 1 then prime p else extension ~p ~m
+
+let gf q =
+  Mutex.lock gf_lock;
+  match Hashtbl.find_opt gf_cache q with
+  | Some f ->
+      Mutex.unlock gf_lock;
+      f
+  | None -> (
+      (* Construction runs under the lock: it is cheap (bounded by
+         q <= 65536) and doing it locked keeps the cache
+         single-assignment, so [gf q == gf q] always holds. *)
+      match gf_uncached q with
+      | f ->
+          Hashtbl.add gf_cache q f;
+          Mutex.unlock gf_lock;
+          f
+      | exception e ->
+          Mutex.unlock gf_lock;
+          raise e)
 
 let element_of_int f x = ((x mod f.q) + f.q) mod f.q
 

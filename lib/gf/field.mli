@@ -19,6 +19,12 @@ type t = {
   mul : int -> int -> int;
   inv : int -> int;  (** @raise Division_by_zero on 0 *)
   div : int -> int -> int;
+  tables : (int array * int array) option;
+      (** [(exp, log)] discrete log/antilog tables over a primitive
+          element, for extension fields ([m >= 2]): [exp.(i) = g^i] for
+          [i] in [0, q-2] and [log.(g^i) = i] with [log.(0) = -1].
+          [None] for prime fields.  {!Kernel} compiles these into flat
+          branch-free multiply/invert kernels. *)
 }
 
 val prime : int -> t
@@ -30,6 +36,8 @@ val extension : p:int -> m:int -> t
 
 val gf : int -> t
 (** [gf q] for any prime power [q <= 65536]; factors [q] automatically.
+    Memoised per [q] (thread-safe): repeated calls return the {e same}
+    field value, so replicated runs never rebuild the log/antilog tables.
     @raise Invalid_argument if [q] is not a prime power in range. *)
 
 val element_of_int : t -> int -> int

@@ -1,0 +1,80 @@
+(** Specialised GF(q) arithmetic kernels.
+
+    {!Field.t} carries its arithmetic as a record of closures — two
+    indirect calls per element on the row-operation hot path, plus an
+    allocation per {!Mat.vec_axpy}.  A [Kernel.t] is the same arithmetic
+    compiled into a first-order variant, dispatched {e once per row
+    operation}:
+
+    - [Gf2] — GF(2): add = xor, mul = and; row vectors can additionally
+      be bitsliced into native-int words ({!words_for}, {!xor_into},
+      {!lowest_bit}) so axpy is O(k/63) word XORs and pivot search a
+      count-trailing-zeros scan.
+    - [Char2] — GF(2^m), m ≥ 2: add = xor of polynomial encodings;
+      mul/inv via flat log/antilog tables (antilog doubled so the
+      multiply path has no [mod]).
+    - [Prime] — GF(p): modular add/mul, flat inverse table.
+    - [Generic] — fallback to the field closures (odd-characteristic
+      extension fields such as GF(9), GF(27)).
+
+    Kernels are memoised per field size (thread-safe), like {!Field.gf}.
+    All operations agree exactly with the source {!Field.t} — pinned by
+    the kernel property tests across q ∈ {2, 3, 4, 8, 16, 256}. *)
+
+type t =
+  | Gf2
+  | Char2 of { q : int; exp_ : int array; log_ : int array }
+  | Prime of { p : int; inv_ : int array }
+  | Generic of Field.t
+
+val of_field : Field.t -> t
+(** Compile (or fetch the memoised) kernel for the field. *)
+
+val q : t -> int
+
+(** {1 Element operations}
+
+    Reference surface, semantically identical to the field closures. *)
+
+val add : t -> int -> int -> int
+val sub : t -> int -> int -> int
+val neg : t -> int -> int
+val mul : t -> int -> int -> int
+
+val inv : t -> int -> int
+(** @raise Division_by_zero on 0. *)
+
+(** {1 In-place row kernels}
+
+    Element vectors ([int array] of field elements, one per entry). *)
+
+val axpy_into : t -> c:int -> x:int array -> y:int array -> unit
+(** [y <- c·x + y], mutating [y].  No-op when [c = 0].
+    @raise Invalid_argument on length mismatch. *)
+
+val scale_into : t -> c:int -> int array -> unit
+(** [v <- c·v] in place. *)
+
+(** {1 Bitsliced GF(2) helpers}
+
+    Packed rows are [int array]s of {!word_bits}-bit words; bit [j] of a
+    row lives in word [j / word_bits]. *)
+
+val word_bits : int
+(** Usable bits per word (63: native int, no boxing). *)
+
+val words_for : k:int -> int
+(** Words needed for a k-column packed row. *)
+
+val xor_into : x:int array -> y:int array -> unit
+(** [y <- y xor x] word-wise (GF(2) axpy with c = 1). *)
+
+val get_bit : int array -> int -> int
+val set_bit : int array -> int -> unit
+
+val lowest_bit : int array -> int
+(** Position of the lowest set bit across the packed row, or [-1] if the
+    row is zero — the GF(2) pivot scan. *)
+
+val ctz : int -> int
+(** Count trailing zeros of a nonzero int (exposed for tests). *)

@@ -1,8 +1,22 @@
 type vec = int array
 
 let zero_vec n = Array.make n 0
-let vec_equal a b = a = b
-let is_zero_vec v = Array.for_all (fun x -> x = 0) v
+
+(* Explicit int loops: entries are immediate ints, so [compare]'s
+   polymorphic dispatch is pure overhead (and a latent trap if a vec is
+   ever aliased with a float array). *)
+let vec_equal a b =
+  let n = Array.length a in
+  Array.length b = n
+  && begin
+       let rec go i = i >= n || (Array.unsafe_get a i = Array.unsafe_get b i && go (i + 1)) in
+       go 0
+     end
+
+let is_zero_vec v =
+  let n = Array.length v in
+  let rec go i = i >= n || (Array.unsafe_get v i = 0 && go (i + 1)) in
+  go 0
 
 let vec_add (f : Field.t) a b =
   if Array.length a <> Array.length b then invalid_arg "Mat.vec_add: length mismatch";
@@ -23,12 +37,21 @@ let pivot_column v =
 
 let row_reduce (f : Field.t) rows =
   (* Gauss-Jordan over the field; returns normalised nonzero rows sorted by
-     pivot column. *)
+     pivot column.  Works on copies with the in-place kernels — no
+     per-elimination allocation. *)
   let work = Array.map Array.copy rows in
   let m = Array.length work in
   if m = 0 then [||]
   else begin
     let n = Array.length work.(0) in
+    Array.iteri
+      (fun i row ->
+        if Array.length row <> n then
+          invalid_arg
+            (Printf.sprintf "Mat.row_reduce: ragged rows (row 0 has %d columns, row %d has %d)"
+               n i (Array.length row)))
+      work;
+    let kern = Kernel.of_field f in
     let rank = ref 0 in
     for col = 0 to n - 1 do
       (* Find a pivot row at or below !rank with a nonzero entry in col. *)
@@ -41,12 +64,13 @@ let row_reduce (f : Field.t) rows =
         work.(!rank) <- work.(!pivot);
         work.(!pivot) <- tmp;
         (* Normalise the pivot row. *)
-        let inv = f.inv work.(!rank).(col) in
-        work.(!rank) <- vec_scale f inv work.(!rank);
+        let prow = work.(!rank) in
+        let c = prow.(col) in
+        if c <> 1 then Kernel.scale_into kern ~c:(Kernel.inv kern c) prow;
         (* Eliminate the column everywhere else. *)
         for r = 0 to m - 1 do
           if r <> !rank && work.(r).(col) <> 0 then
-            work.(r) <- vec_axpy f (f.neg work.(r).(col)) work.(!rank) work.(r)
+            Kernel.axpy_into kern ~c:(Kernel.neg kern work.(r).(col)) ~x:prow ~y:work.(r)
         done;
         incr rank
       end
@@ -57,11 +81,16 @@ let row_reduce (f : Field.t) rows =
 let rank f rows = Array.length (row_reduce f rows)
 
 let reduce_against (f : Field.t) ~basis v =
-  Array.fold_left
-    (fun acc row ->
+  let kern = Kernel.of_field f in
+  let acc = Array.copy v in
+  Array.iter
+    (fun row ->
       match pivot_column row with
-      | None -> acc
-      | Some col -> if acc.(col) = 0 then acc else vec_axpy f (f.neg acc.(col)) row acc)
-    (Array.copy v) basis
+      | None -> ()
+      | Some col ->
+          let c = acc.(col) in
+          if c <> 0 then Kernel.axpy_into kern ~c:(Kernel.neg kern c) ~x:row ~y:acc)
+    basis;
+  acc
 
 let in_row_space f ~basis v = is_zero_vec (reduce_against f ~basis v)

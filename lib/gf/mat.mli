@@ -27,7 +27,10 @@ val rank : Field.t -> vec array -> int
 
 val row_reduce : Field.t -> vec array -> vec array
 (** Row-reduced echelon basis of the row space (nonzero rows only, pivots
-    normalised to 1, sorted by pivot column). *)
+    normalised to 1, sorted by pivot column).  This basis is the {e unique}
+    canonical RREF of the row space — the incremental tracker in
+    {!P2p_coding.Subspace} maintains the same basis vector-by-vector.
+    @raise Invalid_argument if the rows have differing lengths. *)
 
 val in_row_space : Field.t -> basis:vec array -> vec -> bool
 (** Membership test against a row-reduced [basis] (as produced by

@@ -37,6 +37,8 @@ let grid_spec ?(steps = 10) ?(horizon = 40.0) ?(reps = 1) () =
     reps;
     master_seed = 11;
     policy = "random";
+    backend = "markov";
+    q = 16;
     faults = Faults.none;
     mode =
       Spec.Grid
@@ -94,7 +96,79 @@ let test_spec_rejects_garbage () =
   reject "wrong schema" (patch "schema" (Json.String "not-a-spec"));
   reject "bad policy" (patch "policy" (Json.String "telepathic"));
   reject "zero reps" (patch "reps" (Json.Int 0));
-  reject "negative horizon" (patch "horizon" (Json.Float (-1.0)))
+  reject "negative horizon" (patch "horizon" (Json.Float (-1.0)));
+  (match Spec.of_json (Spec.to_json { (grid_spec ()) with Spec.backend = "quantum" }) with
+  | Ok _ -> Alcotest.fail "unknown backend accepted"
+  | Error _ -> ());
+  match Spec.of_json (Spec.to_json { (grid_spec ()) with Spec.backend = "coded"; q = 6 }) with
+  | Ok _ -> Alcotest.fail "non-prime-power q accepted"
+  | Error _ -> ()
+
+(* ---- coded backend ---- *)
+
+let coded_spec ?(steps = 3) () =
+  {
+    (grid_spec ~steps ~horizon:30.0 ()) with
+    Spec.name = "test-coded";
+    backend = "coded";
+    q = 4;
+    k = 3;
+    gamma = 2.0;
+  }
+
+(* The default-backend encoding must not mention the new fields at all:
+   every pre-PR9 markov spec keeps its hash, and with it its result
+   store and resume directory. *)
+let test_markov_encoding_unchanged () =
+  let json = Spec.to_json (grid_spec ()) in
+  Alcotest.(check bool) "no backend field" true (Json.member "backend" json = None);
+  Alcotest.(check bool) "no q field" true (Json.member "q" json = None);
+  (* and a parsed legacy document defaults to markov *)
+  match Spec.of_json json with
+  | Error m -> Alcotest.fail m
+  | Ok spec ->
+      Alcotest.(check string) "default backend" "markov" spec.Spec.backend;
+      Alcotest.(check int) "default q" 16 spec.Spec.q
+
+let test_coded_spec_roundtrip () =
+  let spec = coded_spec () in
+  let json = Spec.to_json spec in
+  Alcotest.(check bool) "backend encoded" true
+    (Json.member "backend" json = Some (Json.String "coded"));
+  match Spec.of_json json with
+  | Error m -> Alcotest.failf "coded roundtrip rejected: %s" m
+  | Ok spec' ->
+      Alcotest.(check string) "hash stable" (Spec.hash spec) (Spec.hash spec');
+      Alcotest.(check bool) "backend distinguishes hashes" true
+        (Spec.hash spec <> Spec.hash { spec with Spec.backend = "markov" })
+
+let test_coded_campaign_runs () =
+  with_temp_dir (fun dir ->
+      let spec = coded_spec () in
+      let o = run_clean (dir / "coded") spec in
+      Alcotest.(check bool) "coded campaign complete" true o.Campaign.complete;
+      Alcotest.(check int) "all cells evaluated" 9 o.Campaign.cells_done;
+      (* determinism: a second clean run produces a byte-identical store *)
+      ignore (run_clean (dir / "again") spec);
+      Alcotest.(check string) "coded store reproducible"
+        (read_file (Store.results_path ~dir:(dir / "coded")))
+        (read_file (Store.results_path ~dir:(dir / "again")));
+      match Json.read_jsonl_file (Store.results_path ~dir:(dir / "coded")) with
+      | Error m -> Alcotest.fail m
+      | Ok { records; _ } ->
+          Alcotest.(check int) "nine records" 9 (List.length records);
+          List.iter
+            (fun r ->
+              (match Json.member "theory" r with
+              | Some (Json.String v) ->
+                  Alcotest.(check bool) "theory verdict present" true (v <> "")
+              | _ -> Alcotest.fail "theory field missing");
+              match Json.member "verdict" r with
+              | Some (Json.String v) ->
+                  Alcotest.(check bool) "simulated verdict definite" true
+                    (List.mem v [ "stable"; "unstable"; "inconclusive"; "mixed" ])
+              | _ -> Alcotest.fail "verdict field missing")
+            records)
 
 (* ---- cells ---- *)
 
@@ -500,7 +574,12 @@ let () =
         [
           Alcotest.test_case "roundtrip and hash" `Quick test_spec_roundtrip_and_hash;
           Alcotest.test_case "rejects garbage" `Quick test_spec_rejects_garbage;
+          Alcotest.test_case "markov encoding unchanged" `Quick
+            test_markov_encoding_unchanged;
+          Alcotest.test_case "coded spec roundtrip" `Quick test_coded_spec_roundtrip;
         ] );
+      ( "coded backend",
+        [ Alcotest.test_case "grid campaign runs" `Quick test_coded_campaign_runs ] );
       ( "cells",
         [
           Alcotest.test_case "grid row-major" `Quick test_grid_cells_row_major;

@@ -114,10 +114,10 @@ if [ "${CHECK_BENCH:-0}" = "1" ]; then
     echo "FAIL: hybrid fluid run exited non-zero" >&2; exit 1; }
   # Regression gate: the fresh quick-bench events/s (all four simulators)
   # plus the fluid stepper's steps/s and million-peer wall clock must
-  # stay within bounds of the committed BENCH_PR6.json baseline (skips
+  # stay within bounds of the committed BENCH_PR9.json baseline (skips
   # the ratio checks when the baseline is absent).
   left=$(remaining)
-  BENCH_GATE_BASELINE="${BENCH_GATE_BASELINE:-BENCH_PR6.json}" \
+  BENCH_GATE_BASELINE="${BENCH_GATE_BASELINE:-BENCH_PR9.json}" \
   BENCH_GATE_NEW="${BENCH_GATE_NEW:-$out/BENCH_smoke.json}" \
   timeout "$left" _build/default/bench/main.exe bench-gate || {
     echo "FAIL: bench-gate reported a throughput regression" >&2; exit 1; }
@@ -166,6 +166,22 @@ EOF
   left=$(remaining)
   timeout "$left" "$P2PSIM" campaign status --dir "$out/crashy" >/dev/null || {
     echo "FAIL: campaign status exited non-zero" >&2; exit 1; }
+  # The coded backend drives the same crash-safe store: a small GF(4)
+  # grid must complete and reproduce byte-identically across two clean
+  # runs (the coded backend's determinism contract).
+  cat >"$out/coded_spec.json" <<'EOF'
+{"schema":"p2p-campaign-spec","version":1,"name":"ci-smoke-coded","hypothesis":"H-CI: the coded backend sweeps a grid deterministically","k":3,"mu":1.0,"gamma":2.0,"horizon":30.0,"reps":1,"master_seed":11,"policy":"random","backend":"coded","q":4,"mode":{"type":"grid","lambda":{"lo":0.3,"hi":2.7,"steps":3},"us":{"lo":0.3,"hi":1.8,"steps":3}}}
+EOF
+  left=$(remaining)
+  timeout "$left" "$P2PSIM" campaign run "$out/coded_spec.json" \
+    --dir "$out/coded" --checkpoint-every 3 >/dev/null || {
+    echo "FAIL: coded campaign run exited non-zero" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" "$P2PSIM" campaign run "$out/coded_spec.json" \
+    --dir "$out/coded2" --checkpoint-every 3 >/dev/null || {
+    echo "FAIL: second coded campaign run exited non-zero" >&2; exit 1; }
+  cmp "$out/coded/results.jsonl" "$out/coded2/results.jsonl" || {
+    echo "FAIL: coded campaign store is not reproducible" >&2; exit 1; }
   echo "== campaign smoke OK =="
 fi
 
