@@ -1,0 +1,11 @@
+(** Deterministic domain fan-out for the sharded engine.
+
+    [run ~jobs n f] evaluates [f i] for every [i] in [0, n-1], spread
+    over at most [jobs] domains (the caller's domain included).  The
+    shard → domain assignment is static ([i mod jobs]), so it is a pure
+    function of [(jobs, n)]; with [jobs <= 1] everything runs inline on
+    the calling domain.  [f] must touch only data owned by index [i] —
+    the engine's shard slots satisfy this by construction — because no
+    synchronisation beyond the final join is provided. *)
+
+val run : jobs:int -> int -> (int -> unit) -> unit

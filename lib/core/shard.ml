@@ -1,0 +1,66 @@
+module Pieceset = P2p_pieceset.Pieceset
+
+(* The partition discipline: a peer belongs to the shard that created
+   it and never migrates.  Initial peers are dealt round-robin starting
+   from their type's stratum (so a one-type flash crowd still spreads
+   evenly); arrivals are Poisson-thinned, each shard owning an
+   independent λ/S arrival stream.  Ownership is about *residence* —
+   any shard's peer can still contact any other shard's peer, through
+   the message boundary. *)
+
+let stratum c ~shards =
+  if shards <= 0 then invalid_arg "Shard.stratum: shards must be positive";
+  Pieceset.hash c mod shards
+
+let partition_counts ~shards initial =
+  if shards <= 0 then invalid_arg "Shard.partition_counts: shards must be positive";
+  let per = Array.make shards [] in
+  List.iter
+    (fun (c, count) ->
+      if count < 0 then invalid_arg "Shard.partition_counts: negative count";
+      let base = stratum c ~shards in
+      (* Deal [count] peers round-robin from the stratum: shard
+         [(base + j) mod shards] owns the j-th.  Emit one (type, share)
+         entry per shard that receives at least one peer. *)
+      for s = 0 to shards - 1 do
+        let share = (count / shards) + (if (s - base + shards) mod shards < count mod shards then 1 else 0) in
+        if share > 0 then per.(s) <- (c, share) :: per.(s)
+      done)
+    initial;
+  Array.map List.rev per
+
+(* A cross-shard contact offer: the uploader's type travels to the
+   downloader's shard, which resolves the contact locally with its own
+   generator.  [None] is the fixed seed (resident on shard 0). *)
+type msg = { uploader : Pieceset.t option }
+
+type route = Local | Remote of int | Nobody
+
+(* Pick the downloader's shard for one contact: uniform over the global
+   population as the resolving shard sees it — its own population live,
+   the others' as of the last sync barrier.  [draw m] must return a
+   uniform index in [0, m-1]. *)
+let route ~draw ~me ~local_n ~remote =
+  let total = ref local_n in
+  Array.iteri (fun j nj -> if j <> me then total := !total + nj) remote;
+  if !total <= 0 then Nobody
+  else begin
+    let r = draw !total in
+    if r < local_n then Local
+    else begin
+      let rest = ref (r - local_n) in
+      let dst = ref (-1) in
+      (try
+         Array.iteri
+           (fun j nj ->
+             if j <> me then
+               if !rest < nj then begin
+                 dst := j;
+                 raise Exit
+               end
+               else rest := !rest - nj)
+           remote
+       with Exit -> ());
+      if !dst < 0 then Nobody else Remote !dst
+    end
+  end

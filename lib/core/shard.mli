@@ -1,0 +1,42 @@
+(** Swarm partitioning for the sharded engine.
+
+    A shard owns a subset of the peers: initial peers are dealt
+    round-robin from their piece-set stratum ({!stratum}), arrivals are
+    Poisson-thinned (each shard runs an independent λ/S arrival band),
+    and a peer never migrates — departures and piece transfers happen on
+    the shard of residence.  Contacts whose downloader lives on another
+    shard cross the boundary as {!msg} values, resolved by the receiving
+    shard at the next sync barrier (see {!Engine.drive_sharded}).
+
+    Every function here is deterministic: the partition of a given
+    initial population is a pure function of [(initial, shards)], and
+    {!route} consumes exactly one draw from the caller's generator. *)
+
+module Pieceset = P2p_pieceset.Pieceset
+
+val stratum : Pieceset.t -> shards:int -> int
+(** Home shard of a piece-set type, [hash c mod shards].
+    @raise Invalid_argument if [shards <= 0]. *)
+
+val partition_counts :
+  shards:int -> (Pieceset.t * int) list -> (Pieceset.t * int) list array
+(** Split an initial population across [shards]: the [j]-th peer of type
+    [c] lands on shard [(stratum c + j) mod shards], so every peer is
+    owned by exactly one shard and each type spreads evenly.  The
+    returned array has length [shards]; entries preserve the input type
+    order.
+    @raise Invalid_argument on [shards <= 0] or a negative count. *)
+
+type msg = { uploader : Pieceset.t option  (** [None] = the fixed seed *) }
+(** A cross-shard contact offer: the uploader's pieces travel to the
+    downloader's shard, which picks the downloader and resolves the
+    contact with its own generator. *)
+
+type route = Local | Remote of int | Nobody
+
+val route : draw:(int -> int) -> me:int -> local_n:int -> remote:int array -> route
+(** Choose the shard of a uniformly-random global downloader, seen from
+    shard [me]: its own population [local_n] live, the others from the
+    last sync snapshot [remote] (entry [me] is ignored).  [Nobody] when
+    the visible global population is zero.  Exactly one [draw] is made
+    unless the population is empty (zero draws). *)

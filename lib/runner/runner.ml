@@ -43,6 +43,14 @@ let pp_timing fmt t =
   Format.fprintf fmt "wall %.2fs, %d domain%s, %.0f%% busy" t.wall_s t.jobs
     (if t.jobs = 1 then "" else "s")
     (100.0 *. utilisation t);
+  (* Busy time is wall-clock around each chunk, so a descheduled domain
+     still counts as busy: on a box with fewer cores than domains the
+     utilisation figure stays high while real speedup is ≤ 1.  Flag it
+     rather than silently reporting a flattering number (DESIGN §17). *)
+  if t.jobs > Domain.recommended_domain_count () then
+    Format.fprintf fmt " (oversubscribed: %d core%s)"
+      (Domain.recommended_domain_count ())
+      (if Domain.recommended_domain_count () = 1 then "" else "s");
   if t.failures <> [] then
     Format.fprintf fmt ", %d replication%s failed" (List.length t.failures)
       (if List.length t.failures = 1 then "" else "s");

@@ -81,7 +81,16 @@ type timing = {
 
 val utilisation : timing -> float
 (** Mean fraction of the wall-clock each domain spent in replication
-    work; 1.0 = perfect scaling, [nan] when [wall_s = 0]. *)
+    work; 1.0 = perfect scaling, [nan] when [wall_s = 0].
+
+    Caveat (measured for DESIGN §17): busy time is wall-clock around
+    each chunk, so time a domain spends {e descheduled} mid-chunk still
+    counts as busy.  When [jobs] exceeds the physical core count the
+    figure stays near 1 while real speedup is ≤ 1; {!pp_timing} appends
+    an "oversubscribed" flag in that case.  The mild falloff that {e is}
+    visible under oversubscription (≈ 91% at 4 jobs on 1 core) is
+    chunk-retirement bookkeeping and domain spawn/join landing between
+    [tick]s, not lost simulation work. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)

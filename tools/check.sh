@@ -70,9 +70,12 @@ fi
 
 # Optional bench smoke: CHECK_BENCH=1 also runs the quick perf baseline
 # (bench-json-quick) and a traced single run, proving the telemetry
-# plumbing end to end.  Artifacts land in ${CHECK_BENCH_DIR:-/tmp}.
+# plumbing end to end.  Artifacts — including BENCH_smoke.json, which is
+# deliberately NOT a committed file — land under
+# ${CHECK_BENCH_DIR:-_build/bench-smoke}, so a bench run never dirties
+# the working tree.
 if [ "${CHECK_BENCH:-0}" = "1" ]; then
-  out="${CHECK_BENCH_DIR:-/tmp}"
+  out="${CHECK_BENCH_DIR:-_build/bench-smoke}"
   mkdir -p "$out"
   left=$(remaining)
   if [ "$left" -le 0 ]; then
@@ -231,6 +234,46 @@ if [ "${CHECK_OBS:-0}" = "1" ]; then
   timeout "$left" "$P2PSIM" report "$out/killed.jsonl" >/dev/null || {
     echo "FAIL: post-SIGKILL snapshot is not parseable" >&2; exit 1; }
   echo "== observability smoke OK =="
+fi
+
+# Optional shard smoke: CHECK_SHARD=1 proves the sharded engine's
+# determinism contract end to end through the CLI — two identical
+# 2-shard invocations must be byte-equal, a --jobs change must not
+# alter the output, and --shards 1 must be byte-identical to the plain
+# single-loop simulator (the goldens' anchor).
+if [ "${CHECK_SHARD:-0}" = "1" ]; then
+  out="${CHECK_SHARD_DIR:-_build/shard-smoke}"
+  rm -rf "$out"
+  mkdir -p "$out"
+  echo "== shard smoke (into $out) =="
+  P2PSIM=_build/default/bin/p2psim.exe
+  ARGS="-k 3 --arrive none=2.0 --us 1 --mu 1 --gamma 2 --abort-rate 0.05 --horizon 150 --seed 11"
+  left=$(remaining)
+  timeout "$left" $P2PSIM simulate $ARGS --shards 2 --csv "$out/a.csv" >"$out/a.txt" || {
+    echo "FAIL: first 2-shard run exited non-zero" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" $P2PSIM simulate $ARGS --shards 2 --csv "$out/b.csv" >"$out/b.txt" || {
+    echo "FAIL: second 2-shard run exited non-zero" >&2; exit 1; }
+  # stdout embeds the CSV path ("wrote .../a.csv"), so mask that one
+  # line before comparing — everything else must be byte-identical.
+  sed 's/^wrote .*/wrote CSV/' "$out/a.txt" >"$out/a.norm.txt"
+  sed 's/^wrote .*/wrote CSV/' "$out/b.txt" >"$out/b.norm.txt"
+  cmp "$out/a.csv" "$out/b.csv" && cmp "$out/a.norm.txt" "$out/b.norm.txt" || {
+    echo "FAIL: repeated 2-shard runs are not byte-identical" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" $P2PSIM simulate $ARGS --shards 2 --jobs 2 --csv "$out/j2.csv" >/dev/null || {
+    echo "FAIL: 2-shard --jobs 2 run exited non-zero" >&2; exit 1; }
+  cmp "$out/a.csv" "$out/j2.csv" || {
+    echo "FAIL: --jobs changed the 2-shard trajectory" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" $P2PSIM simulate $ARGS --csv "$out/plain.csv" >/dev/null || {
+    echo "FAIL: unsharded run exited non-zero" >&2; exit 1; }
+  left=$(remaining)
+  timeout "$left" $P2PSIM simulate $ARGS --shards 1 --csv "$out/s1.csv" >/dev/null || {
+    echo "FAIL: --shards 1 run exited non-zero" >&2; exit 1; }
+  cmp "$out/plain.csv" "$out/s1.csv" || {
+    echo "FAIL: --shards 1 is not byte-identical to the unsharded simulator" >&2; exit 1; }
+  echo "== shard smoke OK =="
 fi
 
 echo "== tier-1 check OK =="
